@@ -1,0 +1,119 @@
+//! Application classes used by the paper's workloads.
+
+use std::fmt;
+
+/// The four application types of the paper's evaluation (Table 1).
+///
+/// Each class stands for one benchmark and, more importantly, for one
+/// scalability shape; the workloads w1–w4 are defined as mixes of these
+/// classes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AppClass {
+    /// swim (SpecFP95): superlinear speedup in the 8–16 processor range.
+    Swim,
+    /// bt.A (NAS Parallel Benchmarks): good, progressive scalability.
+    BtA,
+    /// hydro2d (SpecFP95): medium scalability, saturates early.
+    Hydro2d,
+    /// apsi (SpecFP95): does not scale at all.
+    Apsi,
+}
+
+impl AppClass {
+    /// All classes, in the paper's order.
+    pub const ALL: [AppClass; 4] = [
+        AppClass::Swim,
+        AppClass::BtA,
+        AppClass::Hydro2d,
+        AppClass::Apsi,
+    ];
+
+    /// The benchmark's short name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppClass::Swim => "swim",
+            AppClass::BtA => "bt.A",
+            AppClass::Hydro2d => "hydro2d",
+            AppClass::Apsi => "apsi",
+        }
+    }
+
+    /// Parses a benchmark name (as written by [`AppClass::name`], case
+    /// insensitive; `bt` is accepted for `bt.A`).
+    pub fn parse(s: &str) -> Option<AppClass> {
+        match s.to_ascii_lowercase().as_str() {
+            "swim" => Some(AppClass::Swim),
+            "bt.a" | "bt" | "bt_a" => Some(AppClass::BtA),
+            "hydro2d" | "hydro" => Some(AppClass::Hydro2d),
+            "apsi" => Some(AppClass::Apsi),
+            _ => None,
+        }
+    }
+
+    /// The scalability description the paper gives this class.
+    pub fn scalability(self) -> &'static str {
+        match self {
+            AppClass::Swim => "superlinear",
+            AppClass::BtA => "good",
+            AppClass::Hydro2d => "medium",
+            AppClass::Apsi => "none",
+        }
+    }
+
+    /// The *tuned* processor request used in the paper's workloads:
+    /// "swim, bt, and hydro2d request for 30 processors, and apsi requests
+    /// for 2 processors due to its poor scalability" (§5).
+    pub fn tuned_request(self) -> usize {
+        match self {
+            AppClass::Apsi => 2,
+            _ => 30,
+        }
+    }
+
+    /// The *untuned* request used by the Table 3/4 experiments: every
+    /// application asks for 30 processors.
+    pub fn untuned_request(self) -> usize {
+        30
+    }
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for class in AppClass::ALL {
+            assert_eq!(AppClass::parse(class.name()), Some(class));
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(AppClass::parse("BT"), Some(AppClass::BtA));
+        assert_eq!(AppClass::parse("hydro"), Some(AppClass::Hydro2d));
+        assert_eq!(AppClass::parse("SWIM"), Some(AppClass::Swim));
+        assert_eq!(AppClass::parse("nonesuch"), None);
+    }
+
+    #[test]
+    fn tuned_requests_match_paper() {
+        assert_eq!(AppClass::Swim.tuned_request(), 30);
+        assert_eq!(AppClass::BtA.tuned_request(), 30);
+        assert_eq!(AppClass::Hydro2d.tuned_request(), 30);
+        assert_eq!(AppClass::Apsi.tuned_request(), 2);
+    }
+
+    #[test]
+    fn untuned_requests_are_all_30() {
+        for class in AppClass::ALL {
+            assert_eq!(class.untuned_request(), 30);
+        }
+    }
+}

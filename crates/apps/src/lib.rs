@@ -1,0 +1,30 @@
+//! Malleable iterative parallel application models.
+//!
+//! The paper evaluates PDPA with four OpenMP applications chosen for their
+//! speedup shapes (Fig. 3):
+//!
+//! - **swim** (SpecFP95) — superlinear in the 8–16 processor range;
+//! - **bt.A** (NAS Parallel Benchmarks) — good, progressive scalability;
+//! - **hydro2d** (SpecFP95) — medium scalability, saturating early;
+//! - **apsi** (SpecFP95) — does not scale at all.
+//!
+//! We cannot run the original binaries, so this crate models each one as a
+//! *malleable iterative application*: a sequential outer loop whose
+//! iterations each take `T1/S(p)` seconds on `p` processors, where `S` is a
+//! speedup curve calibrated to the figure and `T1` is the sequential time of
+//! one iteration calibrated so that execution times land in the ranges the
+//! paper's tables report. The scheduling policies only ever observe measured
+//! iteration times — exactly what the NANOS SelfAnalyzer gives them on real
+//! hardware — so the substitution exercises identical policy code paths.
+
+pub mod app;
+pub mod class;
+pub mod noise;
+pub mod paper;
+pub mod speedup;
+
+pub use app::{ApplicationSpec, PhaseChange, Progress};
+pub use class::AppClass;
+pub use noise::NoiseModel;
+pub use paper::{apsi, bt_a, hydro2d, paper_app, swim};
+pub use speedup::{Amdahl, Downey, Gustafson, PiecewiseLinear, SpeedupModel, Superlinear};

@@ -1,0 +1,105 @@
+//! Measurement noise model.
+//!
+//! On real hardware, iteration timings jitter with cache state, page
+//! placement, and interference from other jobs. The paper leans on this:
+//! Equal_efficiency "is too sensitive to small changes in the efficiency
+//! measurements — small variations in the efficiency generate high variances
+//! in the processor allocation" (§5.1). A simulator with noiseless timings
+//! would hide that failure mode, so measured iteration times are perturbed
+//! multiplicatively before any policy sees them.
+
+use pdpa_sim::{SimDuration, SimRng};
+
+/// Multiplicative timing noise: `t_measured = t_true · (1 + ε)` with
+/// `ε ~ N(0, σ)`, truncated so the factor stays positive.
+#[derive(Clone, Debug)]
+pub struct NoiseModel {
+    sigma: f64,
+}
+
+impl NoiseModel {
+    /// Noise with relative standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or ≥ 0.5 (which would make negative
+    /// times plausible).
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&sigma),
+            "noise sigma must be in [0, 0.5), got {sigma}"
+        );
+        NoiseModel { sigma }
+    }
+
+    /// The default calibration: 2 % relative jitter, matching quiet-machine
+    /// variance for iteration-scale timings.
+    pub fn default_jitter() -> Self {
+        NoiseModel::new(0.02)
+    }
+
+    /// No noise (for tests that need exact timings).
+    pub fn none() -> Self {
+        NoiseModel { sigma: 0.0 }
+    }
+
+    /// The configured relative standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Perturbs a true duration into a measured one.
+    pub fn perturb(&self, truth: SimDuration, rng: &mut SimRng) -> SimDuration {
+        if self.sigma == 0.0 {
+            return truth;
+        }
+        // Clamp at ±3σ: keeps the factor positive and avoids pathological
+        // single-sample outliers that no real timer would produce.
+        let eps = rng
+            .normal(0.0, self.sigma)
+            .clamp(-3.0 * self.sigma, 3.0 * self.sigma);
+        SimDuration::from_secs(truth.as_secs() * (1.0 + eps))
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::default_jitter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let n = NoiseModel::none();
+        let mut rng = SimRng::new(1);
+        let t = SimDuration::from_secs(5.0);
+        assert_eq!(n.perturb(t, &mut rng), t);
+    }
+
+    #[test]
+    fn noise_is_unbiased_and_bounded() {
+        let n = NoiseModel::new(0.05);
+        let mut rng = SimRng::new(2);
+        let t = SimDuration::from_secs(10.0);
+        let k = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..k {
+            let m = n.perturb(t, &mut rng).as_secs();
+            assert!(m > 10.0 * (1.0 - 0.16), "measured {m} below -3σ bound");
+            assert!(m < 10.0 * (1.0 + 0.16), "measured {m} above +3σ bound");
+            sum += m;
+        }
+        let mean = sum / k as f64;
+        assert!((mean - 10.0).abs() < 0.05, "biased mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise sigma")]
+    fn rejects_huge_sigma() {
+        let _ = NoiseModel::new(0.5);
+    }
+}

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the discrete-event queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdpa_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+
+    group.bench_function("push_pop_1k_sorted", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000 {
+                q.push(SimTime::from_secs(i as f64), i);
+            }
+            let mut sum = 0usize;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+
+    group.bench_function("push_pop_1k_random", |b| {
+        let mut rng = SimRng::new(7);
+        let times: Vec<f64> = (0..1_000).map(|_| rng.uniform(0.0, 1_000.0)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_secs(t), i);
+            }
+            let mut sum = 0usize;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+
+    group.bench_function("interleaved_steady_state", |b| {
+        // The engine's real pattern: a bounded queue with push/pop pairs.
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::new(9);
+        let mut now = 0.0f64;
+        for _ in 0..64 {
+            q.push(SimTime::from_secs(rng.uniform(0.0, 10.0)), 0u32);
+        }
+        b.iter(|| {
+            if let Some((t, _)) = q.pop() {
+                now = t.as_secs();
+            }
+            q.push(SimTime::from_secs(now + rng.uniform(0.01, 5.0)), 1);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_pop);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the CC-NUMA machine model's cpuset operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdpa_sim::{JobId, Machine};
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+
+    group.bench_function("resize_grow_shrink_cycle", |b| {
+        let mut m = Machine::new(60);
+        m.resize(JobId(0), 20);
+        m.resize(JobId(1), 20);
+        b.iter(|| {
+            m.resize(JobId(0), 28);
+            m.resize(JobId(0), 20);
+            black_box(m.free_cpus())
+        });
+    });
+
+    group.bench_function("place_release_15_jobs", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(60);
+            for j in 0..15u32 {
+                m.resize(JobId(j), 4);
+            }
+            for j in 0..15u32 {
+                m.release(JobId(j));
+            }
+            black_box(m.free_cpus())
+        });
+    });
+
+    group.bench_function("equipartition_style_reshuffle", |b| {
+        // The worst realistic case: every arrival repartitions all jobs.
+        let mut m = Machine::new(60);
+        for j in 0..6u32 {
+            m.resize(JobId(j), 10);
+        }
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let (a, b_) = if flip { (12, 8) } else { (8, 12) };
+            for j in 0..3u32 {
+                m.resize(JobId(j), a);
+            }
+            for j in 3..6u32 {
+                m.resize(JobId(j), b_);
+            }
+            black_box(m.stats().reallocations)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the scheduling policies' decision paths.
+//!
+//! The NANOS RM sits on the critical path of every performance report, so a
+//! decision must cost microseconds, not milliseconds — these benches pin
+//! that down for PDPA and both space-sharing baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdpa_core::Pdpa;
+use pdpa_perf::PerfSample;
+use pdpa_policies::{EqualEfficiency, Equipartition, JobView, PolicyCtx, SchedulingPolicy};
+use pdpa_sim::{JobId, SimDuration, SimTime};
+
+fn views(n: usize) -> Vec<JobView> {
+    (0..n)
+        .map(|i| JobView {
+            id: JobId(i as u32),
+            request: 30,
+            allocated: 60 / n.max(1),
+            last_sample: None,
+        })
+        .collect()
+}
+
+fn ctx<'a>(jobs: &'a [JobView]) -> PolicyCtx<'a> {
+    PolicyCtx {
+        now: SimTime::from_secs(100.0),
+        total_cpus: 60,
+        free_cpus: 4,
+        jobs,
+        queued_jobs: 3,
+        next_request: Some(30),
+    }
+}
+
+fn sample(procs: usize) -> PerfSample {
+    PerfSample {
+        procs,
+        speedup: procs as f64 * 0.8,
+        efficiency: 0.8,
+        iter_time: SimDuration::from_secs(1.0),
+        iteration: 7,
+    }
+}
+
+fn bench_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("performance_report");
+    for n_jobs in [4usize, 16] {
+        let jobs = views(n_jobs);
+
+        group.bench_function(format!("pdpa/{n_jobs}_jobs"), |b| {
+            let mut policy = Pdpa::paper_default();
+            for v in &jobs {
+                policy.on_job_arrival(&ctx(&jobs), v.id);
+            }
+            let alloc = jobs[0].allocated;
+            b.iter(|| {
+                black_box(policy.on_performance_report(
+                    &ctx(&jobs),
+                    JobId(0),
+                    black_box(sample(alloc)),
+                ))
+            });
+        });
+
+        group.bench_function(format!("equal_efficiency/{n_jobs}_jobs"), |b| {
+            let mut policy = EqualEfficiency::paper_default();
+            for v in &jobs {
+                policy.on_job_arrival(&ctx(&jobs), v.id);
+            }
+            let alloc = jobs[0].allocated;
+            b.iter(|| {
+                black_box(policy.on_performance_report(
+                    &ctx(&jobs),
+                    JobId(0),
+                    black_box(sample(alloc)),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_repartition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival");
+    for n_jobs in [4usize, 16, 60] {
+        let jobs = views(n_jobs);
+        group.bench_function(format!("equipartition/{n_jobs}_jobs"), |b| {
+            let mut policy = Equipartition::default();
+            b.iter(|| black_box(policy.on_job_arrival(&ctx(&jobs), JobId(0))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reports, bench_repartition);
+criterion_main!(benches);

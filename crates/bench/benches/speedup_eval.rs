@@ -1,0 +1,46 @@
+//! Micro-benchmarks of speedup-curve evaluation and the SelfAnalyzer path.
+//!
+//! These sit inside every simulated iteration, so they bound the
+//! simulator's events-per-second throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdpa_apps::{paper_app, AppClass};
+use pdpa_perf::{EfficiencyEstimator, SelfAnalyzer, SelfAnalyzerConfig};
+use pdpa_sim::SimDuration;
+
+fn bench_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup");
+
+    for class in AppClass::ALL {
+        let app = paper_app(class);
+        group.bench_function(format!("piecewise_lookup/{}", class.name()), |b| {
+            let mut p = 1usize;
+            b.iter(|| {
+                p = p % 60 + 1;
+                black_box(app.speedup.speedup(black_box(p)))
+            });
+        });
+    }
+
+    group.bench_function("selfanalyzer_record", |b| {
+        let mut sa = SelfAnalyzer::new(SelfAnalyzerConfig::default());
+        sa.record_iteration(2, SimDuration::from_secs(1.0));
+        sa.record_iteration(2, SimDuration::from_secs(1.0));
+        b.iter(|| black_box(sa.record_iteration(black_box(16), SimDuration::from_secs(0.12))));
+    });
+
+    group.bench_function("amdahl_fit_and_extrapolate", |b| {
+        let mut est = EfficiencyEstimator::new();
+        b.iter(|| {
+            est.observe(black_box(16), black_box(12.2));
+            black_box(est.efficiency_at(40))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Runs every experiment in paper order.
+//!
+//! `cargo run -p pdpa-bench --release --bin expt-all > results.txt`
+//! regenerates the full evaluation; `EXPERIMENTS.md` was produced from this
+//! output.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "expt-fig3",
+        "expt-table1",
+        "expt-fig4",
+        "expt-fig5",
+        "expt-table2",
+        "expt-fig6",
+        "expt-fig7",
+        "expt-fig8",
+        "expt-fig9",
+        "expt-table3",
+        "expt-fig10",
+        "expt-table4",
+        "expt-ablation",
+        "expt-hybrid",
+        "expt-cluster",
+        "expt-fragmentation",
+        "expt-sensitivity",
+        "expt-sharing",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in binaries {
+        println!("{}", "=".repeat(78));
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use pdpa_qs::Workload;
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `pdpa run` — one workload, one policy.
+    Run(Options),
+    /// `pdpa compare` — one workload, every policy.
+    Compare(Options),
+    /// `pdpa curves` — print the Fig. 3 speedup curves.
+    Curves,
+    /// `pdpa help` / `--help`.
+    Help,
+}
+
+/// Scheduling policies selectable from the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// The paper's contribution.
+    Pdpa,
+    /// Equipartition.
+    Equipartition,
+    /// Equal_efficiency.
+    EqualEfficiency,
+    /// The IRIX-like time-sharing model.
+    Irix,
+    /// Rigid first-fit space sharing.
+    Rigid,
+    /// Gang scheduling.
+    Gang,
+}
+
+impl PolicyChoice {
+    /// Parses a policy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "pdpa" => Some(PolicyChoice::Pdpa),
+            "equip" | "equipartition" => Some(PolicyChoice::Equipartition),
+            "equal-eff" | "equal_eff" | "equal-efficiency" => Some(PolicyChoice::EqualEfficiency),
+            "irix" => Some(PolicyChoice::Irix),
+            "rigid" => Some(PolicyChoice::Rigid),
+            "gang" => Some(PolicyChoice::Gang),
+            _ => None,
+        }
+    }
+}
+
+/// Options shared by `run` and `compare`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// The workload to execute.
+    pub workload: Workload,
+    /// Policy (meaningful for `run`; `compare` runs them all).
+    pub policy: Option<PolicyChoice>,
+    /// System load fraction.
+    pub load: f64,
+    /// Seed for the generator and engine.
+    pub seed: u64,
+    /// Machine size.
+    pub cpus: usize,
+    /// Untuned requests (everything asks for 30).
+    pub untuned: bool,
+    /// Queue backfilling.
+    pub backfill: bool,
+    /// Trace collection.
+    pub trace: bool,
+    /// Print the ASCII execution view.
+    pub ascii: bool,
+    /// Write a Paraver trace here.
+    pub prv_out: Option<String>,
+    /// Write an SWF log here.
+    pub swf_log: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: Workload::W3,
+            policy: None,
+            load: 1.0,
+            seed: 42,
+            cpus: 60,
+            untuned: false,
+            backfill: false,
+            trace: false,
+            ascii: false,
+            prv_out: None,
+            swf_log: None,
+        }
+    }
+}
+
+fn parse_workload(s: &str) -> Result<Workload, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "w1" => Ok(Workload::W1),
+        "w2" => Ok(Workload::W2),
+        "w3" => Ok(Workload::W3),
+        "w4" => Ok(Workload::W4),
+        other => Err(format!("unknown workload {other:?}; expected w1..w4")),
+    }
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable diagnostic on any malformed input.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let Some(verb) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match verb.as_str() {
+        "help" | "--help" | "-h" => return Ok(Command::Help),
+        "curves" => return Ok(Command::Curves),
+        "run" | "compare" => {}
+        other => return Err(format!("unknown command {other:?}; try `pdpa help`")),
+    }
+
+    let mut opts = Options::default();
+    let mut workload_set = false;
+    let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" => {
+                opts.workload = parse_workload(&value_of("--workload", &mut it)?)?;
+                workload_set = true;
+            }
+            "--policy" => {
+                let v = value_of("--policy", &mut it)?;
+                opts.policy =
+                    Some(PolicyChoice::parse(&v).ok_or_else(|| format!("unknown policy {v:?}"))?);
+            }
+            "--load" => {
+                let v = value_of("--load", &mut it)?;
+                opts.load = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--load expects a number, got {v:?}"))?;
+                if !(opts.load > 0.0 && opts.load <= 2.0) {
+                    return Err(format!("--load {v} out of range (0, 2]"));
+                }
+            }
+            "--seed" => {
+                let v = value_of("--seed", &mut it)?;
+                opts.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+            }
+            "--cpus" => {
+                let v = value_of("--cpus", &mut it)?;
+                opts.cpus = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cpus expects an integer, got {v:?}"))?;
+                if opts.cpus == 0 {
+                    return Err("--cpus must be at least 1".into());
+                }
+            }
+            "--untuned" => opts.untuned = true,
+            "--backfill" => opts.backfill = true,
+            "--trace" => opts.trace = true,
+            "--ascii" => {
+                opts.ascii = true;
+                opts.trace = true;
+            }
+            "--prv-out" => {
+                opts.prv_out = Some(value_of("--prv-out", &mut it)?);
+                opts.trace = true;
+            }
+            "--swf-log" => opts.swf_log = Some(value_of("--swf-log", &mut it)?),
+            other => return Err(format!("unknown option {other:?}; try `pdpa help`")),
+        }
+    }
+    if !workload_set {
+        return Err("--workload is required".into());
+    }
+    match verb.as_str() {
+        "run" => {
+            if opts.policy.is_none() {
+                return Err("--policy is required for `pdpa run`".into());
+            }
+            Ok(Command::Run(opts))
+        }
+        _ => Ok(Command::Compare(opts)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn curves_has_no_options() {
+        assert_eq!(parse(&argv("curves")).unwrap(), Command::Curves);
+    }
+
+    #[test]
+    fn full_run_invocation() {
+        let cmd = parse(&argv(
+            "run --workload w2 --policy pdpa --load 0.8 --seed 7 --cpus 32 \
+             --untuned --backfill --ascii --prv-out out.prv --swf-log log.swf",
+        ))
+        .unwrap();
+        let Command::Run(o) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.workload, Workload::W2);
+        assert_eq!(o.policy, Some(PolicyChoice::Pdpa));
+        assert_eq!(o.load, 0.8);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.cpus, 32);
+        assert!(o.untuned && o.backfill && o.ascii && o.trace);
+        assert_eq!(o.prv_out.as_deref(), Some("out.prv"));
+        assert_eq!(o.swf_log.as_deref(), Some("log.swf"));
+    }
+
+    #[test]
+    fn run_requires_policy_and_workload() {
+        assert!(parse(&argv("run --workload w1"))
+            .unwrap_err()
+            .contains("--policy"));
+        assert!(parse(&argv("run --policy pdpa"))
+            .unwrap_err()
+            .contains("--workload"));
+    }
+
+    #[test]
+    fn compare_needs_only_workload() {
+        let cmd = parse(&argv("compare --workload w4")).unwrap();
+        assert!(matches!(cmd, Command::Compare(_)));
+    }
+
+    #[test]
+    fn policy_aliases() {
+        assert_eq!(
+            PolicyChoice::parse("equal-efficiency"),
+            Some(PolicyChoice::EqualEfficiency)
+        );
+        assert_eq!(
+            PolicyChoice::parse("EQUIP"),
+            Some(PolicyChoice::Equipartition)
+        );
+        assert_eq!(PolicyChoice::parse("nonesuch"), None);
+    }
+
+    #[test]
+    fn diagnostics_are_specific() {
+        assert!(parse(&argv("run --workload w9 --policy pdpa"))
+            .unwrap_err()
+            .contains("w9"));
+        assert!(parse(&argv("run --workload w1 --policy pdpa --load x"))
+            .unwrap_err()
+            .contains("--load"));
+        assert!(parse(&argv("run --workload w1 --policy pdpa --load 5"))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse(&argv("frobnicate"))
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(parse(&argv("run --workload w1 --policy pdpa --bogus"))
+            .unwrap_err()
+            .contains("--bogus"));
+    }
+}

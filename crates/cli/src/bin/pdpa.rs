@@ -1,0 +1,17 @@
+//! The `pdpa` binary: forwards the command line to the library.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pdpa_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(diagnostic) => {
+            eprintln!("pdpa: {diagnostic}");
+            ExitCode::from(2)
+        }
+    }
+}

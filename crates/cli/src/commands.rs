@@ -1,0 +1,303 @@
+//! Command implementations.
+
+use std::fmt::Write as _;
+
+use pdpa_apps::{paper_app, AppClass};
+use pdpa_core::Pdpa;
+use pdpa_engine::{Engine, EngineConfig, RunResult};
+use pdpa_policies::{
+    EqualEfficiency, Equipartition, GangScheduler, IrixLike, RigidFirstFit, SchedulingPolicy,
+};
+use pdpa_qs::swf;
+use pdpa_trace::{render_ascii, to_paraver, RenderOptions};
+
+use crate::args::{Command, Options, PolicyChoice};
+use crate::USAGE;
+
+/// Executes a parsed command and returns its output.
+///
+/// # Errors
+///
+/// Returns a diagnostic if a run fails to drain or a file cannot be written.
+pub fn dispatch(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Curves => Ok(curves()),
+        Command::Run(opts) => run_one(&opts),
+        Command::Compare(opts) => compare(&opts),
+    }
+}
+
+fn build_policy(choice: PolicyChoice) -> Box<dyn SchedulingPolicy> {
+    match choice {
+        PolicyChoice::Pdpa => Box::new(Pdpa::paper_default()),
+        PolicyChoice::Equipartition => Box::new(Equipartition::default()),
+        PolicyChoice::EqualEfficiency => Box::new(EqualEfficiency::paper_default()),
+        PolicyChoice::Irix => Box::new(IrixLike::paper_default()),
+        PolicyChoice::Rigid => Box::new(RigidFirstFit::paper_default()),
+        PolicyChoice::Gang => Box::new(GangScheduler::paper_comparable()),
+    }
+}
+
+fn engine_config(opts: &Options) -> EngineConfig {
+    let mut config = EngineConfig::default()
+        .with_seed(opts.seed ^ 0xA5A5)
+        .with_cpus(opts.cpus);
+    if opts.backfill {
+        config = config.with_backfill();
+    }
+    if opts.trace {
+        config = config.with_trace();
+    }
+    config
+}
+
+fn execute(opts: &Options, choice: PolicyChoice) -> Result<RunResult, String> {
+    let jobs = opts
+        .workload
+        .build_with_tuning(opts.load, opts.seed, !opts.untuned);
+    let result = Engine::new(engine_config(opts)).run(jobs, build_policy(choice));
+    if !result.completed_all {
+        return Err(format!(
+            "{:?} did not drain the workload within the simulation bound",
+            choice
+        ));
+    }
+    Ok(result)
+}
+
+/// One-line-per-class metrics of a finished run.
+fn class_table(result: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>13} {:>13} {:>10} {:>10}",
+        "class", "jobs", "response (s)", "execution (s)", "slowdown", "avg procs"
+    );
+    for class in AppClass::ALL {
+        if let Some(avgs) = result.summary.class_averages(class) {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>13.1} {:>13.1} {:>10.2} {:>10.1}",
+                class.name(),
+                avgs.count,
+                avgs.avg_response_secs,
+                avgs.avg_execution_secs,
+                result.summary.avg_slowdown(class).unwrap_or(f64::NAN),
+                result
+                    .avg_alloc_by_class
+                    .get(&class)
+                    .copied()
+                    .unwrap_or(0.0),
+            );
+        }
+    }
+    out
+}
+
+fn run_one(opts: &Options) -> Result<String, String> {
+    let choice = opts.policy.expect("parser enforces --policy for run");
+    let result = execute(opts, choice)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {} (load {:.0} %, seed {}, {} CPUs{}{})",
+        result.policy,
+        opts.workload,
+        opts.load * 100.0,
+        opts.seed,
+        opts.cpus,
+        if opts.untuned { ", untuned" } else { "" },
+        if opts.backfill { ", backfill" } else { "" },
+    );
+    let _ = writeln!(
+        out,
+        "makespan {:.1} s | mean response {:.1} s | p95 response {:.1} s | peak ML {} | utilization {:.0} % | migrations {}",
+        result.summary.makespan_secs(),
+        result.summary.overall_avg_response_secs(),
+        result.summary.response_quantile_secs(0.95).unwrap_or(0.0),
+        result.max_ml,
+        result.utilization() * 100.0,
+        result.total_migrations(),
+    );
+    out.push('\n');
+    out.push_str(&class_table(&result));
+
+    if opts.ascii {
+        let trace = result.trace.as_ref().expect("--ascii implies --trace");
+        out.push('\n');
+        out.push_str(&render_ascii(
+            trace,
+            &RenderOptions {
+                width: 100,
+                cpu_stride: (opts.cpus / 20).max(1),
+            },
+        ));
+    }
+    if let Some(path) = &opts.prv_out {
+        let trace = result.trace.as_ref().expect("--prv-out implies --trace");
+        std::fs::write(path, to_paraver(trace)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "\nParaver trace written to {path}");
+    }
+    if let Some(path) = &opts.swf_log {
+        let jobs = opts
+            .workload
+            .build_with_tuning(opts.load, opts.seed, !opts.untuned);
+        // Outcomes in submission order (JobIds are dense submission ranks).
+        let mut outcomes = vec![(0.0, 0.0, 0.0); jobs.len()];
+        for o in result.summary.outcomes() {
+            let procs = result.avg_alloc_by_job.get(&o.job).copied().unwrap_or(0.0);
+            outcomes[o.job.index()] =
+                (o.wait_time().as_secs(), o.execution_time().as_secs(), procs);
+        }
+        let mut sorted = jobs;
+        sorted.sort_by(|a, b| a.submit.cmp(&b.submit));
+        std::fs::write(path, swf::write_swf_log(&sorted, &outcomes))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "\nSWF log written to {path}");
+    }
+    Ok(out)
+}
+
+fn compare(opts: &Options) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} at load {:.0} % (seed {}, {} CPUs{})\n",
+        opts.workload,
+        opts.load * 100.0,
+        opts.seed,
+        opts.cpus,
+        if opts.untuned { ", untuned" } else { "" },
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>15} {:>14} {:>8} {:>12}",
+        "policy", "makespan", "mean response", "p95 response", "maxML", "utilization"
+    );
+    for choice in [
+        PolicyChoice::Irix,
+        PolicyChoice::Equipartition,
+        PolicyChoice::EqualEfficiency,
+        PolicyChoice::Rigid,
+        PolicyChoice::Gang,
+        PolicyChoice::Pdpa,
+    ] {
+        let result = execute(opts, choice)?;
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9.0}s {:>14.0}s {:>13.0}s {:>8} {:>11.0}%",
+            result.policy,
+            result.summary.makespan_secs(),
+            result.summary.overall_avg_response_secs(),
+            result.summary.response_quantile_secs(0.95).unwrap_or(0.0),
+            result.max_ml,
+            result.utilization() * 100.0,
+        );
+    }
+    Ok(out)
+}
+
+fn curves() -> String {
+    let mut out = String::from("calibrated speedup curves (Fig. 3)\n\n");
+    let points = [1usize, 2, 4, 8, 12, 16, 20, 24, 30, 40, 60];
+    let _ = write!(out, "{:<10}", "procs");
+    for p in points {
+        let _ = write!(out, "{p:>7}");
+    }
+    out.push('\n');
+    for class in AppClass::ALL {
+        let app = paper_app(class);
+        let _ = write!(out, "{:<10}", class.name());
+        for p in points {
+            let _ = write!(out, "{:>7.1}", app.speedup.speedup(p));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn run_cli(s: &str) -> Result<String, String> {
+        dispatch(parse(&argv(s)).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("--workload"));
+    }
+
+    #[test]
+    fn curves_lists_all_classes() {
+        let out = run_cli("curves").unwrap();
+        for name in ["swim", "bt.A", "hydro2d", "apsi"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_produces_metrics() {
+        let out = run_cli("run --workload w3 --policy pdpa --load 0.6").unwrap();
+        assert!(out.contains("PDPA on w3"));
+        assert!(out.contains("makespan"));
+        assert!(out.contains("bt.A"));
+        assert!(out.contains("apsi"));
+    }
+
+    #[test]
+    fn compare_lists_every_policy() {
+        let out = run_cli("compare --workload w3 --load 0.6").unwrap();
+        for name in [
+            "IRIX",
+            "Equipartition",
+            "Equal_efficiency",
+            "RigidFirstFit",
+            "Gang",
+            "PDPA",
+        ] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn ascii_view_renders() {
+        let out = run_cli("run --workload w3 --policy equip --load 0.6 --ascii").unwrap();
+        assert!(out.contains("cpu0"), "no execution view in:\n{out}");
+    }
+
+    #[test]
+    fn file_outputs_are_written() {
+        let dir = std::env::temp_dir().join("pdpa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prv = dir.join("t.prv");
+        let log = dir.join("t.swf");
+        let cmd = format!(
+            "run --workload w3 --policy pdpa --load 0.6 --prv-out {} --swf-log {}",
+            prv.display(),
+            log.display()
+        );
+        run_cli(&cmd).unwrap();
+        let prv_text = std::fs::read_to_string(&prv).unwrap();
+        assert!(prv_text.starts_with("#Paraver"));
+        let log_text = std::fs::read_to_string(&log).unwrap();
+        assert!(pdpa_qs::swf::parse_swf(&log_text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn small_machine_run_works() {
+        let out = run_cli("run --workload w3 --policy pdpa --load 0.3 --cpus 8").unwrap();
+        assert!(out.contains("8 CPUs"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The `pdpa` command-line driver.
+//!
+//! A thin, dependency-free front end over the workspace:
+//!
+//! ```text
+//! pdpa run     --workload w3 --policy pdpa --load 0.8 [options]
+//! pdpa compare --workload w3 --load 0.8 [options]
+//! pdpa curves
+//! ```
+//!
+//! All commands are implemented as library functions returning their output
+//! as a `String`, so the whole surface is unit-testable; the binary in
+//! `src/bin/pdpa.rs` only forwards `std::env::args` and prints.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, Options};
+pub use commands::dispatch;
+
+/// Runs the CLI against an argument list (excluding the program name) and
+/// returns the output text.
+///
+/// # Errors
+///
+/// Returns a usage/diagnostic message on invalid arguments or a failed run.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let command = parse(args)?;
+    dispatch(command)
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+pdpa — Performance-Driven Processor Allocation reproduction driver
+
+USAGE:
+  pdpa run     --workload <w1|w2|w3|w4> --policy <pdpa|equip|equal-eff|irix|rigid|gang>
+               [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
+               [--backfill] [--trace] [--ascii] [--prv-out <file>] [--swf-log <file>]
+  pdpa compare --workload <w1|w2|w3|w4> [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
+  pdpa curves
+
+COMMANDS:
+  run       execute one workload under one policy and print per-class metrics
+  compare   execute one workload under every policy and print the comparison
+  curves    print the calibrated Fig. 3 speedup curves
+
+OPTIONS:
+  --workload   one of the paper's Table-1 workloads (required for run/compare)
+  --policy     scheduling policy (required for run)
+  --load       system load fraction, default 1.0
+  --seed       workload/engine seed, default 42
+  --cpus       machine size, default 60
+  --untuned    every application requests 30 processors (Tables 3/4)
+  --backfill   scan the whole queue for an admissible job (not just the head)
+  --trace      collect the per-CPU activity trace
+  --ascii      print the Fig. 5 ASCII execution view (implies --trace)
+  --prv-out    write a Paraver .prv trace to a file (implies --trace)
+  --swf-log    write the completed run as an SWF log to a file
+";

@@ -1,0 +1,30 @@
+//! Clusters of SMPs with cooperating schedulers — the paper's second §6
+//! future-work direction, built out.
+//!
+//! "We are also extending this work to run on clusters of SMP's, where the
+//! resources are physically distributed. We think that adding cooperation
+//! between the scheduling policies running on the different machines, we
+//! can control enough the scheduling of the physical processors, so that
+//! each application is given resources at the same time on all the nodes."
+//!
+//! The model: a cluster of identical SMP nodes; *distributed applications*
+//! span several nodes (one process group per node, OpenMP threads inside),
+//! synchronizing across nodes every iteration. Each node runs its own
+//! space-sharing scheduler. The question is coordination:
+//!
+//! - [`Coordination::Independent`] — every node partitions its processors
+//!   among its resident process groups on its own. Nodes host different job
+//!   mixes, so the same application gets *different* allocations on
+//!   different nodes — and since the iteration synchronizes, everything
+//!   beyond the slowest node's grant is pure waste.
+//! - [`Coordination::Cooperative`] — the nodes agree: each application runs
+//!   with the *minimum* of its per-node proposals everywhere, and the
+//!   surplus is immediately re-offered to the other residents of each node.
+//!
+//! [`run_cluster`] simulates a job set to completion under either mode and
+//! reports makespan and wasted CPU time; the cooperative mode's advantage
+//! is the paper's motivation for cross-node coordination.
+
+pub mod sim;
+
+pub use sim::{run_cluster, ClusterJob, ClusterResult, ClusterSpec, Coordination};

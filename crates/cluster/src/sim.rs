@@ -1,0 +1,468 @@
+//! The cluster simulator: distributed jobs, per-node schedulers, and the
+//! coordination comparison.
+
+use std::sync::Arc;
+
+use pdpa_apps::SpeedupModel;
+use pdpa_policies::alloc_math::equal_shares;
+use pdpa_sim::SimDuration;
+
+/// The cluster: identical SMP nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Number of SMP nodes.
+    pub nodes: usize,
+    /// Processors per node.
+    pub cpus_per_node: usize,
+}
+
+impl ClusterSpec {
+    /// Creates the cluster description.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cluster.
+    pub fn new(nodes: usize, cpus_per_node: usize) -> Self {
+        assert!(nodes > 0 && cpus_per_node > 0, "cluster must not be empty");
+        ClusterSpec {
+            nodes,
+            cpus_per_node,
+        }
+    }
+}
+
+/// A distributed iterative application: one process group on each of `span`
+/// nodes, OpenMP threads inside each group, a cross-node exchange per
+/// iteration.
+#[derive(Clone)]
+pub struct ClusterJob {
+    /// Nodes the application spans.
+    pub span: usize,
+    /// Processors requested per node.
+    pub per_node_request: usize,
+    /// Outer iterations.
+    pub iterations: u32,
+    /// Total sequential compute of one iteration (split evenly over the
+    /// spanned nodes).
+    pub seq_iter_time: SimDuration,
+    /// Per-node OpenMP speedup curve.
+    pub inner: Arc<dyn SpeedupModel>,
+    /// Explicit node placement (common for MPI jobs); `None` lets the
+    /// cluster place the job on its least-loaded nodes.
+    pub pinned: Option<Vec<usize>>,
+}
+
+impl ClusterJob {
+    /// Iteration time when every node runs the job on `procs` processors.
+    /// The iteration synchronizes across nodes, so only the *common*
+    /// allocation counts.
+    pub fn iter_time(&self, procs: usize) -> f64 {
+        let s = self.inner.speedup(procs).max(1e-12);
+        (self.seq_iter_time.as_secs() / self.span as f64) / s
+    }
+}
+
+/// How the per-node schedulers relate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coordination {
+    /// Every node partitions on its own; a spanning job may get different
+    /// grants on different nodes, and runs at the minimum.
+    Independent,
+    /// The nodes co-allocate: every job holds the same count on all its
+    /// nodes, surplus is re-offered cluster-consistently.
+    Cooperative,
+}
+
+/// The outcome of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// Completion of the last job, seconds.
+    pub makespan_secs: f64,
+    /// CPU-seconds granted above a job's usable (minimum-node) allocation —
+    /// pure coordination waste; zero under [`Coordination::Cooperative`].
+    pub wasted_cpu_seconds: f64,
+    /// Execution time of each job, in input order.
+    pub exec_secs: Vec<f64>,
+    /// Node each job was placed on (first node of its span window).
+    pub placements: Vec<Vec<usize>>,
+}
+
+/// Per-job live state.
+struct Live {
+    index: usize,
+    nodes: Vec<usize>,
+    remaining_iters: f64,
+    /// Grant per spanned node (parallel to `nodes`).
+    grants: Vec<usize>,
+}
+
+/// Simulates `jobs` (all present from t = 0) to completion under the given
+/// coordination mode, with per-node equipartition as the local policy.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pdpa_apps::Amdahl;
+/// use pdpa_cluster::{run_cluster, ClusterJob, ClusterSpec, Coordination};
+/// use pdpa_sim::SimDuration;
+///
+/// let job = ClusterJob {
+///     span: 2,
+///     per_node_request: 8,
+///     iterations: 10,
+///     seq_iter_time: SimDuration::from_secs(8.0),
+///     inner: Arc::new(Amdahl::new(0.0)),
+///     pinned: None,
+/// };
+/// let result = run_cluster(ClusterSpec::new(2, 8), &[job], Coordination::Cooperative);
+/// assert_eq!(result.wasted_cpu_seconds, 0.0);
+/// assert!(result.makespan_secs > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a job spans more nodes than the cluster has, or requests zero
+/// processors or iterations.
+pub fn run_cluster(
+    spec: ClusterSpec,
+    jobs: &[ClusterJob],
+    coordination: Coordination,
+) -> ClusterResult {
+    for job in jobs {
+        assert!(job.span >= 1 && job.span <= spec.nodes, "span out of range");
+        assert!(job.per_node_request >= 1, "request must be positive");
+        assert!(job.iterations >= 1, "iterations must be positive");
+    }
+
+    // Placement: each job takes the `span` nodes with the fewest residents.
+    let mut residents: Vec<usize> = vec![0; spec.nodes];
+    let mut live: Vec<Live> = Vec::new();
+    let mut placements = vec![Vec::new(); jobs.len()];
+    for (index, job) in jobs.iter().enumerate() {
+        let nodes: Vec<usize> = match &job.pinned {
+            Some(pins) => {
+                assert_eq!(pins.len(), job.span, "pinning must cover the span");
+                assert!(
+                    pins.iter().all(|&n| n < spec.nodes),
+                    "pinned node out of range"
+                );
+                pins.clone()
+            }
+            None => {
+                let mut order: Vec<usize> = (0..spec.nodes).collect();
+                order.sort_by_key(|&n| (residents[n], n));
+                order.into_iter().take(job.span).collect()
+            }
+        };
+        for &n in &nodes {
+            residents[n] += 1;
+        }
+        placements[index] = nodes.clone();
+        live.push(Live {
+            index,
+            nodes,
+            remaining_iters: job.iterations as f64,
+            grants: Vec::new(),
+        });
+    }
+
+    let mut clock = 0.0f64;
+    let mut wasted = 0.0f64;
+    let mut exec = vec![0.0f64; jobs.len()];
+
+    while !live.is_empty() {
+        allocate(spec, jobs, &mut live, coordination);
+
+        // Rates from the usable (minimum) grant; waste from the rest.
+        let usable: Vec<usize> = live
+            .iter()
+            .map(|l| l.grants.iter().copied().min().unwrap_or(0))
+            .collect();
+        let rates: Vec<f64> = live
+            .iter()
+            .zip(&usable)
+            .map(|(l, &u)| {
+                if u == 0 {
+                    0.0
+                } else {
+                    1.0 / jobs[l.index].iter_time(u)
+                }
+            })
+            .collect();
+        let waste_rate: f64 = live
+            .iter()
+            .zip(&usable)
+            .map(|(l, &u)| {
+                l.grants
+                    .iter()
+                    .map(|&g| g.saturating_sub(u) as f64)
+                    .sum::<f64>()
+            })
+            .sum();
+
+        // Advance to the earliest completion.
+        let dt = live
+            .iter()
+            .zip(&rates)
+            .filter(|&(_, &r)| r > 0.0)
+            .map(|(l, &r)| l.remaining_iters / r)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            dt.is_finite(),
+            "cluster deadlock: no job can progress (all grants zero)"
+        );
+        clock += dt;
+        wasted += waste_rate * dt;
+        for (l, &r) in live.iter_mut().zip(&rates) {
+            l.remaining_iters = (l.remaining_iters - r * dt).max(0.0);
+        }
+        live.retain(|l| {
+            if l.remaining_iters <= 1e-9 {
+                exec[l.index] = clock;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    ClusterResult {
+        makespan_secs: clock,
+        wasted_cpu_seconds: wasted,
+        exec_secs: exec,
+        placements,
+    }
+}
+
+/// Computes the current grants for every live job.
+fn allocate(spec: ClusterSpec, jobs: &[ClusterJob], live: &mut [Live], mode: Coordination) {
+    match mode {
+        Coordination::Independent => {
+            // Each node equipartitions among its residents, oblivious to
+            // what the other nodes do.
+            for node in 0..spec.nodes {
+                let members: Vec<usize> = (0..live.len())
+                    .filter(|&i| live[i].nodes.contains(&node))
+                    .collect();
+                let requests: Vec<usize> = members
+                    .iter()
+                    .map(|&i| jobs[live[i].index].per_node_request)
+                    .collect();
+                let shares = equal_shares(spec.cpus_per_node, &requests, 1);
+                for (&i, share) in members.iter().zip(shares) {
+                    let pos = live[i]
+                        .nodes
+                        .iter()
+                        .position(|&n| n == node)
+                        .expect("member");
+                    if live[i].grants.len() != live[i].nodes.len() {
+                        live[i].grants = vec![0; live[i].nodes.len()];
+                    }
+                    live[i].grants[pos] = share;
+                }
+            }
+        }
+        Coordination::Cooperative => {
+            // Co-allocation water-filling: every job holds the same grant on
+            // all its nodes; grow the smallest-granted job that still fits
+            // everywhere.
+            let mut free = vec![spec.cpus_per_node; spec.nodes];
+            let mut grant = vec![0usize; live.len()];
+            // Baseline: one processor everywhere (run-to-completion).
+            for (i, l) in live.iter().enumerate() {
+                if l.nodes.iter().all(|&n| free[n] >= 1) {
+                    for &n in &l.nodes {
+                        free[n] -= 1;
+                    }
+                    grant[i] = 1;
+                }
+            }
+            loop {
+                let candidate = (0..live.len())
+                    .filter(|&i| {
+                        grant[i] >= 1
+                            && grant[i] < jobs[live[i].index].per_node_request
+                            && live[i].nodes.iter().all(|&n| free[n] >= 1)
+                    })
+                    .min_by_key(|&i| (grant[i], i));
+                let Some(i) = candidate else { break };
+                for &n in &live[i].nodes {
+                    free[n] -= 1;
+                }
+                grant[i] += 1;
+            }
+            for (i, l) in live.iter_mut().enumerate() {
+                l.grants = vec![grant[i]; l.nodes.len()];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::Amdahl;
+
+    fn job(span: usize, request: usize, iters: u32, seq: f64) -> ClusterJob {
+        ClusterJob {
+            span,
+            per_node_request: request,
+            iterations: iters,
+            seq_iter_time: SimDuration::from_secs(seq),
+            inner: Arc::new(Amdahl::new(0.02)),
+            pinned: None,
+        }
+    }
+
+    fn pinned(mut j: ClusterJob, nodes: &[usize]) -> ClusterJob {
+        j.pinned = Some(nodes.to_vec());
+        j
+    }
+
+    /// A mix that creates asymmetric residency: one 2-node job plus one
+    /// 1-node job — the shared node splits, the private node does not.
+    fn skewed_mix() -> Vec<ClusterJob> {
+        vec![job(2, 8, 40, 8.0), job(1, 8, 40, 4.0)]
+    }
+
+    #[test]
+    fn cooperative_mode_never_wastes() {
+        let spec = ClusterSpec::new(2, 8);
+        let r = run_cluster(spec, &skewed_mix(), Coordination::Cooperative);
+        assert_eq!(r.wasted_cpu_seconds, 0.0);
+        assert_eq!(r.exec_secs.len(), 2);
+    }
+
+    #[test]
+    fn independent_mode_wastes_on_skewed_residency() {
+        let spec = ClusterSpec::new(2, 8);
+        let r = run_cluster(spec, &skewed_mix(), Coordination::Independent);
+        // The spanning job gets 8 on its private node but only 4 on the
+        // shared one: 4 wasted processors while both run.
+        assert!(
+            r.wasted_cpu_seconds > 1.0,
+            "waste: {}",
+            r.wasted_cpu_seconds
+        );
+    }
+
+    #[test]
+    fn cooperation_helps_or_matches_makespan() {
+        let spec = ClusterSpec::new(4, 8);
+        let jobs = vec![
+            job(4, 8, 30, 16.0),
+            job(2, 8, 30, 8.0),
+            job(1, 8, 30, 4.0),
+            job(1, 8, 30, 4.0),
+        ];
+        let ind = run_cluster(spec, &jobs, Coordination::Independent);
+        let coop = run_cluster(spec, &jobs, Coordination::Cooperative);
+        assert!(
+            coop.makespan_secs <= ind.makespan_secs * 1.001,
+            "coop {:.1}s vs independent {:.1}s",
+            coop.makespan_secs,
+            ind.makespan_secs
+        );
+        assert_eq!(coop.wasted_cpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn cooperation_recycles_surplus_to_co_residents() {
+        // Node 0 hosts three residents, node 1 only two: the spanning job's
+        // usable grant is its node-0 share (3). Independently, node 1 hands
+        // it 4 (one wasted); cooperatively, that processor goes to node 1's
+        // other resident, which therefore finishes strictly earlier.
+        let spec = ClusterSpec::new(2, 8);
+        let jobs = vec![
+            pinned(job(2, 8, 40, 8.0), &[0, 1]),
+            pinned(job(1, 8, 40, 4.0), &[0]),
+            pinned(job(1, 8, 40, 4.0), &[0]),
+            pinned(job(1, 8, 40, 4.0), &[1]), // the beneficiary
+        ];
+        let ind = run_cluster(spec, &jobs, Coordination::Independent);
+        let coop = run_cluster(spec, &jobs, Coordination::Cooperative);
+        assert!(ind.wasted_cpu_seconds > 0.0);
+        assert_eq!(coop.wasted_cpu_seconds, 0.0);
+        assert!(
+            coop.exec_secs[3] < ind.exec_secs[3] * 0.98,
+            "beneficiary: coop {:.1}s vs independent {:.1}s",
+            coop.exec_secs[3],
+            ind.exec_secs[3]
+        );
+    }
+
+    #[test]
+    fn single_node_jobs_are_mode_invariant() {
+        // Without spanning jobs there is nothing to coordinate: both modes
+        // produce identical results.
+        let spec = ClusterSpec::new(2, 8);
+        let jobs = vec![job(1, 8, 20, 4.0), job(1, 8, 20, 4.0)];
+        let a = run_cluster(spec, &jobs, Coordination::Independent);
+        let b = run_cluster(spec, &jobs, Coordination::Cooperative);
+        assert!((a.makespan_secs - b.makespan_secs).abs() < 1e-9);
+        assert_eq!(a.wasted_cpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn placement_spreads_load() {
+        let spec = ClusterSpec::new(4, 8);
+        let jobs = vec![job(1, 4, 10, 2.0), job(1, 4, 10, 2.0), job(1, 4, 10, 2.0)];
+        let r = run_cluster(spec, &jobs, Coordination::Cooperative);
+        // Three single-node jobs land on three different nodes.
+        let mut nodes: Vec<usize> = r.placements.iter().map(|p| p[0]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "span out of range")]
+    fn oversized_span_is_rejected() {
+        let spec = ClusterSpec::new(2, 8);
+        let jobs = vec![job(3, 4, 10, 2.0)];
+        run_cluster(spec, &jobs, Coordination::Cooperative);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pdpa_apps::Amdahl;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Both modes complete every job; cooperative never wastes and
+        /// never loses to independent on makespan (same local policy, plus
+        /// coordination).
+        #[test]
+        fn coordination_dominance(
+            spans in proptest::collection::vec(1usize..=3, 1..6),
+            seed_work in 2.0f64..20.0,
+        ) {
+            let spec = ClusterSpec::new(4, 8);
+            let jobs: Vec<ClusterJob> = spans
+                .iter()
+                .enumerate()
+                .map(|(i, &span)| ClusterJob {
+                    span,
+                    per_node_request: 8,
+                    iterations: 10,
+                    seq_iter_time: SimDuration::from_secs(
+                        seed_work * (1.0 + i as f64 * 0.3) * span as f64,
+                    ),
+                    inner: Arc::new(Amdahl::new(0.05)),
+                    pinned: None,
+                })
+                .collect();
+            let ind = run_cluster(spec, &jobs, Coordination::Independent);
+            let coop = run_cluster(spec, &jobs, Coordination::Cooperative);
+            prop_assert_eq!(coop.wasted_cpu_seconds, 0.0);
+            prop_assert!(ind.wasted_cpu_seconds >= 0.0);
+            prop_assert!(ind.exec_secs.iter().all(|&t| t > 0.0));
+            prop_assert!(coop.exec_secs.iter().all(|&t| t > 0.0));
+        }
+    }
+}

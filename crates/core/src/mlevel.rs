@@ -1,0 +1,131 @@
+//! The PDPA multiprogramming-level policy (§4.3).
+//!
+//! Traditional schedulers either fix the multiprogramming level (causing
+//! fragmentation) or leave it uncontrolled (overloading the machine). PDPA
+//! coordinates the two scheduling levels instead: "we leave the decision
+//! about when to start a new application to the processor scheduling
+//! policy, and we leave the selection of which application to start to the
+//! queuing system".
+//!
+//! The decision itself is a pure function, [`ml_allows_start`], driven by a
+//! snapshot of the running jobs' states.
+
+use crate::params::PdpaParams;
+
+/// What the admission decision needs to know about the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MlSnapshot {
+    /// Jobs currently running.
+    pub running: usize,
+    /// Processors not allocated to any job.
+    pub free_cpus: usize,
+    /// True when every running job's allocation is settled (it is `STABLE`,
+    /// `DEC`, or already holds its full request).
+    pub all_settled: bool,
+    /// True when some running job shows bad performance (`DEC`): its
+    /// processors are on their way back to the system.
+    pub any_bad: bool,
+}
+
+/// Decides whether the queuing system may start one more job (§4.3 plus the
+/// default multiprogramming level of §5).
+///
+/// A new job is admitted when a free processor exists for it, and either
+///
+/// - fewer than `base_ml` jobs are running (the default level), or
+/// - coordination is enabled and the allocation of every running job is
+///   settled: `STABLE`, at its full request, or showing bad performance
+///   (`DEC` — "some applications show bad performance": a shrinking job only
+///   *releases* processors, so it never competes with the newcomer).
+///
+/// Jobs still searching upward (`NO_REF`, `INC`) block admission: the free
+/// processors they are waiting for must not be stolen by newcomers — that is
+/// precisely the coordination the paper adds over uncontrolled admission.
+pub fn ml_allows_start(params: &PdpaParams, snap: &MlSnapshot) -> bool {
+    if snap.free_cpus == 0 {
+        // Run-to-completion requires at least one processor for the
+        // newcomer; nothing can start on a full machine.
+        return false;
+    }
+    if snap.running < params.base_ml {
+        return true;
+    }
+    if !params.coordinate_ml {
+        return false;
+    }
+    // Above the default level, a newcomer must find at least `step` free
+    // processors: starting a parallel application on a one-processor scrap
+    // only adds churn, and the first allocation doubles as the search's
+    // starting point.
+    snap.all_settled && snap.free_cpus >= params.step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(running: usize, free: usize, all_settled: bool, any_bad: bool) -> MlSnapshot {
+        MlSnapshot {
+            running,
+            free_cpus: free,
+            all_settled,
+            any_bad,
+        }
+    }
+
+    #[test]
+    fn full_machine_admits_nobody() {
+        let p = PdpaParams::default();
+        assert!(!ml_allows_start(&p, &snap(1, 0, true, false)));
+    }
+
+    #[test]
+    fn below_base_ml_admits_freely() {
+        let p = PdpaParams::default(); // base_ml 4
+        assert!(ml_allows_start(&p, &snap(0, 60, true, false)));
+        assert!(ml_allows_start(&p, &snap(3, 1, false, false)));
+    }
+
+    #[test]
+    fn above_base_ml_requires_stability() {
+        let p = PdpaParams::default();
+        assert!(!ml_allows_start(&p, &snap(4, 10, false, false)));
+        assert!(ml_allows_start(&p, &snap(4, 10, true, false)));
+    }
+
+    #[test]
+    fn bad_performance_alone_does_not_bypass_searchers() {
+        // A DEC job marks `any_bad`, but another job still searching upward
+        // (`all_settled` false) keeps the door closed: the searcher gets
+        // first claim on freed processors.
+        let p = PdpaParams::default();
+        assert!(!ml_allows_start(&p, &snap(6, 4, false, true)));
+    }
+
+    #[test]
+    fn all_bad_performers_admit() {
+        // Every running job is DEC (settled downward): their processors are
+        // on the way back, so a newcomer may start.
+        let p = PdpaParams::default();
+        assert!(ml_allows_start(&p, &snap(6, 4, true, true)));
+    }
+
+    #[test]
+    fn ml_can_grow_far_beyond_base() {
+        // Workload 3 reached a multiprogramming level of 34: admission only
+        // depends on stability and free processors, not on a cap.
+        let p = PdpaParams::default();
+        assert!(ml_allows_start(&p, &snap(33, 4, true, false)));
+        // But above the default level a newcomer needs at least `step` free
+        // processors to be worth starting.
+        assert!(!ml_allows_start(&p, &snap(33, 2, true, false)));
+    }
+
+    #[test]
+    fn coordination_ablation_restores_fixed_ml() {
+        let mut p = PdpaParams::default();
+        p.coordinate_ml = false;
+        assert!(!ml_allows_start(&p, &snap(4, 30, true, false)));
+        assert!(ml_allows_start(&p, &snap(3, 30, false, false)));
+    }
+}

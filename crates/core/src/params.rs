@@ -1,0 +1,269 @@
+//! PDPA policy parameters.
+
+/// How the target efficiency is chosen (§4.1: "The system administrator
+/// defines the target efficiency … Alternatively, it is dynamically set
+/// depending on the load of the system").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TargetMode {
+    /// A fixed target efficiency (`target_eff`), as in the paper's
+    /// evaluation.
+    Fixed,
+    /// Load-adaptive: the effective target interpolates between `min`
+    /// (machine idle — be generous with processors) and `max` (jobs queued —
+    /// demand high efficiency so more jobs fit), driven by the ratio of
+    /// queued to running jobs.
+    LoadAdaptive {
+        /// Target when the queue is empty.
+        min: f64,
+        /// Target when the queue is at least as long as the running set.
+        max: f64,
+    },
+}
+
+impl TargetMode {
+    /// The effective target given the configured fixed value and the
+    /// current queue pressure.
+    pub fn effective_target(&self, fixed: f64, queued: usize, running: usize) -> f64 {
+        match *self {
+            TargetMode::Fixed => fixed,
+            TargetMode::LoadAdaptive { min, max } => {
+                let pressure = if queued == 0 {
+                    0.0
+                } else {
+                    (queued as f64 / running.max(1) as f64).min(1.0)
+                };
+                min + (max - min) * pressure
+            }
+        }
+    }
+}
+
+/// Tunable parameters of the PDPA policy (§4.2).
+///
+/// "The PDPA parameters are: 1) the efficiency considered very good
+/// (`high_eff`), 2) the target efficiency (`target_eff`), and 3) the number
+/// of processors that will be used to increment/decrement the application
+/// processor allocation (`step`). These parameters can be modified at
+/// runtime."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PdpaParams {
+    /// Efficiency below which an allocation is *bad performance* and must
+    /// shrink. The paper's evaluation uses 0.7.
+    pub target_eff: f64,
+    /// Efficiency above which performance is *very good* and the allocation
+    /// may grow. The paper's evaluation uses 0.9.
+    pub high_eff: f64,
+    /// Processors added or removed per search move.
+    pub step: usize,
+    /// Default multiprogramming level: up to this many jobs are admitted
+    /// without waiting for the stability condition (the paper's PDPA "used
+    /// also a default multiprogramming level of four applications", §5).
+    pub base_ml: usize,
+    /// Maximum number of times an application may leave the `STABLE` state
+    /// because its measured performance drifted — the anti-ping-pong bound
+    /// of §4.2.4 ("the number of transitions from STABLE to either DEC or
+    /// INC may be limited by the system").
+    pub max_stable_exits: u32,
+    /// Relative efficiency change (vs. the efficiency remembered when the
+    /// application settled) required before a `STABLE` application re-enters
+    /// the upward search (§4.2.4 reacts "if the application performance
+    /// changes" — not to the steady value that made it settle, however
+    /// high). Bad performance (below `target_eff`) always reacts.
+    pub stable_band: f64,
+    /// How the target efficiency is chosen: fixed (the paper's evaluation)
+    /// or dynamically from system load (§4.1's alternative).
+    pub target_mode: TargetMode,
+    /// Apply the relative-speedup test in the `INC` state (§4.2.2).
+    /// Disabled only by the ablation benchmarks.
+    pub use_relative_speedup: bool,
+    /// Coordinate with the queuing system: allow the multiprogramming level
+    /// to rise above `base_ml` when running jobs are settled. Disabled only
+    /// by the ablation benchmarks (which turns PDPA into a fixed-ML
+    /// allocation-only policy).
+    pub coordinate_ml: bool,
+}
+
+impl Default for PdpaParams {
+    /// The paper's evaluation configuration: `target_eff` 0.7, `high_eff`
+    /// 0.9, step 4, default multiprogramming level 4.
+    fn default() -> Self {
+        PdpaParams {
+            target_eff: 0.7,
+            high_eff: 0.9,
+            step: 4,
+            base_ml: 4,
+            max_stable_exits: 3,
+            stable_band: 0.05,
+            target_mode: TargetMode::Fixed,
+            use_relative_speedup: true,
+            coordinate_ml: true,
+        }
+    }
+}
+
+impl PdpaParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint:
+    /// efficiencies must satisfy `0 < target_eff ≤ high_eff ≤ 1.5` (a
+    /// high-efficiency bound above 1 is legitimate — superlinear
+    /// applications exceed efficiency 1), and `step`/`base_ml` must be
+    /// positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.target_eff > 0.0) {
+            return Err(format!("target_eff must be positive: {}", self.target_eff));
+        }
+        if self.high_eff < self.target_eff {
+            return Err(format!(
+                "high_eff ({}) must be at least target_eff ({})",
+                self.high_eff, self.target_eff
+            ));
+        }
+        if self.high_eff > 1.5 {
+            return Err(format!("high_eff unreasonably large: {}", self.high_eff));
+        }
+        if self.step == 0 {
+            return Err("step must be at least 1".to_owned());
+        }
+        if self.base_ml == 0 {
+            return Err("base_ml must be at least 1".to_owned());
+        }
+        if !(0.0..1.0).contains(&self.stable_band) {
+            return Err(format!("stable_band {} out of [0, 1)", self.stable_band));
+        }
+        if let TargetMode::LoadAdaptive { min, max } = self.target_mode {
+            if !(min > 0.0 && min <= max) {
+                return Err(format!("adaptive target range inverted: [{min}, {max}]"));
+            }
+            if max > self.high_eff {
+                return Err(format!(
+                    "adaptive target max ({max}) must not exceed high_eff ({})",
+                    self.high_eff
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builder-style override of the target efficiency.
+    pub fn with_target_eff(mut self, v: f64) -> Self {
+        self.target_eff = v;
+        self
+    }
+
+    /// Builder-style override of the high efficiency.
+    pub fn with_high_eff(mut self, v: f64) -> Self {
+        self.high_eff = v;
+        self
+    }
+
+    /// Builder-style override of the step.
+    pub fn with_step(mut self, v: usize) -> Self {
+        self.step = v;
+        self
+    }
+
+    /// Builder-style override of the default multiprogramming level.
+    pub fn with_base_ml(mut self, v: usize) -> Self {
+        self.base_ml = v;
+        self
+    }
+
+    /// Builder-style override of the target mode.
+    pub fn with_target_mode(mut self, v: TargetMode) -> Self {
+        self.target_mode = v;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = PdpaParams::default();
+        assert_eq!(p.target_eff, 0.7);
+        assert_eq!(p.high_eff, 0.9);
+        assert_eq!(p.step, 4);
+        assert_eq!(p.base_ml, 4);
+        assert!(p.use_relative_speedup);
+        assert!(p.coordinate_ml);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = PdpaParams::default()
+            .with_target_eff(0.5)
+            .with_high_eff(0.8)
+            .with_step(2)
+            .with_base_ml(2);
+        assert_eq!(
+            (p.target_eff, p.high_eff, p.step, p.base_ml),
+            (0.5, 0.8, 2, 2)
+        );
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_inverted_efficiencies() {
+        let p = PdpaParams::default().with_target_eff(0.95);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_step() {
+        let p = PdpaParams::default().with_step(0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn superlinear_high_eff_is_allowed() {
+        let p = PdpaParams::default().with_high_eff(1.2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn fixed_mode_ignores_load() {
+        let m = TargetMode::Fixed;
+        assert_eq!(m.effective_target(0.7, 0, 4), 0.7);
+        assert_eq!(m.effective_target(0.7, 100, 1), 0.7);
+    }
+
+    #[test]
+    fn adaptive_target_tracks_queue_pressure() {
+        let m = TargetMode::LoadAdaptive {
+            min: 0.5,
+            max: 0.85,
+        };
+        // Idle queue: be generous.
+        assert_eq!(m.effective_target(0.7, 0, 4), 0.5);
+        // Queue as long as the running set: full pressure.
+        assert_eq!(m.effective_target(0.7, 4, 4), 0.85);
+        // Half pressure interpolates.
+        let half = m.effective_target(0.7, 2, 4);
+        assert!((half - 0.675).abs() < 1e-12);
+        // Pressure saturates at 1.
+        assert_eq!(m.effective_target(0.7, 50, 4), 0.85);
+    }
+
+    #[test]
+    fn adaptive_validation() {
+        let bad =
+            PdpaParams::default().with_target_mode(TargetMode::LoadAdaptive { min: 0.9, max: 0.5 });
+        assert!(bad.validate().is_err());
+        let too_high = PdpaParams::default().with_target_mode(TargetMode::LoadAdaptive {
+            min: 0.5,
+            max: 0.95,
+        });
+        assert!(too_high.validate().is_err());
+        let ok = PdpaParams::default().with_target_mode(TargetMode::LoadAdaptive {
+            min: 0.5,
+            max: 0.85,
+        });
+        ok.validate().unwrap();
+    }
+}

@@ -1,0 +1,703 @@
+//! The PDPA application state machine (Fig. 2).
+//!
+//! Each running application is in one of four states reflecting what PDPA
+//! knows about its performance at the last evaluation:
+//!
+//! - [`AppState::NoRef`] — no performance knowledge yet (starting point);
+//! - [`AppState::Inc`] — performed *very well* last time; the allocation is
+//!   growing and the growth is on probation;
+//! - [`AppState::Dec`] — performed *badly* last time; the allocation is
+//!   shrinking toward the target efficiency;
+//! - [`AppState::Stable`] — holds "the maximum number of processors that
+//!   PDPA considers acceptable"; the allocation is maintained.
+//!
+//! [`evaluate`] is the pure transition function: given the state, the fresh
+//! performance sample, the remembered history, and the policy parameters, it
+//! produces the next state and the next target allocation. Keeping it pure
+//! makes every paragraph of §4.2 directly testable.
+
+use pdpa_perf::{PerfHistory, PerfSample};
+
+use crate::params::PdpaParams;
+
+/// The four PDPA application states (Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AppState {
+    /// No performance knowledge (§4.2.1).
+    NoRef,
+    /// Good performance — searching upward (§4.2.2).
+    Inc,
+    /// Bad performance — searching downward (§4.2.3).
+    Dec,
+    /// Acceptable performance — allocation maintained (§4.2.4).
+    Stable,
+}
+
+impl AppState {
+    /// True when the application's allocation is *settled*: the search is
+    /// not going to claim more processors at the next evaluation. `STABLE`
+    /// is settled by definition; `DEC` is settled in the sense that it can
+    /// only release processors ("bad performance" is the paper's second
+    /// admission trigger).
+    pub fn is_settled(self) -> bool {
+        matches!(self, AppState::Stable | AppState::Dec)
+    }
+}
+
+/// The outcome of one PDPA evaluation: the next state and allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// The state the application moves to.
+    pub next: AppState,
+    /// The allocation the application should hold during the next quantum.
+    pub target_alloc: usize,
+}
+
+/// Context needed by [`evaluate`] beyond the sample itself.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalCtx {
+    /// Processors the application requested at submission (hard cap).
+    pub request: usize,
+    /// Free processors available for growth.
+    pub free_cpus: usize,
+    /// Times the application has already left `STABLE` (ping-pong bound).
+    pub stable_exits: u32,
+    /// The efficiency the application showed when it settled into `STABLE`
+    /// at its current allocation (`None` outside `STABLE` or before the
+    /// first settled report). `STABLE` re-enters the upward search only when
+    /// the measured efficiency *rises* past this reference by the policy's
+    /// `stable_band` — §4.2.4 reacts to performance *changes*, not to the
+    /// steady value that made the application settle.
+    pub stable_ref_eff: Option<f64>,
+}
+
+/// Evaluates one performance report and decides the next state and
+/// allocation, per §4.2. `history` must already contain the fresh sample
+/// (recorded by the caller), so `history.last_other_than(sample.procs)`
+/// yields the *previous* allocation's measurements.
+pub fn evaluate(
+    state: AppState,
+    sample: &PerfSample,
+    history: &PerfHistory,
+    params: &PdpaParams,
+    ctx: EvalCtx,
+) -> Transition {
+    let p = sample.procs;
+    let eff = sample.efficiency;
+    match state {
+        AppState::NoRef => {
+            if eff > params.high_eff {
+                grow(p, params, ctx)
+            } else if eff < params.target_eff {
+                shrink(p, params)
+            } else {
+                stay(p)
+            }
+        }
+        AppState::Inc => {
+            let keeps_growing = eff > params.high_eff
+                && speedup_improved(sample, history)
+                && relative_speedup_holds(sample, history, params);
+            if keeps_growing {
+                grow(p, params, ctx)
+            } else if eff < params.target_eff {
+                // The probationary processors did not pay off: give back the
+                // last increment (§4.2.2 — "the application will loose the
+                // step additional processors received in the last
+                // transition, only if the current efficiency is less than
+                // target_eff").
+                let revert = history
+                    .last_other_than(p)
+                    .map(|prev| prev.procs.min(p))
+                    .unwrap_or_else(|| p.saturating_sub(params.step).max(1));
+                Transition {
+                    next: AppState::Stable,
+                    target_alloc: revert.max(1),
+                }
+            } else {
+                stay(p)
+            }
+        }
+        AppState::Dec => {
+            if eff < params.target_eff && p > 1 {
+                shrink(p, params)
+            } else if eff < params.target_eff {
+                // Already at the one-processor floor; nothing left to take.
+                Transition {
+                    next: AppState::Dec,
+                    target_alloc: 1,
+                }
+            } else {
+                stay(p)
+            }
+        }
+        AppState::Stable => {
+            if ctx.stable_exits >= params.max_stable_exits {
+                // Frozen: the system bounds STABLE exits to avoid ping-pong.
+                return stay(p);
+            }
+            if eff < params.target_eff {
+                shrink(p, params)
+            } else if eff > params.high_eff
+                && p < ctx.request
+                && ctx.free_cpus > 0
+                && performance_rose(eff, ctx.stable_ref_eff, params.stable_band)
+            {
+                grow(p, params, ctx)
+            } else {
+                stay(p)
+            }
+        }
+    }
+}
+
+/// Grow by `min(step, free)` processors, capped by the request. Hitting the
+/// request cap means the search is over: the application holds the maximum
+/// it may ever get, so it settles.
+fn grow(p: usize, params: &PdpaParams, ctx: EvalCtx) -> Transition {
+    if p >= ctx.request {
+        return Transition {
+            next: AppState::Stable,
+            target_alloc: ctx.request,
+        };
+    }
+    let add = params.step.min(ctx.free_cpus);
+    if add == 0 {
+        // Nothing free right now; keep probing from the same allocation.
+        return Transition {
+            next: AppState::Inc,
+            target_alloc: p,
+        };
+    }
+    Transition {
+        next: AppState::Inc,
+        target_alloc: (p + add).min(ctx.request),
+    }
+}
+
+/// Shrink by `step`, to a floor of one processor (run-to-completion).
+fn shrink(p: usize, params: &PdpaParams) -> Transition {
+    Transition {
+        next: AppState::Dec,
+        target_alloc: p.saturating_sub(params.step).max(1),
+    }
+}
+
+fn stay(p: usize) -> Transition {
+    Transition {
+        next: AppState::Stable,
+        target_alloc: p.max(1),
+    }
+}
+
+/// §4.2.4: a settled application re-opens the upward search only when its
+/// performance *changed* — the measured efficiency rose past the remembered
+/// settling efficiency by the relative `band`. Without a reference (first
+/// settled report) the steady value is, by definition, unchanged.
+fn performance_rose(eff: f64, reference: Option<f64>, band: f64) -> bool {
+    match reference {
+        Some(r) => eff > r * (1.0 + band),
+        None => false,
+    }
+}
+
+/// §4.2.2 condition 2: "the current speedup obtained is greater than the
+/// previous speedup obtained". Vacuously true when there is no previous
+/// allocation on record.
+fn speedup_improved(sample: &PerfSample, history: &PerfHistory) -> bool {
+    match history.last_other_than(sample.procs) {
+        Some(prev) => sample.speedup > prev.speedup,
+        None => true,
+    }
+}
+
+/// §4.2.2 condition 3: the *RelativeSpeedup* — the execution-time ratio
+/// between the last allocation and the current one — must exceed the
+/// proportional processor growth scaled by `high_eff`. This is what detects
+/// "situations where the speedup is superlinear within a range of
+/// processors, but later the speedup progression is not maintained".
+fn relative_speedup_holds(sample: &PerfSample, history: &PerfHistory, params: &PdpaParams) -> bool {
+    if !params.use_relative_speedup {
+        return true;
+    }
+    let Some(prev) = history.last_other_than(sample.procs) else {
+        return true;
+    };
+    if prev.procs == 0 || prev.procs >= sample.procs {
+        // Growth comparison is only meaningful against a smaller previous
+        // allocation.
+        return true;
+    }
+    // Prefer the execution-time formulation; fall back to the speedup ratio
+    // when a time is unavailable (they coincide for iteration-stable codes).
+    let relative = if !prev.iter_time.is_zero() && !sample.iter_time.is_zero() {
+        prev.iter_time / sample.iter_time
+    } else if prev.speedup > 0.0 {
+        sample.speedup / prev.speedup
+    } else {
+        return true;
+    };
+    let proportional_growth = sample.procs as f64 / prev.procs as f64;
+    relative > proportional_growth * params.high_eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_sim::SimDuration;
+
+    fn params() -> PdpaParams {
+        PdpaParams::default()
+    }
+
+    fn ctx(request: usize, free: usize) -> EvalCtx {
+        EvalCtx {
+            request,
+            free_cpus: free,
+            stable_exits: 0,
+            stable_ref_eff: None,
+        }
+    }
+
+    fn stable_ctx(request: usize, free: usize, ref_eff: f64) -> EvalCtx {
+        EvalCtx {
+            stable_ref_eff: Some(ref_eff),
+            ..ctx(request, free)
+        }
+    }
+
+    fn sample(procs: usize, speedup: f64, iter_secs: f64) -> PerfSample {
+        PerfSample {
+            procs,
+            speedup,
+            efficiency: if procs == 0 {
+                0.0
+            } else {
+                speedup / procs as f64
+            },
+            iter_time: SimDuration::from_secs(iter_secs),
+            iteration: 0,
+        }
+    }
+
+    fn history_of(entries: &[(usize, f64, f64)]) -> PerfHistory {
+        let mut h = PerfHistory::default();
+        for &(p, s, t) in entries {
+            h.record(p, s, SimDuration::from_secs(t));
+        }
+        h
+    }
+
+    // --- NO_REF (§4.2.1) ---
+
+    #[test]
+    fn noref_good_performance_goes_inc() {
+        let s = sample(8, 7.6, 1.0); // eff 0.95 > 0.9
+        let h = history_of(&[(8, 7.6, 1.0)]);
+        let t = evaluate(AppState::NoRef, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(t.next, AppState::Inc);
+        assert_eq!(t.target_alloc, 12, "grows by step");
+    }
+
+    #[test]
+    fn noref_bad_performance_goes_dec() {
+        let s = sample(8, 4.0, 1.0); // eff 0.5 < 0.7
+        let h = history_of(&[(8, 4.0, 1.0)]);
+        let t = evaluate(AppState::NoRef, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(t.next, AppState::Dec);
+        assert_eq!(t.target_alloc, 4, "shrinks by step");
+    }
+
+    #[test]
+    fn noref_acceptable_performance_goes_stable() {
+        let s = sample(8, 6.4, 1.0); // eff 0.8 in [0.7, 0.9]
+        let h = history_of(&[(8, 6.4, 1.0)]);
+        let t = evaluate(AppState::NoRef, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 8
+            }
+        );
+    }
+
+    #[test]
+    fn growth_is_limited_by_free_processors() {
+        let s = sample(8, 7.6, 1.0);
+        let h = history_of(&[(8, 7.6, 1.0)]);
+        let t = evaluate(AppState::NoRef, &s, &h, &params(), ctx(30, 2));
+        assert_eq!(t.target_alloc, 10, "only two processors were free");
+        assert_eq!(t.next, AppState::Inc);
+    }
+
+    #[test]
+    fn growth_with_no_free_processors_waits_in_inc() {
+        let s = sample(8, 7.6, 1.0);
+        let h = history_of(&[(8, 7.6, 1.0)]);
+        let t = evaluate(AppState::NoRef, &s, &h, &params(), ctx(30, 0));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Inc,
+                target_alloc: 8
+            }
+        );
+    }
+
+    #[test]
+    fn growth_at_request_cap_settles() {
+        let s = sample(30, 29.0, 1.0); // superlinear-good at its request
+        let h = history_of(&[(30, 29.0, 1.0)]);
+        let t = evaluate(AppState::NoRef, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 30
+            }
+        );
+    }
+
+    // --- INC (§4.2.2) ---
+
+    #[test]
+    fn inc_keeps_growing_while_all_conditions_hold() {
+        // 8 → 12 procs: time 1.0 → 0.64, speedup 7.6 → 11.8.
+        // eff(12) = 0.98 > 0.9; speedup improved; relative speedup
+        // 1.0/0.64 = 1.5625 > (12/8)·0.9 = 1.35.
+        let h = history_of(&[(8, 7.6, 1.0), (12, 11.8, 0.64)]);
+        let s = sample(12, 11.8, 0.64);
+        let t = evaluate(AppState::Inc, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Inc,
+                target_alloc: 16
+            }
+        );
+    }
+
+    #[test]
+    fn inc_stops_when_relative_speedup_fades() {
+        // 16 → 20 procs, speedup 15.0 → 16.0 (still eff 0.8 but relative
+        // speedup 16/15 = 1.067 < (20/16)·0.9 = 1.125): growth stops, and
+        // because eff ≥ target the probationary processors are kept.
+        let h = history_of(&[(16, 15.0, 1.0), (20, 16.0, 15.0 / 16.0)]);
+        let s = sample(20, 16.0, 15.0 / 16.0);
+        let t = evaluate(AppState::Inc, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 20
+            }
+        );
+    }
+
+    #[test]
+    fn inc_reverts_probation_when_below_target() {
+        // Superlinear cliff: 16 → 20 procs and efficiency collapses under
+        // target_eff; the step processors go back.
+        let h = history_of(&[(16, 15.5, 1.0), (20, 13.0, 15.5 / 13.0)]);
+        let s = sample(20, 13.0, 15.5 / 13.0); // eff 0.65 < 0.7
+        let t = evaluate(AppState::Inc, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 16
+            }
+        );
+    }
+
+    #[test]
+    fn inc_requires_speedup_improvement() {
+        // More processors but a *lower* speedup: condition 2 fails. The
+        // efficiency is still above target, so the allocation is kept.
+        let h = history_of(&[(16, 15.5, 1.0), (20, 15.0, 1.03)]);
+        let s = sample(20, 15.0, 1.03); // eff 0.75
+        let t = evaluate(AppState::Inc, &s, &h, &params(), ctx(30, 20));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 20
+            }
+        );
+    }
+
+    #[test]
+    fn inc_without_relative_speedup_test_is_greedier() {
+        // Same fading-scalability scenario as above, with the ablation that
+        // disables the relative-speedup test: efficiency alone (0.9+) keeps
+        // the growth going. This is the behaviour the test exists to avoid.
+        let mut p = params();
+        p.use_relative_speedup = false;
+        let h = history_of(&[(16, 15.0, 1.0), (20, 18.2, 15.0 / 18.2)]);
+        let s = sample(20, 18.2, 15.0 / 18.2); // eff 0.91, marginal gain poor
+        let t = evaluate(AppState::Inc, &s, &h, &p, ctx(30, 20));
+        assert_eq!(t.next, AppState::Inc);
+        assert_eq!(t.target_alloc, 24);
+    }
+
+    // --- DEC (§4.2.3) ---
+
+    #[test]
+    fn dec_keeps_shrinking_below_target() {
+        let h = history_of(&[(26, 9.0, 1.0)]);
+        let s = sample(26, 9.0, 1.0); // eff 0.35
+        let t = evaluate(AppState::Dec, &s, &h, &params(), ctx(30, 0));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Dec,
+                target_alloc: 22
+            }
+        );
+    }
+
+    #[test]
+    fn dec_settles_when_target_reached() {
+        let h = history_of(&[(10, 7.1, 1.0)]);
+        let s = sample(10, 7.1, 1.0); // eff 0.71 ≥ 0.7
+        let t = evaluate(AppState::Dec, &s, &h, &params(), ctx(30, 0));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 10
+            }
+        );
+    }
+
+    #[test]
+    fn dec_floors_at_one_processor() {
+        let h = history_of(&[(1, 0.5, 1.0)]);
+        let s = sample(1, 0.5, 1.0); // hopeless, but run-to-completion
+        let t = evaluate(AppState::Dec, &s, &h, &params(), ctx(30, 0));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Dec,
+                target_alloc: 1
+            }
+        );
+    }
+
+    #[test]
+    fn dec_shrink_clamps_to_floor() {
+        let h = history_of(&[(3, 1.2, 1.0)]);
+        let s = sample(3, 1.2, 1.0); // eff 0.4, step 4 would go negative
+        let t = evaluate(AppState::Dec, &s, &h, &params(), ctx(30, 0));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Dec,
+                target_alloc: 1
+            }
+        );
+    }
+
+    // --- STABLE (§4.2.4) ---
+
+    #[test]
+    fn stable_holds_with_acceptable_performance() {
+        let h = history_of(&[(20, 16.0, 1.0)]);
+        let s = sample(20, 16.0, 1.0); // eff 0.8
+        let t = evaluate(AppState::Stable, &s, &h, &params(), ctx(30, 10));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 20
+            }
+        );
+    }
+
+    #[test]
+    fn stable_reacts_to_performance_drop() {
+        let h = history_of(&[(20, 12.0, 1.0)]);
+        let s = sample(20, 12.0, 1.0); // eff 0.6 < 0.7
+        let t = evaluate(AppState::Stable, &s, &h, &params(), ctx(30, 10));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Dec,
+                target_alloc: 16
+            }
+        );
+    }
+
+    #[test]
+    fn stable_reacts_to_performance_jump() {
+        // The application settled at efficiency 0.8; it now measures 0.95 —
+        // a real performance change, so the upward search re-opens.
+        let h = history_of(&[(20, 19.0, 1.0)]);
+        let s = sample(20, 19.0, 1.0); // eff 0.95 > 0.9
+        let t = evaluate(AppState::Stable, &s, &h, &params(), stable_ctx(30, 10, 0.8));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Inc,
+                target_alloc: 24
+            }
+        );
+    }
+
+    #[test]
+    fn stable_does_not_chase_its_own_steady_value() {
+        // A superlinear application settles at efficiency 1.1; the same 1.1
+        // next report is not a change and must not re-trigger INC.
+        let h = history_of(&[(20, 22.0, 1.0)]);
+        let s = sample(20, 22.0, 1.0); // eff 1.1 > high_eff
+        let t = evaluate(AppState::Stable, &s, &h, &params(), stable_ctx(30, 10, 1.1));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 20
+            }
+        );
+        // With no reference yet (first settled report) the value is steady
+        // by definition.
+        let t = evaluate(AppState::Stable, &s, &h, &params(), ctx(30, 10));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 20
+            }
+        );
+    }
+
+    #[test]
+    fn stable_band_requires_a_real_rise() {
+        // Reference 0.92, measured 0.95: inside the 10 % band — no change.
+        let h = history_of(&[(20, 19.0, 1.0)]);
+        let s = sample(20, 19.0, 1.0); // eff 0.95
+        let t = evaluate(
+            AppState::Stable,
+            &s,
+            &h,
+            &params(),
+            stable_ctx(30, 10, 0.92),
+        );
+        assert_eq!(t.next, AppState::Stable);
+    }
+
+    #[test]
+    fn stable_exit_budget_freezes_the_state() {
+        let h = history_of(&[(20, 12.0, 1.0)]);
+        let s = sample(20, 12.0, 1.0); // would normally trigger DEC
+        let frozen = EvalCtx {
+            request: 30,
+            free_cpus: 10,
+            stable_exits: params().max_stable_exits,
+            stable_ref_eff: None,
+        };
+        let t = evaluate(AppState::Stable, &s, &h, &params(), frozen);
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 20
+            }
+        );
+    }
+
+    #[test]
+    fn stable_does_not_grow_past_request() {
+        let h = history_of(&[(30, 29.5, 1.0)]);
+        let s = sample(30, 29.5, 1.0); // eff 0.98 but request is 30
+        let t = evaluate(AppState::Stable, &s, &h, &params(), ctx(30, 10));
+        assert_eq!(
+            t,
+            Transition {
+                next: AppState::Stable,
+                target_alloc: 30
+            }
+        );
+    }
+
+    #[test]
+    fn settled_states() {
+        assert!(AppState::Stable.is_settled());
+        assert!(AppState::Dec.is_settled());
+        assert!(!AppState::Inc.is_settled());
+        assert!(!AppState::NoRef.is_settled());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pdpa_sim::SimDuration;
+    use proptest::prelude::*;
+
+    fn arb_state() -> impl Strategy<Value = AppState> {
+        prop_oneof![
+            Just(AppState::NoRef),
+            Just(AppState::Inc),
+            Just(AppState::Dec),
+            Just(AppState::Stable),
+        ]
+    }
+
+    proptest! {
+        /// The transition function never allocates zero processors and never
+        /// exceeds the request or the machine.
+        #[test]
+        fn alloc_always_in_bounds(
+            state in arb_state(),
+            procs in 1usize..=60,
+            speedup in 0.1f64..70.0,
+            request in 1usize..=60,
+            free in 0usize..=60,
+            exits in 0u32..6,
+        ) {
+            let s = PerfSample {
+                procs,
+                speedup,
+                efficiency: speedup / procs as f64,
+                iter_time: SimDuration::from_secs(1.0),
+                iteration: 0,
+            };
+            let mut h = PerfHistory::default();
+            h.record(procs, speedup, SimDuration::from_secs(1.0));
+            let params = PdpaParams::default();
+            let ctx = EvalCtx { request, free_cpus: free, stable_exits: exits, stable_ref_eff: None };
+            let t = evaluate(state, &s, &h, &params, ctx);
+            prop_assert!(t.target_alloc >= 1, "run-to-completion floor");
+            // Growth may not exceed the request; shrink/stay are bounded by
+            // the current allocation.
+            prop_assert!(t.target_alloc <= procs.max(request));
+            // Any *growth* beyond current is bounded by step and free.
+            if t.target_alloc > procs {
+                prop_assert!(t.target_alloc - procs <= params.step.min(free));
+            }
+        }
+
+        /// A bad sample never grows the allocation; a great sample never
+        /// shrinks it below the revert point.
+        #[test]
+        fn monotone_reactions(
+            state in arb_state(),
+            procs in 2usize..=60,
+        ) {
+            let bad = PerfSample {
+                procs,
+                speedup: procs as f64 * 0.3,
+                efficiency: 0.3,
+                iter_time: SimDuration::from_secs(1.0),
+                iteration: 0,
+            };
+            let mut h = PerfHistory::default();
+            h.record(procs, bad.speedup, bad.iter_time);
+            let params = PdpaParams::default();
+            let ctx = EvalCtx { request: 60, free_cpus: 60, stable_exits: 0, stable_ref_eff: None };
+            let t = evaluate(state, &bad, &h, &params, ctx);
+            prop_assert!(t.target_alloc <= procs, "bad performance never grows");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Quick smoke run of all four policies on the paper workloads
+//! (internal calibration check).
+use pdpa_apps::AppClass;
+use pdpa_core::Pdpa;
+use pdpa_engine::{Engine, EngineConfig};
+use pdpa_policies::{EqualEfficiency, Equipartition, IrixLike, SchedulingPolicy};
+use pdpa_qs::Workload;
+
+fn main() {
+    for wl in [Workload::W1, Workload::W2, Workload::W3, Workload::W4] {
+        for load in [0.6, 1.0] {
+            for name in ["IRIX", "Equip", "Equal_eff", "PDPA"] {
+                let policy: Box<dyn SchedulingPolicy> = match name {
+                    "IRIX" => Box::new(IrixLike::paper_default()),
+                    "Equip" => Box::new(Equipartition::default()),
+                    "Equal_eff" => Box::new(EqualEfficiency::paper_default()),
+                    _ => Box::new(Pdpa::paper_default()),
+                };
+                let jobs = wl.build(load, 42);
+                let n = jobs.len();
+                let r = Engine::new(EngineConfig::default()).run(jobs, policy);
+                print!(
+                    "{wl} load={load} {name:<10} jobs={n} done={} end={:>5.0} maxML={:<3}",
+                    r.completed_all, r.end_secs, r.max_ml
+                );
+                for class in AppClass::ALL {
+                    if let Some(c) = r.summary.class_averages(class) {
+                        print!(
+                            " {}[r={:>4.0} x={:>4.0} p={:>4.1}]",
+                            class.name(),
+                            c.avg_response_secs,
+                            c.avg_execution_secs,
+                            r.avg_alloc_by_class.get(&class).copied().unwrap_or(0.0)
+                        );
+                    }
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,1040 @@
+//! The event loop: executes a workload under a scheduling policy.
+
+use std::collections::HashMap;
+
+use pdpa_apps::{AppClass, NoiseModel};
+use pdpa_metrics::{JobOutcome, Summary};
+use pdpa_perf::SelfAnalyzer;
+use pdpa_policies::{Decisions, JobView, PolicyCtx, SchedulingPolicy, SharingModel};
+use pdpa_qs::{JobSpec, QueueSystem};
+use pdpa_sim::{EventQueue, JobId, Machine, SimRng, SimTime};
+use pdpa_trace::TraceCollector;
+
+use crate::config::EngineConfig;
+use crate::result::RunResult;
+use crate::runjob::RunningJob;
+use crate::timeshare::{effective_procs, fractional_speedup, throughput_factor, QuantumPlacement};
+
+/// Engine events.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A job's submission instant passed: it joins the queue.
+    Arrival(JobId),
+    /// A job's current iteration is predicted to end (valid only if the
+    /// job's epoch still matches).
+    IterEnd { job: JobId, epoch: u64 },
+    /// Time-shared placement quantum (only scheduled for time-shared runs
+    /// with trace collection).
+    Tick,
+}
+
+/// Executes workloads under a [`SchedulingPolicy`].
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: EngineConfig) -> Self {
+        config.validate().expect("invalid engine configuration");
+        Engine { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `jobs` to completion under `policy` and returns the measured
+    /// result. Deterministic for a given configuration seed.
+    pub fn run(&self, jobs: Vec<JobSpec>, mut policy: Box<dyn SchedulingPolicy>) -> RunResult {
+        let mut sim = Sim::new(&self.config, jobs, policy.sharing());
+        sim.schedule_arrivals();
+        while let Some((t, ev)) = sim.events.pop() {
+            if t.as_secs() > self.config.max_sim_secs {
+                break;
+            }
+            sim.clock = t;
+            match ev {
+                Ev::Arrival(job) => sim.on_arrival(job, policy.as_mut()),
+                Ev::IterEnd { job, epoch } => sim.on_iter_end(job, epoch, policy.as_mut()),
+                Ev::Tick => sim.on_tick(),
+            }
+        }
+        sim.into_result(policy.name())
+    }
+}
+
+/// All mutable state of one run.
+struct Sim<'a> {
+    config: &'a EngineConfig,
+    sharing: SharingModel,
+    qs: QueueSystem,
+    machine: Machine,
+    events: EventQueue<Ev>,
+    rng: SimRng,
+    noise: NoiseModel,
+    clock: SimTime,
+    /// Running jobs by id.
+    running: HashMap<JobId, RunningJob>,
+    /// Running jobs in arrival order (policy context ordering).
+    order: Vec<JobId>,
+    outcomes: Vec<JobOutcome>,
+    /// `(class, average allocation)` of completed jobs.
+    completed_allocs: Vec<(AppClass, f64)>,
+    /// Average allocation per completed job.
+    completed_alloc_by_job: HashMap<JobId, f64>,
+    /// Total CPU-seconds held by completed jobs.
+    cpu_seconds_used: f64,
+    trace: TraceCollector,
+    placement: QuantumPlacement,
+    ml_series: Vec<(f64, usize)>,
+    max_ml: usize,
+    /// Current row of the gang matrix (gang mode only).
+    gang_slot: usize,
+}
+
+impl<'a> Sim<'a> {
+    fn new(config: &'a EngineConfig, jobs: Vec<JobSpec>, sharing: SharingModel) -> Self {
+        let trace = if config.collect_trace {
+            TraceCollector::new(config.cpus)
+        } else {
+            TraceCollector::disabled(config.cpus)
+        };
+        Sim {
+            config,
+            sharing,
+            qs: QueueSystem::new(jobs),
+            machine: Machine::new(config.cpus),
+            events: EventQueue::new(),
+            rng: SimRng::new(config.seed),
+            noise: if config.noise_sigma == 0.0 {
+                NoiseModel::none()
+            } else {
+                NoiseModel::new(config.noise_sigma)
+            },
+            clock: SimTime::ZERO,
+            running: HashMap::new(),
+            order: Vec::new(),
+            outcomes: Vec::new(),
+            completed_allocs: Vec::new(),
+            completed_alloc_by_job: HashMap::new(),
+            cpu_seconds_used: 0.0,
+            trace,
+            placement: QuantumPlacement::new(config.cpus),
+            ml_series: vec![(0.0, 0)],
+            max_ml: 0,
+            gang_slot: 0,
+        }
+    }
+
+    /// True when allocations are thread/gang counts rather than dedicated
+    /// cpusets (the machine model is bypassed and every membership change
+    /// shifts every job's rate).
+    fn is_time_shared(&self) -> bool {
+        matches!(
+            self.sharing,
+            SharingModel::TimeShared(_) | SharingModel::Gang(_)
+        )
+    }
+
+    /// The trace/placement quantum of the current sharing model, if any.
+    fn quantum(&self) -> Option<pdpa_sim::SimDuration> {
+        match self.sharing {
+            SharingModel::SpaceShared => None,
+            SharingModel::TimeShared(p) => Some(p.quantum),
+            SharingModel::Gang(p) => Some(p.quantum),
+        }
+    }
+
+    fn schedule_arrivals(&mut self) {
+        let subs: Vec<(JobId, SimTime)> = self
+            .qs
+            .submissions()
+            .map(|(id, spec)| (id, spec.submit))
+            .collect();
+        for (id, at) in subs {
+            self.events.push(at, Ev::Arrival(id));
+        }
+        // Kick off the time-shared/gang quantum clock when tracing.
+        if self.config.collect_trace {
+            if let Some(q) = self.quantum() {
+                self.events.push(SimTime::ZERO + q, Ev::Tick);
+            }
+        }
+    }
+
+    /// Snapshot of the running jobs for a policy call.
+    fn views(&self) -> Vec<JobView> {
+        self.order
+            .iter()
+            .map(|id| {
+                let j = &self.running[id];
+                JobView {
+                    id: *id,
+                    request: j.spec.request,
+                    allocated: j.allocated,
+                    last_sample: j.last_sample,
+                }
+            })
+            .collect()
+    }
+
+    fn free_cpus(&self) -> usize {
+        if self.is_time_shared() {
+            let total: usize = self.running.values().map(|j| j.allocated).sum();
+            self.config.cpus.saturating_sub(total)
+        } else {
+            self.machine.free_cpus()
+        }
+    }
+
+    /// The queue head's processor request (what admission is asked about).
+    fn next_request(&self) -> Option<usize> {
+        self.qs.head().map(|id| self.qs.spec(id).app.request)
+    }
+
+    fn record_ml(&mut self) {
+        let ml = self.running.len();
+        self.max_ml = self.max_ml.max(ml);
+        self.ml_series.push((self.clock.as_secs(), ml));
+    }
+
+    // --- Rates ---
+
+    /// Recomputes a job's progress rate from its current effective
+    /// processors. The job must already be advanced to `self.clock`.
+    fn recompute_rate(&mut self, job: JobId) {
+        let (eff, factor) = match self.sharing {
+            SharingModel::SpaceShared => {
+                let j = &self.running[&job];
+                (j.effective_procs() as f64, 1.0)
+            }
+            SharingModel::TimeShared(p) => {
+                let total: usize = self.running.values().map(RunningJob::effective_procs).sum();
+                let j = &self.running[&job];
+                let eff = effective_procs(j.effective_procs(), total, self.config.cpus);
+                let factor = throughput_factor(
+                    total,
+                    self.config.cpus,
+                    p.base_overhead,
+                    p.overcommit_overhead,
+                );
+                (eff, factor)
+            }
+            SharingModel::Gang(p) => {
+                // Full coscheduled width for a 1/n duty cycle, minus the
+                // whole-machine switch overhead.
+                let n = self.running.len().max(1) as f64;
+                let j = &self.running[&job];
+                let eff = j.effective_procs() as f64;
+                (eff, (1.0 - p.switch_overhead) / n)
+            }
+        };
+        let j = self.running.get_mut(&job).expect("job is running");
+        let speedup = fractional_speedup(j.spec.speedup.as_ref(), eff);
+        // The current iteration's sequential time (working-set changes make
+        // later phases heavier or lighter, §3.1).
+        let iter_secs = j
+            .spec
+            .seq_iter_time_at(j.progress.iterations_done())
+            .as_secs()
+            * (1.0 + j.spec.measurement_overhead);
+        j.rate = if speedup > 0.0 {
+            speedup * factor / iter_secs
+        } else {
+            0.0
+        };
+    }
+
+    /// Invalidates the job's pending iteration event and schedules a fresh
+    /// one at the current rate.
+    ///
+    /// If the job is already complete (its final boundary was crossed by an
+    /// `advance_to` inside a decision application rather than by its own
+    /// iteration event), an immediate event is scheduled so the completion
+    /// path still runs.
+    fn reschedule(&mut self, job: JobId) {
+        let j = self.running.get_mut(&job).expect("job is running");
+        j.epoch += 1;
+        let epoch = j.epoch;
+        if j.progress.is_complete() {
+            self.events.push(self.clock, Ev::IterEnd { job, epoch });
+        } else if let Some(dt) = j.time_to_iteration_end() {
+            self.events
+                .push(self.clock + dt, Ev::IterEnd { job, epoch });
+        }
+    }
+
+    /// Recomputes every running job's rate (time-shared: any membership or
+    /// thread-count change shifts every share).
+    fn recompute_all_rates(&mut self) {
+        let ids: Vec<JobId> = self.order.clone();
+        for id in ids {
+            let j = self.running.get_mut(&id).expect("running");
+            j.advance_to(self.clock);
+            self.recompute_rate(id);
+            self.reschedule(id);
+        }
+    }
+
+    // --- Decisions ---
+
+    /// Applies a policy's allocation decisions. Shrinks run before grows so
+    /// released processors are available for reassignment within the same
+    /// decision batch.
+    fn apply_decisions(&mut self, decisions: Decisions) {
+        if decisions.is_empty() {
+            return;
+        }
+        let mut changes: Vec<(JobId, usize)> = decisions
+            .allocations
+            .into_iter()
+            .filter(|(job, _)| self.running.contains_key(job))
+            .map(|(job, target)| {
+                let req = self.running[&job].spec.request;
+                (job, target.clamp(1, req))
+            })
+            .collect();
+        // Shrinks first.
+        changes.sort_by_key(|&(job, target)| {
+            let cur = self.running[&job].allocated;
+            target > cur
+        });
+        let mut any_change = false;
+        for (job, target) in changes {
+            if self.apply_one(job, target) {
+                any_change = true;
+            }
+        }
+        if any_change && self.is_time_shared() {
+            self.recompute_all_rates();
+        }
+    }
+
+    /// Applies one job's new target allocation. Returns true if anything
+    /// changed.
+    fn apply_one(&mut self, job: JobId, target: usize) -> bool {
+        match self.sharing {
+            SharingModel::SpaceShared => {
+                let current = self.machine.allocation(job);
+                if current == target {
+                    return false;
+                }
+                // Advance progress at the old rate before the change.
+                let now = self.clock;
+                self.running.get_mut(&job).expect("running").advance_to(now);
+                let outcome = self.machine.resize(job, target);
+                if outcome.is_noop() {
+                    return false;
+                }
+                for cpu in &outcome.gained {
+                    self.trace.assign(*cpu, Some(job), now);
+                }
+                for cpu in &outcome.lost {
+                    self.trace.assign(*cpu, None, now);
+                }
+                let penalty = self
+                    .config
+                    .cost
+                    .charge(outcome.gained.len(), outcome.lost.len());
+                let new_alloc = self.machine.allocation(job);
+                let j = self.running.get_mut(&job).expect("running");
+                // Initial placement is free; reallocations of a running job
+                // cost cache and page-migration time.
+                if current > 0 {
+                    j.charge(penalty);
+                }
+                let eff_before = j.effective_procs();
+                j.allocated = new_alloc;
+                if current > 0 && j.effective_procs() != eff_before {
+                    // The in-flight iteration now mixes two allocations; its
+                    // timing must not reach the policy. (Initial placement
+                    // starts the first iteration fresh — nothing in flight.)
+                    j.iter_polluted = true;
+                }
+                self.recompute_rate(job);
+                self.reschedule(job);
+                true
+            }
+            SharingModel::TimeShared(_) | SharingModel::Gang(_) => {
+                let j = self.running.get_mut(&job).expect("running");
+                if j.allocated == target {
+                    return false;
+                }
+                let now = self.clock;
+                j.advance_to(now);
+                let was_running = j.allocated > 0;
+                j.allocated = target;
+                if was_running {
+                    j.iter_polluted = true;
+                }
+                // Rates for everyone are refreshed by the caller.
+                true
+            }
+        }
+    }
+
+    // --- Event handlers ---
+
+    fn on_arrival(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
+        self.qs.arrive(job);
+        self.try_admit(policy);
+    }
+
+    /// Picks the job to admit: the FCFS head, or — with backfilling — the
+    /// first waiting job the policy accepts.
+    fn pick_admissible(&self, policy: &dyn SchedulingPolicy, views: &[JobView]) -> Option<JobId> {
+        let candidates: Vec<JobId> = if self.config.backfill {
+            self.qs.waiting().collect()
+        } else {
+            self.qs.head().into_iter().collect()
+        };
+        for job in candidates {
+            let ctx = PolicyCtx {
+                now: self.clock,
+                total_cpus: self.config.cpus,
+                free_cpus: self.free_cpus(),
+                jobs: views,
+                queued_jobs: self.qs.waiting_count(),
+                next_request: Some(self.qs.spec(job).app.request),
+            };
+            if policy.may_start_new_job(&ctx) {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn try_admit(&mut self, policy: &mut dyn SchedulingPolicy) {
+        loop {
+            let views = self.views();
+            let Some(job) = self.pick_admissible(policy, &views) else {
+                return;
+            };
+            assert!(self.qs.start_specific(job), "picked job is waiting");
+            let spec = self.qs.spec(job).app.clone();
+            let analyzer = SelfAnalyzer::new(self.config.analyzer);
+            self.running
+                .insert(job, RunningJob::start(spec, analyzer, self.clock));
+            self.order.push(job);
+            self.record_ml();
+            let views = self.views();
+            let ctx = PolicyCtx {
+                now: self.clock,
+                total_cpus: self.config.cpus,
+                free_cpus: self.free_cpus(),
+                jobs: &views,
+                queued_jobs: self.qs.waiting_count(),
+                next_request: self.next_request(),
+            };
+            let decisions = policy.on_job_arrival(&ctx, job);
+            self.apply_decisions(decisions);
+            if self.is_time_shared() {
+                self.recompute_all_rates();
+            }
+        }
+    }
+
+    fn on_iter_end(&mut self, job: JobId, epoch: u64, policy: &mut dyn SchedulingPolicy) {
+        let Some(j) = self.running.get_mut(&job) else {
+            return; // completed in the meantime
+        };
+        if j.epoch != epoch {
+            return; // stale event from before a reallocation
+        }
+        let crossed = j.advance_to(self.clock);
+        let mut sample = None;
+        if crossed > 0 {
+            if j.iter_polluted {
+                // The finished iteration straddled an allocation change; its
+                // wall time mixes two rates. Restart the measurement window
+                // and report nothing — the next full iteration is clean.
+                j.iter_polluted = false;
+                j.iter_started_at = self.clock;
+            } else {
+                // Measure the finished iteration (wall time since the
+                // iteration started, with timing noise) and feed the
+                // SelfAnalyzer.
+                let truth = self.clock.since(j.iter_started_at);
+                let per_iter = truth / crossed as f64;
+                j.iter_started_at = self.clock;
+                let procs_used = j.effective_procs();
+                let measured = self.noise.perturb(per_iter, &mut self.rng);
+                sample = j.analyzer.record_iteration(procs_used, measured);
+                if let Some(s) = sample {
+                    j.last_sample = Some(s);
+                }
+            }
+            // Crossing into a new working-set phase invalidates the
+            // baseline; compiler-inserted instrumentation resets the
+            // analyzer (§3.1). The reset comes *after* recording the
+            // iteration that just finished — it belongs to the old phase.
+            if self.config.reset_analyzer_on_phase_change {
+                if let Some(pc) = j.spec.phase_change {
+                    let done = j.progress.iterations_done();
+                    if done >= pc.at_iteration && done - crossed < pc.at_iteration {
+                        j.analyzer.reset();
+                        j.last_sample = None;
+                        sample = None;
+                    }
+                }
+            }
+        }
+
+        if j.progress.is_complete() {
+            self.complete_job(job, policy);
+            return;
+        }
+        if crossed == 0 {
+            // Numerical corner: the boundary was not quite reached. Refresh
+            // the schedule and move on.
+            self.reschedule(job);
+            return;
+        }
+
+        if let Some(s) = sample {
+            let views = self.views();
+            let ctx = PolicyCtx {
+                now: self.clock,
+                total_cpus: self.config.cpus,
+                free_cpus: self.free_cpus(),
+                jobs: &views,
+                queued_jobs: self.qs.waiting_count(),
+                next_request: self.next_request(),
+            };
+            let decisions = policy.on_performance_report(&ctx, job, s);
+            self.apply_decisions(decisions);
+            // A report can settle the system and unblock admission (PDPA's
+            // coordination path).
+            self.try_admit(policy);
+        }
+        if self.running.contains_key(&job) {
+            // The analyzer phase may have flipped (baseline → measuring), so
+            // refresh the rate either way.
+            self.recompute_rate(job);
+            self.reschedule(job);
+        }
+    }
+
+    fn complete_job(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
+        let j = self.running.get(&job).expect("running");
+        let class = j.spec.class;
+        let avg_alloc = j.average_allocation(self.clock);
+        let started_at = j.started_at;
+        self.completed_allocs.push((class, avg_alloc));
+        self.completed_alloc_by_job.insert(job, avg_alloc);
+        self.cpu_seconds_used += avg_alloc * self.clock.since(started_at).as_secs();
+        self.outcomes.push(JobOutcome {
+            job,
+            class,
+            submit: self.qs.spec(job).submit,
+            start: started_at,
+            end: self.clock,
+        });
+
+        // Release processors.
+        match self.sharing {
+            SharingModel::SpaceShared => {
+                let released = self.machine.release(job);
+                for cpu in released {
+                    self.trace.assign(cpu, None, self.clock);
+                }
+            }
+            SharingModel::TimeShared(_) | SharingModel::Gang(_) => {
+                for cpu in self.placement.evict(job) {
+                    self.trace.assign(cpu, None, self.clock);
+                }
+            }
+        }
+        self.running.remove(&job);
+        self.order.retain(|&id| id != job);
+        self.qs.complete(job);
+        self.record_ml();
+
+        let views = self.views();
+        let ctx = PolicyCtx {
+            now: self.clock,
+            total_cpus: self.config.cpus,
+            free_cpus: self.free_cpus(),
+            jobs: &views,
+            queued_jobs: self.qs.waiting_count(),
+            next_request: self.next_request(),
+        };
+        let decisions = policy.on_job_completion(&ctx, job);
+        self.apply_decisions(decisions);
+        if self.is_time_shared() {
+            self.recompute_all_rates();
+        }
+        self.try_admit(policy);
+    }
+
+    fn on_tick(&mut self) {
+        match self.sharing {
+            SharingModel::SpaceShared => return,
+            SharingModel::TimeShared(p) => {
+                let jobs: Vec<(JobId, usize)> = self
+                    .order
+                    .iter()
+                    .map(|&id| (id, self.running[&id].allocated))
+                    .collect();
+                let changes = self.placement.advance(&jobs, p.affinity, &mut self.rng);
+                for (cpu, occupant) in changes {
+                    self.trace.assign(cpu, occupant, self.clock);
+                }
+            }
+            SharingModel::Gang(_) => {
+                // Rotate the matrix: the next gang owns the machine for this
+                // slot; everything beyond its width idles.
+                if !self.order.is_empty() {
+                    self.gang_slot = (self.gang_slot + 1) % self.order.len();
+                    let job = self.order[self.gang_slot];
+                    let width = self.running[&job].allocated.min(self.config.cpus);
+                    for c in 0..self.config.cpus {
+                        let occupant = if c < width { Some(job) } else { None };
+                        self.trace
+                            .assign(pdpa_sim::CpuId(c as u16), occupant, self.clock);
+                    }
+                }
+            }
+        }
+        // Keep ticking while work remains.
+        if !self.qs.all_done() {
+            let q = self.quantum().expect("ticks only under a quantum model");
+            self.events.push(self.clock + q, Ev::Tick);
+        }
+    }
+
+    fn into_result(self, policy_name: &str) -> RunResult {
+        let completed_all = self.qs.all_done();
+        // Average allocation per class.
+        let mut sums: HashMap<AppClass, (f64, usize)> = HashMap::new();
+        for (class, avg) in &self.completed_allocs {
+            let e = sums.entry(*class).or_insert((0.0, 0));
+            e.0 += avg;
+            e.1 += 1;
+        }
+        let avg_alloc_by_class = sums
+            .into_iter()
+            .map(|(c, (sum, n))| (c, sum / n as f64))
+            .collect();
+        let end = self.clock;
+        RunResult {
+            policy: policy_name.to_string(),
+            summary: Summary::new(self.outcomes),
+            trace: if self.config.collect_trace {
+                Some(self.trace.finish(end))
+            } else {
+                None
+            },
+            machine_stats: self.machine.stats(),
+            timeshare_migrations: self.placement.migrations,
+            ml_series: self.ml_series,
+            max_ml: self.max_ml,
+            avg_alloc_by_class,
+            avg_alloc_by_job: self.completed_alloc_by_job,
+            completed_all,
+            end_secs: end.as_secs(),
+            cpu_seconds_used: self.cpu_seconds_used,
+            total_cpus: self.config.cpus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::paper::{apsi, bt_a, hydro2d};
+    use pdpa_core::Pdpa;
+    use pdpa_policies::Equipartition;
+    use pdpa_qs::JobSpec;
+    use pdpa_sim::CostModel;
+
+    fn quiet_config() -> EngineConfig {
+        let mut c = EngineConfig::default();
+        c.noise_sigma = 0.0;
+        c.cost = CostModel::free();
+        c
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_job_completes_in_ideal_time_under_equip() {
+        // One bt.A alone on the machine under Equipartition: it gets its
+        // full request immediately and runs at the ideal rate, except for
+        // the baseline iterations, which run at 2 processors.
+        let jobs = vec![JobSpec::new(t(0.0), bt_a())];
+        let r = Engine::new(quiet_config()).run(jobs, Box::new(Equipartition::default()));
+        assert!(r.completed_all);
+        let s = r.summary.class_averages(AppClass::BtA).unwrap();
+        let spec = bt_a();
+        // Ideal: all but the baseline iterations at S(30), the baseline
+        // iterations at S(2).
+        let baseline = 2.0;
+        let ideal = spec.iter_time(30).unwrap().as_secs() * (spec.iterations as f64 - baseline)
+            + spec.iter_time(2).unwrap().as_secs() * baseline;
+        let got = s.avg_execution_secs;
+        assert!(
+            (got - ideal).abs() / ideal < 0.01,
+            "got {got}, ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn two_jobs_split_under_equipartition() {
+        let jobs = vec![JobSpec::new(t(0.0), bt_a()), JobSpec::new(t(0.0), bt_a())];
+        let mut cfg = quiet_config();
+        cfg.cpus = 40; // force contention: 2 × 30 > 40
+        let r = Engine::new(cfg).run(jobs, Box::new(Equipartition::default()));
+        assert!(r.completed_all);
+        let avg = r.avg_alloc_by_class[&AppClass::BtA];
+        assert!(
+            (avg - 20.0).abs() < 1.5,
+            "each job should average ≈ 20 processors, got {avg}"
+        );
+    }
+
+    #[test]
+    fn pdpa_shrinks_hydro2d_to_its_knee() {
+        let jobs = vec![JobSpec::new(t(0.0), hydro2d())];
+        let r = Engine::new(quiet_config()).run(jobs, Box::new(Pdpa::paper_default()));
+        assert!(r.completed_all);
+        let avg = r.avg_alloc_by_class[&AppClass::Hydro2d];
+        // Starts at 30 (NO_REF), walks down to ≈ 10 and stays: the average
+        // must land well below 30 and near the knee.
+        assert!(avg < 20.0, "hydro2d average allocation {avg}");
+    }
+
+    #[test]
+    fn pdpa_keeps_apsi_at_two() {
+        let jobs = vec![JobSpec::new(t(0.0), apsi())];
+        let r = Engine::new(quiet_config()).run(jobs, Box::new(Pdpa::paper_default()));
+        assert!(r.completed_all);
+        let avg = r.avg_alloc_by_class[&AppClass::Apsi];
+        assert!((avg - 2.0).abs() < 0.2, "apsi stays at its request: {avg}");
+    }
+
+    #[test]
+    fn response_time_includes_queue_wait() {
+        // Five bt jobs, ML 1: strictly sequential.
+        let jobs: Vec<JobSpec> = (0..3).map(|_| JobSpec::new(t(0.0), bt_a())).collect();
+        let r = Engine::new(quiet_config()).run(jobs, Box::new(Equipartition::new(1)));
+        assert!(r.completed_all);
+        let s = r.summary.class_averages(AppClass::BtA).unwrap();
+        assert!(
+            s.avg_response_secs > s.avg_execution_secs + 10.0,
+            "queued jobs wait: response {} vs exec {}",
+            s.avg_response_secs,
+            s.avg_execution_secs
+        );
+        assert_eq!(r.max_ml, 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let make = || {
+            vec![
+                JobSpec::new(t(0.0), bt_a()),
+                JobSpec::new(t(5.0), hydro2d()),
+                JobSpec::new(t(9.0), apsi()),
+            ]
+        };
+        let mut cfg = EngineConfig::default();
+        cfg.seed = 1234;
+        let a = Engine::new(cfg.clone()).run(make(), Box::new(Pdpa::paper_default()));
+        let b = Engine::new(cfg).run(make(), Box::new(Pdpa::paper_default()));
+        assert_eq!(a.end_secs, b.end_secs);
+        assert_eq!(a.max_ml, b.max_ml);
+        let ra: Vec<f64> = a
+            .summary
+            .outcomes()
+            .iter()
+            .map(|o| o.response_time().as_secs())
+            .collect();
+        let rb: Vec<f64> = b
+            .summary
+            .outcomes()
+            .iter()
+            .map(|o| o.response_time().as_secs())
+            .collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn trace_collection_records_bursts() {
+        let jobs = vec![JobSpec::new(t(0.0), apsi())];
+        let cfg = quiet_config().with_trace();
+        let r = Engine::new(cfg).run(jobs, Box::new(Equipartition::default()));
+        let trace = r.trace.expect("trace enabled");
+        assert!(!trace.records.is_empty());
+        // apsi requests 2 processors: exactly 2 CPUs saw work.
+        let busy_cpus: std::collections::HashSet<u16> =
+            trace.records.iter().map(|rec| rec.cpu.0).collect();
+        assert_eq!(busy_cpus.len(), 2);
+    }
+
+    #[test]
+    fn machine_invariants_hold_throughout() {
+        // A mixed workload under PDPA with reallocation churn; afterwards
+        // the machine must be fully free.
+        let jobs = vec![
+            JobSpec::new(t(0.0), bt_a()),
+            JobSpec::new(t(1.0), hydro2d()),
+            JobSpec::new(t(2.0), apsi()),
+            JobSpec::new(t(3.0), hydro2d()),
+        ];
+        let r = Engine::new(quiet_config()).run(jobs, Box::new(Pdpa::paper_default()));
+        assert!(r.completed_all);
+        assert_eq!(r.summary.jobs(), 4);
+    }
+
+    #[test]
+    fn ml_series_tracks_admissions() {
+        let jobs = vec![JobSpec::new(t(0.0), apsi()), JobSpec::new(t(0.0), apsi())];
+        let r = Engine::new(quiet_config()).run(jobs, Box::new(Equipartition::default()));
+        assert!(r.completed_all);
+        assert_eq!(r.peak_ml(), 2);
+        // The series starts at 0 and returns to 0.
+        assert_eq!(r.ml_series.first().unwrap().1, 0);
+        assert_eq!(r.ml_series.last().unwrap().1, 0);
+    }
+}
+
+#[cfg(test)]
+mod phase_change_tests {
+    use super::*;
+    use pdpa_apps::{AppClass, ApplicationSpec, PiecewiseLinear};
+    use pdpa_core::Pdpa;
+    use pdpa_sim::{CostModel, SimDuration};
+    use std::sync::Arc;
+
+    /// An application with a clean efficiency knee at 12 processors whose
+    /// iterations become 2.5× heavier halfway through the run.
+    fn phased_app() -> ApplicationSpec {
+        let curve =
+            PiecewiseLinear::new(vec![(4, 3.8), (8, 7.2), (12, 9.5), (16, 10.5), (30, 11.0)]);
+        ApplicationSpec::new(
+            AppClass::Hydro2d,
+            60,
+            SimDuration::from_secs(4.0),
+            30,
+            Arc::new(curve),
+            0.0,
+        )
+        .with_phase_change(30, 2.5)
+    }
+
+    fn run(reset: bool) -> crate::result::RunResult {
+        let mut config = EngineConfig::default();
+        config.noise_sigma = 0.0;
+        config.cost = CostModel::free();
+        config.reset_analyzer_on_phase_change = reset;
+        let jobs = vec![pdpa_qs::JobSpec::new(SimTime::ZERO, phased_app())];
+        Engine::new(config).run(jobs, Box::new(Pdpa::paper_default()))
+    }
+
+    #[test]
+    fn analyzer_reset_preserves_the_allocation_across_a_phase_change() {
+        // With the reset, the analyzer re-baselines in the heavy phase and
+        // keeps estimating correctly: the allocation stays near the knee.
+        let with_reset = run(true);
+        assert!(with_reset.completed_all);
+        let alloc = with_reset.avg_alloc_by_class[&AppClass::Hydro2d];
+        assert!(
+            alloc > 8.0,
+            "allocation should stay near the 12-processor knee, got {alloc:.1}"
+        );
+    }
+
+    #[test]
+    fn stale_baseline_misleads_pdpa_without_the_reset() {
+        // Without the reset, the heavy phase looks like a 2.5× slowdown to
+        // the stale baseline: estimated speedups collapse and PDPA shrinks
+        // the application far below its true knee — the §3.1 failure mode.
+        let without = run(false);
+        assert!(without.completed_all);
+        let with_reset = run(true);
+        let a_without = without.avg_alloc_by_class[&AppClass::Hydro2d];
+        let a_with = with_reset.avg_alloc_by_class[&AppClass::Hydro2d];
+        assert!(
+            a_without < a_with,
+            "stale baseline should cost processors: {a_without:.1} vs {a_with:.1}"
+        );
+        // And the misallocation costs real time.
+        assert!(without.end_secs > with_reset.end_secs);
+    }
+}
+
+#[cfg(test)]
+mod gang_tests {
+    use super::*;
+    use pdpa_apps::paper::{apsi, bt_a};
+    use pdpa_policies::GangScheduler;
+    use pdpa_qs::JobSpec;
+    use pdpa_sim::CostModel;
+
+    fn quiet() -> EngineConfig {
+        let mut c = EngineConfig::default();
+        c.noise_sigma = 0.0;
+        c.cost = CostModel::free();
+        c
+    }
+
+    #[test]
+    fn lone_gang_runs_at_nearly_full_speed() {
+        let jobs = vec![JobSpec::new(SimTime::ZERO, bt_a())];
+        let r = Engine::new(quiet()).run(jobs, Box::new(GangScheduler::paper_comparable()));
+        assert!(r.completed_all);
+        let spec = bt_a();
+        let ideal = spec.iter_time(30).unwrap().as_secs() * (spec.iterations as f64 - 2.0)
+            + spec.iter_time(2).unwrap().as_secs() * 2.0;
+        let got = r.summary.outcomes()[0].execution_time().as_secs();
+        // One gang: only the 5 % switch overhead on top of the ideal.
+        let expected = ideal / 0.95;
+        assert!(
+            (got - expected).abs() / expected < 0.01,
+            "got {got:.1}s, expected {expected:.1}s"
+        );
+    }
+
+    #[test]
+    fn two_gangs_halve_the_duty_cycle() {
+        let jobs = vec![
+            JobSpec::new(SimTime::ZERO, apsi()),
+            JobSpec::new(SimTime::ZERO, apsi()),
+        ];
+        let r = Engine::new(quiet()).run(jobs, Box::new(GangScheduler::paper_comparable()));
+        assert!(r.completed_all);
+        // Each job runs half the time: execution roughly doubles vs a lone
+        // run (apsi at its 2-processor width).
+        let spec = apsi();
+        let lone = spec.iter_time(2).unwrap().as_secs() * spec.iterations as f64;
+        for o in r.summary.outcomes() {
+            let got = o.execution_time().as_secs();
+            let expected = lone * 2.0 / 0.95;
+            assert!(
+                (got - expected).abs() / expected < 0.1,
+                "got {got:.1}s, expected ≈{expected:.1}s"
+            );
+        }
+    }
+
+    #[test]
+    fn gang_trace_shows_whole_machine_rotation() {
+        let jobs = vec![
+            JobSpec::new(SimTime::ZERO, bt_a()),
+            JobSpec::new(SimTime::ZERO, bt_a()),
+        ];
+        let config = quiet().with_trace();
+        let r = Engine::new(config).run(jobs, Box::new(GangScheduler::paper_comparable()));
+        assert!(r.completed_all);
+        let trace = r.trace.expect("traced");
+        // Rotation at the 2 s quantum: bursts are short and plentiful, and
+        // both jobs appear on cpu0 over time.
+        let jobs_on_cpu0: std::collections::HashSet<u32> = trace
+            .records
+            .iter()
+            .filter(|rec| rec.cpu.0 == 0)
+            .map(|rec| rec.job.0)
+            .collect();
+        assert_eq!(jobs_on_cpu0.len(), 2, "both gangs rotate through cpu0");
+        let avg_burst: f64 = trace.records.iter().map(|r| r.duration_secs()).sum::<f64>()
+            / trace.records.len() as f64;
+        assert!(
+            avg_burst < 10.0,
+            "gang bursts are quantum-scale, got {avg_burst:.1}s"
+        );
+    }
+}
+
+#[cfg(test)]
+mod backfill_tests {
+    use super::*;
+    use pdpa_apps::paper::{apsi, bt_a};
+    use pdpa_policies::RigidFirstFit;
+    use pdpa_qs::JobSpec;
+    use pdpa_sim::CostModel;
+
+    fn quiet() -> EngineConfig {
+        // A 40-CPU machine: one 30-processor bt leaves 10 free, so the
+        // second bt cannot start and blocks the queue.
+        let mut c = EngineConfig::default().with_cpus(40);
+        c.noise_sigma = 0.0;
+        c.cost = CostModel::free();
+        c
+    }
+
+    /// One 30-processor bt runs; a second bt (30) waits; a 2-processor apsi
+    /// sits behind it. Strict FCFS strands 10 processors until the first bt
+    /// finishes; backfilling slips the apsi through immediately.
+    fn blocked_queue() -> Vec<JobSpec> {
+        vec![
+            JobSpec::new(SimTime::ZERO, bt_a()),
+            JobSpec::new(SimTime::from_secs(1.0), bt_a()),
+            JobSpec::new(SimTime::from_secs(2.0), apsi()),
+        ]
+    }
+
+    #[test]
+    fn strict_fcfs_blocks_the_small_job() {
+        let r = Engine::new(quiet()).run(blocked_queue(), Box::new(RigidFirstFit::new(8)));
+        assert!(r.completed_all);
+        let apsi_outcome = r
+            .summary
+            .outcomes()
+            .iter()
+            .find(|o| o.class == AppClass::Apsi)
+            .unwrap();
+        // apsi waits behind the second bt, which waits for the first.
+        assert!(
+            apsi_outcome.wait_time().as_secs() > 50.0,
+            "apsi waited only {:.1}s",
+            apsi_outcome.wait_time().as_secs()
+        );
+    }
+
+    #[test]
+    fn backfilling_slips_the_small_job_through() {
+        let config = quiet().with_backfill();
+        let r = Engine::new(config).run(blocked_queue(), Box::new(RigidFirstFit::new(8)));
+        assert!(r.completed_all);
+        let apsi_outcome = r
+            .summary
+            .outcomes()
+            .iter()
+            .find(|o| o.class == AppClass::Apsi)
+            .unwrap();
+        assert!(
+            apsi_outcome.wait_time().as_secs() < 5.0,
+            "apsi backfilled, waited {:.1}s",
+            apsi_outcome.wait_time().as_secs()
+        );
+        // The bypassed bt is not starved: it still completes.
+        let bts = r
+            .summary
+            .outcomes()
+            .iter()
+            .filter(|o| o.class == AppClass::BtA)
+            .count();
+        assert_eq!(bts, 2);
+    }
+
+    #[test]
+    fn backfill_is_a_noop_for_malleable_policies() {
+        // Dynamic space sharing starts the head on whatever is free, so the
+        // scan never reaches past it; results match strict FCFS.
+        use pdpa_core::Pdpa;
+        let a = Engine::new(quiet()).run(blocked_queue(), Box::new(Pdpa::paper_default()));
+        let b = Engine::new(quiet().with_backfill())
+            .run(blocked_queue(), Box::new(Pdpa::paper_default()));
+        assert_eq!(a.end_secs, b.end_secs);
+    }
+}

@@ -1,0 +1,45 @@
+//! The workload execution engine.
+//!
+//! This crate plays the role of the machine plus the enforcement half of the
+//! NANOS Resource Manager: it executes a workload of malleable iterative
+//! applications on the simulated CC-NUMA machine under a
+//! [`pdpa_policies::SchedulingPolicy`], coordinating
+//!
+//! - the **queuing system** (`pdpa-qs`): arrivals enter the FCFS queue; the
+//!   policy decides *when* the head job may start (§4.3);
+//! - the **applications** (`pdpa-apps`): progress advances at
+//!   `S(p)/T₁` iterations per second under the current allocation, with
+//!   reallocation penalties charged as progress debt;
+//! - the **SelfAnalyzer** (`pdpa-perf`): each completed iteration is timed
+//!   (with measurement noise) and the resulting speedup estimate is
+//!   reported to the policy;
+//! - the **tracer** (`pdpa-trace`): per-CPU occupancy is recorded for the
+//!   Fig. 5 views and Table 2 statistics.
+//!
+//! Space-sharing policies get dedicated cpusets from the machine model;
+//! the IRIX-like baseline instead declares
+//! [`pdpa_policies::SharingModel::TimeShared`] and runs under the
+//! per-quantum time-sharing model in [`timeshare`].
+//!
+//! # Example
+//!
+//! ```
+//! use pdpa_core::Pdpa;
+//! use pdpa_engine::{Engine, EngineConfig};
+//! use pdpa_qs::Workload;
+//!
+//! let jobs = Workload::W3.build(0.6, 42);
+//! let result = Engine::new(EngineConfig::default())
+//!     .run(jobs, Box::new(Pdpa::paper_default()));
+//! assert!(result.completed_all);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod result;
+pub mod runjob;
+pub mod timeshare;
+
+pub use config::EngineConfig;
+pub use engine::Engine;
+pub use result::RunResult;

@@ -1,0 +1,95 @@
+//! Results of one workload execution.
+
+use std::collections::HashMap;
+
+use pdpa_apps::AppClass;
+use pdpa_metrics::Summary;
+use pdpa_sim::MachineStats;
+use pdpa_trace::Trace;
+
+/// Everything measured during one workload execution under one policy.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The policy's display name.
+    pub policy: String,
+    /// Per-job outcomes, aggregated.
+    pub summary: Summary,
+    /// The per-CPU activity trace, when collection was enabled.
+    pub trace: Option<Trace>,
+    /// Machine counters (space-shared migrations, reallocations).
+    pub machine_stats: MachineStats,
+    /// Migrations counted by the time-shared placement model (IRIX runs
+    /// with trace collection; 0 otherwise).
+    pub timeshare_migrations: u64,
+    /// `(time_secs, running_jobs)` at every multiprogramming-level change —
+    /// the Fig. 8 series.
+    pub ml_series: Vec<(f64, usize)>,
+    /// The maximum multiprogramming level reached.
+    pub max_ml: usize,
+    /// Average processors held per application class (over each job's
+    /// lifetime, then averaged over jobs of the class).
+    pub avg_alloc_by_class: HashMap<AppClass, f64>,
+    /// Average processors held by each individual job over its lifetime.
+    pub avg_alloc_by_job: HashMap<pdpa_sim::JobId, f64>,
+    /// True when every submitted job completed within the simulation bound.
+    pub completed_all: bool,
+    /// Final simulated time (the workload makespan when `completed_all`).
+    pub end_secs: f64,
+    /// Total CPU-seconds held by jobs over the run (the integral of each
+    /// job's allocation over its lifetime).
+    pub cpu_seconds_used: f64,
+    /// Machine size, for utilization computations.
+    pub total_cpus: usize,
+}
+
+impl RunResult {
+    /// Total migrations: machine counter plus the time-shared model's.
+    pub fn total_migrations(&self) -> u64 {
+        self.machine_stats.migrations + self.timeshare_migrations
+    }
+
+    /// The maximum multiprogramming level in the series (sanity accessor).
+    pub fn peak_ml(&self) -> usize {
+        self.ml_series.iter().map(|&(_, ml)| ml).max().unwrap_or(0)
+    }
+
+    /// Fraction of machine capacity held by jobs over the run — the paper's
+    /// §5.4 observation is that PDPA does the same work at ≈ 70 % of the
+    /// CPU time Equipartition burns at ≈ 100 %.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.end_secs * self.total_cpus as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            self.cpu_seconds_used / capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_ml_matches_series() {
+        let r = RunResult {
+            policy: "PDPA".into(),
+            summary: Summary::new(Vec::new()),
+            trace: None,
+            machine_stats: MachineStats::default(),
+            timeshare_migrations: 0,
+            ml_series: vec![(0.0, 1), (5.0, 4), (9.0, 2)],
+            max_ml: 4,
+            avg_alloc_by_class: HashMap::new(),
+            avg_alloc_by_job: HashMap::new(),
+            completed_all: true,
+            end_secs: 10.0,
+            cpu_seconds_used: 300.0,
+            total_cpus: 60,
+        };
+        assert_eq!(r.peak_ml(), 4);
+        assert_eq!(r.peak_ml(), r.max_ml);
+        assert_eq!(r.total_migrations(), 0);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-job runtime state inside the engine.
+
+use pdpa_apps::{ApplicationSpec, Progress};
+use pdpa_perf::{PerfSample, SelfAnalyzer};
+use pdpa_sim::{SimDuration, SimTime};
+
+/// One running application instance.
+#[derive(Clone, Debug)]
+pub struct RunningJob {
+    /// The application being executed.
+    pub spec: ApplicationSpec,
+    /// Progress through the iterative region.
+    pub progress: Progress,
+    /// The job's SelfAnalyzer instance.
+    pub analyzer: SelfAnalyzer,
+    /// Current allocation: dedicated processors under space sharing, kernel
+    /// threads under time sharing.
+    pub allocated: usize,
+    /// Progress rate in iterations per second under the current effective
+    /// processors (0 while stalled).
+    pub rate: f64,
+    /// Event epoch: bumping it invalidates scheduled iteration-end events.
+    pub epoch: u64,
+    /// When the job started executing.
+    pub started_at: SimTime,
+    /// When the current iteration began (for the timing measurement).
+    pub iter_started_at: SimTime,
+    /// Last instant `progress` was advanced to.
+    pub advanced_to: SimTime,
+    /// Integral of allocated processors over time (for average-allocation
+    /// reporting).
+    pub cpu_seconds: f64,
+    /// The job's most recent performance estimate.
+    pub last_sample: Option<PerfSample>,
+    /// True when the current iteration's timing is polluted: the job's
+    /// effective processor count changed mid-iteration, so the measured
+    /// wall time mixes two allocations and must not drive policy decisions.
+    pub iter_polluted: bool,
+}
+
+impl RunningJob {
+    /// Creates the runtime state for a job starting now.
+    pub fn start(spec: ApplicationSpec, analyzer: SelfAnalyzer, now: SimTime) -> Self {
+        let iterations = spec.iterations;
+        RunningJob {
+            spec,
+            progress: Progress::new(iterations),
+            analyzer,
+            allocated: 0,
+            rate: 0.0,
+            epoch: 0,
+            started_at: now,
+            iter_started_at: now,
+            advanced_to: now,
+            cpu_seconds: 0.0,
+            last_sample: None,
+            iter_polluted: false,
+        }
+    }
+
+    /// Advances progress (and the allocation integral) to `now` at the
+    /// current rate. Returns the number of iteration boundaries crossed.
+    pub fn advance_to(&mut self, now: SimTime) -> u32 {
+        if now <= self.advanced_to {
+            return 0;
+        }
+        let dt = now.since(self.advanced_to);
+        self.cpu_seconds += self.allocated as f64 * dt.as_secs();
+        self.advanced_to = now;
+        self.progress.advance(dt, self.rate)
+    }
+
+    /// The processors the application actually uses right now: the
+    /// SelfAnalyzer restrains the runtime to the baseline processors during
+    /// the baseline phase (§3.1).
+    pub fn effective_procs(&self) -> usize {
+        self.analyzer.effective_procs(self.allocated)
+    }
+
+    /// Charges a reallocation penalty as progress debt.
+    pub fn charge(&mut self, penalty: SimDuration) {
+        self.progress.add_debt(penalty);
+    }
+
+    /// Time until the current iteration ends at the current rate.
+    pub fn time_to_iteration_end(&self) -> Option<SimDuration> {
+        self.progress.time_to_iteration_end(self.rate)
+    }
+
+    /// Average processors held over the job's lifetime so far.
+    pub fn average_allocation(&self, now: SimTime) -> f64 {
+        let lifetime = now.since(self.started_at).as_secs();
+        if lifetime <= 0.0 {
+            return self.allocated as f64;
+        }
+        // Include the un-integrated tail at the current allocation.
+        let tail = now.since(self.advanced_to).as_secs();
+        (self.cpu_seconds + self.allocated as f64 * tail) / lifetime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::paper::apsi;
+    use pdpa_perf::SelfAnalyzerConfig;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn job() -> RunningJob {
+        RunningJob::start(
+            apsi(),
+            SelfAnalyzer::new(SelfAnalyzerConfig::default()),
+            t(10.0),
+        )
+    }
+
+    #[test]
+    fn starts_stalled() {
+        let j = job();
+        assert_eq!(j.allocated, 0);
+        assert_eq!(j.rate, 0.0);
+        assert!(j.time_to_iteration_end().is_none());
+    }
+
+    #[test]
+    fn advance_integrates_cpu_seconds() {
+        let mut j = job();
+        j.allocated = 4;
+        j.rate = 0.5;
+        j.advance_to(t(12.0));
+        assert_eq!(j.cpu_seconds, 8.0);
+        assert_eq!(j.progress.iterations_done(), 1);
+    }
+
+    #[test]
+    fn advance_is_idempotent_for_same_instant() {
+        let mut j = job();
+        j.allocated = 4;
+        j.rate = 0.5;
+        j.advance_to(t(12.0));
+        assert_eq!(j.advance_to(t(12.0)), 0);
+        assert_eq!(j.cpu_seconds, 8.0);
+    }
+
+    #[test]
+    fn baseline_restrains_effective_procs() {
+        let mut j = job();
+        j.allocated = 30;
+        assert_eq!(j.effective_procs(), 2, "baseline procs during baseline");
+    }
+
+    #[test]
+    fn average_allocation_counts_tail() {
+        let mut j = job();
+        j.allocated = 6;
+        // No advance calls: the whole lifetime is tail.
+        assert!((j.average_allocation(t(20.0)) - 6.0).abs() < 1e-12);
+        j.advance_to(t(20.0));
+        j.allocated = 2;
+        // 10 s at 6 procs + 10 s at 2 procs = 4 average.
+        assert!((j.average_allocation(t(30.0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_adds_debt() {
+        let mut j = job();
+        j.allocated = 2;
+        j.rate = 1.0;
+        j.charge(SimDuration::from_secs(3.0));
+        let eta = j.time_to_iteration_end().unwrap();
+        assert!((eta.as_secs() - 4.0).abs() < 1e-12);
+    }
+}

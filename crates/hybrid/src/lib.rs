@@ -1,0 +1,34 @@
+//! MPI+OpenMP hybrid applications — the paper's §6 future work, built out.
+//!
+//! "MPI are usually tight to a specific number of processors (i.e., the NAS
+//! benchmarks). Introducing a second level of parallelism based on OpenMP
+//! makes them more malleable. One first approach for MPI+OpenMP
+//! applications is to control the number of processors given to each MPI
+//! process to run OpenMP threads. This way, one can achieve better load
+//! balancing of the work done for each MPI process. A second approach for
+//! MPI applications is to limit the number of processors used by such
+//! applications by folding their processes on a number of processors using
+//! a binding mechanism … suggesting yields of the physical processor at
+//! message reception."
+//!
+//! This crate models both approaches:
+//!
+//! - [`HybridSpec`] — a rigid set of MPI ranks, each with its own per-
+//!   iteration compute load (imbalance is the interesting case) and an
+//!   inner OpenMP speedup curve;
+//! - [`RankStrategy`] — how a total processor grant is split among ranks:
+//!   [`RankStrategy::Even`] (naive), [`RankStrategy::Balanced`] (§6's first
+//!   approach: processors follow load to minimize the barrier wait), and
+//!   folding (automatic whenever the grant is smaller than the rank count —
+//!   §6's second approach);
+//! - [`HybridSpeedup`] — an adapter implementing
+//!   [`pdpa_apps::SpeedupModel`], so a hybrid application drops into the
+//!   existing engine, SelfAnalyzer, and PDPA *unchanged*: the scheduler
+//!   hands the application processors, the runtime distributes them among
+//!   ranks internally.
+
+pub mod model;
+pub mod speedup;
+
+pub use model::{distribute, iteration_time, HybridSpec, RankStrategy};
+pub use speedup::HybridSpeedup;

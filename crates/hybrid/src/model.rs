@@ -1,0 +1,303 @@
+//! The hybrid application model: ranks, distribution strategies, folding.
+
+use std::sync::Arc;
+
+use pdpa_apps::SpeedupModel;
+use pdpa_sim::SimDuration;
+
+/// A rigid MPI application with malleable OpenMP parallelism inside each
+/// rank.
+///
+/// One outer iteration is: every rank computes its load in parallel (OpenMP
+/// threads on its share of processors), then all ranks synchronize at a
+/// message exchange. Iteration time is therefore the *slowest rank* plus
+/// the exchange cost — load imbalance directly becomes barrier wait, which
+/// is what §6's per-rank processor control attacks.
+#[derive(Clone)]
+pub struct HybridSpec {
+    /// Sequential compute per iteration of each rank (the imbalance lives
+    /// here).
+    pub rank_seq_time: Vec<SimDuration>,
+    /// OpenMP speedup curve of a rank's compute region, as a function of
+    /// the processors the rank gets.
+    pub inner_speedup: Arc<dyn SpeedupModel>,
+    /// Message-exchange (barrier) cost per iteration.
+    pub exchange: SimDuration,
+}
+
+impl HybridSpec {
+    /// Creates a hybrid application.
+    ///
+    /// # Panics
+    ///
+    /// Panics with no ranks.
+    pub fn new(
+        rank_seq_time: Vec<SimDuration>,
+        inner_speedup: Arc<dyn SpeedupModel>,
+        exchange: SimDuration,
+    ) -> Self {
+        assert!(!rank_seq_time.is_empty(), "an MPI application needs ranks");
+        HybridSpec {
+            rank_seq_time,
+            inner_speedup,
+            exchange,
+        }
+    }
+
+    /// Number of MPI ranks (rigid).
+    pub fn ranks(&self) -> usize {
+        self.rank_seq_time.len()
+    }
+
+    /// Total sequential compute of one iteration.
+    pub fn total_seq(&self) -> SimDuration {
+        self.rank_seq_time.iter().copied().sum()
+    }
+}
+
+/// How a processor grant is split among the ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankStrategy {
+    /// Equal split (plain `OMP_NUM_THREADS`): ignores imbalance.
+    Even,
+    /// §6's first approach: processors follow the load — each additional
+    /// processor goes to the rank that is currently the iteration's
+    /// bottleneck.
+    Balanced,
+}
+
+/// Splits `procs` processors among the ranks of `spec`.
+///
+/// With fewer processors than ranks the split degenerates to folding (see
+/// [`iteration_time`]); each rank is assigned at most its fold share and
+/// the vector contains zeros for ranks that share a processor.
+pub fn distribute(spec: &HybridSpec, procs: usize, strategy: RankStrategy) -> Vec<usize> {
+    let n = spec.ranks();
+    if procs == 0 {
+        return vec![0; n];
+    }
+    if procs < n {
+        // Folding: one processor cannot be split; mark the first `procs`
+        // ranks as owners, the rest run folded (handled by iteration_time).
+        let mut alloc = vec![0; n];
+        for a in alloc.iter_mut().take(procs) {
+            *a = 1;
+        }
+        return alloc;
+    }
+    match strategy {
+        RankStrategy::Even => {
+            let base = procs / n;
+            let extra = procs % n;
+            (0..n).map(|i| base + usize::from(i < extra)).collect()
+        }
+        RankStrategy::Balanced => {
+            // Everybody starts with one processor; each further processor
+            // goes to the rank with the longest current compute time.
+            let mut alloc = vec![1usize; n];
+            let time = |i: usize, a: usize| -> f64 {
+                spec.rank_seq_time[i].as_secs() / spec.inner_speedup.speedup(a).max(1e-12)
+            };
+            for _ in 0..(procs - n) {
+                let bottleneck = (0..n)
+                    .max_by(|&a, &b| {
+                        time(a, alloc[a])
+                            .partial_cmp(&time(b, alloc[b]))
+                            .expect("times are finite")
+                    })
+                    .expect("at least one rank");
+                alloc[bottleneck] += 1;
+            }
+            alloc
+        }
+    }
+}
+
+/// Wall-clock time of one iteration when the application holds `procs`
+/// processors split per `strategy`.
+///
+/// With `procs ≥ ranks`, the iteration takes as long as the slowest rank's
+/// OpenMP region, plus the exchange. With `procs < ranks` the processes are
+/// *folded*: ranks are bound round-robin onto the available processors and
+/// run sequentially within each processor (they yield at message reception,
+/// so no time is lost spinning — §6's binding mechanism); the iteration
+/// takes the most loaded processor's total.
+pub fn iteration_time(spec: &HybridSpec, procs: usize, strategy: RankStrategy) -> SimDuration {
+    let n = spec.ranks();
+    if procs == 0 {
+        return SimDuration::from_secs(f64::MAX / 4.0);
+    }
+    if procs < n {
+        // Folding: round-robin binding, sequential execution per processor.
+        let mut per_cpu = vec![0.0f64; procs];
+        for (i, t) in spec.rank_seq_time.iter().enumerate() {
+            per_cpu[i % procs] += t.as_secs();
+        }
+        let worst = per_cpu.iter().copied().fold(0.0f64, f64::max);
+        return SimDuration::from_secs(worst) + spec.exchange;
+    }
+    let alloc = distribute(spec, procs, strategy);
+    let worst = alloc
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| spec.rank_seq_time[i].as_secs() / spec.inner_speedup.speedup(a).max(1e-12))
+        .fold(0.0f64, f64::max);
+    SimDuration::from_secs(worst) + spec.exchange
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::Amdahl;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    /// Four ranks, one twice as loaded as the others.
+    fn imbalanced() -> HybridSpec {
+        HybridSpec::new(
+            vec![secs(2.0), secs(1.0), secs(1.0), secs(1.0)],
+            Arc::new(Amdahl::new(0.0)), // perfect inner scaling
+            secs(0.1),
+        )
+    }
+
+    #[test]
+    fn even_split_ignores_imbalance() {
+        let spec = imbalanced();
+        let alloc = distribute(&spec, 8, RankStrategy::Even);
+        assert_eq!(alloc, vec![2, 2, 2, 2]);
+        // Iteration bound by the heavy rank: 2.0/2 + 0.1.
+        let t = iteration_time(&spec, 8, RankStrategy::Even);
+        assert!((t.as_secs() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_split_follows_the_load() {
+        // Ten processors over loads 2:1:1:1 — the optimum is [4, 2, 2, 2]
+        // (every rank at 0.5 s); the even split [3, 3, 2, 2] bottlenecks on
+        // the heavy rank at 0.667 s.
+        let spec = imbalanced();
+        let alloc = distribute(&spec, 10, RankStrategy::Balanced);
+        assert_eq!(alloc.iter().sum::<usize>(), 10);
+        assert!(
+            alloc[0] > alloc[1],
+            "the heavy rank gets more processors: {alloc:?}"
+        );
+        let t_even = iteration_time(&spec, 10, RankStrategy::Even);
+        let t_bal = iteration_time(&spec, 10, RankStrategy::Balanced);
+        assert!(t_bal < t_even, "balanced {t_bal} vs even {t_even}");
+        assert!(
+            (t_bal.as_secs() - 0.6).abs() < 1e-9,
+            "0.5 compute + 0.1 exchange"
+        );
+    }
+
+    #[test]
+    fn balanced_equals_even_when_balanced_already() {
+        let spec = HybridSpec::new(vec![secs(1.0); 4], Arc::new(Amdahl::new(0.0)), secs(0.1));
+        let t_even = iteration_time(&spec, 12, RankStrategy::Even);
+        let t_bal = iteration_time(&spec, 12, RankStrategy::Balanced);
+        assert!((t_even.as_secs() - t_bal.as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folding_binds_ranks_round_robin() {
+        let spec = imbalanced(); // loads 2,1,1,1
+                                 // Two processors: cpu0 gets ranks {0, 2} = 3.0 s, cpu1 gets {1, 3}
+                                 // = 2.0 s; the iteration follows the most loaded processor.
+        let t = iteration_time(&spec, 2, RankStrategy::Even);
+        assert!((t.as_secs() - 3.1).abs() < 1e-12);
+        // One processor: everything serializes.
+        let t1 = iteration_time(&spec, 1, RankStrategy::Even);
+        assert!((t1.as_secs() - 5.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folding_allocation_marks_owners() {
+        let spec = imbalanced();
+        let alloc = distribute(&spec, 2, RankStrategy::Balanced);
+        assert_eq!(alloc, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn more_processors_never_hurt() {
+        let spec = imbalanced();
+        for strategy in [RankStrategy::Even, RankStrategy::Balanced] {
+            let mut prev = iteration_time(&spec, 1, strategy);
+            for p in 2..=32 {
+                let t = iteration_time(&spec, p, strategy);
+                assert!(
+                    t <= prev + SimDuration::from_secs(1e-12),
+                    "{strategy:?}: slower at {p} procs"
+                );
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_processors_stall() {
+        let spec = imbalanced();
+        assert!(iteration_time(&spec, 0, RankStrategy::Even).as_secs() > 1e100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pdpa_apps::Amdahl;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The distribution always hands out exactly the granted processors
+        /// (or one per rank under folding) and never starves a rank when
+        /// supply suffices.
+        #[test]
+        fn distribution_conserves_processors(
+            loads in proptest::collection::vec(0.1f64..10.0, 1..12),
+            procs in 0usize..64,
+            balanced in proptest::bool::ANY,
+        ) {
+            let n = loads.len();
+            let spec = HybridSpec::new(
+                loads.iter().map(|&s| SimDuration::from_secs(s)).collect(),
+                Arc::new(Amdahl::new(0.05)),
+                SimDuration::from_secs(0.01),
+            );
+            let strategy = if balanced { RankStrategy::Balanced } else { RankStrategy::Even };
+            let alloc = distribute(&spec, procs, strategy);
+            prop_assert_eq!(alloc.len(), n);
+            if procs >= n {
+                prop_assert_eq!(alloc.iter().sum::<usize>(), procs);
+                prop_assert!(alloc.iter().all(|&a| a >= 1));
+            } else {
+                prop_assert_eq!(alloc.iter().sum::<usize>(), procs);
+            }
+        }
+
+        /// Balanced never loses to even: the bottleneck under Balanced is at
+        /// most the bottleneck under Even.
+        #[test]
+        fn balanced_is_at_least_as_good(
+            loads in proptest::collection::vec(0.1f64..10.0, 2..10),
+            extra in 0usize..40,
+        ) {
+            let n = loads.len();
+            let spec = HybridSpec::new(
+                loads.iter().map(|&s| SimDuration::from_secs(s)).collect(),
+                Arc::new(Amdahl::new(0.0)),
+                SimDuration::ZERO,
+            );
+            let procs = n + extra;
+            let t_even = iteration_time(&spec, procs, RankStrategy::Even);
+            let t_bal = iteration_time(&spec, procs, RankStrategy::Balanced);
+            prop_assert!(
+                t_bal.as_secs() <= t_even.as_secs() + 1e-9,
+                "balanced {} worse than even {}",
+                t_bal.as_secs(), t_even.as_secs()
+            );
+        }
+    }
+}

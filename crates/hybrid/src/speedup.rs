@@ -1,0 +1,137 @@
+//! Adapter: a hybrid application as a [`SpeedupModel`].
+//!
+//! The scheduler does not need to know about ranks: it hands the
+//! application `P` processors and observes iteration times. Wrapping the
+//! hybrid model as a speedup curve lets a hybrid application run through
+//! the existing engine/SelfAnalyzer/PDPA machinery as an ordinary
+//! [`pdpa_apps::ApplicationSpec`] — which is precisely §6's point that
+//! OpenMP-inside-MPI restores malleability.
+
+use pdpa_apps::SpeedupModel;
+
+use crate::model::{iteration_time, HybridSpec, RankStrategy};
+
+/// The effective speedup of a hybrid application at any processor grant.
+///
+/// `S(p) = T(1) / T(p)` where `T` is the modelled iteration time (the
+/// slowest rank or, when folded, the most loaded processor, plus the
+/// exchange cost).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pdpa_apps::{Amdahl, SpeedupModel};
+/// use pdpa_hybrid::{HybridSpec, HybridSpeedup, RankStrategy};
+/// use pdpa_sim::SimDuration;
+///
+/// let spec = HybridSpec::new(
+///     vec![SimDuration::from_secs(1.0); 4],
+///     Arc::new(Amdahl::new(0.0)),
+///     SimDuration::ZERO,
+/// );
+/// let model = HybridSpeedup::new(spec, RankStrategy::Balanced);
+/// assert!((model.speedup(1) - 1.0).abs() < 1e-12);
+/// assert!(model.speedup(8) > model.speedup(4));
+/// ```
+#[derive(Clone)]
+pub struct HybridSpeedup {
+    spec: HybridSpec,
+    strategy: RankStrategy,
+    /// Cached `T(1)` (full fold on one processor).
+    t1: f64,
+}
+
+impl HybridSpeedup {
+    /// Wraps `spec` with the given rank-distribution strategy.
+    pub fn new(spec: HybridSpec, strategy: RankStrategy) -> Self {
+        let t1 = iteration_time(&spec, 1, strategy).as_secs();
+        HybridSpeedup { spec, strategy, t1 }
+    }
+
+    /// The wrapped specification.
+    pub fn spec(&self) -> &HybridSpec {
+        &self.spec
+    }
+
+    /// The distribution strategy in use.
+    pub fn strategy(&self) -> RankStrategy {
+        self.strategy
+    }
+}
+
+impl SpeedupModel for HybridSpeedup {
+    fn speedup(&self, p: usize) -> f64 {
+        if p == 0 {
+            return 0.0;
+        }
+        let t = iteration_time(&self.spec, p, self.strategy).as_secs();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.t1 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::Amdahl;
+    use pdpa_sim::SimDuration;
+    use std::sync::Arc;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn spec() -> HybridSpec {
+        HybridSpec::new(
+            vec![secs(2.0), secs(1.0), secs(1.0), secs(1.0)],
+            Arc::new(Amdahl::new(0.02)),
+            secs(0.05),
+        )
+    }
+
+    #[test]
+    fn honors_the_speedup_contract() {
+        let m = HybridSpeedup::new(spec(), RankStrategy::Balanced);
+        assert_eq!(m.speedup(0), 0.0);
+        assert!((m.speedup(1) - 1.0).abs() < 1e-12);
+        for p in 1..=60 {
+            assert!(m.speedup(p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn folding_region_scales_with_processors() {
+        let m = HybridSpeedup::new(spec(), RankStrategy::Even);
+        // 1 → 2 → 4 processors inside the folding region: speedup grows.
+        assert!(m.speedup(2) > m.speedup(1));
+        assert!(m.speedup(4) > m.speedup(2));
+    }
+
+    #[test]
+    fn balanced_strategy_dominates_even() {
+        let even = HybridSpeedup::new(spec(), RankStrategy::Even);
+        let balanced = HybridSpeedup::new(spec(), RankStrategy::Balanced);
+        for p in 5..=40 {
+            assert!(
+                balanced.speedup(p) >= even.speedup(p) - 1e-9,
+                "at {p} procs: balanced {} vs even {}",
+                balanced.speedup(p),
+                even.speedup(p)
+            );
+        }
+    }
+
+    #[test]
+    fn imbalance_caps_even_efficiency() {
+        // With one rank twice as loaded, Even's speedup saturates at
+        // total/max·(…): extra processors on light ranks are wasted.
+        let even = HybridSpeedup::new(spec(), RankStrategy::Even);
+        let e16 = even.efficiency(16);
+        let balanced = HybridSpeedup::new(spec(), RankStrategy::Balanced);
+        let b16 = balanced.efficiency(16);
+        assert!(b16 > e16, "balanced efficiency {b16} vs even {e16}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Hybrid applications through the full scheduling stack.
+//!
+//! Section 6's point, demonstrated: wrapping an MPI application's ranks in
+//! OpenMP makes it malleable enough that PDPA can schedule it like any
+//! other iterative application — no engine or policy changes needed.
+
+use std::sync::Arc;
+
+use pdpa_apps::{Amdahl, AppClass, ApplicationSpec};
+use pdpa_core::Pdpa;
+use pdpa_engine::{Engine, EngineConfig};
+use pdpa_hybrid::{HybridSpec, HybridSpeedup, RankStrategy};
+use pdpa_qs::JobSpec;
+use pdpa_sim::{SimDuration, SimTime};
+
+/// An 8-rank hybrid application with 2:1 imbalance between the first and
+/// the remaining ranks, wrapped as an ordinary ApplicationSpec.
+fn hybrid_app(strategy: RankStrategy) -> ApplicationSpec {
+    let mut loads = vec![SimDuration::from_secs(2.0)];
+    loads.extend(std::iter::repeat(SimDuration::from_secs(1.0)).take(7));
+    let spec = HybridSpec::new(
+        loads,
+        Arc::new(Amdahl::new(0.02)),
+        SimDuration::from_millis(20.0),
+    );
+    let total_seq = spec.total_seq();
+    // The outer iterative structure: 40 iterations of the exchange loop.
+    // `seq_iter_time` is the one-processor (fully folded) iteration time so
+    // that `iter_time(p) = seq / S(p)` reproduces the hybrid model's times.
+    let speedup = HybridSpeedup::new(spec, strategy);
+    let t1 = total_seq + SimDuration::from_millis(20.0);
+    ApplicationSpec::new(
+        AppClass::BtA, // class label only (metrics bucketing)
+        40,
+        t1,
+        24,
+        Arc::new(speedup),
+        0.01,
+    )
+}
+
+#[test]
+fn pdpa_schedules_hybrid_apps_end_to_end() {
+    let jobs = vec![
+        JobSpec::new(SimTime::ZERO, hybrid_app(RankStrategy::Balanced)),
+        JobSpec::new(SimTime::from_secs(5.0), hybrid_app(RankStrategy::Balanced)),
+    ];
+    let result = Engine::new(EngineConfig::default()).run(jobs, Box::new(Pdpa::paper_default()));
+    assert!(result.completed_all, "hybrid jobs drain under PDPA");
+    assert_eq!(result.summary.jobs(), 2);
+    // PDPA found a non-degenerate allocation (more than the folded minimum,
+    // bounded by the request).
+    let avg = result.avg_alloc_by_class[&AppClass::BtA];
+    assert!((2.0..=24.0).contains(&avg), "average allocation {avg:.1}");
+}
+
+#[test]
+fn balanced_strategy_finishes_faster_under_the_same_policy() {
+    let run = |strategy| {
+        let jobs = vec![JobSpec::new(SimTime::ZERO, hybrid_app(strategy))];
+        let mut config = EngineConfig::default();
+        config.noise_sigma = 0.0;
+        Engine::new(config)
+            .run(jobs, Box::new(Pdpa::paper_default()))
+            .summary
+            .makespan_secs()
+    };
+    let even = run(RankStrategy::Even);
+    let balanced = run(RankStrategy::Balanced);
+    assert!(
+        balanced <= even * 1.01,
+        "balanced {balanced:.1}s vs even {even:.1}s"
+    );
+}
+
+#[test]
+fn folding_lets_a_wide_app_run_on_a_small_machine() {
+    // 16 ranks on an 8-CPU machine: without folding this application could
+    // not start at all; with folding it completes.
+    let loads = vec![SimDuration::from_secs(0.5); 16];
+    let spec = HybridSpec::new(
+        loads,
+        Arc::new(Amdahl::new(0.0)),
+        SimDuration::from_millis(10.0),
+    );
+    let t1 = spec.total_seq() + SimDuration::from_millis(10.0);
+    let speedup = HybridSpeedup::new(spec, RankStrategy::Balanced);
+    let app = ApplicationSpec::new(AppClass::BtA, 20, t1, 8, Arc::new(speedup), 0.0);
+    let jobs = vec![JobSpec::new(SimTime::ZERO, app)];
+    let mut config = EngineConfig::default();
+    config.cpus = 8;
+    let result = Engine::new(config).run(jobs, Box::new(Pdpa::paper_default()));
+    assert!(result.completed_all);
+}

@@ -1,0 +1,62 @@
+//! Per-job outcomes.
+
+use pdpa_apps::AppClass;
+use pdpa_sim::{JobId, SimDuration, SimTime};
+
+/// The lifecycle timestamps of one completed job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// Its application class.
+    pub class: AppClass,
+    /// Submission instant (enters the queuing system).
+    pub submit: SimTime,
+    /// Start instant (first processors assigned).
+    pub start: SimTime,
+    /// Completion instant.
+    pub end: SimTime,
+}
+
+impl JobOutcome {
+    /// Response time: submission to completion (§1 — "the period of time
+    /// that starts when the application is submitted and finishes when the
+    /// application completes").
+    pub fn response_time(&self) -> SimDuration {
+        self.end.since(self.submit)
+    }
+
+    /// Execution time: start to completion.
+    pub fn execution_time(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// Wait time: submission to start.
+    pub fn wait_time(&self) -> SimDuration {
+        self.start.since(self.submit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition() {
+        let o = JobOutcome {
+            job: JobId(1),
+            class: AppClass::BtA,
+            submit: SimTime::from_secs(10.0),
+            start: SimTime::from_secs(25.0),
+            end: SimTime::from_secs(125.0),
+        };
+        assert_eq!(o.response_time().as_secs(), 115.0);
+        assert_eq!(o.execution_time().as_secs(), 100.0);
+        assert_eq!(o.wait_time().as_secs(), 15.0);
+        // Response = wait + execution.
+        assert_eq!(
+            o.response_time().as_secs(),
+            o.wait_time().as_secs() + o.execution_time().as_secs()
+        );
+    }
+}

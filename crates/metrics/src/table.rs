@@ -1,0 +1,112 @@
+//! Fixed-width report tables for the experiment binaries.
+
+/// The improvement of `ours` over `base` as the paper reports it: how many
+/// percent *more time* the baseline takes. `improvement_pct(100, 700) = 600`
+/// reads "PDPA outperforms the baseline by 600 %". Negative values mean
+/// `ours` is slower.
+pub fn improvement_pct(ours_secs: f64, base_secs: f64) -> f64 {
+    if ours_secs <= 0.0 {
+        return 0.0;
+    }
+    (base_secs / ours_secs - 1.0) * 100.0
+}
+
+/// Formats one table row: a label followed by right-aligned cells.
+pub fn format_row(label: &str, cells: &[String], cell_width: usize) -> String {
+    let mut row = format!("{label:<16}");
+    for cell in cells {
+        row.push_str(&format!("{cell:>width$}", width = cell_width.max(4)));
+    }
+    row
+}
+
+/// Builds aligned text tables with a header row.
+#[derive(Clone, Debug)]
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+    cell_width: usize,
+}
+
+impl TableBuilder {
+    /// Creates a table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        TableBuilder {
+            header: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            cell_width: 12,
+        }
+    }
+
+    /// Overrides the cell width.
+    pub fn cell_width(mut self, width: usize) -> Self {
+        self.cell_width = width;
+        self
+    }
+
+    /// Adds a row of preformatted cells.
+    pub fn row(&mut self, label: &str, cells: Vec<String>) -> &mut Self {
+        self.rows.push((label.to_string(), cells));
+        self
+    }
+
+    /// Adds a row of seconds values, formatted to one decimal.
+    pub fn row_secs(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        self.row(label, values.iter().map(|v| format!("{v:.1}")).collect())
+    }
+
+    /// Renders the table.
+    pub fn build(&self) -> String {
+        let mut out = format_row(
+            "",
+            &self.header.iter().map(String::clone).collect::<Vec<_>>(),
+            self.cell_width,
+        );
+        out.push('\n');
+        let width = out.len().saturating_sub(1);
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format_row(label, cells, self.cell_width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_matches_paper_arithmetic() {
+        // Table 3: Equip 949 s vs PDPA 95 s ≈ 900 % (the paper prints 998 %
+        // from unrounded values).
+        let pct = improvement_pct(95.0, 949.0);
+        assert!((pct - 898.9).abs() < 0.1, "{pct}");
+        // Slower case reports negative.
+        assert!(improvement_pct(10.0, 8.0) < 0.0);
+        // Degenerate numerator.
+        assert_eq!(improvement_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn rows_align() {
+        let r = format_row("PDPA", &["1.0".into(), "2.0".into()], 8);
+        assert!(r.starts_with("PDPA"));
+        assert!(r.ends_with("     2.0"));
+    }
+
+    #[test]
+    fn table_builds() {
+        let mut t = TableBuilder::new(&["load60", "load80", "load100"]).cell_width(10);
+        t.row_secs("PDPA", &[1.0, 2.0, 3.0]);
+        t.row_secs("Equip", &[1.5, 2.5, 3.5]);
+        let s = t.build();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("load100"));
+        assert!(lines[2].starts_with("PDPA"));
+        assert!(lines[3].contains("3.5"));
+    }
+}

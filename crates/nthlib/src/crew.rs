@@ -1,0 +1,227 @@
+//! A resizable crew of persistent worker threads.
+//!
+//! NthLib keeps its kernel threads alive and reacts to allocation changes;
+//! the crew does the same: `max_workers` threads are spawned once and park
+//! on a condition variable. Each call to [`Crew::run`] wakes the first
+//! `active` workers for one parallel iteration and blocks until all of them
+//! finish. Malleability is free: `active` may differ on every call.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::kernels::Task;
+
+/// Shared state between the coordinator and the workers.
+struct Shared {
+    state: Mutex<State>,
+    go: Condvar,
+    done: Condvar,
+}
+
+struct State {
+    /// Bumped for each iteration; workers run when they see a new value.
+    generation: u64,
+    /// Workers participating in the current iteration.
+    active: usize,
+    /// The task of the current iteration.
+    task: Option<Arc<dyn Task>>,
+    /// Workers that finished the current iteration.
+    finished: usize,
+    shutdown: bool,
+}
+
+/// A crew of persistent, parkable worker threads.
+pub struct Crew {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Crew {
+    /// Spawns `max_workers` parked workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_workers` is zero.
+    pub fn new(max_workers: usize) -> Self {
+        assert!(max_workers > 0, "crew needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                generation: 0,
+                active: 0,
+                task: None,
+                finished: 0,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..max_workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("crew-worker-{index}"))
+                    .spawn(move || worker_loop(index, &shared))
+                    .expect("spawn crew worker")
+            })
+            .collect();
+        Crew { shared, handles }
+    }
+
+    /// Maximum workers available.
+    pub fn max_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs one parallel iteration of `task` on `active` workers and returns
+    /// the measured wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is zero or exceeds `max_workers`.
+    pub fn run(&self, task: Arc<dyn Task>, active: usize) -> Duration {
+        assert!(active >= 1, "an iteration needs a worker");
+        assert!(
+            active <= self.max_workers(),
+            "active ({active}) exceeds crew size ({})",
+            self.max_workers()
+        );
+        let t0 = Instant::now();
+        {
+            let mut st = self.shared.state.lock().expect("crew lock");
+            st.task = Some(task);
+            st.active = active;
+            st.finished = 0;
+            st.generation += 1;
+            self.shared.go.notify_all();
+            while st.finished < st.active {
+                st = self.shared.done.wait(st).expect("crew wait");
+            }
+            st.task = None;
+        }
+        t0.elapsed()
+    }
+}
+
+impl Drop for Crew {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("crew lock");
+            st.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The body of one worker thread: wait for a generation bump, run the task
+/// if within the active set, report completion, repeat.
+fn worker_loop(index: usize, shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let (task, active, generation) = {
+            let mut st = shared.state.lock().expect("crew lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    break;
+                }
+                st = shared.go.wait(st).expect("crew wait");
+            }
+            seen = st.generation;
+            (st.task.clone(), st.active, st.generation)
+        };
+        // Workers beyond the active set skip the iteration (they are the
+        // "preempted threads" NthLib parks when processors are taken away).
+        if index < active {
+            if let Some(task) = task {
+                task.run(index, active);
+            }
+            let mut st = shared.state.lock().expect("crew lock");
+            // Guard against a lost generation (cannot happen while `run`
+            // holds the protocol, but keeps the invariant explicit).
+            if st.generation == generation {
+                st.finished += 1;
+                if st.finished >= st.active {
+                    shared.done.notify_all();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{SleepKernel, SpinKernel};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter(AtomicUsize);
+
+    impl Task for Counter {
+        fn run(&self, _index: usize, _active: usize) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn runs_exactly_active_workers() {
+        let crew = Crew::new(8);
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        crew.run(counter.clone(), 5);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 5);
+        crew.run(counter.clone(), 2);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn resize_between_iterations_is_free() {
+        let crew = Crew::new(4);
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        for active in [1, 4, 2, 3, 1] {
+            crew.run(counter.clone(), active);
+        }
+        assert_eq!(counter.0.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn sleep_kernel_speeds_up_with_workers() {
+        let crew = Crew::new(4);
+        let kernel = Arc::new(SleepKernel::new(Duration::from_millis(240)));
+        let t1 = crew.run(kernel.clone(), 1);
+        let t4 = crew.run(kernel, 4);
+        // 240 ms vs 60 ms; allow generous scheduling slack.
+        assert!(
+            t1.as_secs_f64() > 2.0 * t4.as_secs_f64(),
+            "t1 {t1:?} vs t4 {t4:?}"
+        );
+    }
+
+    #[test]
+    fn spin_kernel_runs_on_crew() {
+        let crew = Crew::new(2);
+        let kernel = Arc::new(SpinKernel::new(10_000));
+        let took = crew.run(kernel, 2);
+        assert!(took < Duration::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds crew size")]
+    fn oversized_iteration_is_rejected() {
+        let crew = Crew::new(2);
+        let kernel = Arc::new(SleepKernel::new(Duration::from_millis(1)));
+        crew.run(kernel, 3);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let crew = Crew::new(3);
+        let kernel = Arc::new(SleepKernel::new(Duration::from_millis(1)));
+        crew.run(kernel, 3);
+        drop(crew); // must not hang
+    }
+}

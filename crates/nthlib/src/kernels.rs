@@ -1,0 +1,127 @@
+//! Work kernels executed by the crew.
+
+use std::time::Duration;
+
+/// A parallel task: called once per active worker per iteration.
+///
+/// Implementations receive the worker's index and the number of active
+/// workers and must block until that worker's share of the iteration is
+/// done.
+pub trait Task: Send + Sync {
+    /// Executes worker `index` of `active` for one iteration.
+    fn run(&self, index: usize, active: usize);
+}
+
+/// Perfectly scalable sleep-based work: the iteration represents
+/// `total` of sequential "work", divided evenly — each worker sleeps
+/// `total / active`. Wall-clock speedup is exactly linear, independent of
+/// the physical core count.
+#[derive(Clone, Copy, Debug)]
+pub struct SleepKernel {
+    /// Sequential duration of one iteration.
+    pub total: Duration,
+}
+
+impl SleepKernel {
+    /// One iteration worth `total` of sequential work.
+    pub fn new(total: Duration) -> Self {
+        SleepKernel { total }
+    }
+}
+
+impl Task for SleepKernel {
+    fn run(&self, _index: usize, active: usize) {
+        std::thread::sleep(self.total / active.max(1) as u32);
+    }
+}
+
+/// Sleep-based work following an arbitrary speedup curve: with `n` active
+/// workers every worker sleeps `seq / curve(n)`, so the measured wall-clock
+/// speedup *is* `curve(n)`. This lets integration tests drive PDPA with any
+/// scalability shape on any machine.
+pub struct CurveKernel {
+    /// Sequential duration of one iteration.
+    pub seq: Duration,
+    /// The speedup curve to emulate.
+    pub curve: Box<dyn Fn(usize) -> f64 + Send + Sync>,
+}
+
+impl CurveKernel {
+    /// Creates a kernel emulating `curve`.
+    pub fn new(seq: Duration, curve: impl Fn(usize) -> f64 + Send + Sync + 'static) -> Self {
+        CurveKernel {
+            seq,
+            curve: Box::new(curve),
+        }
+    }
+}
+
+impl Task for CurveKernel {
+    fn run(&self, _index: usize, active: usize) {
+        let s = (self.curve)(active.max(1)).max(1e-6);
+        let wall = self.seq.as_secs_f64() / s;
+        std::thread::sleep(Duration::from_secs_f64(wall));
+    }
+}
+
+/// CPU-burning work for real multicore machines: each worker spins through
+/// its share of `total_units` of arithmetic. Scales with physical cores —
+/// do not assert speedups with this kernel on unknown hardware.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinKernel {
+    /// Total arithmetic units of one iteration.
+    pub total_units: u64,
+}
+
+impl SpinKernel {
+    /// One iteration worth `total_units` of spinning.
+    pub fn new(total_units: u64) -> Self {
+        SpinKernel { total_units }
+    }
+}
+
+impl Task for SpinKernel {
+    fn run(&self, index: usize, active: usize) {
+        let share = self.total_units / active.max(1) as u64;
+        // A data dependency the optimizer cannot remove.
+        let mut acc = index as u64 + 1;
+        for i in 0..share {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn sleep_kernel_divides_work() {
+        // Generous bounds: the test machine may be a loaded single core,
+        // and sleeps overshoot under contention.
+        let k = SleepKernel::new(Duration::from_millis(200));
+        let t0 = Instant::now();
+        k.run(0, 4);
+        let took = t0.elapsed();
+        assert!(took >= Duration::from_millis(45), "slept {took:?}");
+        assert!(took < Duration::from_millis(190), "slept {took:?}");
+    }
+
+    #[test]
+    fn curve_kernel_follows_curve() {
+        let k = CurveKernel::new(Duration::from_millis(150), |n| (n as f64).sqrt());
+        let t0 = Instant::now();
+        k.run(0, 9); // speedup 3 → ~50 ms
+        let took = t0.elapsed().as_millis();
+        assert!((45..140).contains(&took), "took {took} ms");
+    }
+
+    #[test]
+    fn spin_kernel_terminates_and_splits() {
+        let k = SpinKernel::new(100_000);
+        k.run(0, 1);
+        k.run(3, 8);
+    }
+}

@@ -1,0 +1,32 @@
+//! A malleable parallel runtime on real threads — the NthLib stand-in.
+//!
+//! The paper's NthLib "implements the policies and mechanisms needed for the
+//! application-level scheduling … it requests for processors and reacts to
+//! changes in the number of processors allocated to the application" (§3.1).
+//! This crate demonstrates the same loop end-to-end on actual
+//! `std::thread` workers with wall-clock measurements:
+//!
+//! 1. a [`Crew`] of persistent parked worker threads executes one parallel
+//!    iteration at a time with however many workers the scheduler granted;
+//! 2. an [`IterativeRegion`] runs an application's outer loop, timing each
+//!    iteration and feeding the [`pdpa_perf::SelfAnalyzer`];
+//! 3. a [`LocalRm`] applies any [`pdpa_policies::SchedulingPolicy`] —
+//!    PDPA included — to those live measurements and resizes the crew
+//!    between iterations (malleability).
+//!
+//! Because this test machine may have a single CPU, the bundled
+//! [`kernels`] emulate parallel work by *sleeping*: a kernel that sleeps
+//! `T/S(n)` per worker exhibits exactly the speedup curve `S` in wall-clock
+//! time regardless of the physical core count, which exercises every code
+//! path of the measurement/decision loop with honest timings. A spinning
+//! kernel is provided for use on real multicore hardware.
+
+pub mod crew;
+pub mod kernels;
+pub mod region;
+pub mod rm;
+
+pub use crew::Crew;
+pub use kernels::{CurveKernel, SleepKernel, SpinKernel, Task};
+pub use region::{IterationOutcome, IterativeRegion};
+pub use rm::LocalRm;

@@ -1,0 +1,202 @@
+//! An in-process resource manager for real-thread applications.
+//!
+//! [`LocalRm`] is the NANOS RM scaled down to a single address space: it
+//! holds a [`SchedulingPolicy`], tracks the worker allocation of each
+//! registered application, and applies the policy's decisions to live
+//! wall-clock performance reports. The `pdpa-engine` crate does the same
+//! job for simulated workloads; this one does it for [`crate::Crew`]s.
+
+use std::time::Instant;
+
+use pdpa_perf::PerfSample;
+use pdpa_policies::{JobView, PolicyCtx, SchedulingPolicy};
+use pdpa_sim::{JobId, SimTime};
+
+/// Tracked state of one registered application.
+#[derive(Clone, Debug)]
+struct LocalJob {
+    id: JobId,
+    request: usize,
+    allocated: usize,
+    last_sample: Option<PerfSample>,
+}
+
+/// The in-process resource manager.
+///
+/// The policy box is `Send` so the manager can sit behind a `Mutex` shared
+/// by several application threads (see the `multi_region_threads` example).
+pub struct LocalRm {
+    policy: Box<dyn SchedulingPolicy + Send>,
+    total_workers: usize,
+    jobs: Vec<LocalJob>,
+    next_id: u32,
+    epoch: Instant,
+}
+
+impl LocalRm {
+    /// Creates a resource manager for a machine of `total_workers` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_workers` is zero.
+    pub fn new(policy: Box<dyn SchedulingPolicy + Send>, total_workers: usize) -> Self {
+        assert!(total_workers > 0, "need at least one worker");
+        LocalRm {
+            policy,
+            total_workers,
+            jobs: Vec::new(),
+            next_id: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Workers not allocated to any application.
+    pub fn free_workers(&self) -> usize {
+        let used: usize = self.jobs.iter().map(|j| j.allocated).sum();
+        self.total_workers.saturating_sub(used)
+    }
+
+    /// Registers an application requesting `request` workers; returns its id
+    /// and lets the policy assign the initial allocation.
+    pub fn register(&mut self, request: usize) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.push(LocalJob {
+            id,
+            request,
+            allocated: 0,
+            last_sample: None,
+        });
+        let decisions = {
+            let views = self.views();
+            let ctx = self.ctx(&views);
+            self.policy.on_job_arrival(&ctx, id)
+        };
+        self.apply(decisions);
+        id
+    }
+
+    /// The current allocation of an application (0 if unknown).
+    pub fn allocation(&self, job: JobId) -> usize {
+        self.jobs
+            .iter()
+            .find(|j| j.id == job)
+            .map_or(0, |j| j.allocated)
+    }
+
+    /// Feeds a performance report; returns the (possibly changed)
+    /// allocation.
+    pub fn report(&mut self, job: JobId, sample: PerfSample) -> usize {
+        if let Some(j) = self.jobs.iter_mut().find(|j| j.id == job) {
+            j.last_sample = Some(sample);
+        }
+        let decisions = {
+            let views = self.views();
+            let ctx = self.ctx(&views);
+            self.policy.on_performance_report(&ctx, job, sample)
+        };
+        self.apply(decisions);
+        self.allocation(job)
+    }
+
+    /// Unregisters a completed application.
+    pub fn complete(&mut self, job: JobId) {
+        self.jobs.retain(|j| j.id != job);
+        let decisions = {
+            let views = self.views();
+            let ctx = self.ctx(&views);
+            self.policy.on_job_completion(&ctx, job)
+        };
+        self.apply(decisions);
+    }
+
+    fn views(&self) -> Vec<JobView> {
+        self.jobs
+            .iter()
+            .map(|j| JobView {
+                id: j.id,
+                request: j.request,
+                allocated: j.allocated,
+                last_sample: j.last_sample,
+            })
+            .collect()
+    }
+
+    fn ctx<'a>(&self, views: &'a [JobView]) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: SimTime::from_secs(self.epoch.elapsed().as_secs_f64()),
+            total_cpus: self.total_workers,
+            free_cpus: self.free_workers(),
+            jobs: views,
+            queued_jobs: 0,
+            next_request: None,
+        }
+    }
+
+    fn apply(&mut self, decisions: pdpa_policies::Decisions) {
+        for (id, target) in decisions.allocations {
+            if let Some(j) = self.jobs.iter_mut().find(|j| j.id == id) {
+                j.allocated = target.clamp(1, j.request.min(self.total_workers));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_core::Pdpa;
+    use pdpa_policies::Equipartition;
+    use pdpa_sim::SimDuration;
+
+    fn sample(procs: usize, speedup: f64) -> PerfSample {
+        PerfSample {
+            procs,
+            speedup,
+            efficiency: speedup / procs as f64,
+            iter_time: SimDuration::from_secs(0.01),
+            iteration: 5,
+        }
+    }
+
+    #[test]
+    fn register_allocates_under_pdpa() {
+        let mut rm = LocalRm::new(Box::new(Pdpa::paper_default()), 8);
+        let job = rm.register(8);
+        assert_eq!(rm.allocation(job), 8, "min(request, free)");
+        assert_eq!(rm.free_workers(), 0);
+    }
+
+    #[test]
+    fn bad_reports_shrink_the_allocation() {
+        let mut rm = LocalRm::new(Box::new(Pdpa::paper_default()), 8);
+        let job = rm.register(8);
+        // Two confirming reports of terrible efficiency.
+        rm.report(job, sample(8, 2.0));
+        let alloc = rm.report(job, sample(8, 2.0));
+        assert!(alloc < 8, "PDPA shrinks a bad performer, got {alloc}");
+    }
+
+    #[test]
+    fn equipartition_splits_two_jobs() {
+        let mut rm = LocalRm::new(Box::new(Equipartition::new(4)), 8);
+        let a = rm.register(8);
+        let b = rm.register(8);
+        assert_eq!(rm.allocation(a), 4);
+        assert_eq!(rm.allocation(b), 4);
+        rm.complete(a);
+        assert_eq!(rm.allocation(b), 8, "survivor reclaims the machine");
+    }
+
+    #[test]
+    fn allocations_never_exceed_machine_or_request() {
+        let mut rm = LocalRm::new(Box::new(Pdpa::paper_default()), 4);
+        let job = rm.register(16);
+        assert!(rm.allocation(job) <= 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! Two concurrent applications on real threads, one resource manager.
+//!
+//! The Fig. 1 picture with two applications: each runs its iterative region
+//! on its own crew in its own thread; both report to a shared `LocalRm`
+//! running PDPA, which divides the machine's workers between them by
+//! measured efficiency.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pdpa_core::Pdpa;
+use pdpa_nthlib::{Crew, CurveKernel, LocalRm, Task};
+use pdpa_perf::{SelfAnalyzer, SelfAnalyzerConfig};
+use pdpa_sim::SimDuration;
+
+/// Runs one region to completion against the shared manager; returns the
+/// final allocation.
+fn drive_region(
+    rm: &Arc<Mutex<LocalRm>>,
+    crew: &Crew,
+    task: Arc<dyn Task>,
+    request: usize,
+    iterations: u32,
+) -> usize {
+    let job = rm.lock().unwrap().register(request);
+    let mut analyzer = SelfAnalyzer::new(SelfAnalyzerConfig::default());
+    let mut last = 1;
+    for _ in 0..iterations {
+        let granted = rm.lock().unwrap().allocation(job).max(1);
+        let workers = analyzer
+            .effective_procs(granted)
+            .clamp(1, crew.max_workers());
+        let wall = crew.run(task.clone(), workers);
+        if let Some(sample) =
+            analyzer.record_iteration(workers, SimDuration::from_secs(wall.as_secs_f64()))
+        {
+            last = rm.lock().unwrap().report(job, sample);
+        }
+    }
+    rm.lock().unwrap().complete(job);
+    last
+}
+
+#[test]
+fn pdpa_divides_real_workers_by_measured_efficiency() {
+    // An 8-worker machine; both applications request 6.
+    let rm = Arc::new(Mutex::new(LocalRm::new(Box::new(Pdpa::paper_default()), 8)));
+
+    // Application A scales linearly; application B saturates at ≈ 2.
+    let scalable = Arc::new(CurveKernel::new(Duration::from_millis(120), |n| n as f64));
+    let saturating = Arc::new(CurveKernel::new(Duration::from_millis(120), |n| match n {
+        0 => 0.0,
+        1 => 1.0,
+        2 => 1.8,
+        _ => 2.0,
+    }));
+
+    let rm_a = Arc::clone(&rm);
+    let a = std::thread::spawn(move || {
+        let crew = Crew::new(8);
+        drive_region(&rm_a, &crew, scalable, 6, 14)
+    });
+    let rm_b = Arc::clone(&rm);
+    let b = std::thread::spawn(move || {
+        let crew = Crew::new(8);
+        drive_region(&rm_b, &crew, saturating, 6, 14)
+    });
+    let alloc_a = a.join().expect("region A");
+    let alloc_b = b.join().expect("region B");
+
+    // The saturating application must end up small; the scalable one keeps
+    // more workers. (Generous bounds: wall-clock noise on a loaded CI box.)
+    assert!(alloc_b <= 3, "saturating region held {alloc_b} workers");
+    assert!(
+        alloc_a >= alloc_b,
+        "scalable {alloc_a} vs saturating {alloc_b}"
+    );
+}

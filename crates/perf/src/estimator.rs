@@ -1,0 +1,168 @@
+//! Efficiency extrapolation for the Equal_efficiency policy.
+//!
+//! Nguyen et al.'s Equal_efficiency allocates more processors to the
+//! applications with the best efficiency "using extrapolated values"
+//! (§3.3). This estimator fits an Amdahl model to the most recent measured
+//! speedup and extrapolates efficiency to any allocation.
+//!
+//! The paper criticizes exactly this construction: the fit is driven by the
+//! latest (noisy) sample, so "small variations in the efficiency generate
+//! high variances in the processor allocation" (§5.1). The instability is a
+//! property we *want* to reproduce, so the estimator deliberately fits the
+//! latest observation rather than smoothing aggressively.
+
+/// Amdahl-fit efficiency extrapolator.
+///
+/// From a measured speedup `S` at `p` processors (`p ≥ 2`), the serial
+/// fraction is `f = (p/S − 1)/(p − 1)`; efficiency at any other allocation
+/// `q` follows from Amdahl's law.
+#[derive(Clone, Debug, Default)]
+pub struct EfficiencyEstimator {
+    /// Fitted serial fraction, once at least one usable sample arrived.
+    serial_fraction: Option<f64>,
+    /// The sample the fit came from.
+    last_sample: Option<(usize, f64)>,
+}
+
+impl EfficiencyEstimator {
+    /// Creates an estimator with no knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a measured `(procs, speedup)` sample.
+    ///
+    /// Samples at fewer than 2 processors carry no scalability information
+    /// and are ignored. Superlinear measurements (speedup > procs) clamp the
+    /// serial fraction at 0 — Amdahl cannot represent them, which is one of
+    /// the formulation problems the paper observed.
+    pub fn observe(&mut self, procs: usize, speedup: f64) {
+        if procs < 2 || speedup <= 0.0 {
+            return;
+        }
+        let p = procs as f64;
+        let f = ((p / speedup) - 1.0) / (p - 1.0);
+        self.serial_fraction = Some(f.clamp(0.0, 1.0));
+        self.last_sample = Some((procs, speedup));
+    }
+
+    /// True once a usable sample has been observed.
+    pub fn has_estimate(&self) -> bool {
+        self.serial_fraction.is_some()
+    }
+
+    /// The fitted serial fraction, if any.
+    pub fn serial_fraction(&self) -> Option<f64> {
+        self.serial_fraction
+    }
+
+    /// Extrapolated speedup at `procs`.
+    ///
+    /// Returns `None` before the first sample. With no knowledge the caller
+    /// must fall back to an optimistic default (Equal_efficiency starts jobs
+    /// assuming they scale).
+    pub fn speedup_at(&self, procs: usize) -> Option<f64> {
+        let f = self.serial_fraction?;
+        if procs == 0 {
+            return Some(0.0);
+        }
+        Some(1.0 / (f + (1.0 - f) / procs as f64))
+    }
+
+    /// Extrapolated efficiency at `procs`.
+    pub fn efficiency_at(&self, procs: usize) -> Option<f64> {
+        if procs == 0 {
+            return Some(0.0);
+        }
+        self.speedup_at(procs).map(|s| s / procs as f64)
+    }
+
+    /// The marginal efficiency of moving from `procs` to `procs + 1`:
+    /// `S(p+1) − S(p)`. Used by the water-filling allocator.
+    pub fn marginal_gain(&self, procs: usize) -> Option<f64> {
+        Some(self.speedup_at(procs + 1)? - self.speedup_at(procs)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_no_estimate() {
+        let e = EfficiencyEstimator::new();
+        assert!(!e.has_estimate());
+        assert!(e.speedup_at(8).is_none());
+    }
+
+    #[test]
+    fn perfect_scaling_fit() {
+        let mut e = EfficiencyEstimator::new();
+        e.observe(8, 8.0);
+        assert_eq!(e.serial_fraction(), Some(0.0));
+        assert!((e.speedup_at(16).unwrap() - 16.0).abs() < 1e-12);
+        assert!((e.efficiency_at(16).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_amdahl_truth() {
+        // Truth: serial fraction 0.1 → S(10) = 1/(0.1 + 0.9/10) = 5.263...
+        let truth = 1.0 / (0.1 + 0.9 / 10.0);
+        let mut e = EfficiencyEstimator::new();
+        e.observe(10, truth);
+        assert!((e.serial_fraction().unwrap() - 0.1).abs() < 1e-9);
+        // Extrapolation to 20 matches the analytic value.
+        let expected = 1.0 / (0.1 + 0.9 / 20.0);
+        assert!((e.speedup_at(20).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superlinear_clamps_to_zero_serial() {
+        let mut e = EfficiencyEstimator::new();
+        e.observe(8, 11.0); // superlinear — Amdahl cannot express it
+        assert_eq!(e.serial_fraction(), Some(0.0));
+        // The extrapolation is linear (and underestimates the superlinear
+        // truth — the formulation problem the paper observed).
+        assert!((e.speedup_at(16).unwrap() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_allocations_are_ignored() {
+        let mut e = EfficiencyEstimator::new();
+        e.observe(1, 1.0);
+        e.observe(0, 0.5);
+        assert!(!e.has_estimate());
+    }
+
+    #[test]
+    fn latest_sample_wins() {
+        let mut e = EfficiencyEstimator::new();
+        e.observe(8, 8.0);
+        e.observe(8, 4.0); // much worse measurement
+        let f = e.serial_fraction().unwrap();
+        assert!(f > 0.1, "fit follows the latest sample, f = {f}");
+    }
+
+    #[test]
+    fn marginal_gain_decreases() {
+        let mut e = EfficiencyEstimator::new();
+        e.observe(10, 5.0);
+        let g4 = e.marginal_gain(4).unwrap();
+        let g20 = e.marginal_gain(20).unwrap();
+        assert!(g4 > g20, "diminishing returns: {g4} vs {g20}");
+    }
+
+    #[test]
+    fn noise_sensitivity_is_real() {
+        // The same true speedup measured with ±5 % noise produces visibly
+        // different extrapolations at large allocations — the instability
+        // mechanism behind Equal_efficiency's thrash.
+        let truth = 1.0 / (0.05 + 0.95 / 12.0);
+        let mut lo = EfficiencyEstimator::new();
+        let mut hi = EfficiencyEstimator::new();
+        lo.observe(12, truth * 0.95);
+        hi.observe(12, truth * 1.05);
+        let d = (lo.speedup_at(40).unwrap() - hi.speedup_at(40).unwrap()).abs();
+        assert!(d > 2.0, "extrapolations diverge by {d} at 40 procs");
+    }
+}

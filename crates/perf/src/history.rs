@@ -1,0 +1,205 @@
+//! Per-application performance history.
+//!
+//! PDPA "manages information related to the recent past of the application:
+//! it remembers the last processor allocations different from the current
+//! one and the efficiency achieved with them" (§4.1). [`PerfHistory`] is
+//! that memory: a bounded log of `(allocation, speedup, iteration time)`
+//! observations with the queries the policy needs.
+
+use std::collections::VecDeque;
+
+use pdpa_sim::SimDuration;
+
+/// One remembered observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// Processor allocation the observation was made under.
+    pub procs: usize,
+    /// Estimated speedup at that allocation.
+    pub speedup: f64,
+    /// Measured iteration time at that allocation.
+    pub iter_time: SimDuration,
+}
+
+impl HistoryEntry {
+    /// Efficiency of the remembered allocation.
+    pub fn efficiency(&self) -> f64 {
+        if self.procs == 0 {
+            0.0
+        } else {
+            self.speedup / self.procs as f64
+        }
+    }
+}
+
+/// A bounded log of recent performance observations.
+///
+/// Consecutive observations at the same allocation overwrite each other
+/// (only the most recent measurement per allocation run matters), so the
+/// log's entries are runs of *distinct* allocations, newest last.
+#[derive(Clone, Debug)]
+pub struct PerfHistory {
+    entries: VecDeque<HistoryEntry>,
+    capacity: usize,
+}
+
+impl PerfHistory {
+    /// Creates a history remembering up to `capacity` distinct allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history needs capacity");
+        PerfHistory {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, procs: usize, speedup: f64, iter_time: SimDuration) {
+        let entry = HistoryEntry {
+            procs,
+            speedup,
+            iter_time,
+        };
+        if let Some(last) = self.entries.back_mut() {
+            if last.procs == procs {
+                // Same allocation run: keep the freshest measurement.
+                *last = entry;
+                return;
+            }
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The most recent observation.
+    pub fn current(&self) -> Option<&HistoryEntry> {
+        self.entries.back()
+    }
+
+    /// The most recent observation at an allocation *different from*
+    /// `procs` — the "last allocation" PDPA compares against.
+    pub fn last_other_than(&self, procs: usize) -> Option<&HistoryEntry> {
+        self.entries.iter().rev().find(|e| e.procs != procs)
+    }
+
+    /// The most recent observation at exactly `procs`, if remembered.
+    pub fn at(&self, procs: usize) -> Option<&HistoryEntry> {
+        self.entries.iter().rev().find(|e| e.procs == procs)
+    }
+
+    /// All remembered entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &HistoryEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of remembered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Default for PerfHistory {
+    /// Eight distinct allocations of memory — more than a PDPA search ever
+    /// traverses in one direction on a 60-processor machine with step 4.
+    fn default() -> Self {
+        PerfHistory::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn empty_history_answers_none() {
+        let h = PerfHistory::default();
+        assert!(h.is_empty());
+        assert!(h.current().is_none());
+        assert!(h.last_other_than(4).is_none());
+    }
+
+    #[test]
+    fn same_allocation_overwrites() {
+        let mut h = PerfHistory::default();
+        h.record(4, 3.0, secs(2.0));
+        h.record(4, 3.2, secs(1.9));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.current().unwrap().speedup, 3.2);
+    }
+
+    #[test]
+    fn last_other_than_skips_current_allocation() {
+        let mut h = PerfHistory::default();
+        h.record(4, 3.0, secs(2.0));
+        h.record(8, 5.5, secs(1.1));
+        h.record(8, 5.6, secs(1.05));
+        let prev = h.last_other_than(8).unwrap();
+        assert_eq!(prev.procs, 4);
+        assert_eq!(prev.speedup, 3.0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut h = PerfHistory::new(2);
+        h.record(2, 1.8, secs(4.0));
+        h.record(4, 3.0, secs(2.2));
+        h.record(8, 5.0, secs(1.3));
+        assert_eq!(h.len(), 2);
+        assert!(h.at(2).is_none(), "oldest entry evicted");
+        assert!(h.at(4).is_some());
+    }
+
+    #[test]
+    fn efficiency_is_speedup_over_procs() {
+        let e = HistoryEntry {
+            procs: 8,
+            speedup: 6.0,
+            iter_time: secs(1.0),
+        };
+        assert!((e.efficiency() - 0.75).abs() < 1e-12);
+        let zero = HistoryEntry {
+            procs: 0,
+            speedup: 0.0,
+            iter_time: secs(1.0),
+        };
+        assert_eq!(zero.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut h = PerfHistory::default();
+        h.record(4, 3.0, secs(1.0));
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn alternating_allocations_are_distinct_entries() {
+        let mut h = PerfHistory::new(8);
+        h.record(4, 3.0, secs(1.0));
+        h.record(8, 5.0, secs(0.6));
+        h.record(4, 3.1, secs(0.95));
+        assert_eq!(h.len(), 3, "a return to an old allocation is a new run");
+        assert_eq!(h.last_other_than(4).unwrap().procs, 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! Binary-only monitoring: the dynamic-interposition pipeline.
+//!
+//! When an application's source is unavailable, the NANOS tools cannot have
+//! the compiler insert SelfAnalyzer calls at the outer loop. Instead, a
+//! dynamic interposition tool (DITools) intercepts the *parallel loops* the
+//! binary executes, and the Dynamic Periodicity Detector recovers the
+//! iterative structure from that stream: "this tool receives as input the
+//! sequence of parallel loops executed (the address of the encapsulated
+//! loop), and generates a Boolean indicating if it corresponds with the
+//! initial period of a loop or not" (§3.1).
+//!
+//! [`BinaryMonitor`] is that pipeline: feed it every executed parallel loop
+//! (address + timestamp + processors); once the detector locks onto a
+//! period, the span between consecutive period starts is one *iteration*,
+//! which is timed and handed to the embedded [`SelfAnalyzer`] exactly as a
+//! compiler-instrumented application would do.
+
+use pdpa_sim::SimTime;
+
+use crate::periodicity::PeriodicityDetector;
+use crate::selfanalyzer::{PerfSample, SelfAnalyzer};
+
+/// SelfAnalyzer for binaries: loop stream in, performance estimates out.
+#[derive(Clone, Debug)]
+pub struct BinaryMonitor {
+    detector: PeriodicityDetector,
+    analyzer: SelfAnalyzer,
+    /// Start of the iteration currently being timed.
+    open_iteration: Option<SimTime>,
+    iterations_detected: u32,
+}
+
+impl BinaryMonitor {
+    /// Creates a monitor with the given analyzer and the default detector
+    /// window.
+    pub fn new(analyzer: SelfAnalyzer) -> Self {
+        Self::with_detector(analyzer, PeriodicityDetector::default())
+    }
+
+    /// Creates a monitor with an explicit detector.
+    pub fn with_detector(analyzer: SelfAnalyzer, detector: PeriodicityDetector) -> Self {
+        BinaryMonitor {
+            detector,
+            analyzer,
+            open_iteration: None,
+            iterations_detected: 0,
+        }
+    }
+
+    /// The detected period length (parallel loops per iteration), if any.
+    pub fn period(&self) -> Option<usize> {
+        self.detector.period()
+    }
+
+    /// Iterations recognized so far.
+    pub fn iterations_detected(&self) -> u32 {
+        self.iterations_detected
+    }
+
+    /// Access to the embedded analyzer (e.g. for
+    /// [`SelfAnalyzer::effective_procs`]).
+    pub fn analyzer(&self) -> &SelfAnalyzer {
+        &self.analyzer
+    }
+
+    /// Records that the application executed the parallel loop at
+    /// `loop_addr`, starting at instant `now`, on `procs` processors.
+    ///
+    /// Returns a performance estimate when this loop closes an iteration
+    /// *and* the analyzer is past its baseline phase.
+    pub fn on_parallel_loop(
+        &mut self,
+        loop_addr: u64,
+        now: SimTime,
+        procs: usize,
+    ) -> Option<PerfSample> {
+        let starts_period = self.detector.push(loop_addr);
+        if !starts_period {
+            return None;
+        }
+        let sample = match self.open_iteration.take() {
+            Some(started) if now > started => {
+                self.iterations_detected += 1;
+                self.analyzer.record_iteration(procs, now.since(started))
+            }
+            _ => None,
+        };
+        self.open_iteration = Some(now);
+        sample
+    }
+
+    /// Resets the pipeline (e.g. after a detected phase change in the
+    /// binary): the detector relearns the period and the analyzer restarts
+    /// its baseline.
+    pub fn reset(&mut self) {
+        self.analyzer.reset();
+        self.open_iteration = None;
+        self.iterations_detected = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selfanalyzer::SelfAnalyzerConfig;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Drives the monitor with a repeating 3-loop iteration of duration
+    /// `iter_secs`, starting at `t0`, on `procs` processors, for `n`
+    /// iterations. Returns all produced samples.
+    fn drive(
+        monitor: &mut BinaryMonitor,
+        t0: f64,
+        iter_secs: f64,
+        procs: usize,
+        n: usize,
+    ) -> Vec<PerfSample> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let base = t0 + i as f64 * iter_secs;
+            for (k, addr) in [0x10u64, 0x20, 0x30].iter().enumerate() {
+                let at = base + k as f64 * iter_secs / 3.0;
+                if let Some(s) = monitor.on_parallel_loop(*addr, t(at), procs) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn detects_structure_then_estimates_speedup() {
+        let mut m = BinaryMonitor::new(SelfAnalyzer::new(SelfAnalyzerConfig::default()));
+        // Baseline at 2 processors: iterations of 6 s.
+        let samples = drive(&mut m, 0.0, 6.0, 2, 5);
+        assert_eq!(m.period(), Some(3), "three parallel loops per iteration");
+        // Now the application runs on 8 processors: iterations of 1.5 s
+        // (true speedup 4 over the baseline's assumed 1.95 → est. 7.8).
+        let t_cont = 5.0 * 6.0;
+        let samples8 = drive(&mut m, t_cont, 1.5, 8, 4);
+        assert!(
+            !samples8.is_empty(),
+            "estimates flow once structure is known"
+        );
+        let last = samples8.last().unwrap();
+        assert_eq!(last.procs, 8);
+        assert!(
+            (last.speedup - 7.8).abs() < 0.2,
+            "estimated speedup {}",
+            last.speedup
+        );
+        // Baseline-phase samples never leak.
+        assert!(samples.len() <= 3);
+    }
+
+    #[test]
+    fn no_estimates_before_period_lock() {
+        let mut m = BinaryMonitor::new(SelfAnalyzer::default());
+        // A non-repeating prefix produces nothing.
+        for (i, addr) in [1u64, 2, 3, 4, 5, 6, 7].iter().enumerate() {
+            let s = m.on_parallel_loop(*addr, t(i as f64), 4);
+            assert!(s.is_none());
+        }
+        assert_eq!(m.iterations_detected(), 0);
+    }
+
+    #[test]
+    fn reset_relearns() {
+        let mut m = BinaryMonitor::new(SelfAnalyzer::default());
+        drive(&mut m, 0.0, 4.0, 2, 6);
+        assert!(m.iterations_detected() > 0);
+        m.reset();
+        assert_eq!(m.iterations_detected(), 0);
+        assert!(m.analyzer().in_baseline_phase());
+        // After the reset the pipeline works again.
+        let samples = drive(&mut m, 100.0, 4.0, 2, 6);
+        assert!(m.iterations_detected() > 0 || !samples.is_empty());
+    }
+
+    #[test]
+    fn single_loop_period_works() {
+        // An application whose iteration is one big parallel loop.
+        let mut m = BinaryMonitor::new(SelfAnalyzer::default());
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            if let Some(s) = m.on_parallel_loop(0xAB, t(i as f64 * 2.0), 2) {
+                samples.push(s);
+            }
+        }
+        assert_eq!(m.period(), Some(1));
+        assert!(!samples.is_empty());
+    }
+}

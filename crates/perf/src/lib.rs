@@ -1,0 +1,37 @@
+//! Runtime performance analysis: the NANOS *SelfAnalyzer* and friends.
+//!
+//! The paper's scheduler never sees an application's true speedup curve; it
+//! sees estimates produced at runtime by the SelfAnalyzer library (§3.1),
+//! which exploits the iterative structure of scientific codes:
+//!
+//! 1. the first few iterations of the outer loop run on a small *baseline*
+//!    number of processors, giving a reference time;
+//! 2. every later iteration is timed under the allocated `P` processors and
+//!    the speedup is estimated as `time_baseline / time_P`, normalized by an
+//!    *Amdahl factor* that accounts for the baseline itself not being the
+//!    one-processor time.
+//!
+//! This crate implements:
+//!
+//! - [`SelfAnalyzer`] — the per-application estimator described above;
+//! - [`PerfHistory`] — the recent-past memory PDPA keeps per application
+//!   ("it remembers the last processor allocations different from the
+//!   current one and the efficiency achieved with them", §4.1);
+//! - [`EfficiencyEstimator`] — the Amdahl-fit extrapolation used by the
+//!   Equal_efficiency baseline policy;
+//! - [`PeriodicityDetector`] — the Dynamic Periodicity Detector used to find
+//!   the iterative structure when only a binary is available;
+//! - [`BinaryMonitor`] — the full dynamic-interposition pipeline: a loop
+//!   stream goes in, detected iterations are timed, estimates come out.
+
+pub mod estimator;
+pub mod history;
+pub mod injection;
+pub mod periodicity;
+pub mod selfanalyzer;
+
+pub use estimator::EfficiencyEstimator;
+pub use history::{HistoryEntry, PerfHistory};
+pub use injection::BinaryMonitor;
+pub use periodicity::PeriodicityDetector;
+pub use selfanalyzer::{PerfSample, SelfAnalyzer, SelfAnalyzerConfig};

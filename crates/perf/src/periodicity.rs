@@ -1,0 +1,224 @@
+//! Dynamic Periodicity Detector.
+//!
+//! When an application's source is unavailable, the NANOS tools inject the
+//! SelfAnalyzer with a dynamic interposition tool and detect the iterative
+//! structure at runtime: the Dynamic Periodicity Detector (Freitag et al.,
+//! IPDPS 2001) "receives as input the sequence of parallel loops executed
+//! (the address of the encapsulated loop), and generates a Boolean
+//! indicating if it corresponds with the initial period of a loop or not"
+//! (§3.1).
+//!
+//! [`PeriodicityDetector`] reproduces that interface: push loop identifiers
+//! one at a time; the detector reports whether the identifier just pushed
+//! starts a new period of the detected cycle.
+
+/// Online detector of periodic patterns in a symbol stream.
+///
+/// # Examples
+///
+/// ```
+/// use pdpa_perf::PeriodicityDetector;
+///
+/// let mut detector = PeriodicityDetector::default();
+/// // An application executing parallel loops A, B, C per outer iteration:
+/// for _ in 0..4 {
+///     for addr in [0xA, 0xB, 0xC] {
+///         detector.push(addr);
+///     }
+/// }
+/// assert_eq!(detector.period(), Some(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PeriodicityDetector {
+    /// Recent symbols, newest last, bounded by `window`.
+    recent: Vec<u64>,
+    /// Maximum remembered history (bounds the detectable period).
+    window: usize,
+    /// Currently detected period length, if any.
+    period: Option<usize>,
+    /// Position (symbols seen) at which the current period was confirmed.
+    confirmed_at: usize,
+    seen: usize,
+}
+
+impl PeriodicityDetector {
+    /// Minimum repetitions of a candidate period before it is confirmed.
+    const MIN_REPEATS: usize = 2;
+
+    /// Creates a detector able to find periods up to `window / 2` symbols
+    /// long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 4` (nothing could ever repeat twice).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 4, "window too small to detect any period");
+        PeriodicityDetector {
+            recent: Vec::with_capacity(window),
+            window,
+            period: None,
+            confirmed_at: 0,
+            seen: 0,
+        }
+    }
+
+    /// The currently detected period length, if any.
+    pub fn period(&self) -> Option<usize> {
+        self.period
+    }
+
+    /// Total symbols pushed.
+    pub fn symbols_seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Pushes the next executed loop identifier. Returns `true` when this
+    /// symbol *starts* a period of the detected cycle.
+    pub fn push(&mut self, symbol: u64) -> bool {
+        if self.recent.len() == self.window {
+            self.recent.remove(0);
+        }
+        self.recent.push(symbol);
+        self.seen += 1;
+        self.redetect();
+        match self.period {
+            Some(p) => (self.seen - self.confirmed_at) % p == 0,
+            None => false,
+        }
+    }
+
+    /// Re-examines the recent history for the smallest period that repeats
+    /// at least [`Self::MIN_REPEATS`] times at the tail of the stream.
+    fn redetect(&mut self) {
+        let n = self.recent.len();
+        let found = (1..=n / Self::MIN_REPEATS).find(|&p| self.tail_has_period(p));
+        match (found, self.period) {
+            (Some(p), Some(cur)) if p == cur => {
+                // Stable detection; keep the original phase.
+            }
+            (Some(p), _) => {
+                self.period = Some(p);
+                // Phase: the current symbol ends a full repetition, so the
+                // next period starts p symbols from now; anchor the phase so
+                // that (seen - confirmed_at) % p == 0 right now.
+                self.confirmed_at = self.seen;
+            }
+            (None, _) => {
+                self.period = None;
+            }
+        }
+    }
+
+    /// True if the last `MIN_REPEATS * p` symbols repeat with period `p`.
+    fn tail_has_period(&self, p: usize) -> bool {
+        let need = p * Self::MIN_REPEATS;
+        let n = self.recent.len();
+        if n < need {
+            return false;
+        }
+        let tail = &self.recent[n - need..];
+        tail.iter().zip(tail.iter().skip(p)).all(|(a, b)| a == b)
+    }
+}
+
+impl Default for PeriodicityDetector {
+    /// A 64-symbol window: periods up to 32 parallel loops per iteration,
+    /// which covers the paper's applications comfortably.
+    fn default() -> Self {
+        PeriodicityDetector::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds `pattern` repeated `times` times; returns the push results.
+    fn feed(det: &mut PeriodicityDetector, pattern: &[u64], times: usize) -> Vec<bool> {
+        let mut out = Vec::new();
+        for _ in 0..times {
+            for &s in pattern {
+                out.push(det.push(s));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn no_period_in_random_stream() {
+        let mut det = PeriodicityDetector::default();
+        for s in [1u64, 7, 3, 9, 2, 8, 4, 6, 5, 11, 13, 17] {
+            det.push(s);
+        }
+        assert_eq!(det.period(), None);
+    }
+
+    #[test]
+    fn detects_simple_cycle() {
+        let mut det = PeriodicityDetector::default();
+        feed(&mut det, &[10, 20, 30], 4);
+        assert_eq!(det.period(), Some(3));
+    }
+
+    #[test]
+    fn constant_stream_has_period_one() {
+        let mut det = PeriodicityDetector::default();
+        feed(&mut det, &[5], 8);
+        assert_eq!(det.period(), Some(1));
+    }
+
+    #[test]
+    fn period_start_flags_every_cycle() {
+        let mut det = PeriodicityDetector::default();
+        // After confirmation, the start flag must fire once per 3 symbols.
+        let flags = feed(&mut det, &[10, 20, 30], 8);
+        let fires: Vec<usize> = flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i))
+            .collect();
+        assert!(fires.len() >= 4, "flags fired at {fires:?}");
+        for pair in fires.windows(2) {
+            assert_eq!(pair[1] - pair[0], 3, "fires every period: {fires:?}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_detects_outer_period() {
+        // An iteration executing loops A B A C repeats with period 4 even
+        // though A recurs inside; the detector must find the smallest true
+        // period, not be fooled by the inner repetition.
+        let mut det = PeriodicityDetector::default();
+        feed(&mut det, &[1, 2, 1, 3], 6);
+        assert_eq!(det.period(), Some(4));
+    }
+
+    #[test]
+    fn prefix_noise_is_forgotten() {
+        let mut det = PeriodicityDetector::new(16);
+        // Startup code (no period), then a steady iteration pattern.
+        for s in [99, 98, 97] {
+            det.push(s);
+        }
+        feed(&mut det, &[4, 5], 8);
+        assert_eq!(det.period(), Some(2));
+    }
+
+    #[test]
+    fn pattern_change_redetects() {
+        let mut det = PeriodicityDetector::new(8);
+        feed(&mut det, &[1, 2], 4);
+        assert_eq!(det.period(), Some(2));
+        // The application switches to a different parallel region.
+        feed(&mut det, &[7, 8, 9], 4);
+        assert_eq!(det.period(), Some(3));
+    }
+
+    #[test]
+    fn period_longer_than_half_window_is_invisible() {
+        let mut det = PeriodicityDetector::new(8);
+        // Period 5 cannot repeat twice inside an 8-symbol window.
+        feed(&mut det, &[1, 2, 3, 4, 5], 4);
+        assert_eq!(det.period(), None);
+    }
+}

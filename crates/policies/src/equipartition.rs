@@ -1,0 +1,205 @@
+//! Equipartition (McCann, Vaswani & Zahorjan, TOCS 1993).
+//!
+//! "Equipartition is a dynamic processor allocation policy that decides an
+//! equal allocation among running jobs. Reallocations are done at job
+//! arrival and job completion" (§3.3). It ignores application performance
+//! entirely and enforces a fixed multiprogramming level.
+
+use pdpa_perf::PerfSample;
+use pdpa_sim::JobId;
+
+use crate::alloc_math::equal_shares;
+use crate::policy::{Decisions, PolicyCtx, SchedulingPolicy};
+
+/// The Equipartition space-sharing policy.
+///
+/// # Examples
+///
+/// ```
+/// use pdpa_policies::{Equipartition, SchedulingPolicy};
+///
+/// let policy = Equipartition::default();
+/// assert_eq!(policy.name(), "Equipartition");
+/// assert_eq!(policy.multiprogramming_level(), 4); // the paper's setting
+/// ```
+#[derive(Clone, Debug)]
+pub struct Equipartition {
+    /// Fixed multiprogramming level (the paper uses 4).
+    multiprogramming_level: usize,
+}
+
+impl Equipartition {
+    /// Creates the policy with the given fixed multiprogramming level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiprogramming_level` is zero.
+    pub fn new(multiprogramming_level: usize) -> Self {
+        assert!(multiprogramming_level > 0, "ML must be at least 1");
+        Equipartition {
+            multiprogramming_level,
+        }
+    }
+
+    /// The configured multiprogramming level.
+    pub fn multiprogramming_level(&self) -> usize {
+        self.multiprogramming_level
+    }
+
+    /// Recomputes equal shares for every running job.
+    fn repartition(&self, ctx: &PolicyCtx) -> Decisions {
+        let requests: Vec<usize> = ctx.jobs.iter().map(|j| j.request).collect();
+        let shares = equal_shares(ctx.total_cpus, &requests, 1);
+        ctx.jobs
+            .iter()
+            .zip(shares)
+            .map(|(j, s)| (j.id, s))
+            .collect()
+    }
+}
+
+impl Default for Equipartition {
+    /// The paper's configuration: multiprogramming level 4.
+    fn default() -> Self {
+        Equipartition::new(4)
+    }
+}
+
+impl SchedulingPolicy for Equipartition {
+    fn name(&self) -> &'static str {
+        "Equipartition"
+    }
+
+    fn on_job_arrival(&mut self, ctx: &PolicyCtx, _job: JobId) -> Decisions {
+        self.repartition(ctx)
+    }
+
+    fn on_job_completion(&mut self, ctx: &PolicyCtx, _job: JobId) -> Decisions {
+        self.repartition(ctx)
+    }
+
+    fn on_performance_report(
+        &mut self,
+        _ctx: &PolicyCtx,
+        _job: JobId,
+        _sample: PerfSample,
+    ) -> Decisions {
+        // Equipartition does not use runtime performance.
+        Decisions::none()
+    }
+
+    fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {
+        ctx.running() < self.multiprogramming_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::JobView;
+    use pdpa_sim::SimTime;
+
+    fn view(id: u32, request: usize, allocated: usize) -> JobView {
+        JobView {
+            id: JobId(id),
+            request,
+            allocated,
+            last_sample: None,
+        }
+    }
+
+    fn ctx<'a>(jobs: &'a [JobView], total: usize, free: usize) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: SimTime::ZERO,
+            total_cpus: total,
+            free_cpus: free,
+            jobs,
+            queued_jobs: 0,
+            next_request: None,
+        }
+    }
+
+    #[test]
+    fn four_equal_jobs_get_fifteen_each() {
+        // The paper's workload-1 observation: with ML = 4 and 60 processors,
+        // Equipartition runs every application on 15 processors.
+        let jobs = vec![
+            view(0, 30, 0),
+            view(1, 30, 0),
+            view(2, 30, 0),
+            view(3, 30, 0),
+        ];
+        let mut p = Equipartition::default();
+        let d = p.on_job_arrival(&ctx(&jobs, 60, 60), JobId(3));
+        assert_eq!(
+            d.allocations,
+            vec![
+                (JobId(0), 15),
+                (JobId(1), 15),
+                (JobId(2), 15),
+                (JobId(3), 15)
+            ]
+        );
+    }
+
+    #[test]
+    fn light_load_gives_full_requests() {
+        let jobs = vec![view(0, 30, 0), view(1, 30, 0)];
+        let mut p = Equipartition::default();
+        let d = p.on_job_arrival(&ctx(&jobs, 60, 60), JobId(1));
+        assert_eq!(d.allocations, vec![(JobId(0), 30), (JobId(1), 30)]);
+    }
+
+    #[test]
+    fn small_request_leftover_is_redistributed() {
+        let jobs = vec![
+            view(0, 30, 0),
+            view(1, 2, 0),
+            view(2, 30, 0),
+            view(3, 30, 0),
+        ];
+        let mut p = Equipartition::default();
+        let d = p.on_job_arrival(&ctx(&jobs, 60, 60), JobId(3));
+        let total: usize = d.allocations.iter().map(|&(_, a)| a).sum();
+        assert_eq!(total, 60, "all processors in use");
+        assert_eq!(d.allocations[1], (JobId(1), 2), "apsi keeps its request");
+    }
+
+    #[test]
+    fn completion_triggers_repartition() {
+        let jobs = vec![view(0, 30, 20), view(1, 30, 20)];
+        let mut p = Equipartition::default();
+        let d = p.on_job_completion(&ctx(&jobs, 60, 20), JobId(5));
+        assert_eq!(d.allocations, vec![(JobId(0), 30), (JobId(1), 30)]);
+    }
+
+    #[test]
+    fn performance_reports_are_ignored() {
+        let jobs = vec![view(0, 30, 15)];
+        let mut p = Equipartition::default();
+        let sample = PerfSample {
+            procs: 15,
+            speedup: 3.0,
+            efficiency: 0.2,
+            iter_time: pdpa_sim::SimDuration::from_secs(1.0),
+            iteration: 5,
+        };
+        assert!(p
+            .on_performance_report(&ctx(&jobs, 60, 45), JobId(0), sample)
+            .is_empty());
+    }
+
+    #[test]
+    fn multiprogramming_level_is_fixed() {
+        let p = Equipartition::new(4);
+        let jobs3 = vec![view(0, 30, 15), view(1, 30, 15), view(2, 30, 15)];
+        assert!(p.may_start_new_job(&ctx(&jobs3, 60, 15)));
+        let jobs4 = vec![
+            view(0, 30, 15),
+            view(1, 30, 15),
+            view(2, 30, 15),
+            view(3, 30, 15),
+        ];
+        assert!(!p.may_start_new_job(&ctx(&jobs4, 60, 0)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Gang scheduling (Ousterhout's matrix).
+//!
+//! The classic alternative to both space sharing and uncoordinated time
+//! sharing: every running application gets the *entire machine* (up to its
+//! request) for one time slot, with all of its threads coscheduled, and the
+//! slots rotate round-robin. Synchronizing applications love it (no thread
+//! ever waits for a descheduled peer); the price is the `1/n` duty cycle
+//! and the whole-machine context switch.
+//!
+//! The scheduling surveys the paper builds on (Leutenegger & Vernon,
+//! Chiang et al.) use gang scheduling as the reference time-sharing
+//! discipline, which is why it is provided alongside the paper's own
+//! baselines.
+
+use pdpa_perf::PerfSample;
+use pdpa_sim::JobId;
+
+use crate::policy::{Decisions, GangParams, PolicyCtx, SchedulingPolicy, SharingModel};
+
+/// The gang-scheduling baseline.
+#[derive(Clone, Debug)]
+pub struct GangScheduler {
+    /// Maximum rows in the Ousterhout matrix (concurrent gangs).
+    multiprogramming_level: usize,
+    params: GangParams,
+}
+
+impl GangScheduler {
+    /// Creates the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiprogramming_level` is zero.
+    pub fn new(multiprogramming_level: usize, params: GangParams) -> Self {
+        assert!(multiprogramming_level > 0, "ML must be at least 1");
+        GangScheduler {
+            multiprogramming_level,
+            params,
+        }
+    }
+
+    /// The comparison configuration: 4 matrix rows (matching the paper's
+    /// fixed multiprogramming level), default gang parameters.
+    pub fn paper_comparable() -> Self {
+        Self::new(4, GangParams::default())
+    }
+}
+
+impl Default for GangScheduler {
+    fn default() -> Self {
+        Self::paper_comparable()
+    }
+}
+
+impl SchedulingPolicy for GangScheduler {
+    fn name(&self) -> &'static str {
+        "Gang"
+    }
+
+    fn sharing(&self) -> SharingModel {
+        SharingModel::Gang(self.params)
+    }
+
+    fn on_job_arrival(&mut self, ctx: &PolicyCtx, job: JobId) -> Decisions {
+        // A gang's width is its request, capped by the machine.
+        match ctx.job(job) {
+            Some(view) => Decisions::one(job, view.request.min(ctx.total_cpus)),
+            None => Decisions::none(),
+        }
+    }
+
+    fn on_job_completion(&mut self, _ctx: &PolicyCtx, _job: JobId) -> Decisions {
+        Decisions::none()
+    }
+
+    fn on_performance_report(
+        &mut self,
+        _ctx: &PolicyCtx,
+        _job: JobId,
+        _sample: PerfSample,
+    ) -> Decisions {
+        // Gang widths are fixed at arrival.
+        Decisions::none()
+    }
+
+    fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {
+        ctx.running() < self.multiprogramming_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::JobView;
+    use pdpa_sim::SimTime;
+
+    fn view(id: u32, request: usize) -> JobView {
+        JobView {
+            id: JobId(id),
+            request,
+            allocated: 0,
+            last_sample: None,
+        }
+    }
+
+    fn ctx<'a>(jobs: &'a [JobView]) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: SimTime::ZERO,
+            total_cpus: 60,
+            free_cpus: 60,
+            jobs,
+            queued_jobs: 0,
+            next_request: Some(30),
+        }
+    }
+
+    #[test]
+    fn declares_gang_sharing() {
+        let p = GangScheduler::paper_comparable();
+        assert!(matches!(p.sharing(), SharingModel::Gang(_)));
+    }
+
+    #[test]
+    fn gang_width_is_request_capped_by_machine() {
+        let mut p = GangScheduler::paper_comparable();
+        let jobs = vec![view(0, 30)];
+        let d = p.on_job_arrival(&ctx(&jobs), JobId(0));
+        assert_eq!(d.allocations, vec![(JobId(0), 30)]);
+        let wide = vec![view(1, 100)];
+        let d = p.on_job_arrival(&ctx(&wide), JobId(1));
+        assert_eq!(d.allocations, vec![(JobId(1), 60)]);
+    }
+
+    #[test]
+    fn matrix_rows_bound_admission() {
+        let p = GangScheduler::new(2, GangParams::default());
+        let jobs = vec![view(0, 30), view(1, 30)];
+        assert!(!p.may_start_new_job(&ctx(&jobs)));
+    }
+
+    #[test]
+    fn never_reacts_to_performance() {
+        let mut p = GangScheduler::paper_comparable();
+        let jobs = vec![view(0, 30)];
+        let s = PerfSample {
+            procs: 30,
+            speedup: 10.0,
+            efficiency: 1.0 / 3.0,
+            iter_time: pdpa_sim::SimDuration::from_secs(1.0),
+            iteration: 2,
+        };
+        assert!(p.on_performance_report(&ctx(&jobs), JobId(0), s).is_empty());
+    }
+}

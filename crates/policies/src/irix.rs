@@ -1,0 +1,172 @@
+//! A model of the native IRIX scheduler with the SGI-MP runtime.
+//!
+//! Under the paper's IRIX configuration each application creates
+//! `OMP_NUM_THREADS` kernel threads (set to its processor request) and the
+//! operating system time-shares the machine among all threads with an
+//! affinity-preserving placement policy. There is no coordination with the
+//! queuing system and no reaction to measured performance; the paper's §5.1.1
+//! attributes IRIX's poor results to exactly this: "the unresponsiveness of
+//! the native runtime system to changes in the system load, and the lack of
+//! coordination with the queuing system", plus a placement policy that
+//! causes "many process migrations".
+//!
+//! The policy therefore answers every event with "each job keeps `request`
+//! threads" and declares [`SharingModel::TimeShared`]; the engine's
+//! time-shared execution model supplies the per-quantum interleaving,
+//! migrations, and overcommit overhead.
+
+use pdpa_perf::PerfSample;
+use pdpa_sim::JobId;
+
+use crate::policy::{Decisions, PolicyCtx, SchedulingPolicy, SharingModel, TimeSharingParams};
+
+/// The IRIX-like time-sharing baseline.
+#[derive(Clone, Debug)]
+pub struct IrixLike {
+    /// Fixed multiprogramming level enforced by the queuing system
+    /// (the paper uses 4 — IRIX itself would admit everything).
+    multiprogramming_level: usize,
+    params: TimeSharingParams,
+}
+
+impl IrixLike {
+    /// Creates the policy with the given multiprogramming level and
+    /// time-sharing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiprogramming_level` is zero.
+    pub fn new(multiprogramming_level: usize, params: TimeSharingParams) -> Self {
+        assert!(multiprogramming_level > 0, "ML must be at least 1");
+        IrixLike {
+            multiprogramming_level,
+            params,
+        }
+    }
+
+    /// The paper's configuration: ML 4, default time-sharing parameters.
+    pub fn paper_default() -> Self {
+        Self::new(4, TimeSharingParams::default())
+    }
+
+    /// Every running job keeps as many threads as it requested
+    /// (`OMP_NUM_THREADS = request`).
+    fn thread_counts(&self, ctx: &PolicyCtx) -> Decisions {
+        ctx.jobs.iter().map(|j| (j.id, j.request)).collect()
+    }
+}
+
+impl Default for IrixLike {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SchedulingPolicy for IrixLike {
+    fn name(&self) -> &'static str {
+        "IRIX"
+    }
+
+    fn sharing(&self) -> SharingModel {
+        SharingModel::TimeShared(self.params)
+    }
+
+    fn on_job_arrival(&mut self, ctx: &PolicyCtx, _job: JobId) -> Decisions {
+        self.thread_counts(ctx)
+    }
+
+    fn on_job_completion(&mut self, ctx: &PolicyCtx, _job: JobId) -> Decisions {
+        self.thread_counts(ctx)
+    }
+
+    fn on_performance_report(
+        &mut self,
+        _ctx: &PolicyCtx,
+        _job: JobId,
+        _sample: PerfSample,
+    ) -> Decisions {
+        // The native runtime does not react to measured performance.
+        Decisions::none()
+    }
+
+    fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {
+        ctx.running() < self.multiprogramming_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::JobView;
+    use pdpa_sim::{SimDuration, SimTime};
+
+    fn view(id: u32, request: usize) -> JobView {
+        JobView {
+            id: JobId(id),
+            request,
+            allocated: 0,
+            last_sample: None,
+        }
+    }
+
+    fn ctx<'a>(jobs: &'a [JobView]) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: SimTime::ZERO,
+            total_cpus: 60,
+            free_cpus: 60,
+            jobs,
+            queued_jobs: 0,
+            next_request: None,
+        }
+    }
+
+    #[test]
+    fn declares_time_sharing() {
+        let p = IrixLike::paper_default();
+        assert!(matches!(p.sharing(), SharingModel::TimeShared(_)));
+    }
+
+    #[test]
+    fn jobs_get_their_requested_thread_counts() {
+        let jobs = vec![view(0, 30), view(1, 30), view(2, 2)];
+        let mut p = IrixLike::paper_default();
+        let d = p.on_job_arrival(&ctx(&jobs), JobId(2));
+        assert_eq!(
+            d.allocations,
+            vec![(JobId(0), 30), (JobId(1), 30), (JobId(2), 2)]
+        );
+    }
+
+    #[test]
+    fn oversubscription_is_allowed() {
+        // Three 30-thread jobs on 60 CPUs: 90 threads — IRIX does not care.
+        let jobs = vec![view(0, 30), view(1, 30), view(2, 30)];
+        let mut p = IrixLike::paper_default();
+        let d = p.on_job_arrival(&ctx(&jobs), JobId(2));
+        let total: usize = d.allocations.iter().map(|&(_, t)| t).sum();
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    fn ignores_performance() {
+        let jobs = vec![view(0, 30)];
+        let mut p = IrixLike::paper_default();
+        let s = PerfSample {
+            procs: 30,
+            speedup: 2.0,
+            efficiency: 2.0 / 30.0,
+            iter_time: SimDuration::from_secs(1.0),
+            iteration: 9,
+        };
+        assert!(p.on_performance_report(&ctx(&jobs), JobId(0), s).is_empty());
+    }
+
+    #[test]
+    fn multiprogramming_level_is_fixed() {
+        let p = IrixLike::new(2, TimeSharingParams::default());
+        let two = vec![view(0, 30), view(1, 30)];
+        assert!(!p.may_start_new_job(&ctx(&two)));
+        let one = vec![view(0, 30)];
+        assert!(p.may_start_new_job(&ctx(&one)));
+    }
+}

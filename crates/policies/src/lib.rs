@@ -1,0 +1,35 @@
+//! Processor scheduling policies.
+//!
+//! This crate defines the interface between the execution engine and any
+//! processor scheduling policy ([`SchedulingPolicy`]), plus the three
+//! baselines the paper evaluates PDPA against:
+//!
+//! - [`Equipartition`] (McCann, Vaswani & Zahorjan) — equal shares for every
+//!   running job, recomputed at arrivals and completions;
+//! - [`EqualEfficiency`] (Nguyen, Zahorjan & Vaswani) — more processors to
+//!   the applications with the best extrapolated efficiency;
+//! - [`IrixLike`] — a model of the native IRIX time-sharing scheduler with
+//!   affinity-based placement and no coordination with the queuing system;
+//! - [`RigidFirstFit`] — rigid space sharing (full request or wait), the
+//!   fragmentation strawman of §4.3;
+//! - [`GangScheduler`] — Ousterhout-style gang scheduling (whole-machine
+//!   round-robin slots), the classic third sharing discipline.
+//!
+//! PDPA itself lives in the `pdpa-core` crate and implements the same trait.
+
+pub mod alloc_math;
+pub mod equal_efficiency;
+pub mod equipartition;
+pub mod gang;
+pub mod irix;
+pub mod policy;
+pub mod rigid;
+
+pub use equal_efficiency::EqualEfficiency;
+pub use equipartition::Equipartition;
+pub use gang::GangScheduler;
+pub use irix::IrixLike;
+pub use policy::{
+    Decisions, GangParams, JobView, PolicyCtx, SchedulingPolicy, SharingModel, TimeSharingParams,
+};
+pub use rigid::RigidFirstFit;

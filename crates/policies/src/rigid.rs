@@ -1,0 +1,175 @@
+//! Rigid first-fit space sharing — the fragmentation strawman of §4.3.
+//!
+//! "Traditional approaches execute parallel workloads 1) limiting the
+//! multiprogramming level, resulting in fragmentation … The first option
+//! suffers from fragmentation in 1) systems where applications are rigid
+//! and can only be executed with the number of processors requested".
+//!
+//! [`RigidFirstFit`] is that system: an application starts only when its
+//! *full request* is free, runs with exactly that allocation to completion,
+//! and never resizes. The processors stranded between a running set and the
+//! next queued request are the fragmentation the dynamic space-sharing
+//! policies exist to avoid — measurable by comparing this policy's makespan
+//! against Equipartition's on any of the paper's workloads.
+
+use pdpa_perf::PerfSample;
+use pdpa_sim::JobId;
+
+use crate::policy::{Decisions, PolicyCtx, SchedulingPolicy};
+
+/// Rigid space sharing: full request or wait.
+#[derive(Clone, Debug)]
+pub struct RigidFirstFit {
+    /// Upper bound on concurrently running jobs (matching the paper's
+    /// fixed multiprogramming level of 4 keeps comparisons fair).
+    multiprogramming_level: usize,
+}
+
+impl RigidFirstFit {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiprogramming_level` is zero.
+    pub fn new(multiprogramming_level: usize) -> Self {
+        assert!(multiprogramming_level > 0, "ML must be at least 1");
+        RigidFirstFit {
+            multiprogramming_level,
+        }
+    }
+
+    /// The paper-comparable configuration: multiprogramming level 4.
+    pub fn paper_default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl Default for RigidFirstFit {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SchedulingPolicy for RigidFirstFit {
+    fn name(&self) -> &'static str {
+        "RigidFirstFit"
+    }
+
+    fn on_job_arrival(&mut self, ctx: &PolicyCtx, job: JobId) -> Decisions {
+        // Admission guaranteed the full request fits; grant exactly it.
+        match ctx.job(job) {
+            Some(view) => Decisions::one(job, view.request),
+            None => Decisions::none(),
+        }
+    }
+
+    fn on_job_completion(&mut self, _ctx: &PolicyCtx, _job: JobId) -> Decisions {
+        // Rigid jobs never resize; freed processors wait for the queue head.
+        Decisions::none()
+    }
+
+    fn on_performance_report(
+        &mut self,
+        _ctx: &PolicyCtx,
+        _job: JobId,
+        _sample: PerfSample,
+    ) -> Decisions {
+        Decisions::none()
+    }
+
+    fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {
+        if ctx.running() >= self.multiprogramming_level {
+            return false;
+        }
+        // First-fit: the head job starts only when its whole request is
+        // free — "having to wait until as many processors as the
+        // application requests are free" (§4.3). An empty machine always
+        // admits (a request larger than the machine would otherwise wedge
+        // the queue forever; the grant is capped by the machine).
+        if ctx.jobs.is_empty() {
+            return true;
+        }
+        match ctx.next_request {
+            Some(request) => ctx.free_cpus >= request,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::JobView;
+    use pdpa_sim::{SimDuration, SimTime};
+
+    fn view(id: u32, request: usize, allocated: usize) -> JobView {
+        JobView {
+            id: JobId(id),
+            request,
+            allocated,
+            last_sample: None,
+        }
+    }
+
+    fn ctx<'a>(jobs: &'a [JobView], free: usize) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: SimTime::ZERO,
+            total_cpus: 60,
+            free_cpus: free,
+            jobs,
+            queued_jobs: 1,
+            next_request: Some(30),
+        }
+    }
+
+    #[test]
+    fn grants_exactly_the_request() {
+        let mut p = RigidFirstFit::paper_default();
+        let jobs = vec![view(0, 30, 0)];
+        let d = p.on_job_arrival(&ctx(&jobs, 60), JobId(0));
+        assert_eq!(d.allocations, vec![(JobId(0), 30)]);
+    }
+
+    #[test]
+    fn never_resizes() {
+        let mut p = RigidFirstFit::paper_default();
+        let jobs = vec![view(0, 30, 30)];
+        let s = PerfSample {
+            procs: 30,
+            speedup: 2.0,
+            efficiency: 2.0 / 30.0,
+            iter_time: SimDuration::from_secs(1.0),
+            iteration: 4,
+        };
+        assert!(p
+            .on_performance_report(&ctx(&jobs, 30), JobId(0), s)
+            .is_empty());
+        assert!(p.on_job_completion(&ctx(&jobs, 30), JobId(9)).is_empty());
+    }
+
+    #[test]
+    fn admission_waits_for_a_full_request() {
+        let p = RigidFirstFit::paper_default();
+        let jobs = vec![view(0, 30, 30)];
+        assert!(
+            !p.may_start_new_job(&ctx(&jobs, 29)),
+            "29 free < request 30"
+        );
+        assert!(p.may_start_new_job(&ctx(&jobs, 30)));
+    }
+
+    #[test]
+    fn empty_machine_always_admits() {
+        // Even when the head requests more than is nominally free, an empty
+        // machine starts it (capped by the machine) instead of wedging.
+        let p = RigidFirstFit::paper_default();
+        assert!(p.may_start_new_job(&ctx(&[], 2)), "first job always starts");
+    }
+
+    #[test]
+    fn multiprogramming_level_caps() {
+        let p = RigidFirstFit::new(2);
+        let jobs = vec![view(0, 2, 2), view(1, 2, 2)];
+        assert!(!p.may_start_new_job(&ctx(&jobs, 56)));
+    }
+}

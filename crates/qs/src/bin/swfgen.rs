@@ -1,0 +1,103 @@
+//! `swfgen` — generate and inspect Standard Workload Format traces.
+//!
+//! ```text
+//! swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned]   # SWF to stdout
+//! swfgen info < trace.swf                              # summarize stdin
+//! ```
+//!
+//! The paper distributes its workloads as SWF trace files so that every
+//! scheduling policy replays the identical submission sequence; this tool
+//! produces and summarizes such files.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use pdpa_apps::AppClass;
+use pdpa_qs::{swf, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned]\n  swfgen info < trace.swf"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("info") => info(),
+        _ => usage(),
+    }
+}
+
+fn gen(args: &[String]) -> ExitCode {
+    let (Some(wl), Some(load), Some(seed)) = (args.first(), args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let workload = match wl.as_str() {
+        "w1" => Workload::W1,
+        "w2" => Workload::W2,
+        "w3" => Workload::W3,
+        "w4" => Workload::W4,
+        other => {
+            eprintln!("unknown workload {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let Ok(load) = load.parse::<f64>() else {
+        eprintln!("load must be a number, got {load:?}");
+        return ExitCode::from(2);
+    };
+    let Ok(seed) = seed.parse::<u64>() else {
+        eprintln!("seed must be an integer, got {seed:?}");
+        return ExitCode::from(2);
+    };
+    let tuned = !args.iter().any(|a| a == "--untuned");
+    let jobs = workload.build_with_tuning(load, seed, tuned);
+    print!("{}", swf::write_swf(&jobs));
+    ExitCode::SUCCESS
+}
+
+fn info() -> ExitCode {
+    let mut text = String::new();
+    if std::io::stdin().read_to_string(&mut text).is_err() {
+        eprintln!("could not read stdin");
+        return ExitCode::FAILURE;
+    }
+    let jobs = match swf::parse_swf(&text) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{} jobs", jobs.len());
+    if let (Some(first), Some(last)) = (jobs.first(), jobs.last()) {
+        println!(
+            "submissions: {:.1}s .. {:.1}s",
+            first.submit.as_secs(),
+            last.submit.as_secs()
+        );
+    }
+    for class in AppClass::ALL {
+        let of_class: Vec<_> = jobs.iter().filter(|j| j.app.class == class).collect();
+        if of_class.is_empty() {
+            continue;
+        }
+        let work: f64 = of_class
+            .iter()
+            .map(|j| j.app.total_seq_time().as_secs())
+            .sum();
+        let requests: std::collections::BTreeSet<usize> =
+            of_class.iter().map(|j| j.app.request).collect();
+        println!(
+            "  {:<8} {:>4} jobs, {:>8.0} cpu-s, requests {:?}",
+            class.name(),
+            of_class.len(),
+            work,
+            requests
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,38 @@
+//! Job specifications: an application plus a submission time.
+
+use pdpa_apps::ApplicationSpec;
+use pdpa_sim::SimTime;
+
+/// One job of a workload: an application instance and when it is submitted.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Submission instant.
+    pub submit: SimTime,
+    /// The application to run (class, iterations, speedup curve, request).
+    pub app: ApplicationSpec,
+}
+
+impl JobSpec {
+    /// Creates a job submitted at `submit`.
+    pub fn new(submit: SimTime, app: ApplicationSpec) -> Self {
+        JobSpec { submit, app }
+    }
+
+    /// The job's processor request.
+    pub fn request(&self) -> usize {
+        self.app.request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::paper::bt_a;
+
+    #[test]
+    fn carries_submission_and_request() {
+        let j = JobSpec::new(SimTime::from_secs(12.5), bt_a());
+        assert_eq!(j.submit.as_secs(), 12.5);
+        assert_eq!(j.request(), 30);
+    }
+}

@@ -1,0 +1,31 @@
+//! The NANOS Queuing System (NANOS QS) and workload generation.
+//!
+//! "The NANOS Queuing System is a user-level submission tool. It implements
+//! the job scheduling policy and interacts with the NANOS Resource Manager
+//! to control the multiprogramming level. … The NANOS QS has been
+//! implemented to introduce repeatability in the submission of workloads of
+//! parallel applications" (§3.2).
+//!
+//! This crate provides:
+//!
+//! - [`JobSpec`] / [`QueueSystem`] — the FCFS queue whose *admission timing*
+//!   is delegated to the processor scheduling policy (the coordination of
+//!   §4.3);
+//! - [`swf`] — reader/writer for Feitelson's Standard Workload Format, the
+//!   trace-file format the paper's workloads use (§5);
+//! - [`generator`] — the Poisson workload generator ("applications are
+//!   submitted to the system following a Poison interarrival function
+//!   during 300 seconds", §5);
+//! - [`workloads`] — the four workload compositions of Table 1, tuned and
+//!   untuned.
+
+pub mod generator;
+pub mod job;
+pub mod queue;
+pub mod swf;
+pub mod workloads;
+
+pub use generator::{generate, GeneratorConfig};
+pub use job::JobSpec;
+pub use queue::QueueSystem;
+pub use workloads::{Workload, DEFAULT_DURATION_SECS, DEFAULT_MACHINE_CPUS};

@@ -1,0 +1,208 @@
+//! The FCFS job queue with policy-delegated admission.
+//!
+//! The queuing system owns *which* job starts next (FCFS over arrival
+//! order); the processor scheduling policy owns *when* it may start (§4.3).
+//! [`QueueSystem`] therefore exposes the waiting queue and leaves the
+//! admission check to the engine, which consults
+//! `SchedulingPolicy::may_start_new_job` before popping.
+
+use std::collections::VecDeque;
+
+use pdpa_sim::{JobId, SimTime};
+
+use crate::job::JobSpec;
+
+/// The NANOS QS: all submissions of a workload, the waiting queue, and
+/// completion bookkeeping.
+#[derive(Clone, Debug)]
+pub struct QueueSystem {
+    /// Every job of the workload, indexed by `JobId`; ids are assigned in
+    /// submission order.
+    jobs: Vec<JobSpec>,
+    /// Arrived jobs not yet started, FCFS.
+    waiting: VecDeque<JobId>,
+    started: usize,
+    completed: usize,
+}
+
+impl QueueSystem {
+    /// Builds the queue system from a workload. Jobs are sorted by
+    /// submission time and assigned dense [`JobId`]s in that order.
+    pub fn new(mut jobs: Vec<JobSpec>) -> Self {
+        jobs.sort_by(|a, b| a.submit.cmp(&b.submit));
+        QueueSystem {
+            jobs,
+            waiting: VecDeque::new(),
+            started: 0,
+            completed: 0,
+        }
+    }
+
+    /// All submissions in id order (the engine schedules one arrival event
+    /// per entry).
+    pub fn submissions(&self) -> impl Iterator<Item = (JobId, &JobSpec)> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (JobId(i as u32), j))
+    }
+
+    /// The specification of a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn spec(&self, job: JobId) -> &JobSpec {
+        &self.jobs[job.index()]
+    }
+
+    /// Total jobs in the workload.
+    pub fn total_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// A job has arrived (its submission instant passed): it joins the FCFS
+    /// queue.
+    pub fn arrive(&mut self, job: JobId) {
+        debug_assert!(!self.waiting.contains(&job), "double arrival of {job}");
+        self.waiting.push_back(job);
+    }
+
+    /// The job that would start next, without removing it.
+    pub fn head(&self) -> Option<JobId> {
+        self.waiting.front().copied()
+    }
+
+    /// Starts the head job (the engine calls this only after the policy
+    /// granted admission).
+    pub fn start_next(&mut self) -> Option<JobId> {
+        let job = self.waiting.pop_front()?;
+        self.started += 1;
+        Some(job)
+    }
+
+    /// The waiting jobs in FCFS order (for backfilling scans).
+    pub fn waiting(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.waiting.iter().copied()
+    }
+
+    /// Starts a specific waiting job out of order (backfilling). Returns
+    /// false if the job is not waiting.
+    pub fn start_specific(&mut self, job: JobId) -> bool {
+        match self.waiting.iter().position(|&j| j == job) {
+            Some(pos) => {
+                self.waiting.remove(pos);
+                self.started += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records a completion.
+    pub fn complete(&mut self, _job: JobId) {
+        self.completed += 1;
+    }
+
+    /// Jobs waiting to start.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Jobs started so far.
+    pub fn started_count(&self) -> usize {
+        self.started
+    }
+
+    /// Jobs completed so far.
+    pub fn completed_count(&self) -> usize {
+        self.completed
+    }
+
+    /// True once every job of the workload has completed.
+    pub fn all_done(&self) -> bool {
+        self.completed == self.jobs.len()
+    }
+
+    /// The submission instant of the last job (useful for progress bounds).
+    pub fn last_submission(&self) -> Option<SimTime> {
+        self.jobs.last().map(|j| j.submit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::paper::{apsi, bt_a};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn make_qs() -> QueueSystem {
+        QueueSystem::new(vec![
+            JobSpec::new(t(5.0), bt_a()),
+            JobSpec::new(t(1.0), apsi()),
+            JobSpec::new(t(3.0), bt_a()),
+        ])
+    }
+
+    #[test]
+    fn ids_follow_submission_order() {
+        let qs = make_qs();
+        let order: Vec<f64> = qs.submissions().map(|(_, j)| j.submit.as_secs()).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+        assert_eq!(qs.spec(JobId(0)).app.class, pdpa_apps::AppClass::Apsi);
+        assert_eq!(qs.total_jobs(), 3);
+        assert_eq!(qs.last_submission(), Some(t(5.0)));
+    }
+
+    #[test]
+    fn fcfs_start_order() {
+        let mut qs = make_qs();
+        qs.arrive(JobId(0));
+        qs.arrive(JobId(1));
+        assert_eq!(qs.head(), Some(JobId(0)));
+        assert_eq!(qs.start_next(), Some(JobId(0)));
+        assert_eq!(qs.start_next(), Some(JobId(1)));
+        assert_eq!(qs.start_next(), None);
+        assert_eq!(qs.started_count(), 2);
+    }
+
+    #[test]
+    fn completion_bookkeeping() {
+        let mut qs = make_qs();
+        for i in 0..3 {
+            qs.arrive(JobId(i));
+            qs.start_next();
+            qs.complete(JobId(i));
+        }
+        assert!(qs.all_done());
+        assert_eq!(qs.waiting_count(), 0);
+    }
+
+    #[test]
+    fn backfill_starts_out_of_order() {
+        let mut qs = make_qs();
+        qs.arrive(JobId(0));
+        qs.arrive(JobId(1));
+        qs.arrive(JobId(2));
+        let order: Vec<JobId> = qs.waiting().collect();
+        assert_eq!(order, vec![JobId(0), JobId(1), JobId(2)]);
+        assert!(qs.start_specific(JobId(1)));
+        assert!(!qs.start_specific(JobId(1)), "already started");
+        assert_eq!(qs.head(), Some(JobId(0)), "head unchanged");
+        assert_eq!(qs.waiting_count(), 2);
+    }
+
+    #[test]
+    fn waiting_count_tracks_queue() {
+        let mut qs = make_qs();
+        assert_eq!(qs.waiting_count(), 0);
+        qs.arrive(JobId(0));
+        qs.arrive(JobId(1));
+        assert_eq!(qs.waiting_count(), 2);
+        qs.start_next();
+        assert_eq!(qs.waiting_count(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Standard Workload Format (SWF) trace files.
+//!
+//! The paper's workload trace files "follow the specification proposed by
+//! Feitelson" (§5) — the Standard Workload Format: one line per job with 18
+//! whitespace-separated fields, `-1` for unknown values, and `;` comment
+//! lines. This module writes and parses the subset this reproduction needs:
+//!
+//! | field | SWF meaning | use here |
+//! |---|---|---|
+//! | 1 | job number | sequential id |
+//! | 2 | submit time (s) | submission instant |
+//! | 8 | requested processors | the application's request |
+//! | 14 | executable (application) number | application class (1 = swim, 2 = bt.A, 3 = hydro2d, 4 = apsi) |
+//!
+//! All other fields are written as `-1` (unknown), which is valid SWF.
+
+use std::fmt;
+
+use pdpa_apps::{paper_app, AppClass};
+use pdpa_sim::SimTime;
+
+use crate::job::JobSpec;
+
+/// Errors from SWF parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwfError {
+    /// A data line has fewer than 18 fields.
+    TooFewFields { line: usize, got: usize },
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: usize },
+    /// The executable number does not map to a known application class.
+    UnknownExecutable { line: usize, executable: i64 },
+    /// The submit time is negative.
+    NegativeSubmit { line: usize },
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::TooFewFields { line, got } => {
+                write!(f, "line {line}: expected 18 SWF fields, got {got}")
+            }
+            SwfError::BadNumber { line, field } => {
+                write!(f, "line {line}: field {field} is not a number")
+            }
+            SwfError::UnknownExecutable { line, executable } => {
+                write!(f, "line {line}: unknown executable number {executable}")
+            }
+            SwfError::NegativeSubmit { line } => {
+                write!(f, "line {line}: negative submit time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// The SWF executable number of an application class.
+pub fn executable_number(class: AppClass) -> i64 {
+    match class {
+        AppClass::Swim => 1,
+        AppClass::BtA => 2,
+        AppClass::Hydro2d => 3,
+        AppClass::Apsi => 4,
+    }
+}
+
+/// The application class of an SWF executable number.
+pub fn class_of_executable(executable: i64) -> Option<AppClass> {
+    match executable {
+        1 => Some(AppClass::Swim),
+        2 => Some(AppClass::BtA),
+        3 => Some(AppClass::Hydro2d),
+        4 => Some(AppClass::Apsi),
+        _ => None,
+    }
+}
+
+/// Serializes a workload to SWF text.
+pub fn write_swf(jobs: &[JobSpec]) -> String {
+    let mut out = String::new();
+    out.push_str("; SWF workload trace — PDPA reproduction\n");
+    out.push_str("; Executable numbers: 1=swim 2=bt.A 3=hydro2d 4=apsi\n");
+    out.push_str("; MaxNodes: 60\n");
+    for (i, job) in jobs.iter().enumerate() {
+        // Fields:        1  2      3  4  5  6  7  8      9 10 11 12 13 14   15 16 17 18
+        let line = format!(
+            "{} {:.2} -1 -1 -1 -1 -1 {} -1 -1 -1 -1 -1 {} -1 -1 -1 -1\n",
+            i + 1,
+            job.submit.as_secs(),
+            job.app.request,
+            executable_number(job.app.class),
+        );
+        out.push_str(&line);
+    }
+    out
+}
+
+/// Serializes a *completed run* as a full SWF log: submit/wait/run times
+/// and allocated processors filled in from the outcomes, in the field
+/// positions the standard assigns (3 = wait, 4 = run, 5 = allocated
+/// processors, 11 = status 1 for completed). `outcomes` holds, per job in
+/// submission order, the wait time, run time, and mean allocated
+/// processors.
+///
+/// # Panics
+///
+/// Panics if `outcomes` and `jobs` have different lengths.
+pub fn write_swf_log(jobs: &[JobSpec], outcomes: &[(f64, f64, f64)]) -> String {
+    assert_eq!(jobs.len(), outcomes.len(), "one outcome per submitted job");
+    let mut out = String::new();
+    out.push_str("; SWF workload log — PDPA reproduction (completed run)\n");
+    out.push_str("; Executable numbers: 1=swim 2=bt.A 3=hydro2d 4=apsi\n");
+    out.push_str("; MaxNodes: 60\n");
+    for (i, (job, &(wait, run, procs))) in jobs.iter().zip(outcomes).enumerate() {
+        let line = format!(
+            "{} {:.2} {:.2} {:.2} {:.1} -1 -1 {} -1 -1 1 -1 -1 {} -1 -1 -1 -1\n",
+            i + 1,
+            job.submit.as_secs(),
+            wait,
+            run,
+            procs,
+            job.app.request,
+            executable_number(job.app.class),
+        );
+        out.push_str(&line);
+    }
+    out
+}
+
+/// Parses SWF text into a workload. Applications are reconstructed from
+/// their executable number using the calibrated paper models, with the
+/// requested processor count from field 8.
+pub fn parse_swf(text: &str) -> Result<Vec<JobSpec>, SwfError> {
+    let mut jobs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(SwfError::TooFewFields {
+                line: line_no,
+                got: fields.len(),
+            });
+        }
+        let submit: f64 = fields[1].parse().map_err(|_| SwfError::BadNumber {
+            line: line_no,
+            field: 2,
+        })?;
+        if submit < 0.0 {
+            return Err(SwfError::NegativeSubmit { line: line_no });
+        }
+        let request: i64 = fields[7].parse().map_err(|_| SwfError::BadNumber {
+            line: line_no,
+            field: 8,
+        })?;
+        let executable: i64 = fields[13].parse().map_err(|_| SwfError::BadNumber {
+            line: line_no,
+            field: 14,
+        })?;
+        let class = class_of_executable(executable).ok_or(SwfError::UnknownExecutable {
+            line: line_no,
+            executable,
+        })?;
+        let mut app = paper_app(class);
+        if request > 0 {
+            app = app.with_request(request as usize);
+        }
+        jobs.push(JobSpec::new(SimTime::from_secs(submit), app));
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_apps::paper::{apsi, swim};
+
+    #[test]
+    fn executable_numbers_round_trip() {
+        for class in AppClass::ALL {
+            assert_eq!(class_of_executable(executable_number(class)), Some(class));
+        }
+        assert_eq!(class_of_executable(9), None);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let jobs = vec![
+            JobSpec::new(SimTime::from_secs(0.0), swim()),
+            JobSpec::new(SimTime::from_secs(12.5), apsi().with_request(30)),
+        ];
+        let text = write_swf(&jobs);
+        let parsed = parse_swf(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].app.class, AppClass::Swim);
+        assert_eq!(parsed[0].app.request, 30);
+        assert_eq!(parsed[1].app.class, AppClass::Apsi);
+        assert_eq!(parsed[1].app.request, 30, "untuned request preserved");
+        assert!((parsed[1].submit.as_secs() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "; header\n\n; more\n1 0.0 -1 -1 -1 -1 -1 2 -1 -1 -1 -1 -1 4 -1 -1 -1 -1\n";
+        let jobs = parse_swf(text).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].app.class, AppClass::Apsi);
+        assert_eq!(jobs[0].app.request, 2);
+    }
+
+    #[test]
+    fn short_lines_are_rejected() {
+        let err = parse_swf("1 0.0 -1\n").unwrap_err();
+        assert_eq!(err, SwfError::TooFewFields { line: 1, got: 3 });
+    }
+
+    #[test]
+    fn bad_numbers_are_rejected() {
+        let text = "1 zero -1 -1 -1 -1 -1 2 -1 -1 -1 -1 -1 4 -1 -1 -1 -1\n";
+        let err = parse_swf(text).unwrap_err();
+        assert_eq!(err, SwfError::BadNumber { line: 1, field: 2 });
+    }
+
+    #[test]
+    fn unknown_executables_are_rejected() {
+        let text = "1 0.0 -1 -1 -1 -1 -1 2 -1 -1 -1 -1 -1 7 -1 -1 -1 -1\n";
+        let err = parse_swf(text).unwrap_err();
+        assert_eq!(
+            err,
+            SwfError::UnknownExecutable {
+                line: 1,
+                executable: 7
+            }
+        );
+    }
+
+    #[test]
+    fn negative_submit_rejected() {
+        let text = "1 -5.0 -1 -1 -1 -1 -1 2 -1 -1 -1 -1 -1 4 -1 -1 -1 -1\n";
+        let err = parse_swf(text).unwrap_err();
+        assert_eq!(err, SwfError::NegativeSubmit { line: 1 });
+    }
+
+    #[test]
+    fn log_writer_round_trips_and_carries_outcomes() {
+        let jobs = vec![
+            JobSpec::new(SimTime::from_secs(0.0), swim()),
+            JobSpec::new(SimTime::from_secs(9.5), apsi()),
+        ];
+        let outcomes = vec![(1.5, 12.0, 28.4), (0.0, 105.0, 2.0)];
+        let text = write_swf_log(&jobs, &outcomes);
+        // Still a valid SWF workload (outcome fields are extra info).
+        let parsed = parse_swf(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].app.class, AppClass::Swim);
+        // Wait/run/procs appear in the standard positions.
+        let first: Vec<&str> = text
+            .lines()
+            .find(|l| !l.starts_with(';'))
+            .unwrap()
+            .split_whitespace()
+            .collect();
+        assert_eq!(first[2], "1.50", "wait time, field 3");
+        assert_eq!(first[3], "12.00", "run time, field 4");
+        assert_eq!(first[4], "28.4", "allocated processors, field 5");
+        assert_eq!(first[10], "1", "status completed, field 11");
+    }
+
+    #[test]
+    #[should_panic(expected = "one outcome per submitted job")]
+    fn log_writer_length_mismatch_panics() {
+        let jobs = vec![JobSpec::new(SimTime::from_secs(0.0), swim())];
+        let _ = write_swf_log(&jobs, &[]);
+    }
+
+    #[test]
+    fn unknown_request_falls_back_to_class_default() {
+        // Request field -1: keep the calibrated default request.
+        let text = "1 0.0 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 4 -1 -1 -1 -1\n";
+        let jobs = parse_swf(text).unwrap();
+        assert_eq!(jobs[0].app.request, 2, "apsi's tuned default");
+    }
+}

@@ -1,0 +1,102 @@
+//! Reallocation cost model.
+//!
+//! The paper stresses that "reallocations are not free, and it is something
+//! that must be done with care" (§5.1): Equal_efficiency loses to PDPA partly
+//! because its noisy allocations trigger constant reallocation, and the
+//! stability of PDPA "helps the rest of mechanisms of the operating system
+//! (such as the memory migration) to do their work efficiently".
+//!
+//! [`CostModel`] turns an allocation change into lost application time:
+//! a fixed coordination cost per reallocation event plus a per-migrated-CPU
+//! cost that stands in for cache refill and page migration on a CC-NUMA
+//! machine.
+
+use crate::time::SimDuration;
+
+/// Prices for processor reallocation events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost paid by an application whenever its allocation changes
+    /// (thread synchronization at the reallocation point).
+    pub realloc_fixed: SimDuration,
+    /// Cost per CPU *gained* by a running application (thread start-up on a
+    /// cold CPU, cache and local-memory refill).
+    pub per_gained_cpu: SimDuration,
+    /// Cost per CPU *lost* by a running application (work redistribution
+    /// among the survivors).
+    pub per_lost_cpu: SimDuration,
+}
+
+impl CostModel {
+    /// The default calibration used by the experiments: 20 ms fixed,
+    /// 60 ms per gained CPU, 10 ms per lost CPU.
+    ///
+    /// These are in the range reported for page-migration-heavy CC-NUMA
+    /// reallocation; the experiments' *shape* is insensitive to the exact
+    /// values, but a zero cost would hide Equal_efficiency's instability
+    /// penalty.
+    pub fn origin2000() -> Self {
+        CostModel {
+            realloc_fixed: SimDuration::from_millis(20.0),
+            per_gained_cpu: SimDuration::from_millis(60.0),
+            per_lost_cpu: SimDuration::from_millis(10.0),
+        }
+    }
+
+    /// A zero-cost model (useful to isolate policy behaviour in tests).
+    pub fn free() -> Self {
+        CostModel {
+            realloc_fixed: SimDuration::ZERO,
+            per_gained_cpu: SimDuration::ZERO,
+            per_lost_cpu: SimDuration::ZERO,
+        }
+    }
+
+    /// The time an application loses to a reallocation that gained
+    /// `gained` CPUs and lost `lost` CPUs. A no-op change costs nothing.
+    pub fn charge(&self, gained: usize, lost: usize) -> SimDuration {
+        if gained == 0 && lost == 0 {
+            return SimDuration::ZERO;
+        }
+        self.realloc_fixed + self.per_gained_cpu * gained as f64 + self.per_lost_cpu * lost as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::origin2000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_free() {
+        let c = CostModel::origin2000();
+        assert!(c.charge(0, 0).is_zero());
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let c = CostModel::free();
+        assert!(c.charge(10, 10).is_zero());
+    }
+
+    #[test]
+    fn charge_scales_with_cpus() {
+        let c = CostModel::origin2000();
+        let small = c.charge(1, 0);
+        let large = c.charge(8, 0);
+        assert!(large > small);
+        // 20 ms fixed + 8 * 60 ms = 500 ms.
+        assert!((large.as_millis() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaining_costs_more_than_losing() {
+        let c = CostModel::origin2000();
+        assert!(c.charge(4, 0) > c.charge(0, 4));
+    }
+}

@@ -1,0 +1,58 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Identifies a job (one submitted application instance) for the lifetime of
+/// a simulation run.
+///
+/// Job ids are dense and assigned in submission order by the queuing system,
+/// which makes them usable as indices into per-job tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u32);
+
+/// Identifies a physical CPU of the simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CpuId(pub u16);
+
+impl JobId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CpuId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JobId(3).to_string(), "job3");
+        assert_eq!(CpuId(17).to_string(), "cpu17");
+    }
+
+    #[test]
+    fn indexing() {
+        assert_eq!(JobId(42).index(), 42);
+        assert_eq!(CpuId(9).index(), 9);
+    }
+}

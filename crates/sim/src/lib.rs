@@ -1,0 +1,31 @@
+//! Discrete-event multiprocessor simulation substrate for the PDPA
+//! reproduction.
+//!
+//! This crate contains the building blocks that everything else stands on:
+//!
+//! - [`SimTime`] / [`SimDuration`] — the simulated clock (seconds, `f64`).
+//! - [`SimRng`] — a small deterministic SplitMix64-based random number
+//!   generator, so every experiment is reproducible from a seed.
+//! - [`EventQueue`] — a stable priority queue of timestamped events.
+//! - [`Machine`] — a CC-NUMA machine model (SGI Origin 2000-like: two CPUs
+//!   per node) with affinity-preserving cpuset assignment and migration
+//!   accounting.
+//! - [`CostModel`] — the price of processor reallocations ("reallocations
+//!   are not free", paper §5.1).
+//!
+//! The workload execution engine itself lives in the `pdpa-engine` crate;
+//! this crate deliberately knows nothing about applications or policies.
+
+pub mod cost;
+pub mod event;
+pub mod ids;
+pub mod machine;
+pub mod rng;
+pub mod time;
+
+pub use cost::CostModel;
+pub use event::EventQueue;
+pub use ids::{CpuId, JobId};
+pub use machine::{CpuSet, Machine, MachineStats};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

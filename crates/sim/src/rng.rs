@@ -1,0 +1,209 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Experiments must be exactly reproducible from a seed (the paper replays
+//! identical workload trace files under every policy), so the simulator
+//! carries its own tiny generator instead of depending on platform entropy.
+//!
+//! [`SimRng`] is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a 64-bit
+//! state, a Weyl-sequence increment, and a 3-round finalizer. It is not
+//! cryptographic, but it passes BigCrush and is more than adequate for
+//! workload sampling.
+
+/// A deterministic SplitMix64 pseudo-random number generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. Any seed value is fine, including 0.
+    pub fn new(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Used to give each subsystem (arrival process, noise model, placement)
+    /// its own stream so that adding draws in one subsystem does not perturb
+    /// another.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        // Mix the stream tag into a fresh draw so that forks with different
+        // tags are decorrelated even when taken from the same parent state.
+        let base = self.next_u64();
+        SimRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits give a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform range inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiply-shift bounded sampling (Lemire). The tiny modulo bias of
+        // the plain multiply-shift is acceptable for simulation workloads.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Exponentially distributed value with the given `mean` (> 0).
+    ///
+    /// Used for Poisson interarrival times, as in the paper's workload
+    /// generator.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse-CDF; guard against ln(0).
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Standard normal draw (Box–Muller, one value per call).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..1_000 {
+            let x = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut rng = SimRng::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[rng.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_has_roughly_right_mean() {
+        let mut rng = SimRng::new(13);
+        let n = 50_000;
+        let mean = 4.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < 0.1,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = SimRng::new(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut parent = SimRng::new(5);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(29);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

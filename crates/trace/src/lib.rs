@@ -1,0 +1,26 @@
+//! Paraver-like execution tracing.
+//!
+//! The paper monitors workload executions with the `scpus` tracing tool and
+//! visualizes them with Paraver: "each line represents the activity of a CPU
+//! and each color represents a different application" (§5.1.1, Fig. 5), and
+//! derives "the total number of process migrations, the duration of the
+//! bursts executed by each cpu, and the number of bursts executed per cpu"
+//! (Table 2).
+//!
+//! This crate is the equivalent instrumentation for the simulator:
+//!
+//! - [`TraceCollector`] records which job occupies each CPU over time;
+//! - [`BurstStats`] computes the Table-2 statistics from a finished trace;
+//! - [`render_ascii`] draws the Fig.-5 execution view as text;
+//! - [`to_csv`] exports records for external plotting;
+//! - [`to_paraver`] writes a Paraver `.prv` document for the real tool.
+
+pub mod paraver;
+pub mod record;
+pub mod render;
+pub mod stats;
+
+pub use paraver::to_paraver;
+pub use record::{ActivityRecord, Trace, TraceCollector};
+pub use render::{render_ascii, to_csv, RenderOptions};
+pub use stats::BurstStats;

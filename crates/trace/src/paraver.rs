@@ -1,0 +1,135 @@
+//! Paraver trace export.
+//!
+//! The paper's traces were visualized with the Paraver tool (Labarta et
+//! al.), whose `.prv` format is a text header plus one *state record* per
+//! burst:
+//!
+//! ```text
+//! #Paraver (dd/mm/yy at hh:mm):ftime:nNodes(cpu1,..):nAppl:appl1(...):...
+//! 1:cpu:appl:task:thread:begin:end:state
+//! ```
+//!
+//! [`to_paraver`] emits that shape for a finished [`Trace`]: each job maps
+//! to one Paraver *application* with a single task/thread, each burst to a
+//! state record with state 1 (running). Times are microseconds. The output
+//! loads in Paraver/wxparaver for the same visual inspection the paper's
+//! Fig. 5 performs.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::record::Trace;
+
+/// Microseconds in a trace second.
+const US: f64 = 1e6;
+
+/// Serializes a trace as a Paraver `.prv` document.
+pub fn to_paraver(trace: &Trace) -> String {
+    let ftime = (trace.end.as_secs() * US).round() as u64;
+    // Applications present, in first-appearance order of their ids.
+    let jobs: BTreeSet<u32> = trace.records.iter().map(|r| r.job.0).collect();
+    let n_appl = jobs.len();
+
+    let mut out = String::new();
+    // Header: one node containing all CPUs; every application has one task
+    // with one thread on node 1.
+    let _ = write!(
+        out,
+        "#Paraver (01/01/00 at 00:00):{ftime}:1({}):{n_appl}",
+        trace.n_cpus
+    );
+    for _ in 0..n_appl {
+        out.push_str(":1(1:1)");
+    }
+    out.push('\n');
+
+    // Dense application numbering: Paraver applications are 1-based and
+    // contiguous.
+    let appl_of = |job: u32| -> usize { jobs.iter().position(|&j| j == job).expect("present") + 1 };
+
+    // State records, ordered by begin time (stable for equal times).
+    let mut records: Vec<_> = trace.records.iter().collect();
+    records.sort_by(|a, b| a.start.cmp(&b.start).then_with(|| a.cpu.cmp(&b.cpu)));
+    for r in records {
+        let begin = (r.start.as_secs() * US).round() as u64;
+        let end = (r.end.as_secs() * US).round() as u64;
+        let _ = writeln!(
+            out,
+            "1:{}:{}:1:1:{}:{}:1",
+            r.cpu.index() + 1,
+            appl_of(r.job.0),
+            begin,
+            end
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceCollector;
+    use pdpa_sim::{CpuId, JobId, SimTime};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut c = TraceCollector::new(4);
+        c.assign(CpuId(0), Some(JobId(7)), t(0.0));
+        c.assign(CpuId(1), Some(JobId(3)), t(1.0));
+        c.assign(CpuId(0), Some(JobId(3)), t(2.0));
+        c.finish(t(4.0))
+    }
+
+    #[test]
+    fn header_declares_machine_and_applications() {
+        let prv = to_paraver(&sample_trace());
+        let header = prv.lines().next().unwrap();
+        assert!(header.starts_with("#Paraver "));
+        assert!(header.contains(":4000000:"), "ftime 4 s in µs: {header}");
+        assert!(
+            header.contains(":1(4):2"),
+            "one node of 4 cpus, 2 applications"
+        );
+    }
+
+    #[test]
+    fn one_state_record_per_burst() {
+        let trace = sample_trace();
+        let prv = to_paraver(&trace);
+        let records: Vec<&str> = prv.lines().skip(1).collect();
+        assert_eq!(records.len(), trace.records.len());
+        for r in &records {
+            let fields: Vec<&str> = r.split(':').collect();
+            assert_eq!(fields.len(), 8, "record shape: {r}");
+            assert_eq!(fields[0], "1", "state record type");
+            assert_eq!(fields[7], "1", "running state");
+        }
+    }
+
+    #[test]
+    fn records_are_time_ordered_with_dense_applications() {
+        let prv = to_paraver(&sample_trace());
+        let mut last_begin = 0u64;
+        for line in prv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(':').collect();
+            let appl: usize = fields[2].parse().unwrap();
+            assert!(appl >= 1 && appl <= 2, "dense 1-based application ids");
+            let begin: u64 = fields[5].parse().unwrap();
+            assert!(begin >= last_begin, "sorted by begin time");
+            last_begin = begin;
+            let end: u64 = fields[6].parse().unwrap();
+            assert!(end >= begin);
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_just_a_header() {
+        let trace = TraceCollector::new(2).finish(t(1.0));
+        let prv = to_paraver(&trace);
+        assert_eq!(prv.lines().count(), 1);
+        assert!(prv.contains(":1(2):0"));
+    }
+}

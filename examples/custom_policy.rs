@@ -1,0 +1,95 @@
+//! Writing your own scheduling policy against the public API.
+//!
+//! Implements a naive "greedy first-come" space-sharing policy — every job
+//! gets its full request if it fits, otherwise whatever is left — and races
+//! it against PDPA on workload 4. The point is the trait surface: a policy
+//! is ~40 lines, and the whole engine, workload generator, and metrics
+//! pipeline work with it unchanged.
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use pdpa_suite::policies::{Decisions, PolicyCtx};
+use pdpa_suite::prelude::*;
+
+/// First-come-first-served greedy allocation with a fixed level of 4.
+struct GreedyFcfs;
+
+impl SchedulingPolicy for GreedyFcfs {
+    fn name(&self) -> &'static str {
+        "GreedyFCFS"
+    }
+
+    fn on_job_arrival(&mut self, ctx: &PolicyCtx, job: JobId) -> Decisions {
+        // The newcomer takes min(request, free); nobody else moves.
+        match ctx.job(job) {
+            Some(view) => Decisions::one(job, view.request.min(ctx.free_cpus).max(1)),
+            None => Decisions::none(),
+        }
+    }
+
+    fn on_job_completion(&mut self, ctx: &PolicyCtx, _job: JobId) -> Decisions {
+        // Freed processors go to the earliest under-allocated job.
+        let mut free = ctx.free_cpus;
+        let mut decisions = Decisions::none();
+        for view in ctx.jobs {
+            if free == 0 {
+                break;
+            }
+            if view.allocated < view.request {
+                let grant = (view.request - view.allocated).min(free);
+                decisions.set(view.id, view.allocated + grant);
+                free -= grant;
+            }
+        }
+        decisions
+    }
+
+    fn on_performance_report(
+        &mut self,
+        _ctx: &PolicyCtx,
+        _job: JobId,
+        _sample: PerfSample,
+    ) -> Decisions {
+        // Greedy ignores performance — that is its downfall.
+        Decisions::none()
+    }
+
+    fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {
+        ctx.running() < 4
+    }
+}
+
+fn main() {
+    println!("custom GreedyFCFS vs PDPA — workload 4 at 100 % load\n");
+    for policy in [
+        Box::new(GreedyFcfs) as Box<dyn SchedulingPolicy>,
+        Box::new(Pdpa::paper_default()),
+    ] {
+        let name = policy.name();
+        let jobs = Workload::W4.build(1.0, 42);
+        let result = Engine::new(EngineConfig::default()).run(jobs, policy);
+        print!(
+            "{:<12} makespan {:>5.0}s maxML {:>2}  ",
+            name,
+            result.summary.makespan_secs(),
+            result.max_ml
+        );
+        for class in [
+            AppClass::Swim,
+            AppClass::BtA,
+            AppClass::Hydro2d,
+            AppClass::Apsi,
+        ] {
+            if let Some(avgs) = result.summary.class_averages(class) {
+                print!("{} r={:.0}s ", class.name(), avgs.avg_response_secs);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nGreedy hands apsi 30 processors it cannot use; PDPA measures, shrinks,\n\
+         and admits more jobs — the paper's Table 4 in miniature."
+    );
+}

@@ -1,0 +1,67 @@
+//! MPI+OpenMP hybrid applications under PDPA — the paper's §6 future work.
+//!
+//! A rigid 8-rank MPI application with a 2:1 load imbalance becomes
+//! malleable once each rank runs OpenMP threads; PDPA then schedules it
+//! like any other iterative application, and the per-rank processor
+//! control (`RankStrategy::Balanced`) converts the imbalance into speedup
+//! instead of barrier wait.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_mpi
+//! ```
+
+use std::sync::Arc;
+
+use pdpa_suite::apps::Amdahl;
+use pdpa_suite::hybrid::{distribute, iteration_time, HybridSpec, HybridSpeedup, RankStrategy};
+use pdpa_suite::prelude::*;
+
+fn main() {
+    // Eight ranks; rank 0 carries twice the load.
+    let mut loads = vec![SimDuration::from_secs(2.0)];
+    loads.extend(std::iter::repeat(SimDuration::from_secs(1.0)).take(7));
+    let spec = HybridSpec::new(
+        loads,
+        Arc::new(Amdahl::new(0.02)),
+        SimDuration::from_millis(20.0),
+    );
+
+    println!("8-rank MPI application, rank loads 2:1:1:1:1:1:1:1 (seconds)\n");
+    for procs in [4usize, 8, 12, 16, 24] {
+        let alloc = distribute(&spec, procs, RankStrategy::Balanced);
+        let t_even = iteration_time(&spec, procs, RankStrategy::Even);
+        let t_bal = iteration_time(&spec, procs, RankStrategy::Balanced);
+        println!(
+            "{procs:>3} procs: balanced split {alloc:?}  iter even {:.2}s / balanced {:.2}s",
+            t_even.as_secs(),
+            t_bal.as_secs()
+        );
+    }
+
+    // Run it through the full stack: the hybrid model becomes an ordinary
+    // malleable application via its effective speedup curve.
+    let t1 = spec.total_seq() + SimDuration::from_millis(20.0);
+    let app = ApplicationSpec::new(
+        AppClass::BtA,
+        40,
+        t1,
+        24,
+        Arc::new(HybridSpeedup::new(spec, RankStrategy::Balanced)),
+        0.01,
+    );
+    let jobs = vec![
+        JobSpec::new(SimTime::ZERO, app.clone()),
+        JobSpec::new(SimTime::from_secs(8.0), app),
+    ];
+    let result = Engine::new(EngineConfig::default()).run(jobs, Box::new(Pdpa::paper_default()));
+    println!(
+        "\ntwo hybrid jobs under PDPA: makespan {:.1}s, avg allocation {:.1} procs, done: {}",
+        result.summary.makespan_secs(),
+        result.avg_alloc_by_class[&AppClass::BtA],
+        result.completed_all
+    );
+    println!(
+        "(a rigid MPI run would be pinned at 8 processors — with 4 procs/rank of\n\
+         OpenMP headroom, PDPA's search finds the efficient 20-24 range by itself)"
+    );
+}

@@ -1,0 +1,79 @@
+//! Two applications, real threads, one PDPA resource manager.
+//!
+//! The complete Fig. 1 loop with *two* concurrent applications: each runs
+//! its iterative region on its own worker crew in its own OS thread; both
+//! report wall-clock measurements to one shared resource manager running
+//! PDPA, which splits the machine's workers between them by measured
+//! efficiency — the scalable application keeps its workers, the saturating
+//! one is trimmed to its knee.
+//!
+//! ```sh
+//! cargo run --release --example multi_region_threads
+//! ```
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pdpa_suite::nthlib::{Crew, CurveKernel, LocalRm, Task};
+use pdpa_suite::prelude::*;
+
+fn drive(
+    name: &'static str,
+    rm: Arc<Mutex<LocalRm>>,
+    task: Arc<dyn Task>,
+    request: usize,
+    iterations: u32,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let crew = Crew::new(8);
+        let job = rm.lock().unwrap().register(request);
+        let mut analyzer = SelfAnalyzer::new(SelfAnalyzerConfig::default());
+        for i in 0..iterations {
+            let granted = rm.lock().unwrap().allocation(job).max(1);
+            let workers = analyzer
+                .effective_procs(granted)
+                .clamp(1, crew.max_workers());
+            let wall = crew.run(task.clone(), workers);
+            let sample =
+                analyzer.record_iteration(workers, SimDuration::from_secs(wall.as_secs_f64()));
+            if let Some(s) = sample {
+                rm.lock().unwrap().report(job, s);
+                println!(
+                    "{name}: iter {i:>2} on {workers} workers  {:>6.1} ms  eff {:.2}",
+                    wall.as_secs_f64() * 1e3,
+                    s.efficiency
+                );
+            } else {
+                println!(
+                    "{name}: iter {i:>2} on {workers} workers  {:>6.1} ms  (baseline)",
+                    wall.as_secs_f64() * 1e3
+                );
+            }
+        }
+        rm.lock().unwrap().complete(job);
+    })
+}
+
+fn main() {
+    println!("8 shared workers, two concurrent applications under one PDPA manager\n");
+    let rm = Arc::new(Mutex::new(LocalRm::new(Box::new(Pdpa::paper_default()), 8)));
+
+    let scalable = Arc::new(CurveKernel::new(Duration::from_millis(120), |n| n as f64));
+    let saturating = Arc::new(CurveKernel::new(Duration::from_millis(120), |n| match n {
+        0 => 0.0,
+        1 => 1.0,
+        2 => 1.8,
+        _ => 2.0,
+    }));
+
+    let a = drive("scalable  ", Arc::clone(&rm), scalable, 6, 12);
+    let b = drive("saturating", Arc::clone(&rm), saturating, 6, 12);
+    a.join().expect("scalable region");
+    b.join().expect("saturating region");
+
+    println!(
+        "\nPDPA measured both applications live and split the workers by\n\
+         efficiency: the saturating region ends near its 2-worker knee, the\n\
+         scalable region keeps the rest."
+    );
+}

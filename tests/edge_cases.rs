@@ -1,0 +1,130 @@
+//! Edge cases across the whole stack: degenerate machines, bursts of
+//! simultaneous arrivals, oversized requests, and the simulation bound.
+
+use pdpa_suite::prelude::*;
+
+fn policies() -> Vec<Box<dyn SchedulingPolicy>> {
+    vec![
+        Box::new(IrixLike::paper_default()),
+        Box::new(Equipartition::default()),
+        Box::new(EqualEfficiency::paper_default()),
+        Box::new(Pdpa::paper_default()),
+        Box::new(RigidFirstFit::paper_default()),
+    ]
+}
+
+#[test]
+fn one_cpu_machine_drains_every_policy() {
+    for policy in policies() {
+        let name = policy.name().to_owned();
+        let jobs = vec![
+            JobSpec::new(SimTime::ZERO, paper_app(AppClass::Apsi)),
+            JobSpec::new(SimTime::from_secs(5.0), paper_app(AppClass::Apsi)),
+        ];
+        let config = EngineConfig::default().with_cpus(1);
+        let result = Engine::new(config).run(jobs, policy);
+        assert!(result.completed_all, "{name} wedged on a 1-CPU machine");
+        assert_eq!(result.summary.jobs(), 2);
+    }
+}
+
+#[test]
+fn simultaneous_arrival_burst() {
+    // Twelve jobs all submitted at t = 0: admission, placement, and the
+    // multiprogramming level must sort the burst out deterministically.
+    for policy in policies() {
+        let name = policy.name().to_owned();
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|i| {
+                let class = AppClass::ALL[i % 4];
+                JobSpec::new(SimTime::ZERO, paper_app(class))
+            })
+            .collect();
+        let result = Engine::new(EngineConfig::default()).run(jobs, policy);
+        assert!(result.completed_all, "{name} lost a burst job");
+        assert_eq!(result.summary.jobs(), 12);
+        for o in result.summary.outcomes() {
+            assert_eq!(o.submit, SimTime::ZERO);
+        }
+    }
+}
+
+#[test]
+fn oversized_requests_on_a_small_machine() {
+    // Untuned jobs requesting 30 processors on an 8-CPU machine: every
+    // policy must cap at the machine and still drain.
+    for policy in policies() {
+        let name = policy.name().to_owned();
+        let jobs = Workload::W4.build_with_tuning(0.2, 3, false);
+        let config = EngineConfig::default().with_cpus(8);
+        let result = Engine::new(config).run(jobs, policy);
+        assert!(
+            result.completed_all,
+            "{name} wedged with oversized requests"
+        );
+        // Space-sharing allocations are processors and must fit the
+        // machine; IRIX's are kernel-thread counts, where oversubscription
+        // is the whole point.
+        if name != "IRIX" {
+            for (class, alloc) in &result.avg_alloc_by_class {
+                assert!(*alloc <= 8.0 + 1e-9, "{name}/{class}: {alloc} > machine");
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_bound_aborts_cleanly() {
+    let jobs = Workload::W3.build(1.0, 42);
+    let n = jobs.len();
+    let mut config = EngineConfig::default();
+    config.max_sim_secs = 50.0; // far too short for this workload
+    let result = Engine::new(config).run(jobs, Box::new(Equipartition::default()));
+    assert!(!result.completed_all, "the bound must trip");
+    assert!(result.summary.jobs() < n, "only some jobs completed");
+    // Whatever completed is still consistent.
+    for o in result.summary.outcomes() {
+        assert!(o.end.as_secs() <= 50.0 + 1.0);
+        assert!(o.submit <= o.start && o.start <= o.end);
+    }
+}
+
+#[test]
+fn empty_workload_is_a_clean_noop() {
+    for policy in policies() {
+        let result = Engine::new(EngineConfig::default()).run(Vec::new(), policy);
+        assert!(result.completed_all);
+        assert_eq!(result.summary.jobs(), 0);
+        assert_eq!(result.max_ml, 0);
+        assert_eq!(result.summary.makespan_secs(), 0.0);
+    }
+}
+
+#[test]
+fn single_iteration_application() {
+    // The shortest possible iterative application: one iteration — the
+    // SelfAnalyzer never even finishes its baseline.
+    let app = ApplicationSpec::new(
+        AppClass::Apsi,
+        1,
+        SimDuration::from_secs(2.0),
+        2,
+        std::sync::Arc::new(pdpa_suite::apps::Amdahl::new(0.3)),
+        0.0,
+    );
+    for policy in policies() {
+        let name = policy.name().to_owned();
+        let jobs = vec![JobSpec::new(SimTime::ZERO, app.clone())];
+        let result = Engine::new(EngineConfig::default()).run(jobs, policy);
+        assert!(result.completed_all, "{name} lost a one-iteration job");
+    }
+}
+
+#[test]
+fn heavily_overloaded_system_still_drains() {
+    // 150 % nominal load: queues grow long but everything completes.
+    let jobs = Workload::W3.build(1.5, 17);
+    let result = Engine::new(EngineConfig::default()).run(jobs, Box::new(Pdpa::paper_default()));
+    assert!(result.completed_all);
+    assert!(result.summary.makespan_secs() > 300.0);
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the scheduling policies through the engine:
+//! random workloads, every policy, structural invariants.
+
+use proptest::prelude::*;
+
+use pdpa_suite::prelude::*;
+use pdpa_suite::qs::GeneratorConfig;
+
+fn arb_mix() -> impl Strategy<Value = Vec<(AppClass, f64)>> {
+    prop_oneof![
+        Just(vec![(AppClass::Swim, 0.5), (AppClass::BtA, 0.5)]),
+        Just(vec![(AppClass::BtA, 0.5), (AppClass::Hydro2d, 0.5)]),
+        Just(vec![(AppClass::BtA, 0.5), (AppClass::Apsi, 0.5)]),
+        Just(vec![
+            (AppClass::Swim, 0.25),
+            (AppClass::BtA, 0.25),
+            (AppClass::Hydro2d, 0.25),
+            (AppClass::Apsi, 0.25),
+        ]),
+    ]
+}
+
+fn build_policy(which: usize) -> Box<dyn SchedulingPolicy> {
+    match which % 4 {
+        0 => Box::new(IrixLike::paper_default()),
+        1 => Box::new(Equipartition::default()),
+        2 => Box::new(EqualEfficiency::paper_default()),
+        _ => Box::new(Pdpa::paper_default()),
+    }
+}
+
+proptest! {
+    // Full simulations are fast (~ms) but cap cases to keep the suite snappy.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random workload drains completely under every policy, with
+    /// consistent per-job timestamps — no starvation, no stuck jobs, no
+    /// time travel.
+    #[test]
+    fn all_policies_drain_all_workloads(
+        mix in arb_mix(),
+        load in 0.3f64..1.2,
+        seed in 0u64..10_000,
+        which in 0usize..4,
+    ) {
+        let config = GeneratorConfig {
+            composition: mix,
+            load,
+            cpus: 60,
+            duration_secs: 150.0,
+            tuned: true,
+        };
+        let jobs = pdpa_suite::qs::generate(&config, seed);
+        let n = jobs.len();
+        let result = Engine::new(EngineConfig::default().with_seed(seed))
+            .run(jobs, build_policy(which));
+        prop_assert!(result.completed_all, "jobs stuck under policy {}", which % 4);
+        prop_assert_eq!(result.summary.jobs(), n);
+        for o in result.summary.outcomes() {
+            prop_assert!(o.submit <= o.start && o.start <= o.end);
+        }
+    }
+
+    /// PDPA never lets a job's average allocation exceed its request.
+    #[test]
+    fn pdpa_respects_requests(
+        load in 0.3f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let jobs = Workload::W4.build(load, seed);
+        let requests: Vec<(AppClass, usize)> =
+            jobs.iter().map(|j| (j.app.class, j.app.request)).collect();
+        let result = Engine::new(EngineConfig::default().with_seed(seed))
+            .run(jobs, Box::new(Pdpa::paper_default()));
+        prop_assert!(result.completed_all);
+        for (class, avg) in &result.avg_alloc_by_class {
+            let max_request = requests
+                .iter()
+                .filter(|(c, _)| c == class)
+                .map(|&(_, r)| r)
+                .max()
+                .unwrap_or(0);
+            prop_assert!(
+                *avg <= max_request as f64 + 1e-9,
+                "{class}: avg {avg} exceeds request {max_request}"
+            );
+        }
+    }
+
+    /// Untuned apsi always ends up small under PDPA, whatever the seed —
+    /// the search is robust, not luck.
+    #[test]
+    fn pdpa_always_shrinks_untuned_apsi(seed in 0u64..10_000) {
+        let jobs = Workload::W3.build_with_tuning(0.6, seed, false);
+        prop_assume!(jobs.iter().any(|j| j.app.class == AppClass::Apsi));
+        let result = Engine::new(EngineConfig::default().with_seed(seed))
+            .run(jobs, Box::new(Pdpa::paper_default()));
+        prop_assert!(result.completed_all);
+        let apsi = result.avg_alloc_by_class[&AppClass::Apsi];
+        prop_assert!(apsi < 10.0, "apsi averaged {apsi:.1} processors");
+    }
+}

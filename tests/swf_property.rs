@@ -1,0 +1,76 @@
+//! Property-based tests of the SWF trace format and workload generator.
+
+use proptest::prelude::*;
+
+use pdpa_suite::apps::{paper_app, AppClass};
+use pdpa_suite::qs::{swf, GeneratorConfig, JobSpec};
+use pdpa_suite::sim::SimTime;
+
+fn arb_class() -> impl Strategy<Value = AppClass> {
+    prop_oneof![
+        Just(AppClass::Swim),
+        Just(AppClass::BtA),
+        Just(AppClass::Hydro2d),
+        Just(AppClass::Apsi),
+    ]
+}
+
+proptest! {
+    /// Any workload survives an SWF write/parse round trip with class,
+    /// request, and submission order intact.
+    #[test]
+    fn swf_round_trips(
+        jobs in proptest::collection::vec(
+            (arb_class(), 0.0f64..1000.0, 1usize..=60),
+            0..40,
+        )
+    ) {
+        let original: Vec<JobSpec> = jobs
+            .iter()
+            .map(|&(class, submit, req)| {
+                JobSpec::new(SimTime::from_secs(submit), paper_app(class).with_request(req))
+            })
+            .collect();
+        let text = swf::write_swf(&original);
+        let parsed = swf::parse_swf(&text).unwrap();
+        prop_assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.iter().zip(&parsed) {
+            prop_assert_eq!(a.app.class, b.app.class);
+            prop_assert_eq!(a.app.request, b.app.request);
+            prop_assert!((a.submit.as_secs() - b.submit.as_secs()).abs() < 0.01);
+        }
+    }
+
+    /// The generator always produces sorted submissions inside the window,
+    /// with positive requests, for any valid configuration.
+    #[test]
+    fn generator_output_is_well_formed(
+        load in 0.1f64..1.5,
+        seed in 0u64..1000,
+        duration in 50.0f64..500.0,
+    ) {
+        let config = GeneratorConfig {
+            composition: vec![(AppClass::BtA, 0.5), (AppClass::Apsi, 0.5)],
+            load,
+            cpus: 60,
+            duration_secs: duration,
+            tuned: true,
+        };
+        let jobs = pdpa_suite::qs::generate(&config, seed);
+        for pair in jobs.windows(2) {
+            prop_assert!(pair[0].submit <= pair[1].submit);
+        }
+        for job in &jobs {
+            prop_assert!(job.submit.as_secs() < duration);
+            prop_assert!(job.app.request >= 1);
+        }
+    }
+
+    /// Corrupted SWF lines never panic the parser — they produce errors.
+    #[test]
+    fn swf_parser_is_total(line in "[ -~]{0,120}") {
+        // Any printable garbage: must return Ok (if it happens to parse) or
+        // Err, never panic.
+        let _ = swf::parse_swf(&line);
+    }
+}
