@@ -27,4 +27,6 @@ pub use app::{ApplicationSpec, PhaseChange, Progress};
 pub use class::AppClass;
 pub use noise::NoiseModel;
 pub use paper::{apsi, bt_a, hydro2d, paper_app, swim};
-pub use speedup::{Amdahl, Downey, Gustafson, PiecewiseLinear, SpeedupModel, Superlinear};
+pub use speedup::{
+    Amdahl, Downey, Gustafson, PiecewiseLinear, SpeedupMemo, SpeedupModel, Superlinear,
+};

@@ -291,6 +291,56 @@ impl SpeedupModel for Superlinear {
     }
 }
 
+/// A lazily-filled lookup table over a [`SpeedupModel`]'s integer points.
+///
+/// The engine evaluates a job's speedup curve on every rate recomputation —
+/// thousands of times per job under time sharing, always at the same few
+/// integer processor counts (allocations take values `1..=cpus`). Models
+/// like [`Downey`] and [`Superlinear`] do real floating-point work per
+/// call, so each job carries one of these and pays for every distinct
+/// point once.
+///
+/// `NaN` marks an unfilled slot; no model may return `NaN` for a valid
+/// processor count (all built-in models return finite values).
+#[derive(Clone, Debug, Default)]
+pub struct SpeedupMemo {
+    cache: Vec<f64>,
+}
+
+impl SpeedupMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        SpeedupMemo::default()
+    }
+
+    /// `model.speedup(p)`, computed at most once per `p`.
+    pub fn speedup(&mut self, model: &dyn SpeedupModel, p: usize) -> f64 {
+        if p >= self.cache.len() {
+            self.cache.resize(p + 1, f64::NAN);
+        }
+        if self.cache[p].is_nan() {
+            self.cache[p] = model.speedup(p);
+        }
+        self.cache[p]
+    }
+
+    /// Speedup at a fractional processor count, by linear interpolation
+    /// between the memoized integer points (the same interpolation as
+    /// `pdpa_engine::timeshare::fractional_speedup`).
+    pub fn fractional(&mut self, model: &dyn SpeedupModel, procs: f64) -> f64 {
+        if procs <= 0.0 {
+            return 0.0;
+        }
+        let lo = procs.floor() as usize;
+        let hi = procs.ceil() as usize;
+        if lo == hi {
+            return self.speedup(model, lo);
+        }
+        let t = procs - lo as f64;
+        self.speedup(model, lo) * (1.0 - t) + self.speedup(model, hi) * t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +473,26 @@ mod tests {
         assert!(knee < 20, "knee {knee} should precede saturation");
         // Impossible target degrades to one processor.
         assert_eq!(m.max_procs_at_efficiency(2.0, 32), 1);
+    }
+
+    #[test]
+    fn memo_matches_direct_evaluation() {
+        let m = Downey::new(12.0, 0.5);
+        let mut memo = SpeedupMemo::new();
+        for p in 0..=64 {
+            assert_eq!(memo.speedup(&m, p), m.speedup(p), "p={p}");
+            // Second lookup hits the cache and must agree.
+            assert_eq!(memo.speedup(&m, p), m.speedup(p), "p={p} (cached)");
+        }
+    }
+
+    #[test]
+    fn memo_fractional_interpolates() {
+        let m = Amdahl::new(0.0); // S(p) = p
+        let mut memo = SpeedupMemo::new();
+        assert_eq!(memo.fractional(&m, 0.0), 0.0);
+        assert_eq!(memo.fractional(&m, 4.0), 4.0);
+        assert!((memo.fractional(&m, 4.5) - 4.5).abs() < 1e-12);
+        assert!((memo.fractional(&m, 0.5) - 0.5).abs() < 1e-12);
     }
 }

@@ -1,80 +1,8 @@
-//! PDPA ablations (extension beyond the paper's evaluation).
-//!
-//! Three design choices DESIGN.md calls out, each removed in isolation on
-//! workload 4 at 100 % load:
-//!
-//! 1. **No coordination** (`coordinate_ml = false`) — PDPA's allocation
-//!    search with a fixed multiprogramming level of 4: quantifies how much
-//!    of PDPA's win is the dynamic level versus the efficiency search.
-//! 2. **No relative-speedup test** (`use_relative_speedup = false`) — the
-//!    INC state keeps growing superlinear applications as long as raw
-//!    efficiency stays high (§4.2.2 exists to stop exactly this).
-//! 3. **Target-efficiency sweep** — `target_eff` ∈ {0.5, 0.7, 0.9}: the
-//!    knob trading individual execution time against system throughput.
-//! 4. **Load-adaptive target** — §4.1's alternative of setting the target
-//!    efficiency dynamically from the load of the system.
+//! Thin wrapper over the in-process registry: `ablation` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_apps::AppClass;
-use pdpa_bench::{average, SEEDS};
-use pdpa_core::{Pdpa, PdpaParams, TargetMode};
-use pdpa_engine::{Engine, EngineConfig};
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn run(params: PdpaParams, label: &str) {
-    let workload = Workload::W4;
-    let runs: Vec<_> = SEEDS
-        .iter()
-        .map(|&seed| {
-            let jobs = workload.build(1.0, seed);
-            let config = EngineConfig::default().with_seed(seed ^ 0xA5A5);
-            Engine::new(config).run(jobs, Box::new(Pdpa::new(params)))
-        })
-        .collect();
-    let cell = average(&runs, workload);
-    print!("{label:<28}");
-    for class in AppClass::ALL {
-        print!(
-            " {:>5.0}/{:<5.0}",
-            cell.response[&class], cell.execution[&class]
-        );
-    }
-    println!(
-        " makespan {:>5.0}s  maxML {:>3.0}",
-        cell.makespan, cell.max_ml
-    );
-}
-
-fn main() {
-    println!("# PDPA ablations — workload 4, load = 100 % (response/execution per class)\n");
-    println!(
-        "{:<28} {:>11} {:>11} {:>11} {:>11}",
-        "", "swim", "bt.A", "hydro2d", "apsi"
-    );
-
-    run(PdpaParams::default(), "PDPA (paper)");
-
-    let mut no_coord = PdpaParams::default();
-    no_coord.coordinate_ml = false;
-    run(no_coord, "no ML coordination");
-
-    let mut no_rel = PdpaParams::default();
-    no_rel.use_relative_speedup = false;
-    run(no_rel, "no relative-speedup test");
-
-    for target in [0.5, 0.9] {
-        let params = PdpaParams::default().with_target_eff(target);
-        run(params, &format!("target_eff = {target}"));
-    }
-
-    for step in [2usize, 8] {
-        let params = PdpaParams::default().with_step(step);
-        run(params, &format!("step = {step}"));
-    }
-
-    // §4.1's alternative: the target efficiency set dynamically from load.
-    let adaptive = PdpaParams::default().with_target_mode(TargetMode::LoadAdaptive {
-        min: 0.5,
-        max: 0.85,
-    });
-    run(adaptive, "adaptive target 0.5..0.85");
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("ablation")
 }

@@ -2,41 +2,12 @@
 //!
 //! `cargo run -p pdpa-bench --release --bin expt-all > results.txt`
 //! regenerates the full evaluation; `EXPERIMENTS.md` was produced from this
-//! output.
+//! output. Experiments run concurrently in-process (see
+//! `pdpa_bench::harness`); outputs print in deterministic registry order.
+//! Flags: `--json`, `--sequential`, `--only <name>`.
 
-use std::process::Command;
+use std::process::ExitCode;
 
-fn main() {
-    let binaries = [
-        "expt-fig3",
-        "expt-table1",
-        "expt-fig4",
-        "expt-fig5",
-        "expt-table2",
-        "expt-fig6",
-        "expt-fig7",
-        "expt-fig8",
-        "expt-fig9",
-        "expt-table3",
-        "expt-fig10",
-        "expt-table4",
-        "expt-ablation",
-        "expt-hybrid",
-        "expt-cluster",
-        "expt-fragmentation",
-        "expt-sensitivity",
-        "expt-sharing",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in binaries {
-        println!("{}", "=".repeat(78));
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_all()
 }

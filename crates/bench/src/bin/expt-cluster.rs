@@ -1,59 +1,8 @@
-//! Extension experiment — clusters of SMPs with cooperating schedulers
-//! (§6 future work).
-//!
-//! A 4-node × 8-CPU cluster runs a mix of spanning and single-node jobs
-//! under two regimes: independent per-node equipartition, and cooperative
-//! co-allocation ("each application is given resources at the same time on
-//! all the nodes"). The table shows the coordination waste and makespan.
+//! Thin wrapper over the in-process registry: `cluster` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use std::sync::Arc;
+use std::process::ExitCode;
 
-use pdpa_apps::Amdahl;
-use pdpa_cluster::{run_cluster, ClusterJob, ClusterSpec, Coordination};
-use pdpa_sim::SimDuration;
-
-fn mix() -> Vec<ClusterJob> {
-    let inner = Arc::new(Amdahl::new(0.03));
-    let job = |span: usize, seq: f64, pinned: Option<Vec<usize>>| ClusterJob {
-        span,
-        per_node_request: 8,
-        iterations: 40,
-        seq_iter_time: SimDuration::from_secs(seq),
-        inner: inner.clone(),
-        pinned,
-    };
-    // Asymmetric residency: node 0 is crowded, nodes 1–3 host the spanning
-    // job plus one single-node co-resident each.
-    vec![
-        job(4, 24.0, Some(vec![0, 1, 2, 3])), // the big spanning application
-        job(1, 5.0, Some(vec![0])),
-        job(1, 5.0, Some(vec![0])),
-        job(1, 6.0, Some(vec![1])),
-        job(1, 6.0, Some(vec![2])),
-        job(1, 6.0, Some(vec![3])),
-    ]
-}
-
-fn main() {
-    println!("# Cluster of SMPs (extension — paper §6): 4 nodes × 8 CPUs\n");
-    println!(
-        "{:<14} {:>11} {:>14}  {}",
-        "coordination", "makespan", "wasted cpu-s", "per-job exec (s)"
-    );
-    for mode in [Coordination::Independent, Coordination::Cooperative] {
-        let r = run_cluster(ClusterSpec::new(4, 8), &mix(), mode);
-        let execs: Vec<String> = r.exec_secs.iter().map(|t| format!("{t:.0}")).collect();
-        println!(
-            "{:<14} {:>10.1}s {:>14.1}  [{}]",
-            format!("{mode:?}"),
-            r.makespan_secs,
-            r.wasted_cpu_seconds,
-            execs.join(", ")
-        );
-    }
-    println!(
-        "\nIndependent node schedulers grant a spanning job different counts on\n\
-         different nodes; the job synchronizes every iteration, so everything\n\
-         above the slowest node's grant is waste. Cooperation eliminates it."
-    );
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("cluster")
 }

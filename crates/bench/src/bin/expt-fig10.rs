@@ -1,48 +1,8 @@
-//! Fig. 10 — workload 4 response and execution times.
-//!
-//! Reproduces the paper's Fig. 10: average response time (top) and average
-//! execution time (bottom) per application class, for the four scheduling
-//! policies at 60/80/100 % system load.
+//! Thin wrapper over the in-process registry: `fig10` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::{print_figure, run_figure, Metric};
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    let workload = Workload::W4;
-    let grid = run_figure(workload, true);
-    print!(
-        "{}",
-        print_figure(
-            "Fig. 10 — workload 4 response times",
-            workload,
-            &grid,
-            Metric::Response
-        )
-    );
-    print!(
-        "{}",
-        print_figure(
-            "Fig. 10 — workload 4 execution times",
-            workload,
-            &grid,
-            Metric::Execution
-        )
-    );
-    print!(
-        "{}",
-        print_figure(
-            "Fig. 10 — workload 4 average allocations (analysis)",
-            workload,
-            &grid,
-            Metric::AvgAlloc
-        )
-    );
-    for (policy, cells) in &grid {
-        let mls: Vec<String> = cells.iter().map(|c| format!("{:.0}", c.max_ml)).collect();
-        println!(
-            "max multiprogramming level {:<10} {}",
-            policy.label(),
-            mls.join(" / ")
-        );
-    }
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("fig10")
 }

@@ -1,69 +1,8 @@
-//! Fig. 3 — speedup curves of the four applications.
-//!
-//! Prints each calibrated curve as a table and an ASCII plot, matching the
-//! qualitative shapes of the paper's figure: swim superlinear, bt.A good,
-//! hydro2d medium, apsi flat.
+//! Thin wrapper over the in-process registry: `fig3` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_apps::{paper_app, AppClass};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Fig. 3 — speedup curves\n");
-    let procs: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 30, 40, 50, 60];
-
-    // Table.
-    print!("{:<10}", "procs");
-    for p in &procs {
-        print!("{p:>7}");
-    }
-    println!();
-    for class in AppClass::ALL {
-        let app = paper_app(class);
-        print!("{:<10}", class.name());
-        for &p in &procs {
-            print!("{:>7.1}", app.speedup.speedup(p));
-        }
-        println!();
-    }
-
-    // Efficiency at the paper's target.
-    println!("\nefficiency (speedup / procs):");
-    print!("{:<10}", "procs");
-    for p in &procs {
-        print!("{p:>7}");
-    }
-    println!();
-    for class in AppClass::ALL {
-        let app = paper_app(class);
-        print!("{:<10}", class.name());
-        for &p in &procs {
-            print!("{:>7.2}", app.speedup.efficiency(p));
-        }
-        println!();
-    }
-
-    // ASCII plot: speedup vs processors, like the figure.
-    println!("\nascii plot (x: processors 1..60, y: speedup 0..32, marks: s=swim b=bt.A h=hydro2d a=apsi)");
-    let height = 17;
-    let max_s = 32.0;
-    let mut rows = vec![vec![' '; 61]; height];
-    for class in AppClass::ALL {
-        let mark = match class {
-            AppClass::Swim => 's',
-            AppClass::BtA => 'b',
-            AppClass::Hydro2d => 'h',
-            AppClass::Apsi => 'a',
-        };
-        let app = paper_app(class);
-        for p in 1..=60usize {
-            let s = app.speedup.speedup(p).min(max_s);
-            let y = ((s / max_s) * (height - 1) as f64).round() as usize;
-            rows[height - 1 - y][p] = mark;
-        }
-    }
-    for (i, row) in rows.iter().enumerate() {
-        let y_val = max_s * (height - 1 - i) as f64 / (height - 1) as f64;
-        let line: String = row.iter().collect();
-        println!("{y_val:>5.1} |{line}");
-    }
-    println!("      +{}", "-".repeat(61));
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("fig3")
 }

@@ -1,33 +1,8 @@
-//! Fig. 5 — execution views for workload 1 under IRIX and PDPA.
-//!
-//! Renders the Paraver-style per-CPU activity view of a workload-1 run at
-//! 100 % load: "each line represents the activity of a CPU and each color
-//! represents a different application". The paper's visual point — IRIX
-//! looks chaotic, PDPA shows long solid blocks — survives ASCII rendering.
+//! Thin wrapper over the in-process registry: `fig5` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::PolicyKind;
-use pdpa_engine::{Engine, EngineConfig};
-use pdpa_qs::Workload;
-use pdpa_trace::{render_ascii, RenderOptions};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Fig. 5 — execution views, workload 1, load = 100 %\n");
-    for policy in [PolicyKind::Irix, PolicyKind::Pdpa] {
-        let jobs = Workload::W1.build(1.0, 42);
-        let config = EngineConfig::default().with_trace().with_seed(42);
-        let result = Engine::new(config).run(jobs, policy.build());
-        let migrations = result.total_migrations();
-        let trace = result.trace.expect("trace collection enabled");
-        println!(
-            "## {} (migrations: {}, utilization: {:.0} %)\n",
-            policy.label(),
-            migrations,
-            trace.utilization() * 100.0
-        );
-        let options = RenderOptions {
-            width: 100,
-            cpu_stride: 3, // every third CPU keeps the view readable
-        };
-        println!("{}", render_ascii(&trace, &options));
-    }
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("fig5")
 }

@@ -1,49 +1,8 @@
-//! Fig. 7 — workload 2 under multiprogramming levels 2, 3, and 4.
-//!
-//! The paper's conclusion: "PDPA is more robust than Equipartition to the
-//! multiprogramming level decided by the system administrator: PDPA
-//! dynamically detects the optimal value for any moment", so its results
-//! barely move with the configured level, while Equipartition's response
-//! times blow up at ML = 2 (jobs get their full requests but the queue
-//! stalls).
+//! Thin wrapper over the in-process registry: `fig7` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::{average, Metric, PolicyKind, PAPER_LOADS, SEEDS};
-use pdpa_engine::{Engine, EngineConfig};
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Fig. 7 — workload 2, multiprogramming levels 2/3/4\n");
-    let workload = Workload::W2;
-    for metric in [Metric::Response, Metric::Execution] {
-        println!("## average {} time (s)\n", metric.name());
-        println!(
-            "{:<18} {:>10} {:>10} {:>10}",
-            "policy/ml @ load", "60%", "80%", "100%"
-        );
-        for policy in [PolicyKind::Equipartition, PolicyKind::Pdpa] {
-            for ml in [2usize, 3, 4] {
-                for class in workload.classes() {
-                    let mut cols = Vec::new();
-                    for &load in &PAPER_LOADS {
-                        let runs: Vec<_> = SEEDS
-                            .iter()
-                            .map(|&seed| {
-                                let jobs = workload.build(load, seed);
-                                let config = EngineConfig::default().with_seed(seed ^ 0xA5A5);
-                                Engine::new(config).run(jobs, policy.build_with_ml(ml))
-                            })
-                            .collect();
-                        let cell = average(&runs, workload);
-                        cols.push(format!("{:>10.1}", metric.pick(&cell, class)));
-                    }
-                    println!(
-                        "{:<18} {}",
-                        format!("{} ml={} {}", policy.label(), ml, class.name()),
-                        cols.join(" ")
-                    );
-                }
-            }
-        }
-        println!();
-    }
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("fig7")
 }

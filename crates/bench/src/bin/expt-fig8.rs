@@ -1,62 +1,8 @@
-//! Fig. 8 — the multiprogramming level decided by PDPA over time.
-//!
-//! Workload 2 at 100 % load: the paper's figure shows PDPA adapting the
-//! level continuously to the running applications' characteristics, peaking
-//! around six concurrent jobs. Prints the series and an ASCII plot.
+//! Thin wrapper over the in-process registry: `fig8` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::PolicyKind;
-use pdpa_engine::{Engine, EngineConfig};
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Fig. 8 — PDPA's dynamic multiprogramming level (w2, load = 100 %)\n");
-    let jobs = Workload::W2.build(1.0, 42);
-    let result =
-        Engine::new(EngineConfig::default().with_seed(42)).run(jobs, PolicyKind::Pdpa.build());
-
-    println!(
-        "max ml = {}, makespan = {:.0} s, {} level changes\n",
-        result.max_ml,
-        result.end_secs,
-        result.ml_series.len()
-    );
-
-    // Sampled series (the raw series has one entry per admission/completion).
-    println!("time(s)  ml");
-    let horizon = result.end_secs;
-    let samples = 30usize;
-    for i in 0..=samples {
-        let t = horizon * i as f64 / samples as f64;
-        let ml = ml_at(&result.ml_series, t);
-        println!("{t:>7.0}  {ml}");
-    }
-
-    // ASCII plot.
-    let width = 100usize;
-    let height = result.max_ml.max(1);
-    println!("\nml");
-    for level in (1..=height).rev() {
-        let mut line = String::with_capacity(width);
-        for x in 0..width {
-            let t = horizon * x as f64 / width as f64;
-            line.push(if ml_at(&result.ml_series, t) >= level {
-                '#'
-            } else {
-                ' '
-            });
-        }
-        println!("{level:>3} |{line}");
-    }
-    println!("    +{}", "-".repeat(width));
-    println!("     0{:>width$.0}s", horizon, width = width - 1);
-}
-
-/// The multiprogramming level in force at instant `t`.
-fn ml_at(series: &[(f64, usize)], t: f64) -> usize {
-    series
-        .iter()
-        .take_while(|&&(at, _)| at <= t)
-        .last()
-        .map(|&(_, ml)| ml)
-        .unwrap_or(0)
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("fig8")
 }

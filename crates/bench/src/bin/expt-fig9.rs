@@ -1,48 +1,8 @@
-//! Fig. 9 — workload 3 response and execution times.
-//!
-//! Reproduces the paper's Fig. 9: average response time (top) and average
-//! execution time (bottom) per application class, for the four scheduling
-//! policies at 60/80/100 % system load.
+//! Thin wrapper over the in-process registry: `fig9` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::{print_figure, run_figure, Metric};
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    let workload = Workload::W3;
-    let grid = run_figure(workload, true);
-    print!(
-        "{}",
-        print_figure(
-            "Fig. 9 — workload 3 response times",
-            workload,
-            &grid,
-            Metric::Response
-        )
-    );
-    print!(
-        "{}",
-        print_figure(
-            "Fig. 9 — workload 3 execution times",
-            workload,
-            &grid,
-            Metric::Execution
-        )
-    );
-    print!(
-        "{}",
-        print_figure(
-            "Fig. 9 — workload 3 average allocations (analysis)",
-            workload,
-            &grid,
-            Metric::AvgAlloc
-        )
-    );
-    for (policy, cells) in &grid {
-        let mls: Vec<String> = cells.iter().map(|c| format!("{:.0}", c.max_ml)).collect();
-        println!(
-            "max multiprogramming level {:<10} {}",
-            policy.label(),
-            mls.join(" / ")
-        );
-    }
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("fig9")
 }

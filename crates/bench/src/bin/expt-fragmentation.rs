@@ -1,61 +1,8 @@
-//! Extension experiment — rigid first-fit versus dynamic space sharing
-//! (the §4.3 motivation, quantified).
-//!
-//! Rigid systems "can only be executed with the number of processors
-//! requested", so a 60-CPU machine running one 30-processor job strands 30
-//! processors whenever the next queued job also wants 30 and a 2-processor
-//! apsi sits behind it. Dynamic space sharing starts jobs on whatever is
-//! free. The table compares makespan and mean response on the paper's
-//! workloads at 100 % load.
+//! Thin wrapper over the in-process registry: `fragmentation` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::{PolicyKind, SEEDS};
-use pdpa_engine::{Engine, EngineConfig};
-use pdpa_policies::RigidFirstFit;
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Rigid first-fit vs dynamic space sharing (extension — §4.3)\n");
-    println!(
-        "{:<6} {:<16} {:>10} {:>16} {:>8}",
-        "wl", "policy", "makespan", "mean response", "maxML"
-    );
-    for wl in Workload::ALL {
-        for which in ["Rigid", "Rigid+backfill", "Equip", "PDPA"] {
-            let mut makespan = 0.0;
-            let mut resp = 0.0;
-            let mut ml = 0usize;
-            for &seed in &SEEDS {
-                let jobs = wl.build(1.0, seed);
-                let policy: Box<dyn pdpa_policies::SchedulingPolicy> = match which {
-                    "Rigid" | "Rigid+backfill" => Box::new(RigidFirstFit::paper_default()),
-                    "Equip" => PolicyKind::Equipartition.build(),
-                    _ => PolicyKind::Pdpa.build(),
-                };
-                let mut config = EngineConfig::default().with_seed(seed ^ 0xA5A5);
-                if which == "Rigid+backfill" {
-                    config = config.with_backfill();
-                }
-                let r = Engine::new(config).run(jobs, policy);
-                assert!(r.completed_all, "{wl}/{which} wedged");
-                makespan += r.summary.makespan_secs();
-                resp += r.summary.overall_avg_response_secs();
-                ml = ml.max(r.max_ml);
-            }
-            let n = SEEDS.len() as f64;
-            println!(
-                "{:<6} {:<16} {:>9.0}s {:>15.0}s {:>8}",
-                wl.name(),
-                which,
-                makespan / n,
-                resp / n,
-                ml
-            );
-        }
-        println!();
-    }
-    println!(
-        "Backfilling (scanning the queue for any job that fits) recovers part of\n\
-         the rigid policy's fragmentation loss; dynamic space sharing and PDPA's\n\
-         coordination recover the rest."
-    );
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("fragmentation")
 }

@@ -1,98 +1,8 @@
-//! Extension experiment — sensitivity to measurement noise and
-//! reallocation cost.
-//!
-//! The paper's robustness argument, quantified: "Equal_efficiency … is too
-//! sensitive to small changes in the efficiency measurements" while PDPA's
-//! target-efficiency band and stable states absorb noise. Sweeps:
-//!
-//! 1. measurement noise σ ∈ {0, 2 %, 5 %, 10 %} on workload 1 (the
-//!    all-scalable mix where Equal_efficiency's thrash is most visible);
-//! 2. reallocation cost × {0, 1, 4} — reallocation-hungry policies pay
-//!    proportionally.
+//! Thin wrapper over the in-process registry: `sensitivity` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::{PolicyKind, SEEDS};
-use pdpa_engine::{Engine, EngineConfig};
-use pdpa_qs::Workload;
-use pdpa_sim::{CostModel, SimDuration};
+use std::process::ExitCode;
 
-fn mean_response(policy: PolicyKind, config_of: impl Fn(u64) -> EngineConfig) -> (f64, u64) {
-    let mut resp = 0.0;
-    let mut reallocs = 0u64;
-    for &seed in &SEEDS {
-        let jobs = Workload::W1.build(1.0, seed);
-        let r = Engine::new(config_of(seed)).run(jobs, policy.build());
-        assert!(r.completed_all);
-        resp += r.summary.overall_avg_response_secs();
-        reallocs += r.machine_stats.reallocations;
-    }
-    (resp / SEEDS.len() as f64, reallocs / SEEDS.len() as u64)
-}
-
-fn main() {
-    println!("# Sensitivity sweeps (extension) — workload 1, load = 100 %\n");
-
-    println!("## measurement noise (mean response (s) / reallocations)\n");
-    print!("{:<12}", "sigma");
-    for policy in [
-        PolicyKind::Equipartition,
-        PolicyKind::EqualEfficiency,
-        PolicyKind::Pdpa,
-    ] {
-        print!("{:>22}", policy.label());
-    }
-    println!();
-    for sigma in [0.0, 0.02, 0.05, 0.10] {
-        print!("{:<12}", format!("{:.0}%", sigma * 100.0));
-        for policy in [
-            PolicyKind::Equipartition,
-            PolicyKind::EqualEfficiency,
-            PolicyKind::Pdpa,
-        ] {
-            let (resp, reallocs) = mean_response(policy, |seed| {
-                let mut c = EngineConfig::default().with_seed(seed ^ 0xA5A5);
-                c.noise_sigma = sigma;
-                c
-            });
-            print!("{:>15.0}s/{:<6}", resp, reallocs);
-        }
-        println!();
-    }
-
-    println!("\n## reallocation cost (mean response (s))\n");
-    print!("{:<12}", "cost");
-    for policy in [
-        PolicyKind::Equipartition,
-        PolicyKind::EqualEfficiency,
-        PolicyKind::Pdpa,
-    ] {
-        print!("{:>15}", policy.label());
-    }
-    println!();
-    for factor in [0.0, 1.0, 4.0] {
-        print!("{:<12}", format!("x{factor}"));
-        for policy in [
-            PolicyKind::Equipartition,
-            PolicyKind::EqualEfficiency,
-            PolicyKind::Pdpa,
-        ] {
-            let (resp, _) = mean_response(policy, |seed| {
-                let mut c = EngineConfig::default().with_seed(seed ^ 0xA5A5);
-                let base = CostModel::origin2000();
-                c.cost = CostModel {
-                    realloc_fixed: SimDuration::from_secs(base.realloc_fixed.as_secs() * factor),
-                    per_gained_cpu: SimDuration::from_secs(base.per_gained_cpu.as_secs() * factor),
-                    per_lost_cpu: SimDuration::from_secs(base.per_lost_cpu.as_secs() * factor),
-                };
-                c
-            });
-            print!("{:>14.0}s", resp);
-        }
-        println!();
-    }
-    println!(
-        "\nReading: Equal_efficiency's response degrades with noise (each noisy\n\
-         report re-fits its extrapolation and reallocates the whole machine)\n\
-         and with reallocation cost; PDPA's smoothing and stable states keep\n\
-         it within a band of Equipartition at every setting."
-    );
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("sensitivity")
 }

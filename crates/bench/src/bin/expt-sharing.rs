@@ -1,71 +1,8 @@
-//! Extension experiment — the three sharing disciplines side by side.
-//!
-//! The scheduling literature the paper builds on contrasts three ways to
-//! multiplex a multiprocessor: **space sharing** (dedicated partitions —
-//! Equipartition, PDPA), **gang scheduling** (whole-machine round-robin
-//! slots, perfectly coscheduled), and **uncoordinated time sharing** (the
-//! IRIX model). This experiment puts all three on the paper's workloads at
-//! 100 % load, with per-policy mean response, makespan, and the Table-2
-//! burst structure.
+//! Thin wrapper over the in-process registry: `sharing` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_bench::{PolicyKind, SEEDS};
-use pdpa_engine::{Engine, EngineConfig};
-use pdpa_policies::{GangScheduler, SchedulingPolicy};
-use pdpa_qs::Workload;
-use pdpa_trace::BurstStats;
+use std::process::ExitCode;
 
-fn build(label: &str) -> Box<dyn SchedulingPolicy> {
-    match label {
-        "Gang" => Box::new(GangScheduler::paper_comparable()),
-        "IRIX" => PolicyKind::Irix.build(),
-        "Equip" => PolicyKind::Equipartition.build(),
-        _ => PolicyKind::Pdpa.build(),
-    }
-}
-
-fn main() {
-    println!("# Sharing disciplines (extension): space vs gang vs time sharing\n");
-    for wl in [Workload::W1, Workload::W4] {
-        println!("## {wl} at 100 % load\n");
-        println!(
-            "{:<8} {:>10} {:>15} {:>12} {:>17}",
-            "policy", "makespan", "mean response", "migrations", "avg burst (ms)"
-        );
-        for label in ["Equip", "PDPA", "Gang", "IRIX"] {
-            let mut makespan = 0.0;
-            let mut resp = 0.0;
-            // Burst structure from one traced run (seed 42).
-            let traced = {
-                let jobs = wl.build(1.0, 42);
-                let config = EngineConfig::default().with_trace().with_seed(42);
-                let r = Engine::new(config).run(jobs, build(label));
-                let migrations = r.total_migrations();
-                let trace = r.trace.expect("traced");
-                BurstStats::from_trace(&trace, migrations)
-            };
-            for &seed in &SEEDS {
-                let jobs = wl.build(1.0, seed);
-                let r = Engine::new(EngineConfig::default().with_seed(seed ^ 0xA5A5))
-                    .run(jobs, build(label));
-                assert!(r.completed_all, "{wl}/{label} wedged");
-                makespan += r.summary.makespan_secs();
-                resp += r.summary.overall_avg_response_secs();
-            }
-            let n = SEEDS.len() as f64;
-            println!(
-                "{:<8} {:>9.0}s {:>14.0}s {:>12} {:>17.0}",
-                label,
-                makespan / n,
-                resp / n,
-                traced.migrations,
-                traced.avg_burst_secs * 1e3
-            );
-        }
-        println!();
-    }
-    println!(
-        "Gang coschedules perfectly but pays the 1/n duty cycle: fine for the\n\
-         all-scalable w1, poor for w4 where apsi wastes whole-machine slots.\n\
-         Uncoordinated time sharing pays migrations and affinity loss instead."
-    );
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("sharing")
 }

@@ -1,51 +1,8 @@
-//! Table 1 — workload characteristics.
-//!
-//! Prints the composition of the four workloads (the share of the system
-//! load each application class contributes) and, for each, the realized job
-//! mix of a generated instance at 100 % load.
+//! Thin wrapper over the in-process registry: `table1` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_apps::AppClass;
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Table 1 — workload characteristics\n");
-    print!("{:<6}", "");
-    for class in AppClass::ALL {
-        print!("{:>10}", class.name());
-    }
-    println!();
-    for wl in Workload::ALL {
-        print!("{:<6}", wl.name());
-        let comp = wl.composition();
-        for class in AppClass::ALL {
-            match comp.iter().find(|&&(c, _)| c == class) {
-                Some(&(_, share)) => print!("{:>9.0}%", share * 100.0),
-                None => print!("{:>10}", "-"),
-            }
-        }
-        println!();
-    }
-
-    println!("\nrealized instance at load = 100% (seed 42): job counts and submitted work");
-    for wl in Workload::ALL {
-        let jobs = wl.build(1.0, 42);
-        print!("{:<6} {:>3} jobs —", wl.name(), jobs.len());
-        for class in AppClass::ALL {
-            let of_class: Vec<_> = jobs.iter().filter(|j| j.app.class == class).collect();
-            if of_class.is_empty() {
-                continue;
-            }
-            let work: f64 = of_class
-                .iter()
-                .map(|j| j.app.total_seq_time().as_secs())
-                .sum();
-            print!(
-                " {}: {} jobs / {:.0} cpu-s;",
-                class.name(),
-                of_class.len(),
-                work
-            );
-        }
-        println!();
-    }
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("table1")
 }

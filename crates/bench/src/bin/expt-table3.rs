@@ -1,57 +1,8 @@
-//! Table 3 — workload 3 with apsi requesting 30 processors (not tuned),
-//! load = 60 %.
-//!
-//! The paper's numbers (Origin 2000):
-//!
-//! | | bt resp | bt exec | apsi resp | apsi exec | workload exec | ML |
-//! |---|---|---|---|---|---|---|
-//! | Equip | 949 s | 102 s | 890 s | 107 s | 1993 s | 4 |
-//! | PDPA | 95 s | 88 s | 107 s | 98 s | 427 s | 29 |
-//!
-//! Without tuning, Equipartition wastes tens of processors on an
-//! application whose speedup is flat at 1.5; PDPA measures that, shrinks
-//! apsi to two processors, and raises the multiprogramming level by an
-//! order of magnitude.
+//! Thin wrapper over the in-process registry: `table3` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_apps::AppClass;
-use pdpa_bench::{run_cell, PolicyKind, SEEDS};
-use pdpa_metrics::improvement_pct;
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Table 3 — w3, apsi requesting 30 processors (untuned), load = 60 %\n");
-    println!(
-        "{:<8} {:>10} {:>10} {:>11} {:>11} {:>14} {:>5}",
-        "", "bt resp", "bt exec", "apsi resp", "apsi exec", "workload exec", "ML"
-    );
-    let mut rows = Vec::new();
-    for policy in [PolicyKind::Equipartition, PolicyKind::Pdpa] {
-        let cell = run_cell(Workload::W3, false, policy, 0.6, &SEEDS);
-        let bt_r = cell.response[&AppClass::BtA];
-        let bt_x = cell.execution[&AppClass::BtA];
-        let ap_r = cell.response[&AppClass::Apsi];
-        let ap_x = cell.execution[&AppClass::Apsi];
-        println!(
-            "{:<8} {:>9.0}s {:>9.0}s {:>10.0}s {:>10.0}s {:>13.0}s {:>5.0}",
-            policy.label(),
-            bt_r,
-            bt_x,
-            ap_r,
-            ap_x,
-            cell.makespan,
-            cell.max_ml
-        );
-        rows.push((bt_r, bt_x, ap_r, ap_x, cell.makespan));
-    }
-    let (equip, pdpa) = (rows[0], rows[1]);
-    println!(
-        "{:<8} {:>9.0}% {:>9.0}% {:>10.0}% {:>10.0}% {:>13.0}%",
-        "Speedup",
-        improvement_pct(pdpa.0, equip.0),
-        improvement_pct(pdpa.1, equip.1),
-        improvement_pct(pdpa.2, equip.2),
-        improvement_pct(pdpa.3, equip.3),
-        improvement_pct(pdpa.4, equip.4),
-    );
-    println!("\npaper: speedups 998% / 15% / 831% / 9% / 466%, ML 4 vs 29");
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("table3")
 }

@@ -1,69 +1,8 @@
-//! Table 4 — workload 4 not tuned (every application requests 30
-//! processors), load = 60 %.
-//!
-//! The paper's numbers (Origin 2000), Equip / PDPA / improvement:
-//!
-//! | | swim | bt | hydro2d | apsi | total exec |
-//! |---|---|---|---|---|---|
-//! | exec | 6 / 8 (−30 %) | 101 / 81 (−24 %*) | 32 / 37 (−15 %) | 104 / 98 (6 %) | — |
-//! | resp | 368 / 13 (2830 %) | 568 / 92 (617 %) | 453 / 45 (1006 %) | 773 / 109 (109 %) | 126** / 496 (282 %) |
-//!
-//! (*) Negative numbers mean Equipartition's execution time was better —
-//! the price PDPA pays for efficiency-bounded allocations. (**) The paper's
-//! total row mixes columns; the reproduction prints the makespan.
+//! Thin wrapper over the in-process registry: `table4` via the shared
+//! harness (flags: `--json`, `--sequential`).
 
-use pdpa_apps::AppClass;
-use pdpa_bench::{run_cell, PolicyKind, SEEDS};
-use pdpa_metrics::improvement_pct;
-use pdpa_qs::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Table 4 — w4 untuned (all requests = 30), load = 60 %\n");
-    let equip = run_cell(Workload::W4, false, PolicyKind::Equipartition, 0.6, &SEEDS);
-    let pdpa = run_cell(Workload::W4, false, PolicyKind::Pdpa, 0.6, &SEEDS);
-
-    println!(
-        "{:<10} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>10}",
-        "",
-        "swim x",
-        "swim r",
-        "bt x",
-        "bt r",
-        "hydro x",
-        "hydro r",
-        "apsi x",
-        "apsi r",
-        "makespan"
-    );
-    for (label, cell) in [("Equip", &equip), ("PDPA", &pdpa)] {
-        print!("{label:<10}");
-        for class in AppClass::ALL {
-            print!(
-                " {:>10.0}s {:>10.0}s",
-                cell.execution[&class], cell.response[&class]
-            );
-        }
-        println!(" {:>9.0}s", cell.makespan);
-    }
-    print!("{:<10}", "%");
-    for class in AppClass::ALL {
-        print!(
-            " {:>10.0}% {:>10.0}%",
-            improvement_pct(pdpa.execution[&class], equip.execution[&class]),
-            improvement_pct(pdpa.response[&class], equip.response[&class]),
-        );
-    }
-    println!(" {:>9.0}%", improvement_pct(pdpa.makespan, equip.makespan));
-    println!(
-        "\nmax multiprogramming level: Equip {:.0}, PDPA {:.0}",
-        equip.max_ml, pdpa.max_ml
-    );
-    println!(
-        "machine utilization: Equip {:.0} %, PDPA {:.0} % — \"applications under PDPA\n\
-         have consumed half of the CPU time than under Equipartition to execute the\n\
-         same amount of work\" (§5.4: ≈100 % vs ≈70 %)",
-        equip.utilization * 100.0,
-        pdpa.utilization * 100.0
-    );
-    println!("paper: response improvements 2830% / 617% / 1006% / 109%; exec −30% / −24% / −15% / 6%; total 282%");
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("table4")
 }

@@ -1,0 +1,80 @@
+//! Fig. 3 — speedup curves of the four applications.
+//!
+//! Renders each calibrated curve as a table and an ASCII plot, matching the
+//! qualitative shapes of the paper's figure: swim superlinear, bt.A good,
+//! hydro2d medium, apsi flat.
+
+use std::fmt::Write as _;
+
+use pdpa_apps::{paper_app, AppClass};
+
+/// Renders the experiment.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 3 — speedup curves\n");
+    let procs: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 30, 40, 50, 60];
+
+    // Table.
+    let _ = write!(out, "{:<10}", "procs");
+    for p in &procs {
+        let _ = write!(out, "{p:>7}");
+    }
+    out.push('\n');
+    for class in AppClass::ALL {
+        let app = paper_app(class);
+        let _ = write!(out, "{:<10}", class.name());
+        for &p in &procs {
+            let _ = write!(out, "{:>7.1}", app.speedup.speedup(p));
+        }
+        out.push('\n');
+    }
+
+    // Efficiency at the paper's target.
+    let _ = writeln!(out, "\nefficiency (speedup / procs):");
+    let _ = write!(out, "{:<10}", "procs");
+    for p in &procs {
+        let _ = write!(out, "{p:>7}");
+    }
+    out.push('\n');
+    for class in AppClass::ALL {
+        let app = paper_app(class);
+        let _ = write!(out, "{:<10}", class.name());
+        for &p in &procs {
+            let _ = write!(out, "{:>7.2}", app.speedup.efficiency(p));
+        }
+        out.push('\n');
+    }
+
+    // ASCII plot: speedup vs processors, like the figure.
+    let _ = writeln!(
+        out,
+        "\nascii plot (x: processors 1..60, y: speedup 0..32, marks: s=swim b=bt.A h=hydro2d a=apsi)"
+    );
+    let height = 17;
+    let max_s = 32.0;
+    let mut rows = vec![vec![' '; 61]; height];
+    for class in AppClass::ALL {
+        let mark = match class {
+            AppClass::Swim => 's',
+            AppClass::BtA => 'b',
+            AppClass::Hydro2d => 'h',
+            AppClass::Apsi => 'a',
+        };
+        let app = paper_app(class);
+        // `p` is a processor count plotted on the x axis, not just an
+        // index; the row it lands in depends on the computed speedup.
+        #[allow(clippy::needless_range_loop)]
+        for p in 1..=60usize {
+            let s = app.speedup.speedup(p).min(max_s);
+            let y = ((s / max_s) * (height - 1) as f64).round() as usize;
+            rows[height - 1 - y][p] = mark;
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let y_val = max_s * (height - 1 - i) as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_val:>5.1} |{line}");
+    }
+    let _ = writeln!(out, "      +{}", "-".repeat(61));
+    out
+}

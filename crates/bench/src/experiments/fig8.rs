@@ -1,0 +1,72 @@
+//! Fig. 8 — the multiprogramming level decided by PDPA over time.
+//!
+//! Workload 2 at 100 % load: the paper's figure shows PDPA adapting the
+//! level continuously to the running applications' characteristics, peaking
+//! around six concurrent jobs. Renders the series and an ASCII plot.
+
+use std::fmt::Write as _;
+
+use crate::{stats, PolicyKind};
+use pdpa_engine::{Engine, EngineConfig};
+use pdpa_qs::Workload;
+
+/// Renders the experiment.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Fig. 8 — PDPA's dynamic multiprogramming level (w2, load = 100 %)\n"
+    );
+    let jobs = Workload::W2.build(1.0, 42);
+    let result =
+        Engine::new(EngineConfig::default().with_seed(42)).run(jobs, PolicyKind::Pdpa.build());
+    stats::record_run(&result);
+
+    let _ = writeln!(
+        out,
+        "max ml = {}, makespan = {:.0} s, {} level changes\n",
+        result.max_ml,
+        result.end_secs,
+        result.ml_series.len()
+    );
+
+    // Sampled series (the raw series has one entry per admission/completion).
+    let _ = writeln!(out, "time(s)  ml");
+    let horizon = result.end_secs;
+    let samples = 30usize;
+    for i in 0..=samples {
+        let t = horizon * i as f64 / samples as f64;
+        let ml = ml_at(&result.ml_series, t);
+        let _ = writeln!(out, "{t:>7.0}  {ml}");
+    }
+
+    // ASCII plot.
+    let width = 100usize;
+    let height = result.max_ml.max(1);
+    let _ = writeln!(out, "\nml");
+    for level in (1..=height).rev() {
+        let mut line = String::with_capacity(width);
+        for x in 0..width {
+            let t = horizon * x as f64 / width as f64;
+            line.push(if ml_at(&result.ml_series, t) >= level {
+                '#'
+            } else {
+                ' '
+            });
+        }
+        let _ = writeln!(out, "{level:>3} |{line}");
+    }
+    let _ = writeln!(out, "    +{}", "-".repeat(width));
+    let _ = writeln!(out, "     0{:>width$.0}s", horizon, width = width - 1);
+    out
+}
+
+/// The multiprogramming level in force at instant `t`.
+fn ml_at(series: &[(f64, usize)], t: f64) -> usize {
+    series
+        .iter()
+        .take_while(|&&(at, _)| at <= t)
+        .last()
+        .map(|&(_, ml)| ml)
+        .unwrap_or(0)
+}

@@ -1,0 +1,64 @@
+//! Table 1 — workload characteristics.
+//!
+//! Renders the composition of the four workloads (the share of the system
+//! load each application class contributes) and, for each, the realized job
+//! mix of a generated instance at 100 % load.
+
+use std::fmt::Write as _;
+
+use pdpa_apps::AppClass;
+use pdpa_qs::Workload;
+
+/// Renders the experiment.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 1 — workload characteristics\n");
+    let _ = write!(out, "{:<6}", "");
+    for class in AppClass::ALL {
+        let _ = write!(out, "{:>10}", class.name());
+    }
+    out.push('\n');
+    for wl in Workload::ALL {
+        let _ = write!(out, "{:<6}", wl.name());
+        let comp = wl.composition();
+        for class in AppClass::ALL {
+            match comp.iter().find(|&&(c, _)| c == class) {
+                Some(&(_, share)) => {
+                    let _ = write!(out, "{:>9.0}%", share * 100.0);
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+
+    let _ = writeln!(
+        out,
+        "\nrealized instance at load = 100% (seed 42): job counts and submitted work"
+    );
+    for wl in Workload::ALL {
+        let jobs = wl.build(1.0, 42);
+        let _ = write!(out, "{:<6} {:>3} jobs —", wl.name(), jobs.len());
+        for class in AppClass::ALL {
+            let of_class: Vec<_> = jobs.iter().filter(|j| j.app.class == class).collect();
+            if of_class.is_empty() {
+                continue;
+            }
+            let work: f64 = of_class
+                .iter()
+                .map(|j| j.app.total_seq_time().as_secs())
+                .sum();
+            let _ = write!(
+                out,
+                " {}: {} jobs / {:.0} cpu-s;",
+                class.name(),
+                of_class.len(),
+                work
+            );
+        }
+        out.push('\n');
+    }
+    out
+}

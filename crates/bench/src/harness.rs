@@ -1,0 +1,251 @@
+//! The command-line harness behind every `expt-*` binary.
+//!
+//! `expt-all` used to fan out one subprocess per experiment; each child
+//! rebuilt its workloads, and a panic anywhere took the whole run down with
+//! a raw backtrace. The harness replaces that with the in-process
+//! [`crate::experiments`] registry: experiments run concurrently on worker
+//! threads, panics are caught per experiment, and outputs print in
+//! deterministic paper order regardless of completion order.
+//!
+//! Flags (shared by `expt-all` and the single-experiment binaries):
+//!
+//! - `--json` — append this run's timings to `BENCH_pdpa.json` (see
+//!   [`crate::trajectory`]);
+//! - `--sequential` — one worker thread everywhere, including the
+//!   experiments' inner sweeps (the baseline mode for the trajectory);
+//! - `--only <name>` — run a single experiment from `expt-all`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use crate::experiments::{self, Experiment};
+use crate::stats;
+use crate::trajectory::{BenchReport, ExperimentTiming, ModeReport};
+
+/// Width of the separator rule between experiments (matches the old
+/// subprocess-based `expt-all`).
+const SEPARATOR_WIDTH: usize = 78;
+
+/// File the `--json` trajectory is merged into, relative to the working
+/// directory (the repo root under `cargo run`).
+pub const BENCH_PATH: &str = "BENCH_pdpa.json";
+
+/// Parsed command-line flags.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Options {
+    /// Write the run's timings into [`BENCH_PATH`].
+    pub json: bool,
+    /// Force one worker thread everywhere.
+    pub sequential: bool,
+    /// Restrict `expt-all` to one named experiment.
+    pub only: Option<String>,
+}
+
+/// Parses flags from an argument iterator (without the program name).
+pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut args = args;
+    let mut opts = Options::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--sequential" => opts.sequential = true,
+            "--only" => match args.next() {
+                Some(name) => opts.only = Some(name),
+                None => return Err("--only requires an experiment name".into()),
+            },
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --json, --sequential, or --only <name>)"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Entry point for `expt-all`: every registered experiment, or the
+/// `--only` subset.
+pub fn main_all() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(message) => return usage_error(&message),
+    };
+    let list = match &opts.only {
+        None => experiments::registry(),
+        Some(name) => match experiments::find(name) {
+            Some(e) => vec![e],
+            None => {
+                let known: Vec<&str> = experiments::registry().iter().map(|e| e.name).collect();
+                return usage_error(&format!(
+                    "unknown experiment `{name}`; available: {}",
+                    known.join(", ")
+                ));
+            }
+        },
+    };
+    run(&list, &opts)
+}
+
+/// Entry point for the single-experiment binaries (`expt-fig5`, …).
+pub fn main_single(name: &str) -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) if opts.only.is_some() => {
+            return usage_error("--only is only meaningful for expt-all")
+        }
+        Ok(opts) => opts,
+        Err(message) => return usage_error(&message),
+    };
+    let e = experiments::find(name).unwrap_or_else(|| panic!("unregistered experiment {name}"));
+    run(&[e], &opts)
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+/// One guarded experiment execution.
+struct Outcome {
+    /// Rendered output, or the panic message.
+    output: Result<String, String>,
+    wall_secs: f64,
+}
+
+fn run_guarded(e: &Experiment) -> Outcome {
+    let start = Instant::now();
+    let output = catch_unwind(AssertUnwindSafe(e.run)).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with a non-string payload".into())
+    });
+    Outcome {
+        output,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs `list` (concurrently unless `--sequential`), prints the outputs in
+/// registry order, merges the trajectory under `--json`, and reports
+/// failures with a nonzero exit instead of a panic.
+fn run(list: &[Experiment], opts: &Options) -> ExitCode {
+    if opts.sequential {
+        // Push the choice down into the experiments' own par_map sweeps.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+    }
+    let threads = if opts.sequential {
+        1
+    } else {
+        pdpa_parallel::num_threads()
+    };
+
+    let before = stats::snapshot();
+    let start = Instant::now();
+    let outcomes = pdpa_parallel::par_map(list, threads, run_guarded);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let counters = stats::snapshot().since(&before);
+
+    let mut failures: Vec<&str> = Vec::new();
+    for (e, outcome) in list.iter().zip(&outcomes) {
+        if list.len() > 1 {
+            println!("{}", "=".repeat(SEPARATOR_WIDTH));
+        }
+        match &outcome.output {
+            Ok(text) => print!("{text}"),
+            Err(message) => {
+                eprintln!("{}: FAILED: {message}", e.name);
+                failures.push(e.name);
+            }
+        }
+    }
+
+    if opts.json {
+        let report = ModeReport {
+            threads,
+            wall_secs,
+            counters,
+            experiments: list
+                .iter()
+                .zip(&outcomes)
+                .map(|(e, o)| ExperimentTiming {
+                    name: e.name.to_string(),
+                    wall_secs: o.wall_secs,
+                    ok: o.output.is_ok(),
+                })
+                .collect(),
+        };
+        let events_per_sec = report.events_per_sec();
+        let existing = std::fs::read_to_string(BENCH_PATH).ok();
+        let merged = BenchReport::merge_into(existing.as_deref(), opts.sequential, report);
+        if let Err(e) = std::fs::write(BENCH_PATH, merged) {
+            eprintln!("error: cannot write {BENCH_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[{}] {} mode: {} thread(s), {:.2}s wall, {:.0} events/sec, {} engine runs, {} cells",
+            BENCH_PATH,
+            if opts.sequential {
+                "sequential"
+            } else {
+                "parallel"
+            },
+            threads,
+            wall_secs,
+            events_per_sec,
+            counters.engine_runs,
+            counters.cells_run,
+        );
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: {} of {} experiment(s) failed: {}",
+            failures.len(),
+            list.len(),
+            failures.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Options, String> {
+        parse_args(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        assert_eq!(parse(&[]).unwrap(), Options::default());
+        let opts = parse(&["--json", "--sequential", "--only", "fig5"]).unwrap();
+        assert!(opts.json && opts.sequential);
+        assert_eq!(opts.only.as_deref(), Some("fig5"));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse(&["--only"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn guarded_runs_catch_panics() {
+        let boom = Experiment {
+            name: "boom",
+            title: "always panics",
+            run: || panic!("exploded as designed"),
+        };
+        let outcome = run_guarded(&boom);
+        assert_eq!(
+            outcome.output.unwrap_err(),
+            "exploded as designed".to_string()
+        );
+        assert!(outcome.wall_secs >= 0.0);
+    }
+}

@@ -33,6 +33,12 @@ use pdpa_engine::{Engine, EngineConfig, RunResult};
 use pdpa_policies::{EqualEfficiency, Equipartition, IrixLike, SchedulingPolicy};
 use pdpa_qs::Workload;
 
+pub mod experiments;
+pub mod harness;
+pub mod json;
+pub mod stats;
+pub mod trajectory;
+
 /// The paper's load points: 60 %, 80 %, 100 % of machine capacity.
 pub const PAPER_LOADS: [f64; 3] = [0.6, 0.8, 1.0];
 
@@ -98,7 +104,7 @@ impl PolicyKind {
 }
 
 /// Seed-averaged measurements of one `(policy, load)` cell.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Cell {
     /// Mean response time per application class, seconds.
     pub response: HashMap<AppClass, f64>,
@@ -117,8 +123,44 @@ pub struct Cell {
     pub completed_all: bool,
 }
 
-/// Runs one `(workload, policy, load)` cell averaged over `seeds`.
+/// Runs one engine execution of `(workload, policy, load)` at `seed`.
+///
+/// This is the unit of work the parallel sweeps fan out; it also feeds the
+/// global [`stats`] counters that the `--json` trajectory reports.
+pub fn run_single(
+    workload: Workload,
+    tuned: bool,
+    policy: PolicyKind,
+    load: f64,
+    seed: u64,
+) -> RunResult {
+    let jobs = workload.build_with_tuning(load, seed, tuned);
+    let config = EngineConfig::default().with_seed(seed ^ 0xA5A5);
+    let result = Engine::new(config).run(jobs, policy.build());
+    stats::record_run(&result);
+    result
+}
+
+/// Runs one `(workload, policy, load)` cell averaged over `seeds`, with
+/// the seed runs spread across worker threads. Results are identical to
+/// [`run_cell_seq`] regardless of thread count (seed runs are independent
+/// and averaged in seed order).
 pub fn run_cell(
+    workload: Workload,
+    tuned: bool,
+    policy: PolicyKind,
+    load: f64,
+    seeds: &[u64],
+) -> Cell {
+    let runs = pdpa_parallel::par_map(seeds, pdpa_parallel::num_threads(), |&seed| {
+        run_single(workload, tuned, policy, load, seed)
+    });
+    average(&runs, workload)
+}
+
+/// Sequential reference implementation of [`run_cell`] (one thread, same
+/// output bytes — the determinism test pins the two together).
+pub fn run_cell_seq(
     workload: Workload,
     tuned: bool,
     policy: PolicyKind,
@@ -127,17 +169,14 @@ pub fn run_cell(
 ) -> Cell {
     let runs: Vec<RunResult> = seeds
         .iter()
-        .map(|&seed| {
-            let jobs = workload.build_with_tuning(load, seed, tuned);
-            let config = EngineConfig::default().with_seed(seed ^ 0xA5A5);
-            Engine::new(config).run(jobs, policy.build())
-        })
+        .map(|&seed| run_single(workload, tuned, policy, load, seed))
         .collect();
     average(&runs, workload)
 }
 
 /// Averages a set of runs into a [`Cell`].
 pub fn average(runs: &[RunResult], workload: Workload) -> Cell {
+    stats::record_cell();
     let mut cell = Cell {
         completed_all: runs.iter().all(|r| r.completed_all),
         ..Cell::default()
@@ -173,13 +212,51 @@ pub type Grid = Vec<(PolicyKind, Vec<Cell>)>;
 
 /// Runs a whole response/execution figure (Fig. 4/6/9/10 shape): every
 /// policy at every paper load.
+///
+/// The 4 policies × 3 loads × [`SEEDS`] engine runs are flattened into one
+/// task list and spread over worker threads (one level of parallelism, no
+/// nested pools), then regrouped into cells in the original policy/load/
+/// seed order — so the grid is byte-identical to [`run_figure_seq`].
 pub fn run_figure(workload: Workload, tuned: bool) -> Grid {
+    let tasks: Vec<(PolicyKind, f64, u64)> = PolicyKind::ALL
+        .iter()
+        .flat_map(|&policy| {
+            PAPER_LOADS
+                .iter()
+                .flat_map(move |&load| SEEDS.iter().map(move |&seed| (policy, load, seed)))
+        })
+        .collect();
+    let runs = pdpa_parallel::par_map(
+        &tasks,
+        pdpa_parallel::num_threads(),
+        |&(policy, load, seed)| run_single(workload, tuned, policy, load, seed),
+    );
+    // Regroup: tasks were laid out policy-major, load-minor, seeds innermost.
+    let mut runs = runs.into_iter();
     PolicyKind::ALL
         .iter()
         .map(|&policy| {
             let cells = PAPER_LOADS
                 .iter()
-                .map(|&load| run_cell(workload, tuned, policy, load, &SEEDS))
+                .map(|_| {
+                    let cell_runs: Vec<RunResult> = (&mut runs).take(SEEDS.len()).collect();
+                    average(&cell_runs, workload)
+                })
+                .collect();
+            (policy, cells)
+        })
+        .collect()
+}
+
+/// Sequential reference implementation of [`run_figure`]: nested loops,
+/// one engine run at a time, same output bytes.
+pub fn run_figure_seq(workload: Workload, tuned: bool) -> Grid {
+    PolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            let cells = PAPER_LOADS
+                .iter()
+                .map(|&load| run_cell_seq(workload, tuned, policy, load, &SEEDS))
                 .collect();
             (policy, cells)
         })
@@ -247,7 +324,7 @@ mod tests {
     fn policy_kinds_build() {
         for kind in PolicyKind::ALL {
             let p = kind.build();
-            assert_eq!(p.name().is_empty(), false);
+            assert!(!p.name().is_empty());
             let p = kind.build_with_ml(2);
             assert!(!p.name().is_empty());
         }

@@ -1,0 +1,79 @@
+//! Global harness counters feeding the `--json` bench trajectory.
+//!
+//! Every engine run funneled through the harness ([`crate::run_single`] and
+//! the experiments that drive [`pdpa_engine::Engine`] directly) records its
+//! event-queue traffic here; every averaged cell bumps the cell counter.
+//! The counters are process-wide atomics so parallel sweeps aggregate for
+//! free, and `BENCH_pdpa.json` derives its events/sec figure from them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pdpa_engine::RunResult;
+
+static EVENTS_PUSHED: AtomicU64 = AtomicU64::new(0);
+static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
+static ENGINE_RUNS: AtomicU64 = AtomicU64::new(0);
+static CELLS_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the counters at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Simulation events scheduled across all recorded runs.
+    pub events_pushed: u64,
+    /// Simulation events drained across all recorded runs.
+    pub events_popped: u64,
+    /// Engine executions recorded.
+    pub engine_runs: u64,
+    /// Seed-averaged cells produced.
+    pub cells_run: u64,
+}
+
+/// Adds one engine run's event traffic to the global counters.
+pub fn record_run(result: &RunResult) {
+    EVENTS_PUSHED.fetch_add(result.events_pushed, Ordering::Relaxed);
+    EVENTS_POPPED.fetch_add(result.events_popped, Ordering::Relaxed);
+    ENGINE_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one seed-averaged cell.
+pub fn record_cell() {
+    CELLS_RUN.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        events_pushed: EVENTS_PUSHED.load(Ordering::Relaxed),
+        events_popped: EVENTS_POPPED.load(Ordering::Relaxed),
+        engine_runs: ENGINE_RUNS.load(Ordering::Relaxed),
+        cells_run: CELLS_RUN.load(Ordering::Relaxed),
+    }
+}
+
+impl Snapshot {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            events_pushed: self.events_pushed - earlier.events_pushed,
+            events_popped: self.events_popped - earlier.events_popped,
+            engine_runs: self.engine_runs - earlier.engine_runs,
+            cells_run: self.cells_run - earlier.cells_run,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_accumulate() {
+        let before = snapshot();
+        record_cell();
+        let after = snapshot();
+        let delta = after.since(&before);
+        // Other tests may run concurrently and bump the counters too, so
+        // only the lower bound is stable.
+        assert!(delta.cells_run >= 1);
+    }
+}

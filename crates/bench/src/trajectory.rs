@@ -1,0 +1,250 @@
+//! The machine-readable bench trajectory written to `BENCH_pdpa.json`.
+//!
+//! Each `--json` run records wall time per experiment, the event-queue
+//! throughput derived from the engine's pushed/popped counters, the number
+//! of cells run, and the thread count. Parallel and sequential runs land
+//! under separate mode keys in the same file, so a single document carries
+//! both the baseline and the parallel number (and their ratio) for later
+//! PRs to regress against.
+
+use crate::json::{parse, Value};
+use crate::stats::Snapshot;
+
+/// Schema tag written at the top of the document.
+pub const SCHEMA: &str = "pdpa-bench/v1";
+
+/// Wall time of one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentTiming {
+    /// Registry name (`fig3`, `table1`, …).
+    pub name: String,
+    /// Wall-clock seconds for this experiment.
+    pub wall_secs: f64,
+    /// False when the experiment panicked.
+    pub ok: bool,
+}
+
+/// Measurements of one harness invocation (one mode).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModeReport {
+    /// Worker threads used (1 for the sequential path).
+    pub threads: usize,
+    /// End-to-end wall-clock seconds of the invocation.
+    pub wall_secs: f64,
+    /// Harness counter deltas over the invocation.
+    pub counters: Snapshot,
+    /// Per-experiment wall times, in registry order.
+    pub experiments: Vec<ExperimentTiming>,
+}
+
+impl ModeReport {
+    /// Simulation events drained per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.counters.events_popped as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("threads".into(), Value::Num(self.threads as f64)),
+            ("wall_secs".into(), Value::Num(self.wall_secs)),
+            (
+                "events_pushed".into(),
+                Value::Num(self.counters.events_pushed as f64),
+            ),
+            (
+                "events_popped".into(),
+                Value::Num(self.counters.events_popped as f64),
+            ),
+            ("events_per_sec".into(), Value::Num(self.events_per_sec())),
+            (
+                "engine_runs".into(),
+                Value::Num(self.counters.engine_runs as f64),
+            ),
+            (
+                "cells_run".into(),
+                Value::Num(self.counters.cells_run as f64),
+            ),
+            (
+                "experiments".into(),
+                Value::Arr(
+                    self.experiments
+                        .iter()
+                        .map(|e| {
+                            Value::Obj(vec![
+                                ("name".into(), Value::Str(e.name.clone())),
+                                ("wall_secs".into(), Value::Num(e.wall_secs)),
+                                ("ok".into(), Value::Bool(e.ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<ModeReport> {
+        Some(ModeReport {
+            threads: v.get("threads")?.as_u64()? as usize,
+            wall_secs: v.get("wall_secs")?.as_f64()?,
+            counters: Snapshot {
+                events_pushed: v.get("events_pushed")?.as_u64()?,
+                events_popped: v.get("events_popped")?.as_u64()?,
+                engine_runs: v.get("engine_runs")?.as_u64()?,
+                cells_run: v.get("cells_run")?.as_u64()?,
+            },
+            experiments: v
+                .get("experiments")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Some(ExperimentTiming {
+                        name: e.get("name")?.as_str()?.to_string(),
+                        wall_secs: e.get("wall_secs")?.as_f64()?,
+                        ok: e.get("ok")?.as_bool()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+/// The whole `BENCH_pdpa.json` document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    /// The parallel harness run, when recorded.
+    pub parallel: Option<ModeReport>,
+    /// The sequential baseline run, when recorded.
+    pub sequential: Option<ModeReport>,
+}
+
+impl BenchReport {
+    /// Parallel-over-sequential wall-time ratio, when both modes are
+    /// recorded.
+    pub fn speedup(&self) -> Option<f64> {
+        match (&self.sequential, &self.parallel) {
+            (Some(seq), Some(par)) if par.wall_secs > 0.0 => Some(seq.wall_secs / par.wall_secs),
+            _ => None,
+        }
+    }
+
+    /// Serializes the report to the `BENCH_pdpa.json` document text.
+    pub fn to_json(&self) -> String {
+        let mut modes = Vec::new();
+        if let Some(par) = &self.parallel {
+            modes.push(("parallel".to_string(), par.to_value()));
+        }
+        if let Some(seq) = &self.sequential {
+            modes.push(("sequential".to_string(), seq.to_value()));
+        }
+        let mut doc = vec![
+            ("schema".to_string(), Value::Str(SCHEMA.into())),
+            ("modes".to_string(), Value::Obj(modes)),
+        ];
+        if let Some(speedup) = self.speedup() {
+            doc.push((
+                "speedup_parallel_over_sequential".to_string(),
+                Value::Num(speedup),
+            ));
+        }
+        Value::Obj(doc).to_pretty()
+    }
+
+    /// Parses a previously-written document. Unknown schemas and malformed
+    /// documents yield `None` (the caller starts a fresh report).
+    pub fn from_json(text: &str) -> Option<BenchReport> {
+        let doc = parse(text).ok()?;
+        if doc.get("schema")?.as_str()? != SCHEMA {
+            return None;
+        }
+        let modes = doc.get("modes")?;
+        Some(BenchReport {
+            parallel: modes.get("parallel").and_then(ModeReport::from_value),
+            sequential: modes.get("sequential").and_then(ModeReport::from_value),
+        })
+    }
+
+    /// Folds this run's mode report into a document on disk, preserving
+    /// the other mode's numbers when present, and returns the merged text.
+    pub fn merge_into(existing: Option<&str>, sequential_mode: bool, report: ModeReport) -> String {
+        let mut doc = existing
+            .and_then(BenchReport::from_json)
+            .unwrap_or_default();
+        if sequential_mode {
+            doc.sequential = Some(report);
+        } else {
+            doc.parallel = Some(report);
+        }
+        doc.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mode(threads: usize, wall: f64) -> ModeReport {
+        ModeReport {
+            threads,
+            wall_secs: wall,
+            counters: Snapshot {
+                events_pushed: 1000,
+                events_popped: 950,
+                engine_runs: 36,
+                cells_run: 12,
+            },
+            experiments: vec![
+                ExperimentTiming {
+                    name: "fig3".into(),
+                    wall_secs: 0.25,
+                    ok: true,
+                },
+                ExperimentTiming {
+                    name: "table1".into(),
+                    wall_secs: 0.5,
+                    ok: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            parallel: Some(sample_mode(4, 3.5)),
+            sequential: Some(sample_mode(1, 14.0)),
+        };
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).expect("parse back");
+        assert_eq!(back, report);
+        assert!((back.speedup().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_preserves_the_other_mode() {
+        let first = BenchReport::merge_into(None, true, sample_mode(1, 14.0));
+        assert!(BenchReport::from_json(&first).unwrap().parallel.is_none());
+        let second = BenchReport::merge_into(Some(&first), false, sample_mode(4, 3.5));
+        let doc = BenchReport::from_json(&second).unwrap();
+        assert_eq!(doc.sequential.as_ref().unwrap().wall_secs, 14.0);
+        assert_eq!(doc.parallel.as_ref().unwrap().wall_secs, 3.5);
+        assert!(second.contains("speedup_parallel_over_sequential"));
+    }
+
+    #[test]
+    fn malformed_documents_start_fresh() {
+        assert!(BenchReport::from_json("{]").is_none());
+        assert!(BenchReport::from_json("{\"schema\": \"other\"}").is_none());
+        let text = BenchReport::merge_into(Some("not json"), false, sample_mode(4, 1.0));
+        assert!(BenchReport::from_json(&text).unwrap().parallel.is_some());
+    }
+
+    #[test]
+    fn events_per_sec_derives_from_counters() {
+        let m = sample_mode(4, 2.0);
+        assert!((m.events_per_sec() - 475.0).abs() < 1e-12);
+    }
+}

@@ -152,7 +152,7 @@ fn run_one(opts: &Options) -> Result<String, String> {
                 (o.wait_time().as_secs(), o.execution_time().as_secs(), procs);
         }
         let mut sorted = jobs;
-        sorted.sort_by(|a, b| a.submit.cmp(&b.submit));
+        sorted.sort_by_key(|a| a.submit);
         std::fs::write(path, swf::write_swf_log(&sorted, &outcomes))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(out, "\nSWF log written to {path}");

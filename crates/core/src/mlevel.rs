@@ -123,8 +123,10 @@ mod tests {
 
     #[test]
     fn coordination_ablation_restores_fixed_ml() {
-        let mut p = PdpaParams::default();
-        p.coordinate_ml = false;
+        let p = PdpaParams {
+            coordinate_ml: false,
+            ..PdpaParams::default()
+        };
         assert!(!ml_allows_start(&p, &snap(4, 30, true, false)));
         assert!(ml_allows_start(&p, &snap(3, 30, false, false)));
     }

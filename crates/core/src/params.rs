@@ -112,7 +112,7 @@ impl PdpaParams {
     /// applications exceed efficiency 1), and `step`/`base_ml` must be
     /// positive.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.target_eff > 0.0) {
+        if self.target_eff.is_nan() || self.target_eff <= 0.0 {
             return Err(format!("target_eff must be positive: {}", self.target_eff));
         }
         if self.high_eff < self.target_eff {

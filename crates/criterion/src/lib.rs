@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the subset of criterion's harness API its benches
+//! use: `Criterion::benchmark_group`, `bench_function`, `sample_size`,
+//! `b.iter(..)`, and the `criterion_group!`/`criterion_main!` macros.
+//! Timing is a simple adaptive loop (grow the batch until it runs long
+//! enough to time reliably, then report the mean); there is no warmup
+//! modelling, outlier analysis, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// How long each measurement aims to run.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&name.into(), f);
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    prefix: String,
+}
+
+impl BenchmarkGroup {
+    /// Tuning knob accepted for criterion compatibility; the adaptive
+    /// timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures one closure under `prefix/name`.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.prefix, name.into());
+        run_benchmark(&full, f);
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Hands the measured closure its iteration loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively growing the batch size until the measurement
+    /// is long enough to be meaningful.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup / calibration: find a batch that runs ≥ ~10 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || batch >= (1 << 24) {
+                // Scale to the measurement target and time for real.
+                let scale = (TARGET_MEASURE.as_nanos() / took.as_nanos().max(1)).max(1);
+                let iters = batch.saturating_mul(scale as u64);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+                return;
+            }
+            batch *= 4;
+        }
+    }
+}
+
+fn run_benchmark(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<50} (no measurement)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else {
+        (ns / 1_000_000.0, "ms")
+    };
+    println!(
+        "{name:<50} time: {value:>10.2} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 0u64);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

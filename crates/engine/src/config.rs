@@ -90,7 +90,7 @@ impl EngineConfig {
         if !(0.0..0.5).contains(&self.noise_sigma) {
             return Err(format!("noise sigma {} out of [0, 0.5)", self.noise_sigma));
         }
-        if !(self.max_sim_secs > 0.0) {
+        if self.max_sim_secs.is_nan() || self.max_sim_secs <= 0.0 {
             return Err("max_sim_secs must be positive".into());
         }
         Ok(())
@@ -122,11 +122,15 @@ mod tests {
 
     #[test]
     fn validation() {
-        let mut c = EngineConfig::default();
-        c.cpus = 0;
+        let c = EngineConfig {
+            cpus: 0,
+            ..EngineConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = EngineConfig::default();
-        c.noise_sigma = 0.9;
+        let c = EngineConfig {
+            noise_sigma: 0.9,
+            ..EngineConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

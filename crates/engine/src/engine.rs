@@ -13,7 +13,7 @@ use pdpa_trace::TraceCollector;
 use crate::config::EngineConfig;
 use crate::result::RunResult;
 use crate::runjob::RunningJob;
-use crate::timeshare::{effective_procs, fractional_speedup, throughput_factor, QuantumPlacement};
+use crate::timeshare::{effective_procs, throughput_factor, QuantumPlacement};
 
 /// Engine events.
 #[derive(Clone, Copy, Debug)]
@@ -55,7 +55,14 @@ impl Engine {
     pub fn run(&self, jobs: Vec<JobSpec>, mut policy: Box<dyn SchedulingPolicy>) -> RunResult {
         let mut sim = Sim::new(&self.config, jobs, policy.sharing());
         sim.schedule_arrivals();
-        while let Some((t, ev)) = sim.events.pop() {
+        // Stale iteration events (their job's epoch moved on, or the job
+        // completed) are filtered at the queue so handlers only ever see
+        // live events. The closure borrows `sim.running` only, disjoint
+        // from the queue.
+        while let Some((t, ev)) = sim.events.pop_valid(|ev| match *ev {
+            Ev::IterEnd { job, epoch } => sim.running.get(&job).is_some_and(|j| j.epoch == epoch),
+            Ev::Arrival(_) | Ev::Tick => true,
+        }) {
             if t.as_secs() > self.config.max_sim_secs {
                 break;
             }
@@ -84,6 +91,9 @@ struct Sim<'a> {
     running: HashMap<JobId, RunningJob>,
     /// Running jobs in arrival order (policy context ordering).
     order: Vec<JobId>,
+    /// Reused buffer for policy-call snapshots — refilled by
+    /// `refresh_views` instead of allocating a fresh `Vec` per policy call.
+    views_scratch: Vec<JobView>,
     outcomes: Vec<JobOutcome>,
     /// `(class, average allocation)` of completed jobs.
     completed_allocs: Vec<(AppClass, f64)>,
@@ -121,6 +131,7 @@ impl<'a> Sim<'a> {
             clock: SimTime::ZERO,
             running: HashMap::new(),
             order: Vec::new(),
+            views_scratch: Vec::new(),
             outcomes: Vec::new(),
             completed_allocs: Vec::new(),
             completed_alloc_by_job: HashMap::new(),
@@ -169,20 +180,20 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Snapshot of the running jobs for a policy call.
-    fn views(&self) -> Vec<JobView> {
-        self.order
-            .iter()
-            .map(|id| {
-                let j = &self.running[id];
-                JobView {
-                    id: *id,
-                    request: j.spec.request,
-                    allocated: j.allocated,
-                    last_sample: j.last_sample,
-                }
-            })
-            .collect()
+    /// Refills the reusable snapshot of the running jobs for a policy call.
+    /// Read the result via `self.views_scratch`.
+    fn refresh_views(&mut self) {
+        self.views_scratch.clear();
+        let running = &self.running;
+        self.views_scratch.extend(self.order.iter().map(|id| {
+            let j = &running[id];
+            JobView {
+                id: *id,
+                request: j.spec.request,
+                allocated: j.allocated,
+                last_sample: j.last_sample,
+            }
+        }));
     }
 
     fn free_cpus(&self) -> usize {
@@ -237,7 +248,7 @@ impl<'a> Sim<'a> {
             }
         };
         let j = self.running.get_mut(&job).expect("job is running");
-        let speedup = fractional_speedup(j.spec.speedup.as_ref(), eff);
+        let speedup = j.speedup_memo.fractional(j.spec.speedup.as_ref(), eff);
         // The current iteration's sequential time (working-set changes make
         // later phases heavier or lighter, §3.1).
         let iter_secs = j
@@ -274,8 +285,10 @@ impl<'a> Sim<'a> {
     /// Recomputes every running job's rate (time-shared: any membership or
     /// thread-count change shifts every share).
     fn recompute_all_rates(&mut self) {
-        let ids: Vec<JobId> = self.order.clone();
-        for id in ids {
+        // Indexed loop instead of cloning `order`: nothing below touches
+        // the membership, only per-job rates and the event queue.
+        for i in 0..self.order.len() {
+            let id = self.order[i];
             let j = self.running.get_mut(&id).expect("running");
             j.advance_to(self.clock);
             self.recompute_rate(id);
@@ -413,8 +426,8 @@ impl<'a> Sim<'a> {
 
     fn try_admit(&mut self, policy: &mut dyn SchedulingPolicy) {
         loop {
-            let views = self.views();
-            let Some(job) = self.pick_admissible(policy, &views) else {
+            self.refresh_views();
+            let Some(job) = self.pick_admissible(policy, &self.views_scratch) else {
                 return;
             };
             assert!(self.qs.start_specific(job), "picked job is waiting");
@@ -424,12 +437,12 @@ impl<'a> Sim<'a> {
                 .insert(job, RunningJob::start(spec, analyzer, self.clock));
             self.order.push(job);
             self.record_ml();
-            let views = self.views();
+            self.refresh_views();
             let ctx = PolicyCtx {
                 now: self.clock,
                 total_cpus: self.config.cpus,
                 free_cpus: self.free_cpus(),
-                jobs: &views,
+                jobs: &self.views_scratch,
                 queued_jobs: self.qs.waiting_count(),
                 next_request: self.next_request(),
             };
@@ -442,12 +455,10 @@ impl<'a> Sim<'a> {
     }
 
     fn on_iter_end(&mut self, job: JobId, epoch: u64, policy: &mut dyn SchedulingPolicy) {
-        let Some(j) = self.running.get_mut(&job) else {
-            return; // completed in the meantime
-        };
-        if j.epoch != epoch {
-            return; // stale event from before a reallocation
-        }
+        // Stale events (completed job, bumped epoch) never reach here: the
+        // run loop filters them with `EventQueue::pop_valid`.
+        let j = self.running.get_mut(&job).expect("filtered at the queue");
+        debug_assert_eq!(j.epoch, epoch, "filtered at the queue");
         let crossed = j.advance_to(self.clock);
         let mut sample = None;
         if crossed > 0 {
@@ -499,12 +510,12 @@ impl<'a> Sim<'a> {
         }
 
         if let Some(s) = sample {
-            let views = self.views();
+            self.refresh_views();
             let ctx = PolicyCtx {
                 now: self.clock,
                 total_cpus: self.config.cpus,
                 free_cpus: self.free_cpus(),
-                jobs: &views,
+                jobs: &self.views_scratch,
                 queued_jobs: self.qs.waiting_count(),
                 next_request: self.next_request(),
             };
@@ -557,12 +568,12 @@ impl<'a> Sim<'a> {
         self.qs.complete(job);
         self.record_ml();
 
-        let views = self.views();
+        self.refresh_views();
         let ctx = PolicyCtx {
             now: self.clock,
             total_cpus: self.config.cpus,
             free_cpus: self.free_cpus(),
-            jobs: &views,
+            jobs: &self.views_scratch,
             queued_jobs: self.qs.waiting_count(),
             next_request: self.next_request(),
         };
@@ -624,6 +635,8 @@ impl<'a> Sim<'a> {
             .map(|(c, (sum, n))| (c, sum / n as f64))
             .collect();
         let end = self.clock;
+        let events_pushed = self.events.total_pushed();
+        let events_popped = self.events.total_popped();
         RunResult {
             policy: policy_name.to_string(),
             summary: Summary::new(self.outcomes),
@@ -642,6 +655,8 @@ impl<'a> Sim<'a> {
             end_secs: end.as_secs(),
             cpu_seconds_used: self.cpu_seconds_used,
             total_cpus: self.config.cpus,
+            events_pushed,
+            events_popped,
         }
     }
 }
@@ -656,10 +671,11 @@ mod tests {
     use pdpa_sim::CostModel;
 
     fn quiet_config() -> EngineConfig {
-        let mut c = EngineConfig::default();
-        c.noise_sigma = 0.0;
-        c.cost = CostModel::free();
-        c
+        EngineConfig {
+            noise_sigma: 0.0,
+            cost: CostModel::free(),
+            ..EngineConfig::default()
+        }
     }
 
     fn t(s: f64) -> SimTime {
@@ -747,8 +763,10 @@ mod tests {
                 JobSpec::new(t(9.0), apsi()),
             ]
         };
-        let mut cfg = EngineConfig::default();
-        cfg.seed = 1234;
+        let cfg = EngineConfig {
+            seed: 1234,
+            ..EngineConfig::default()
+        };
         let a = Engine::new(cfg.clone()).run(make(), Box::new(Pdpa::paper_default()));
         let b = Engine::new(cfg).run(make(), Box::new(Pdpa::paper_default()));
         assert_eq!(a.end_secs, b.end_secs);
@@ -833,10 +851,12 @@ mod phase_change_tests {
     }
 
     fn run(reset: bool) -> crate::result::RunResult {
-        let mut config = EngineConfig::default();
-        config.noise_sigma = 0.0;
-        config.cost = CostModel::free();
-        config.reset_analyzer_on_phase_change = reset;
+        let config = EngineConfig {
+            noise_sigma: 0.0,
+            cost: CostModel::free(),
+            reset_analyzer_on_phase_change: reset,
+            ..EngineConfig::default()
+        };
         let jobs = vec![pdpa_qs::JobSpec::new(SimTime::ZERO, phased_app())];
         Engine::new(config).run(jobs, Box::new(Pdpa::paper_default()))
     }
@@ -882,10 +902,11 @@ mod gang_tests {
     use pdpa_sim::CostModel;
 
     fn quiet() -> EngineConfig {
-        let mut c = EngineConfig::default();
-        c.noise_sigma = 0.0;
-        c.cost = CostModel::free();
-        c
+        EngineConfig {
+            noise_sigma: 0.0,
+            cost: CostModel::free(),
+            ..EngineConfig::default()
+        }
     }
 
     #[test]

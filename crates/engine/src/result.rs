@@ -40,6 +40,11 @@ pub struct RunResult {
     pub cpu_seconds_used: f64,
     /// Machine size, for utilization computations.
     pub total_cpus: usize,
+    /// Simulation events scheduled over the run (engine throughput input).
+    pub events_pushed: u64,
+    /// Simulation events drained over the run, stale ones included (the
+    /// bench harness reports `events_popped / wall_time` as events/sec).
+    pub events_popped: u64,
 }
 
 impl RunResult {
@@ -86,6 +91,8 @@ mod tests {
             end_secs: 10.0,
             cpu_seconds_used: 300.0,
             total_cpus: 60,
+            events_pushed: 0,
+            events_popped: 0,
         };
         assert_eq!(r.peak_ml(), 4);
         assert_eq!(r.peak_ml(), r.max_ml);

@@ -1,6 +1,6 @@
 //! Per-job runtime state inside the engine.
 
-use pdpa_apps::{ApplicationSpec, Progress};
+use pdpa_apps::{ApplicationSpec, Progress, SpeedupMemo};
 use pdpa_perf::{PerfSample, SelfAnalyzer};
 use pdpa_sim::{SimDuration, SimTime};
 
@@ -36,6 +36,9 @@ pub struct RunningJob {
     /// effective processor count changed mid-iteration, so the measured
     /// wall time mixes two allocations and must not drive policy decisions.
     pub iter_polluted: bool,
+    /// Memoized integer points of `spec.speedup` — rate recomputation
+    /// evaluates the curve at the same few allocations thousands of times.
+    pub speedup_memo: SpeedupMemo,
 }
 
 impl RunningJob {
@@ -55,6 +58,7 @@ impl RunningJob {
             cpu_seconds: 0.0,
             last_sample: None,
             iter_polluted: false,
+            speedup_memo: SpeedupMemo::new(),
         }
     }
 

@@ -17,7 +17,7 @@ use pdpa_sim::{SimDuration, SimTime};
 /// the remaining ranks, wrapped as an ordinary ApplicationSpec.
 fn hybrid_app(strategy: RankStrategy) -> ApplicationSpec {
     let mut loads = vec![SimDuration::from_secs(2.0)];
-    loads.extend(std::iter::repeat(SimDuration::from_secs(1.0)).take(7));
+    loads.extend(std::iter::repeat_n(SimDuration::from_secs(1.0), 7));
     let spec = HybridSpec::new(
         loads,
         Arc::new(Amdahl::new(0.02)),
@@ -58,8 +58,10 @@ fn pdpa_schedules_hybrid_apps_end_to_end() {
 fn balanced_strategy_finishes_faster_under_the_same_policy() {
     let run = |strategy| {
         let jobs = vec![JobSpec::new(SimTime::ZERO, hybrid_app(strategy))];
-        let mut config = EngineConfig::default();
-        config.noise_sigma = 0.0;
+        let config = EngineConfig {
+            noise_sigma: 0.0,
+            ..EngineConfig::default()
+        };
         Engine::new(config)
             .run(jobs, Box::new(Pdpa::paper_default()))
             .summary
@@ -87,8 +89,10 @@ fn folding_lets_a_wide_app_run_on_a_small_machine() {
     let speedup = HybridSpeedup::new(spec, RankStrategy::Balanced);
     let app = ApplicationSpec::new(AppClass::BtA, 20, t1, 8, Arc::new(speedup), 0.0);
     let jobs = vec![JobSpec::new(SimTime::ZERO, app)];
-    let mut config = EngineConfig::default();
-    config.cpus = 8;
+    let config = EngineConfig {
+        cpus: 8,
+        ..EngineConfig::default()
+    };
     let result = Engine::new(config).run(jobs, Box::new(Pdpa::paper_default()));
     assert!(result.completed_all);
 }

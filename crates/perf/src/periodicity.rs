@@ -82,7 +82,7 @@ impl PeriodicityDetector {
         self.seen += 1;
         self.redetect();
         match self.period {
-            Some(p) => (self.seen - self.confirmed_at) % p == 0,
+            Some(p) => (self.seen - self.confirmed_at).is_multiple_of(p),
             None => false,
         }
     }

@@ -57,7 +57,7 @@ impl GeneratorConfig {
         if self.cpus == 0 {
             return Err("machine needs processors".to_owned());
         }
-        if !(self.duration_secs > 0.0) {
+        if self.duration_secs.is_nan() || self.duration_secs <= 0.0 {
             return Err("duration must be positive".to_owned());
         }
         Ok(())
@@ -101,7 +101,7 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Vec<JobSpec> {
             t += stream.exponential(mean_gap);
         }
     }
-    jobs.sort_by(|a, b| a.submit.cmp(&b.submit));
+    jobs.sort_by_key(|a| a.submit);
     jobs
 }
 

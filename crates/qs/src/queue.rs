@@ -29,7 +29,7 @@ impl QueueSystem {
     /// Builds the queue system from a workload. Jobs are sorted by
     /// submission time and assigned dense [`JobId`]s in that order.
     pub fn new(mut jobs: Vec<JobSpec>) -> Self {
-        jobs.sort_by(|a, b| a.submit.cmp(&b.submit));
+        jobs.sort_by_key(|a| a.submit);
         QueueSystem {
             jobs,
             waiting: VecDeque::new(),

@@ -82,6 +82,23 @@ impl<E> EventQueue<E> {
         })
     }
 
+    /// Removes and returns the earliest event for which `valid` holds,
+    /// discarding invalid ones along the way; `None` when the queue runs
+    /// out.
+    ///
+    /// This is the companion to epoch invalidation: stale entries stay in
+    /// the heap until their turn, and this helper centralizes the skip so
+    /// event-loop callers never see them. Discarded events still count
+    /// toward [`total_popped`](Self::total_popped).
+    pub fn pop_valid(&mut self, mut valid: impl FnMut(&E) -> bool) -> Option<(SimTime, E)> {
+        loop {
+            let (at, payload) = self.pop()?;
+            if valid(&payload) {
+                return Some((at, payload));
+            }
+        }
+    }
+
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
@@ -171,6 +188,19 @@ mod tests {
         assert_eq!(q.total_pushed(), 2);
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_valid_skips_stale_entries() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), "stale");
+        q.push(t(2.0), "live");
+        q.push(t(3.0), "stale");
+        assert_eq!(q.pop_valid(|e| *e != "stale"), Some((t(2.0), "live")));
+        assert_eq!(q.pop_valid(|e| *e != "stale"), None);
+        // Discards still count as pops.
+        assert_eq!(q.total_popped(), 3);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -116,7 +116,7 @@ mod tests {
         for line in prv.lines().skip(1) {
             let fields: Vec<&str> = line.split(':').collect();
             let appl: usize = fields[2].parse().unwrap();
-            assert!(appl >= 1 && appl <= 2, "dense 1-based application ids");
+            assert!((1..=2).contains(&appl), "dense 1-based application ids");
             let begin: u64 = fields[5].parse().unwrap();
             assert!(begin >= last_begin, "sorted by begin time");
             last_begin = begin;

@@ -253,7 +253,7 @@ mod proptests {
             for cpu in 0..4u16 {
                 let mut bursts: Vec<&ActivityRecord> =
                     trace.bursts_of(CpuId(cpu)).collect();
-                bursts.sort_by(|a, b| a.start.cmp(&b.start));
+                bursts.sort_by_key(|a| a.start);
                 for r in &bursts {
                     prop_assert!(r.end > r.start, "zero/negative burst");
                 }

@@ -19,7 +19,7 @@ use pdpa_suite::prelude::*;
 fn main() {
     // Eight ranks; rank 0 carries twice the load.
     let mut loads = vec![SimDuration::from_secs(2.0)];
-    loads.extend(std::iter::repeat(SimDuration::from_secs(1.0)).take(7));
+    loads.extend(std::iter::repeat_n(SimDuration::from_secs(1.0), 7));
     let spec = HybridSpec::new(
         loads,
         Arc::new(Amdahl::new(0.02)),

@@ -42,8 +42,8 @@ fn main() {
     ];
 
     println!(
-        "{:<12} {:>9} {:>7}  {}",
-        "policy", "makespan", "maxML", "per-class response/execution (s)"
+        "{:<12} {:>9} {:>7}  per-class response/execution (s)",
+        "policy", "makespan", "maxML"
     );
     for policy in policies {
         let name = policy.name();

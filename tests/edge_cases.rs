@@ -77,8 +77,10 @@ fn oversized_requests_on_a_small_machine() {
 fn simulation_bound_aborts_cleanly() {
     let jobs = Workload::W3.build(1.0, 42);
     let n = jobs.len();
-    let mut config = EngineConfig::default();
-    config.max_sim_secs = 50.0; // far too short for this workload
+    let config = EngineConfig {
+        max_sim_secs: 50.0, // far too short for this workload
+        ..EngineConfig::default()
+    };
     let result = Engine::new(config).run(jobs, Box::new(Equipartition::default()));
     assert!(!result.completed_all, "the bound must trip");
     assert!(result.summary.jobs() < n, "only some jobs completed");

@@ -105,9 +105,11 @@ fn ml_series_is_well_formed() {
 /// arithmetic is exact, not approximate.
 #[test]
 fn lone_job_ideal_time_is_exact() {
-    let mut config = EngineConfig::default();
-    config.noise_sigma = 0.0;
-    config.cost = CostModel::free();
+    let config = EngineConfig {
+        noise_sigma: 0.0,
+        cost: CostModel::free(),
+        ..EngineConfig::default()
+    };
     let app = paper_app(AppClass::Hydro2d);
     let ideal = app.iter_time(30).unwrap().as_secs() * (app.iterations as f64 - 2.0)
         + app.iter_time(2).unwrap().as_secs() * 2.0;

@@ -1,0 +1,28 @@
+//! The harness's parallel sweeps must be *byte-identical* to sequential
+//! runs: the acceptance bar for replacing `expt-all`'s subprocess fan-out
+//! with in-process worker threads is that every experiment table comes out
+//! exactly the same.
+
+use pdpa_bench::{
+    experiments, run_cell, run_cell_seq, run_figure, run_figure_seq, PolicyKind, SEEDS,
+};
+use pdpa_qs::Workload;
+
+#[test]
+fn parallel_cell_matches_sequential() {
+    let par = run_cell(Workload::W1, true, PolicyKind::Pdpa, 0.6, &SEEDS);
+    let seq = run_cell_seq(Workload::W1, true, PolicyKind::Pdpa, 0.6, &SEEDS);
+    assert_eq!(par, seq);
+}
+
+#[test]
+fn parallel_figure_renders_byte_identical_to_sequential() {
+    // The full Fig. 4 grid: 4 policies × 3 loads × 3 seeds = 36 engine
+    // runs, fanned out over worker threads versus strictly in order.
+    let par = run_figure(Workload::W1, true);
+    let seq = run_figure_seq(Workload::W1, true);
+    let par_text = experiments::render_figure(&par, Workload::W1, "Fig. 4 — workload 1");
+    let seq_text = experiments::render_figure(&seq, Workload::W1, "Fig. 4 — workload 1");
+    assert!(!par_text.is_empty());
+    assert_eq!(par_text, seq_text, "parallel output must be byte-identical");
+}
