@@ -305,6 +305,8 @@ impl SpeedupModel for Superlinear {
 #[derive(Clone, Debug, Default)]
 pub struct SpeedupMemo {
     cache: Vec<f64>,
+    hits: u64,
+    misses: u64,
 }
 
 impl SpeedupMemo {
@@ -320,8 +322,17 @@ impl SpeedupMemo {
         }
         if self.cache[p].is_nan() {
             self.cache[p] = model.speedup(p);
+            self.misses += 1;
+        } else {
+            self.hits += 1;
         }
         self.cache[p]
+    }
+
+    /// Lifetime `(hits, misses)` of the memo — the hit rate is the whole
+    /// point of the cache, so it is exported as an engine metric.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Speedup at a fractional processor count, by linear interpolation
@@ -484,6 +495,16 @@ mod tests {
             // Second lookup hits the cache and must agree.
             assert_eq!(memo.speedup(&m, p), m.speedup(p), "p={p} (cached)");
         }
+    }
+
+    #[test]
+    fn memo_counts_hits_and_misses() {
+        let m = Amdahl::new(0.1);
+        let mut memo = SpeedupMemo::new();
+        memo.speedup(&m, 4);
+        memo.speedup(&m, 4);
+        memo.speedup(&m, 8);
+        assert_eq!(memo.stats(), (1, 2));
     }
 
     #[test]

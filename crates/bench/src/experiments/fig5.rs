@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use crate::{stats, PolicyKind};
+use crate::{run_engine_observed, PolicyKind};
 use pdpa_engine::{Engine, EngineConfig};
 use pdpa_qs::Workload;
 use pdpa_trace::{render_ascii, RenderOptions};
@@ -22,8 +22,8 @@ pub fn run() -> String {
     for policy in [PolicyKind::Irix, PolicyKind::Pdpa] {
         let jobs = Workload::W1.build(1.0, 42);
         let config = EngineConfig::default().with_trace().with_seed(42);
-        let result = Engine::new(config).run(jobs, policy.build());
-        stats::record_run(&result);
+        let key = format!("w1-{}-load1-seed42", policy.label());
+        let result = run_engine_observed(&key, &Engine::new(config), jobs, policy.build());
         let migrations = result.total_migrations();
         let trace = result.trace.expect("trace collection enabled");
         let _ = writeln!(

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::{stats, PolicyKind};
+use crate::{run_engine_observed, PolicyKind};
 use pdpa_engine::{Engine, EngineConfig};
 use pdpa_qs::Workload;
 
@@ -18,9 +18,12 @@ pub fn run() -> String {
         "# Fig. 8 — PDPA's dynamic multiprogramming level (w2, load = 100 %)\n"
     );
     let jobs = Workload::W2.build(1.0, 42);
-    let result =
-        Engine::new(EngineConfig::default().with_seed(42)).run(jobs, PolicyKind::Pdpa.build());
-    stats::record_run(&result);
+    let result = run_engine_observed(
+        "w2-PDPA-load1-seed42",
+        &Engine::new(EngineConfig::default().with_seed(42)),
+        jobs,
+        PolicyKind::Pdpa.build(),
+    );
 
     let _ = writeln!(
         out,

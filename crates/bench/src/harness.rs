@@ -9,19 +9,28 @@
 //!
 //! Flags (shared by `expt-all` and the single-experiment binaries):
 //!
-//! - `--json` — append this run's timings to `BENCH_pdpa.json` (see
-//!   [`crate::trajectory`]);
+//! - `--json` — append this run's timings (and the metrics block) to
+//!   `BENCH_pdpa.json` (see [`crate::trajectory`]);
 //! - `--sequential` — one worker thread everywhere, including the
 //!   experiments' inner sweeps (the baseline mode for the trajectory);
-//! - `--only <name>` — run a single experiment from `expt-all`.
+//! - `--only <name>` — run a single experiment from `expt-all`;
+//! - `--trace-out <file>` — record every engine run's decision-event
+//!   stream and export it as Chrome `trace_event` JSON (open in Perfetto);
+//! - `--metrics-out <file>` — write the metrics-registry snapshot
+//!   (counters, scopes, histograms, failures) as JSON;
+//! - `--mpl-csv <file>` — export the recorded runs' multiprogramming-level
+//!   history as CSV (the Fig.-8 series, one row per change).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use crate::experiments::{self, Experiment};
+use crate::json;
 use crate::stats;
 use crate::trajectory::{BenchReport, ExperimentTiming, ModeReport};
+use pdpa_obs::metrics::Registry;
+use pdpa_obs::{chrome_trace, collector, metrics_json, mpl_series_csv, scope};
 
 /// Width of the separator rule between experiments (matches the old
 /// subprocess-based `expt-all`).
@@ -40,6 +49,19 @@ pub struct Options {
     pub sequential: bool,
     /// Restrict `expt-all` to one named experiment.
     pub only: Option<String>,
+    /// Export the recorded event streams as Chrome trace JSON.
+    pub trace_out: Option<String>,
+    /// Export the metrics-registry snapshot as JSON.
+    pub metrics_out: Option<String>,
+    /// Export the recorded runs' MPL history as CSV.
+    pub mpl_csv: Option<String>,
+}
+
+impl Options {
+    /// Whether engine runs should record their decision-event streams.
+    fn observing(&self) -> bool {
+        self.trace_out.is_some() || self.mpl_csv.is_some()
+    }
 }
 
 /// Parses flags from an argument iterator (without the program name).
@@ -54,9 +76,22 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String>
                 Some(name) => opts.only = Some(name),
                 None => return Err("--only requires an experiment name".into()),
             },
+            "--trace-out" => match args.next() {
+                Some(path) => opts.trace_out = Some(path),
+                None => return Err("--trace-out requires a file path".into()),
+            },
+            "--metrics-out" => match args.next() {
+                Some(path) => opts.metrics_out = Some(path),
+                None => return Err("--metrics-out requires a file path".into()),
+            },
+            "--mpl-csv" => match args.next() {
+                Some(path) => opts.mpl_csv = Some(path),
+                None => return Err("--mpl-csv requires a file path".into()),
+            },
             other => {
                 return Err(format!(
-                    "unknown argument `{other}` (expected --json, --sequential, or --only <name>)"
+                    "unknown argument `{other}` (expected --json, --sequential, --only <name>, \
+                     --trace-out <file>, --metrics-out <file>, or --mpl-csv <file>)"
                 ))
             }
         }
@@ -113,18 +148,35 @@ struct Outcome {
 }
 
 fn run_guarded(e: &Experiment) -> Outcome {
+    // Engine runs below are attributed to this experiment in the metrics
+    // registry (and in recorded event-stream keys).
+    let _scope = scope::enter(e.name);
     let start = Instant::now();
     let output = catch_unwind(AssertUnwindSafe(e.run)).map_err(|payload| {
-        payload
+        let message = payload
             .downcast_ref::<&str>()
             .map(|s| s.to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "panic with a non-string payload".into())
+            .unwrap_or_else(|| "panic with a non-string payload".to_string());
+        // Preserve the panic as a structured event so the failure shows up
+        // in the metrics export, not just on stderr.
+        collector::record_failure(e.name, message.clone());
+        message
     });
     Outcome {
         output,
         wall_secs: start.elapsed().as_secs_f64(),
     }
+}
+
+/// Writes an export file, reporting the path on stderr like the CLI does.
+fn write_export(path: &str, what: &str, contents: &str) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    eprintln!("[{path}] {what} written");
+    Ok(())
 }
 
 /// Runs `list` (concurrently unless `--sequential`), prints the outputs in
@@ -140,6 +192,9 @@ fn run(list: &[Experiment], opts: &Options) -> ExitCode {
     } else {
         pdpa_parallel::num_threads()
     };
+    if opts.observing() {
+        collector::set_recording(true);
+    }
 
     let before = stats::snapshot();
     let start = Instant::now();
@@ -161,11 +216,41 @@ fn run(list: &[Experiment], opts: &Options) -> ExitCode {
         }
     }
 
+    // Drain the observability state once; every export below reads from
+    // these (deterministically ordered) drains.
+    let recorded_runs = if opts.observing() {
+        collector::set_recording(false);
+        collector::take_runs()
+    } else {
+        Vec::new()
+    };
+    let obs_failures = collector::take_failures();
+    let metrics_text = metrics_json(&Registry::global().snapshot(), &obs_failures);
+
+    if let Some(path) = &opts.trace_out {
+        if let Err(code) = write_export(path, "Chrome trace", &chrome_trace(&recorded_runs)) {
+            return code;
+        }
+    }
+    if let Some(path) = &opts.mpl_csv {
+        if let Err(code) = write_export(path, "MPL series CSV", &mpl_series_csv(&recorded_runs)) {
+            return code;
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(code) = write_export(path, "metrics JSON", &metrics_text) {
+            return code;
+        }
+    }
+
     if opts.json {
         let report = ModeReport {
             threads,
             wall_secs,
             counters,
+            // The same document `--metrics-out` writes, embedded as the
+            // mode's `metrics` block (pdpa-bench/v2).
+            metrics: json::parse(&metrics_text).ok(),
             experiments: list
                 .iter()
                 .zip(&outcomes)
@@ -229,9 +314,30 @@ mod tests {
     }
 
     #[test]
+    fn parses_observability_flags() {
+        let opts = parse(&[
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.json",
+            "--mpl-csv",
+            "mpl.csv",
+        ])
+        .unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("metrics.json"));
+        assert_eq!(opts.mpl_csv.as_deref(), Some("mpl.csv"));
+        assert!(opts.observing());
+        assert!(!Options::default().observing());
+    }
+
+    #[test]
     fn rejects_bad_flags() {
         assert!(parse(&["--only"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
+        assert!(parse(&["--metrics-out"]).is_err());
+        assert!(parse(&["--mpl-csv"]).is_err());
     }
 
     #[test]

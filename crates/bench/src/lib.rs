@@ -123,6 +123,33 @@ pub struct Cell {
     pub completed_all: bool,
 }
 
+/// Runs one engine execution, records its harness [`stats`], and — when
+/// the process-wide [`pdpa_obs::collector`] is recording (`--trace-out`
+/// and friends) — captures the decision-event stream under
+/// `<scope>/<run_key>`.
+///
+/// The key is derived from the run's parameters, never from scheduling
+/// order, so the drained streams are identical between sequential and
+/// parallel harness executions.
+pub fn run_engine_observed(
+    run_key: &str,
+    engine: &Engine,
+    jobs: Vec<pdpa_qs::JobSpec>,
+    policy: Box<dyn SchedulingPolicy>,
+) -> RunResult {
+    let result = if pdpa_obs::collector::is_recording() {
+        let mut rec = pdpa_obs::RecordingObserver::new();
+        let r = engine.run_observed(jobs, policy, &mut rec);
+        let scope = pdpa_obs::scope::current().unwrap_or_default();
+        pdpa_obs::collector::record_run(format!("{scope}/{run_key}"), rec.take_events());
+        r
+    } else {
+        engine.run(jobs, policy)
+    };
+    stats::record_run(&result);
+    result
+}
+
 /// Runs one engine execution of `(workload, policy, load)` at `seed`.
 ///
 /// This is the unit of work the parallel sweeps fan out; it also feeds the
@@ -136,9 +163,13 @@ pub fn run_single(
 ) -> RunResult {
     let jobs = workload.build_with_tuning(load, seed, tuned);
     let config = EngineConfig::default().with_seed(seed ^ 0xA5A5);
-    let result = Engine::new(config).run(jobs, policy.build());
-    stats::record_run(&result);
-    result
+    let key = format!(
+        "{}-{}-{}-load{load}-seed{seed}",
+        workload.name(),
+        if tuned { "tuned" } else { "untuned" },
+        policy.label(),
+    );
+    run_engine_observed(&key, &Engine::new(config), jobs, policy.build())
 }
 
 /// Runs one `(workload, policy, load)` cell averaged over `seeds`, with

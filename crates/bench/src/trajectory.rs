@@ -10,8 +10,13 @@
 use crate::json::{parse, Value};
 use crate::stats::Snapshot;
 
-/// Schema tag written at the top of the document.
-pub const SCHEMA: &str = "pdpa-bench/v1";
+/// Schema tag written at the top of the document. `v2` adds the optional
+/// per-mode `metrics` block (the observability registry snapshot).
+pub const SCHEMA: &str = "pdpa-bench/v2";
+
+/// The previous schema, still accepted on read so existing trajectories
+/// merge instead of being discarded (their modes just have no `metrics`).
+pub const SCHEMA_V1: &str = "pdpa-bench/v1";
 
 /// Wall time of one experiment.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +38,9 @@ pub struct ModeReport {
     pub wall_secs: f64,
     /// Harness counter deltas over the invocation.
     pub counters: Snapshot,
+    /// The observability metrics snapshot of the invocation (the same
+    /// document `--metrics-out` writes), when one was captured.
+    pub metrics: Option<Value>,
     /// Per-experiment wall times, in registry order.
     pub experiments: Vec<ExperimentTiming>,
 }
@@ -48,7 +56,7 @@ impl ModeReport {
     }
 
     fn to_value(&self) -> Value {
-        Value::Obj(vec![
+        let mut pairs = vec![
             ("threads".into(), Value::Num(self.threads as f64)),
             ("wall_secs".into(), Value::Num(self.wall_secs)),
             (
@@ -83,7 +91,11 @@ impl ModeReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(metrics) = &self.metrics {
+            pairs.push(("metrics".into(), metrics.clone()));
+        }
+        Value::Obj(pairs)
     }
 
     fn from_value(v: &Value) -> Option<ModeReport> {
@@ -96,6 +108,7 @@ impl ModeReport {
                 engine_runs: v.get("engine_runs")?.as_u64()?,
                 cells_run: v.get("cells_run")?.as_u64()?,
             },
+            metrics: v.get("metrics").cloned(),
             experiments: v
                 .get("experiments")?
                 .as_arr()?
@@ -157,7 +170,8 @@ impl BenchReport {
     /// documents yield `None` (the caller starts a fresh report).
     pub fn from_json(text: &str) -> Option<BenchReport> {
         let doc = parse(text).ok()?;
-        if doc.get("schema")?.as_str()? != SCHEMA {
+        let schema = doc.get("schema")?.as_str()?;
+        if schema != SCHEMA && schema != SCHEMA_V1 {
             return None;
         }
         let modes = doc.get("modes")?;
@@ -196,6 +210,7 @@ mod tests {
                 engine_runs: 36,
                 cells_run: 12,
             },
+            metrics: None,
             experiments: vec![
                 ExperimentTiming {
                     name: "fig3".into(),
@@ -232,6 +247,47 @@ mod tests {
         assert_eq!(doc.sequential.as_ref().unwrap().wall_secs, 14.0);
         assert_eq!(doc.parallel.as_ref().unwrap().wall_secs, 3.5);
         assert!(second.contains("speedup_parallel_over_sequential"));
+    }
+
+    #[test]
+    fn metrics_block_round_trips() {
+        let mut mode = sample_mode(4, 3.5);
+        mode.metrics = Some(Value::Obj(vec![
+            ("schema".into(), Value::Str("pdpa-obs-metrics/v1".into())),
+            (
+                "engine".into(),
+                Value::Obj(vec![("runs".into(), Value::Num(36.0))]),
+            ),
+        ]));
+        let report = BenchReport {
+            parallel: Some(mode.clone()),
+            sequential: None,
+        };
+        let text = report.to_json();
+        assert!(text.contains("pdpa-bench/v2"));
+        assert!(text.contains("pdpa-obs-metrics/v1"));
+        let back = BenchReport::from_json(&text).expect("parse back");
+        assert_eq!(back.parallel.unwrap().metrics, mode.metrics);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A v1 document (no metrics block) merges rather than being
+        // discarded.
+        let mut report = BenchReport {
+            sequential: Some(sample_mode(1, 14.0)),
+            parallel: None,
+        };
+        let v1_text = report.to_json().replace("pdpa-bench/v2", "pdpa-bench/v1");
+        let doc = BenchReport::from_json(&v1_text).expect("v1 accepted");
+        assert_eq!(doc.sequential.as_ref().unwrap().wall_secs, 14.0);
+        assert_eq!(doc.sequential.as_ref().unwrap().metrics, None);
+        // Merging a v2 mode into a v1 document keeps the old mode.
+        report.parallel = Some(sample_mode(4, 3.5));
+        let merged = BenchReport::merge_into(Some(&v1_text), false, sample_mode(4, 3.5));
+        let doc = BenchReport::from_json(&merged).unwrap();
+        assert!(doc.sequential.is_some() && doc.parallel.is_some());
+        assert!(merged.contains("pdpa-bench/v2"));
     }
 
     #[test]

@@ -72,6 +72,21 @@ pub struct Options {
     pub prv_out: Option<String>,
     /// Write an SWF log here.
     pub swf_log: Option<String>,
+    /// Print a decision-event summary after the metrics.
+    pub obs: bool,
+    /// Write a Chrome `trace_event` JSON of the decision-event stream here.
+    pub trace_out: Option<String>,
+    /// Write the metrics-registry snapshot as JSON here.
+    pub metrics_out: Option<String>,
+    /// Write the MPL/allocation time-series CSV here.
+    pub mpl_csv: Option<String>,
+}
+
+impl Options {
+    /// Whether the run must record its decision-event stream.
+    pub fn observing(&self) -> bool {
+        self.obs || self.trace_out.is_some() || self.metrics_out.is_some() || self.mpl_csv.is_some()
+    }
 }
 
 impl Default for Options {
@@ -88,6 +103,10 @@ impl Default for Options {
             ascii: false,
             prv_out: None,
             swf_log: None,
+            obs: false,
+            trace_out: None,
+            metrics_out: None,
+            mpl_csv: None,
         }
     }
 }
@@ -173,6 +192,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 opts.trace = true;
             }
             "--swf-log" => opts.swf_log = Some(value_of("--swf-log", &mut it)?),
+            "--obs" => opts.obs = true,
+            "--trace-out" => opts.trace_out = Some(value_of("--trace-out", &mut it)?),
+            "--metrics-out" => opts.metrics_out = Some(value_of("--metrics-out", &mut it)?),
+            "--mpl-csv" => opts.mpl_csv = Some(value_of("--mpl-csv", &mut it)?),
             other => return Err(format!("unknown option {other:?}; try `pdpa help`")),
         }
     }
@@ -228,6 +251,26 @@ mod tests {
         assert!(o.untuned && o.backfill && o.ascii && o.trace);
         assert_eq!(o.prv_out.as_deref(), Some("out.prv"));
         assert_eq!(o.swf_log.as_deref(), Some("log.swf"));
+    }
+
+    #[test]
+    fn observability_flags() {
+        let cmd = parse(&argv(
+            "run --workload w1 --policy pdpa --obs --trace-out t.json \
+             --metrics-out m.json --mpl-csv mpl.csv",
+        ))
+        .unwrap();
+        let Command::Run(o) = cmd else {
+            panic!("expected Run")
+        };
+        assert!(o.obs && o.observing());
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(o.mpl_csv.as_deref(), Some("mpl.csv"));
+        assert!(!Options::default().observing());
+        assert!(parse(&argv("run --workload w1 --policy pdpa --trace-out"))
+            .unwrap_err()
+            .contains("--trace-out"));
     }
 
     #[test]

@@ -5,6 +5,10 @@ use std::fmt::Write as _;
 use pdpa_apps::{paper_app, AppClass};
 use pdpa_core::Pdpa;
 use pdpa_engine::{Engine, EngineConfig, RunResult};
+use pdpa_obs::metrics::Registry;
+use pdpa_obs::{
+    chrome_trace, metrics_json, mpl_series_csv, scope, NullObserver, Observer, RecordingObserver,
+};
 use pdpa_policies::{
     EqualEfficiency, Equipartition, GangScheduler, IrixLike, RigidFirstFit, SchedulingPolicy,
 };
@@ -52,11 +56,16 @@ fn engine_config(opts: &Options) -> EngineConfig {
     config
 }
 
-fn execute(opts: &Options, choice: PolicyChoice) -> Result<RunResult, String> {
+fn execute_with(
+    opts: &Options,
+    choice: PolicyChoice,
+    observer: &mut dyn Observer,
+) -> Result<RunResult, String> {
     let jobs = opts
         .workload
         .build_with_tuning(opts.load, opts.seed, !opts.untuned);
-    let result = Engine::new(engine_config(opts)).run(jobs, build_policy(choice));
+    let result =
+        Engine::new(engine_config(opts)).run_observed(jobs, build_policy(choice), observer);
     if !result.completed_all {
         return Err(format!(
             "{:?} did not drain the workload within the simulation bound",
@@ -64,6 +73,10 @@ fn execute(opts: &Options, choice: PolicyChoice) -> Result<RunResult, String> {
         ));
     }
     Ok(result)
+}
+
+fn execute(opts: &Options, choice: PolicyChoice) -> Result<RunResult, String> {
+    execute_with(opts, choice, &mut NullObserver)
 }
 
 /// One-line-per-class metrics of a finished run.
@@ -97,7 +110,15 @@ fn class_table(result: &RunResult) -> String {
 
 fn run_one(opts: &Options) -> Result<String, String> {
     let choice = opts.policy.expect("parser enforces --policy for run");
-    let result = execute(opts, choice)?;
+    let mut recorder = RecordingObserver::new();
+    let result = if opts.observing() {
+        // Attribute this run's registry counters to a CLI scope so the
+        // metrics export distinguishes it from harness experiments.
+        let _scope = scope::enter(&format!("cli-{}", opts.workload));
+        execute_with(opts, choice, &mut recorder)?
+    } else {
+        execute(opts, choice)?
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -156,6 +177,36 @@ fn run_one(opts: &Options) -> Result<String, String> {
         std::fs::write(path, swf::write_swf_log(&sorted, &outcomes))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(out, "\nSWF log written to {path}");
+    }
+    if opts.observing() {
+        let events = recorder.take_events();
+        if opts.obs {
+            let _ = writeln!(out, "\ndecision-event stream: {} events", events.len());
+            for kind in [
+                "submit", "start", "finish", "iter", "decision", "state", "mpl", "cost", "cpu",
+            ] {
+                let n = events.iter().filter(|te| te.event.kind() == kind).count();
+                if n > 0 {
+                    let _ = writeln!(out, "  {kind:<8} {n}");
+                }
+            }
+        }
+        let runs = vec![(format!("{}-{}", opts.workload, result.policy), events)];
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, chrome_trace(&runs))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out, "\nChrome trace written to {path}");
+        }
+        if let Some(path) = &opts.mpl_csv {
+            std::fs::write(path, mpl_series_csv(&runs))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out, "\nMPL series CSV written to {path}");
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, metrics_json(&Registry::global().snapshot(), &[]))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out, "\nMetrics JSON written to {path}");
+        }
     }
     Ok(out)
 }
@@ -292,6 +343,40 @@ mod tests {
         assert!(prv_text.starts_with("#Paraver"));
         let log_text = std::fs::read_to_string(&log).unwrap();
         assert!(pdpa_qs::swf::parse_swf(&log_text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observability_outputs_are_written() {
+        let dir = std::env::temp_dir().join("pdpa-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let metrics = dir.join("m.json");
+        let csv = dir.join("mpl.csv");
+        let cmd = format!(
+            "run --workload w3 --policy pdpa --load 0.6 --obs --trace-out {} \
+             --metrics-out {} --mpl-csv {}",
+            trace.display(),
+            metrics.display(),
+            csv.display()
+        );
+        let out = run_cli(&cmd).unwrap();
+        assert!(
+            out.contains("decision-event stream:"),
+            "no summary in:\n{out}"
+        );
+        assert!(out.contains("decision"), "no decision count in:\n{out}");
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("\"traceEvents\""));
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(metrics_text.contains("pdpa-obs-metrics/v1"));
+        assert!(metrics_text.contains("cli-w3"));
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(csv_text.starts_with("run,sim_secs,running,allocated"));
+        assert!(
+            csv_text.lines().count() > 1,
+            "MPL CSV has no rows:\n{csv_text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -37,6 +37,7 @@ USAGE:
   pdpa run     --workload <w1|w2|w3|w4> --policy <pdpa|equip|equal-eff|irix|rigid|gang>
                [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
                [--backfill] [--trace] [--ascii] [--prv-out <file>] [--swf-log <file>]
+               [--obs] [--trace-out <file>] [--metrics-out <file>] [--mpl-csv <file>]
   pdpa compare --workload <w1|w2|w3|w4> [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
   pdpa curves
 
@@ -57,4 +58,9 @@ OPTIONS:
   --ascii      print the Fig. 5 ASCII execution view (implies --trace)
   --prv-out    write a Paraver .prv trace to a file (implies --trace)
   --swf-log    write the completed run as an SWF log to a file
+  --obs        print a decision-event summary after the metrics
+  --trace-out  write the decision-event stream as Chrome trace_event JSON
+               (open in Perfetto or chrome://tracing)
+  --metrics-out  write the metrics-registry snapshot as JSON
+  --mpl-csv    write the multiprogramming-level history as CSV (Fig. 8 data)
 ";

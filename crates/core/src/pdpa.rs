@@ -271,12 +271,16 @@ impl SchedulingPolicy for Pdpa {
         } else {
             rec.stable_ref_eff = None;
         }
+        let prev_state = rec.state;
         rec.state = t.next;
-        if t.target_alloc != view.allocated {
-            Decisions::one(job, t.target_alloc)
-        } else {
-            Decisions::none()
+        let mut d = Decisions::none();
+        if t.next != prev_state {
+            d.note_transition(job, prev_state.name(), t.next.name());
         }
+        if t.target_alloc != view.allocated {
+            d.set(job, t.target_alloc);
+        }
+        d
     }
 
     fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {

@@ -42,6 +42,17 @@ impl AppState {
     pub fn is_settled(self) -> bool {
         matches!(self, AppState::Stable | AppState::Dec)
     }
+
+    /// The paper's name for the state (Fig. 2 labels), used in decision
+    /// events and trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppState::NoRef => "NO_REF",
+            AppState::Inc => "INC",
+            AppState::Dec => "DEC",
+            AppState::Stable => "STABLE",
+        }
+    }
 }
 
 /// The outcome of one PDPA evaluation: the next state and allocation.

@@ -1,14 +1,18 @@
 //! The event loop: executes a workload under a scheduling policy.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pdpa_apps::{AppClass, NoiseModel};
 use pdpa_metrics::{JobOutcome, Summary};
+use pdpa_obs::metrics::{Histogram, Registry, RunCounters, Span};
+use pdpa_obs::{DecisionTrigger, NullObserver, ObsEvent, Observer};
 use pdpa_perf::SelfAnalyzer;
 use pdpa_policies::{Decisions, JobView, PolicyCtx, SchedulingPolicy, SharingModel};
 use pdpa_qs::{JobSpec, QueueSystem};
-use pdpa_sim::{EventQueue, JobId, Machine, SimRng, SimTime};
-use pdpa_trace::TraceCollector;
+use pdpa_sim::{CpuId, EventQueue, JobId, Machine, SimRng, SimTime};
+use pdpa_trace::TraceObserver;
 
 use crate::config::EngineConfig;
 use crate::result::RunResult;
@@ -52,15 +56,34 @@ impl Engine {
 
     /// Runs `jobs` to completion under `policy` and returns the measured
     /// result. Deterministic for a given configuration seed.
-    pub fn run(&self, jobs: Vec<JobSpec>, mut policy: Box<dyn SchedulingPolicy>) -> RunResult {
-        let mut sim = Sim::new(&self.config, jobs, policy.sharing());
+    pub fn run(&self, jobs: Vec<JobSpec>, policy: Box<dyn SchedulingPolicy>) -> RunResult {
+        self.run_observed(jobs, policy, &mut NullObserver)
+    }
+
+    /// Like [`run`](Engine::run), but publishes every decision event to
+    /// `observer`. With a disabled observer (`is_enabled()` false) the
+    /// extra cost is one dead branch per publish site — events are not even
+    /// constructed.
+    pub fn run_observed(
+        &self,
+        jobs: Vec<JobSpec>,
+        mut policy: Box<dyn SchedulingPolicy>,
+        observer: &mut dyn Observer,
+    ) -> RunResult {
+        let mut sim = Sim::new(&self.config, jobs, policy.sharing(), observer);
         sim.schedule_arrivals();
         // Stale iteration events (their job's epoch moved on, or the job
         // completed) are filtered at the queue so handlers only ever see
-        // live events. The closure borrows `sim.running` only, disjoint
-        // from the queue.
+        // live events. The closure borrows `sim.running` and the stale
+        // counter cell only, disjoint from the queue.
         while let Some((t, ev)) = sim.events.pop_valid(|ev| match *ev {
-            Ev::IterEnd { job, epoch } => sim.running.get(&job).is_some_and(|j| j.epoch == epoch),
+            Ev::IterEnd { job, epoch } => {
+                let live = sim.running.get(&job).is_some_and(|j| j.epoch == epoch);
+                if !live {
+                    sim.stale_dropped.set(sim.stale_dropped.get() + 1);
+                }
+                live
+            }
             Ev::Arrival(_) | Ev::Tick => true,
         }) {
             if t.as_secs() > self.config.max_sim_secs {
@@ -101,7 +124,28 @@ struct Sim<'a> {
     completed_alloc_by_job: HashMap<JobId, f64>,
     /// Total CPU-seconds held by completed jobs.
     cpu_seconds_used: f64,
-    trace: TraceCollector,
+    /// The one subscription point for CPU-occupancy tracing: placement
+    /// mutations publish [`ObsEvent::CpuAssigned`] and this bridge rebuilds
+    /// the per-CPU burst trace from the stream.
+    trace_obs: TraceObserver,
+    /// `config.collect_trace`, cached where the publish sites branch on it.
+    trace_on: bool,
+    /// The external event sink, when one is attached.
+    obs: &'a mut dyn Observer,
+    /// `obs.is_enabled()`, cached at run start: publish sites skip event
+    /// construction entirely when false.
+    obs_on: bool,
+    /// Stale events dropped by the queue filter. A `Cell` so the filter
+    /// closure (which holds `&self.running` while the queue is mutably
+    /// borrowed) can bump it.
+    stale_dropped: Cell<u64>,
+    /// Allocation changes applied (no-op resizes excluded).
+    decisions_applied: u64,
+    /// Speedup-memo stats harvested from completed jobs.
+    memo_hits: u64,
+    memo_misses: u64,
+    /// Wall-time histogram for policy activations (`decision_ns`).
+    decision_hist: Arc<Histogram>,
     placement: QuantumPlacement,
     ml_series: Vec<(f64, usize)>,
     max_ml: usize,
@@ -110,12 +154,18 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(config: &'a EngineConfig, jobs: Vec<JobSpec>, sharing: SharingModel) -> Self {
-        let trace = if config.collect_trace {
-            TraceCollector::new(config.cpus)
+    fn new(
+        config: &'a EngineConfig,
+        jobs: Vec<JobSpec>,
+        sharing: SharingModel,
+        obs: &'a mut dyn Observer,
+    ) -> Self {
+        let trace_obs = if config.collect_trace {
+            TraceObserver::new(config.cpus)
         } else {
-            TraceCollector::disabled(config.cpus)
+            TraceObserver::disabled(config.cpus)
         };
+        let obs_on = obs.is_enabled();
         Sim {
             config,
             sharing,
@@ -136,7 +186,15 @@ impl<'a> Sim<'a> {
             completed_allocs: Vec::new(),
             completed_alloc_by_job: HashMap::new(),
             cpu_seconds_used: 0.0,
-            trace,
+            trace_on: config.collect_trace,
+            trace_obs,
+            obs,
+            obs_on,
+            stale_dropped: Cell::new(0),
+            decisions_applied: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            decision_hist: Registry::global().histogram("decision_ns"),
             placement: QuantumPlacement::new(config.cpus),
             ml_series: vec![(0.0, 0)],
             max_ml: 0,
@@ -214,6 +272,38 @@ impl<'a> Sim<'a> {
         let ml = self.running.len();
         self.max_ml = self.max_ml.max(ml);
         self.ml_series.push((self.clock.as_secs(), ml));
+        if self.obs_on {
+            // The O(n) allocation sum runs only with a live observer.
+            let total_alloc = self.running.values().map(|j| j.allocated).sum();
+            self.publish(ObsEvent::MplChanged {
+                running: ml,
+                total_alloc,
+            });
+        }
+    }
+
+    // --- Event publication ---
+
+    /// Publishes to the trace bridge and the external observer. Call sites
+    /// guard with `obs_on` (or `trace_on` for CPU events) so disabled runs
+    /// never construct events.
+    #[inline]
+    fn publish(&mut self, ev: ObsEvent) {
+        if self.trace_on {
+            self.trace_obs.on_event(self.clock, &ev);
+        }
+        if self.obs_on {
+            self.obs.on_event(self.clock, &ev);
+        }
+    }
+
+    /// Publishes a CPU-occupancy change (the high-volume event class); one
+    /// branch and out when neither sink is live.
+    #[inline]
+    fn publish_cpu(&mut self, cpu: CpuId, job: Option<JobId>) {
+        if self.trace_on || self.obs_on {
+            self.publish(ObsEvent::CpuAssigned { cpu, job });
+        }
     }
 
     // --- Rates ---
@@ -301,12 +391,15 @@ impl<'a> Sim<'a> {
     /// Applies a policy's allocation decisions. Shrinks run before grows so
     /// released processors are available for reassignment within the same
     /// decision batch.
-    fn apply_decisions(&mut self, decisions: Decisions) {
+    fn apply_decisions(&mut self, decisions: Decisions, trigger: DecisionTrigger) {
         if decisions.is_empty() {
             return;
         }
-        let mut changes: Vec<(JobId, usize)> = decisions
-            .allocations
+        let Decisions {
+            allocations,
+            mut transitions,
+        } = decisions;
+        let mut changes: Vec<(JobId, usize)> = allocations
             .into_iter()
             .filter(|(job, _)| self.running.contains_key(job))
             .map(|(job, target)| {
@@ -321,8 +414,37 @@ impl<'a> Sim<'a> {
         });
         let mut any_change = false;
         for (job, target) in changes {
+            let from_alloc = self.running[&job].allocated;
             if self.apply_one(job, target) {
                 any_change = true;
+                self.decisions_applied += 1;
+                if self.obs_on {
+                    let to_alloc = self.running[&job].allocated;
+                    // Pair the decision with the state move that caused it.
+                    let transition = transitions
+                        .iter()
+                        .position(|n| n.job == job)
+                        .map(|i| transitions.remove(i))
+                        .map(|n| (n.from, n.to));
+                    self.publish(ObsEvent::Decision {
+                        trigger,
+                        job,
+                        from_alloc,
+                        to_alloc,
+                        transition,
+                    });
+                }
+            }
+        }
+        if self.obs_on {
+            // State moves that kept the allocation still matter (e.g.
+            // INC → STABLE at the held width).
+            for n in transitions {
+                self.publish(ObsEvent::StateChanged {
+                    job: n.job,
+                    from: n.from,
+                    to: n.to,
+                });
             }
         }
         if any_change && self.is_time_shared() {
@@ -347,10 +469,10 @@ impl<'a> Sim<'a> {
                     return false;
                 }
                 for cpu in &outcome.gained {
-                    self.trace.assign(*cpu, Some(job), now);
+                    self.publish_cpu(*cpu, Some(job));
                 }
                 for cpu in &outcome.lost {
-                    self.trace.assign(*cpu, None, now);
+                    self.publish_cpu(*cpu, None);
                 }
                 let penalty = self
                     .config
@@ -370,6 +492,14 @@ impl<'a> Sim<'a> {
                     // timing must not reach the policy. (Initial placement
                     // starts the first iteration fresh — nothing in flight.)
                     j.iter_polluted = true;
+                }
+                if current > 0 && self.obs_on {
+                    self.publish(ObsEvent::ReallocCost {
+                        job,
+                        penalty_secs: penalty.as_secs(),
+                        gained: outcome.gained.len(),
+                        lost: outcome.lost.len(),
+                    });
                 }
                 self.recompute_rate(job);
                 self.reschedule(job);
@@ -397,6 +527,9 @@ impl<'a> Sim<'a> {
 
     fn on_arrival(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
         self.qs.arrive(job);
+        if self.obs_on {
+            self.publish(ObsEvent::JobSubmitted { job });
+        }
         self.try_admit(policy);
     }
 
@@ -432,10 +565,14 @@ impl<'a> Sim<'a> {
             };
             assert!(self.qs.start_specific(job), "picked job is waiting");
             let spec = self.qs.spec(job).app.clone();
+            let request = spec.request;
             let analyzer = SelfAnalyzer::new(self.config.analyzer);
             self.running
                 .insert(job, RunningJob::start(spec, analyzer, self.clock));
             self.order.push(job);
+            if self.obs_on {
+                self.publish(ObsEvent::JobStarted { job, request });
+            }
             self.record_ml();
             self.refresh_views();
             let ctx = PolicyCtx {
@@ -446,8 +583,11 @@ impl<'a> Sim<'a> {
                 queued_jobs: self.qs.waiting_count(),
                 next_request: self.next_request(),
             };
-            let decisions = policy.on_job_arrival(&ctx, job);
-            self.apply_decisions(decisions);
+            let decisions = {
+                let _span = Span::start(Arc::clone(&self.decision_hist));
+                policy.on_job_arrival(&ctx, job)
+            };
+            self.apply_decisions(decisions, DecisionTrigger::Arrival);
             if self.is_time_shared() {
                 self.recompute_all_rates();
             }
@@ -461,6 +601,9 @@ impl<'a> Sim<'a> {
         debug_assert_eq!(j.epoch, epoch, "filtered at the queue");
         let crossed = j.advance_to(self.clock);
         let mut sample = None;
+        // `(procs, measured_secs)` of a clean iteration, kept for the
+        // observer once `j`'s borrow ends.
+        let mut iter_meta: Option<(usize, f64)> = None;
         if crossed > 0 {
             if j.iter_polluted {
                 // The finished iteration straddled an allocation change; its
@@ -481,6 +624,9 @@ impl<'a> Sim<'a> {
                 if let Some(s) = sample {
                     j.last_sample = Some(s);
                 }
+                if self.obs_on {
+                    iter_meta = Some((procs_used, measured.as_secs()));
+                }
             }
             // Crossing into a new working-set phase invalidates the
             // baseline; compiler-inserted instrumentation resets the
@@ -498,7 +644,19 @@ impl<'a> Sim<'a> {
             }
         }
 
-        if j.progress.is_complete() {
+        let complete = j.progress.is_complete();
+        if let Some((procs, iter_secs)) = iter_meta {
+            // Published after `j`'s borrow ends, before any JobFinished.
+            self.publish(ObsEvent::IterationMeasured {
+                job,
+                procs,
+                iter_secs,
+                speedup: sample.as_ref().map_or(0.0, |s| s.speedup),
+                efficiency: sample.as_ref().map_or(0.0, |s| s.efficiency),
+                estimated: sample.is_some(),
+            });
+        }
+        if complete {
             self.complete_job(job, policy);
             return;
         }
@@ -519,8 +677,11 @@ impl<'a> Sim<'a> {
                 queued_jobs: self.qs.waiting_count(),
                 next_request: self.next_request(),
             };
-            let decisions = policy.on_performance_report(&ctx, job, s);
-            self.apply_decisions(decisions);
+            let decisions = {
+                let _span = Span::start(Arc::clone(&self.decision_hist));
+                policy.on_performance_report(&ctx, job, s)
+            };
+            self.apply_decisions(decisions, DecisionTrigger::Report);
             // A report can settle the system and unblock admission (PDPA's
             // coordination path).
             self.try_admit(policy);
@@ -538,6 +699,10 @@ impl<'a> Sim<'a> {
         let class = j.spec.class;
         let avg_alloc = j.average_allocation(self.clock);
         let started_at = j.started_at;
+        // Harvest the speedup-memo stats before the job record is dropped.
+        let (memo_hits, memo_misses) = j.speedup_memo.stats();
+        self.memo_hits += memo_hits;
+        self.memo_misses += memo_misses;
         self.completed_allocs.push((class, avg_alloc));
         self.completed_alloc_by_job.insert(job, avg_alloc);
         self.cpu_seconds_used += avg_alloc * self.clock.since(started_at).as_secs();
@@ -549,17 +714,21 @@ impl<'a> Sim<'a> {
             end: self.clock,
         });
 
+        if self.obs_on {
+            self.publish(ObsEvent::JobFinished { job });
+        }
+
         // Release processors.
         match self.sharing {
             SharingModel::SpaceShared => {
                 let released = self.machine.release(job);
                 for cpu in released {
-                    self.trace.assign(cpu, None, self.clock);
+                    self.publish_cpu(cpu, None);
                 }
             }
             SharingModel::TimeShared(_) | SharingModel::Gang(_) => {
                 for cpu in self.placement.evict(job) {
-                    self.trace.assign(cpu, None, self.clock);
+                    self.publish_cpu(cpu, None);
                 }
             }
         }
@@ -577,8 +746,11 @@ impl<'a> Sim<'a> {
             queued_jobs: self.qs.waiting_count(),
             next_request: self.next_request(),
         };
-        let decisions = policy.on_job_completion(&ctx, job);
-        self.apply_decisions(decisions);
+        let decisions = {
+            let _span = Span::start(Arc::clone(&self.decision_hist));
+            policy.on_job_completion(&ctx, job)
+        };
+        self.apply_decisions(decisions, DecisionTrigger::Completion);
         if self.is_time_shared() {
             self.recompute_all_rates();
         }
@@ -596,7 +768,7 @@ impl<'a> Sim<'a> {
                     .collect();
                 let changes = self.placement.advance(&jobs, p.affinity, &mut self.rng);
                 for (cpu, occupant) in changes {
-                    self.trace.assign(cpu, occupant, self.clock);
+                    self.publish_cpu(cpu, occupant);
                 }
             }
             SharingModel::Gang(_) => {
@@ -608,8 +780,7 @@ impl<'a> Sim<'a> {
                     let width = self.running[&job].allocated.min(self.config.cpus);
                     for c in 0..self.config.cpus {
                         let occupant = if c < width { Some(job) } else { None };
-                        self.trace
-                            .assign(pdpa_sim::CpuId(c as u16), occupant, self.clock);
+                        self.publish_cpu(CpuId(c as u16), occupant);
                     }
                 }
             }
@@ -621,8 +792,14 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn into_result(self, policy_name: &str) -> RunResult {
+    fn into_result(mut self, policy_name: &str) -> RunResult {
         let completed_all = self.qs.all_done();
+        // Memo stats of jobs still running at the simulation bound.
+        for j in self.running.values() {
+            let (h, m) = j.speedup_memo.stats();
+            self.memo_hits += h;
+            self.memo_misses += m;
+        }
         // Average allocation per class.
         let mut sums: HashMap<AppClass, (f64, usize)> = HashMap::new();
         for (class, avg) in &self.completed_allocs {
@@ -637,11 +814,20 @@ impl<'a> Sim<'a> {
         let end = self.clock;
         let events_pushed = self.events.total_pushed();
         let events_popped = self.events.total_popped();
+        let events_stale_dropped = self.stale_dropped.get();
+        pdpa_obs::metrics::record_engine_run(&RunCounters {
+            events_pushed,
+            events_popped,
+            events_stale_dropped,
+            decisions: self.decisions_applied,
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
+        });
         RunResult {
             policy: policy_name.to_string(),
             summary: Summary::new(self.outcomes),
             trace: if self.config.collect_trace {
-                Some(self.trace.finish(end))
+                Some(self.trace_obs.into_trace(end))
             } else {
                 None
             },
@@ -657,6 +843,10 @@ impl<'a> Sim<'a> {
             total_cpus: self.config.cpus,
             events_pushed,
             events_popped,
+            events_stale_dropped,
+            decisions_applied: self.decisions_applied,
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
         }
     }
 }
@@ -812,6 +1002,66 @@ mod tests {
         let r = Engine::new(quiet_config()).run(jobs, Box::new(Pdpa::paper_default()));
         assert!(r.completed_all);
         assert_eq!(r.summary.jobs(), 4);
+    }
+
+    #[test]
+    fn recording_observer_sees_the_job_lifecycle() {
+        use pdpa_obs::RecordingObserver;
+        let jobs = vec![JobSpec::new(t(0.0), hydro2d())];
+        let mut rec = RecordingObserver::new();
+        let r = Engine::new(quiet_config()).run_observed(
+            jobs,
+            Box::new(Pdpa::paper_default()),
+            &mut rec,
+        );
+        assert!(r.completed_all);
+        let events = rec.take_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        // The lifecycle backbone, in order.
+        let submit = kinds.iter().position(|&k| k == "submit").unwrap();
+        let start = kinds.iter().position(|&k| k == "start").unwrap();
+        let finish = kinds.iter().position(|&k| k == "finish").unwrap();
+        assert!(submit < start && start < finish);
+        // PDPA shrinks hydro2d: decisions with transitions are on the bus.
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            ObsEvent::Decision {
+                transition: Some(_),
+                ..
+            }
+        )));
+        assert!(kinds.contains(&"iter"));
+        assert!(kinds.contains(&"mpl"));
+        // Sequence numbers are strictly increasing (per-run monotonic).
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        // Engine counters made it into the result.
+        assert!(r.decisions_applied > 0);
+        assert!(r.memo_misses > 0);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        use pdpa_obs::RecordingObserver;
+        let make = || {
+            vec![
+                JobSpec::new(t(0.0), bt_a()),
+                JobSpec::new(t(2.0), hydro2d()),
+            ]
+        };
+        let a = Engine::new(quiet_config()).run(make(), Box::new(Pdpa::paper_default()));
+        let mut rec = RecordingObserver::new();
+        let b = Engine::new(quiet_config()).run_observed(
+            make(),
+            Box::new(Pdpa::paper_default()),
+            &mut rec,
+        );
+        assert_eq!(a.end_secs, b.end_secs);
+        assert_eq!(a.decisions_applied, b.decisions_applied);
+        assert_eq!(a.events_popped, b.events_popped);
+        assert_eq!(a.events_stale_dropped, b.events_stale_dropped);
+        assert!(!rec.events().is_empty());
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub struct RunResult {
     /// Simulation events drained over the run, stale ones included (the
     /// bench harness reports `events_popped / wall_time` as events/sec).
     pub events_popped: u64,
+    /// Stale events (bumped epoch, completed job) dropped by the queue's
+    /// validity filter without dispatch.
+    pub events_stale_dropped: u64,
+    /// Policy allocation decisions the engine applied (no-op resizes
+    /// excluded).
+    pub decisions_applied: u64,
+    /// Speedup-memo cache hits over every job in the run.
+    pub memo_hits: u64,
+    /// Speedup-memo cache misses (actual model evaluations).
+    pub memo_misses: u64,
 }
 
 impl RunResult {
@@ -93,6 +103,10 @@ mod tests {
             total_cpus: 60,
             events_pushed: 0,
             events_popped: 0,
+            events_stale_dropped: 0,
+            decisions_applied: 0,
+            memo_hits: 0,
+            memo_misses: 0,
         };
         assert_eq!(r.peak_ml(), 4);
         assert_eq!(r.peak_ml(), r.max_ml);

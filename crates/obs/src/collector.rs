@@ -1,0 +1,105 @@
+//! Process-wide collection point for recorded event streams and
+//! experiment failures.
+//!
+//! The parallel harness can't thread a `RecordingObserver` back through
+//! `fn() -> String` experiment entry points, so when recording is enabled
+//! each observed engine run deposits its stream here under a
+//! deterministic key (`<scope>/<run key>`), and the harness drains it
+//! once at the end. Failures captured by the harness's `catch_unwind`
+//! land here too, so a panicking experiment is visible in the metrics
+//! export rather than just a nonzero exit.
+
+use crate::event::TimedEvent;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One experiment's panic, preserved for the metrics export.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExperimentFailure {
+    /// Registry name of the experiment that panicked.
+    pub name: String,
+    /// The panic payload (or a placeholder when it wasn't a string).
+    pub message: String,
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static RUNS: Mutex<Vec<(String, Vec<TimedEvent>)>> = Mutex::new(Vec::new());
+static FAILURES: Mutex<Vec<ExperimentFailure>> = Mutex::new(Vec::new());
+
+/// Turns event-stream recording on or off for subsequent engine runs.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether observed runs should record their event streams.
+pub fn is_recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Deposits one run's recorded stream under `key`. Keys should be
+/// deterministic (derived from experiment/run parameters, not from
+/// execution order) so the drained set is identical however the runs were
+/// scheduled.
+pub fn record_run(key: String, events: Vec<TimedEvent>) {
+    RUNS.lock().unwrap().push((key, events));
+}
+
+/// Drains all recorded runs, sorted by key — a deterministic set
+/// regardless of worker interleaving.
+pub fn take_runs() -> Vec<(String, Vec<TimedEvent>)> {
+    let mut runs = std::mem::take(&mut *RUNS.lock().unwrap());
+    runs.sort_by(|a, b| a.0.cmp(&b.0));
+    runs
+}
+
+/// Records a panicking experiment.
+pub fn record_failure(name: &str, message: String) {
+    FAILURES.lock().unwrap().push(ExperimentFailure {
+        name: name.to_string(),
+        message,
+    });
+}
+
+/// Drains recorded failures, sorted by experiment name.
+pub fn take_failures() -> Vec<ExperimentFailure> {
+    let mut fails = std::mem::take(&mut *FAILURES.lock().unwrap());
+    fails.sort_by(|a, b| a.name.cmp(&b.name));
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsEvent;
+    use pdpa_sim::{JobId, SimTime};
+
+    #[test]
+    fn runs_drain_sorted_and_empty_after_take() {
+        let ev = |j| {
+            vec![TimedEvent {
+                at: SimTime::ZERO,
+                seq: 0,
+                event: ObsEvent::JobSubmitted { job: JobId(j) },
+            }]
+        };
+        record_run("b".to_string(), ev(1));
+        record_run("a".to_string(), ev(0));
+        let runs = take_runs();
+        assert_eq!(
+            runs.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert!(take_runs().is_empty());
+    }
+
+    #[test]
+    fn failures_drain_sorted() {
+        record_failure("z", "boom".to_string());
+        record_failure("a", "pow".to_string());
+        let fails = take_failures();
+        assert_eq!(fails.len(), 2);
+        assert_eq!(fails[0].name, "a");
+        assert_eq!(fails[1].message, "boom");
+        assert!(take_failures().is_empty());
+    }
+}

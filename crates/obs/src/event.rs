@@ -1,0 +1,291 @@
+//! The typed decision-event taxonomy published by the engine.
+
+use pdpa_sim::{CpuId, JobId, SimTime};
+
+/// Which policy activation produced a decision (§4.1: the policy runs at
+/// arrival, completion, and each performance report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionTrigger {
+    /// `on_job_arrival`.
+    Arrival,
+    /// `on_performance_report`.
+    Report,
+    /// `on_job_completion`.
+    Completion,
+}
+
+impl DecisionTrigger {
+    /// Stable lowercase label used in serialized streams.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionTrigger::Arrival => "arrival",
+            DecisionTrigger::Report => "report",
+            DecisionTrigger::Completion => "completion",
+        }
+    }
+}
+
+/// One structured event on the observability bus.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObsEvent {
+    /// A job's submission instant passed: it joined the queue.
+    JobSubmitted {
+        /// The job.
+        job: JobId,
+    },
+    /// The queuing system started a job (it is running, allocation pending).
+    JobStarted {
+        /// The job.
+        job: JobId,
+        /// Processors the job requested at submission.
+        request: usize,
+    },
+    /// A job completed its last iteration.
+    JobFinished {
+        /// The job.
+        job: JobId,
+    },
+    /// The SelfAnalyzer timed one clean iteration.
+    IterationMeasured {
+        /// The job.
+        job: JobId,
+        /// Processors the iteration effectively used.
+        procs: usize,
+        /// Measured wall-clock seconds of the iteration (noise included).
+        iter_secs: f64,
+        /// Estimated speedup (0 while the analyzer is still baselining).
+        speedup: f64,
+        /// Estimated efficiency (0 while the analyzer is still baselining).
+        efficiency: f64,
+        /// True when the measurement produced a performance estimate that
+        /// reached the policy (false during the baseline phase).
+        estimated: bool,
+    },
+    /// The engine applied a policy decision that changed a job's
+    /// allocation.
+    Decision {
+        /// The activation that produced the decision.
+        trigger: DecisionTrigger,
+        /// The job whose allocation changed.
+        job: JobId,
+        /// Processors held before the change.
+        from_alloc: usize,
+        /// Processors held after the change.
+        to_alloc: usize,
+        /// The PDPA state transition that caused the change, as
+        /// `(from_state, to_state)` names, when the policy reported one.
+        transition: Option<(&'static str, &'static str)>,
+    },
+    /// A policy state machine moved without an allocation change (e.g.
+    /// `NO_REF → STABLE` at the held allocation).
+    StateChanged {
+        /// The job whose state moved.
+        job: JobId,
+        /// State left.
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
+    /// The multiprogramming level changed (admission or completion).
+    MplChanged {
+        /// Running jobs after the change.
+        running: usize,
+        /// Sum of all running jobs' allocations after the change.
+        total_alloc: usize,
+    },
+    /// A reallocation penalty was charged to a running job ("reallocations
+    /// are not free", §5.1).
+    ReallocCost {
+        /// The job charged.
+        job: JobId,
+        /// Penalty in simulated seconds of progress debt.
+        penalty_secs: f64,
+        /// Processors gained by the resize.
+        gained: usize,
+        /// Processors lost by the resize.
+        lost: usize,
+    },
+    /// A CPU's occupant changed (`None` = idle). This is the stream the
+    /// Fig.-5 trace collector is built from.
+    CpuAssigned {
+        /// The CPU.
+        cpu: CpuId,
+        /// The new occupant.
+        job: Option<JobId>,
+    },
+    /// A harness experiment panicked; the payload is preserved so failures
+    /// are observable in the metrics export, not just a nonzero exit.
+    ExperimentFailed {
+        /// Registry name of the experiment.
+        name: String,
+        /// The panic payload.
+        message: String,
+    },
+}
+
+impl ObsEvent {
+    /// Stable kind label (the first token of [`TimedEvent::to_line`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::JobSubmitted { .. } => "submit",
+            ObsEvent::JobStarted { .. } => "start",
+            ObsEvent::JobFinished { .. } => "finish",
+            ObsEvent::IterationMeasured { .. } => "iter",
+            ObsEvent::Decision { .. } => "decision",
+            ObsEvent::StateChanged { .. } => "state",
+            ObsEvent::MplChanged { .. } => "mpl",
+            ObsEvent::ReallocCost { .. } => "cost",
+            ObsEvent::CpuAssigned { .. } => "cpu",
+            ObsEvent::ExperimentFailed { .. } => "failed",
+        }
+    }
+}
+
+/// An [`ObsEvent`] stamped with its simulated instant and a per-run
+/// monotonic sequence number.
+///
+/// The `(at, seq)` pair is a total order: simulated time breaks ties by
+/// publication order within the run, which is what makes recorded streams
+/// byte-identical between sequential and parallel harness executions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Simulated instant of publication.
+    pub at: SimTime,
+    /// Per-run monotonic sequence number (assigned by the recorder).
+    pub seq: u64,
+    /// The event.
+    pub event: ObsEvent,
+}
+
+impl TimedEvent {
+    /// Serializes the event as one stable text line. Floats use Rust's
+    /// shortest round-trip formatting, so two bit-identical runs produce
+    /// byte-identical lines.
+    pub fn to_line(&self) -> String {
+        let t = self.at.as_secs();
+        let seq = self.seq;
+        let body = match &self.event {
+            ObsEvent::JobSubmitted { job } => format!("job={}", job.0),
+            ObsEvent::JobStarted { job, request } => {
+                format!("job={} request={}", job.0, request)
+            }
+            ObsEvent::JobFinished { job } => format!("job={}", job.0),
+            ObsEvent::IterationMeasured {
+                job,
+                procs,
+                iter_secs,
+                speedup,
+                efficiency,
+                estimated,
+            } => format!(
+                "job={} procs={} iter_secs={} speedup={} efficiency={} estimated={}",
+                job.0, procs, iter_secs, speedup, efficiency, estimated
+            ),
+            ObsEvent::Decision {
+                trigger,
+                job,
+                from_alloc,
+                to_alloc,
+                transition,
+            } => {
+                let tr = match transition {
+                    Some((from, to)) => format!(" transition={from}->{to}"),
+                    None => String::new(),
+                };
+                format!(
+                    "trigger={} job={} from={} to={}{}",
+                    trigger.label(),
+                    job.0,
+                    from_alloc,
+                    to_alloc,
+                    tr
+                )
+            }
+            ObsEvent::StateChanged { job, from, to } => {
+                format!("job={} from={} to={}", job.0, from, to)
+            }
+            ObsEvent::MplChanged {
+                running,
+                total_alloc,
+            } => format!("running={running} total_alloc={total_alloc}"),
+            ObsEvent::ReallocCost {
+                job,
+                penalty_secs,
+                gained,
+                lost,
+            } => format!(
+                "job={} penalty_secs={} gained={} lost={}",
+                job.0, penalty_secs, gained, lost
+            ),
+            ObsEvent::CpuAssigned { cpu, job } => match job {
+                Some(j) => format!("cpu={} job={}", cpu.0, j.0),
+                None => format!("cpu={} job=idle", cpu.0),
+            },
+            ObsEvent::ExperimentFailed { name, message } => {
+                format!("name={name} message={message:?}")
+            }
+        };
+        format!("{t} {seq} {} {body}", self.event.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn te(at: f64, seq: u64, event: ObsEvent) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::from_secs(at),
+            seq,
+            event,
+        }
+    }
+
+    #[test]
+    fn lines_are_stable_and_distinct() {
+        let a = te(1.5, 0, ObsEvent::JobSubmitted { job: JobId(3) });
+        assert_eq!(a.to_line(), "1.5 0 submit job=3");
+        let b = te(
+            2.0,
+            1,
+            ObsEvent::Decision {
+                trigger: DecisionTrigger::Report,
+                job: JobId(3),
+                from_alloc: 30,
+                to_alloc: 26,
+                transition: Some(("NO_REF", "DEC")),
+            },
+        );
+        assert_eq!(
+            b.to_line(),
+            "2 1 decision trigger=report job=3 from=30 to=26 transition=NO_REF->DEC"
+        );
+        let c = te(
+            2.0,
+            2,
+            ObsEvent::CpuAssigned {
+                cpu: CpuId(5),
+                job: None,
+            },
+        );
+        assert_eq!(c.to_line(), "2 2 cpu cpu=5 job=idle");
+    }
+
+    #[test]
+    fn every_kind_has_a_label() {
+        let kinds = [
+            ObsEvent::JobSubmitted { job: JobId(0) }.kind(),
+            ObsEvent::MplChanged {
+                running: 1,
+                total_alloc: 2,
+            }
+            .kind(),
+            ObsEvent::ExperimentFailed {
+                name: "x".into(),
+                message: "y".into(),
+            }
+            .kind(),
+        ];
+        assert_eq!(kinds, ["submit", "mpl", "failed"]);
+    }
+}

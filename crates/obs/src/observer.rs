@@ -1,0 +1,119 @@
+//! The decision-event bus: [`Observer`] plus the two standard sinks.
+
+use crate::event::{ObsEvent, TimedEvent};
+use pdpa_sim::SimTime;
+
+/// A sink for engine decision events.
+///
+/// The engine caches [`Observer::is_enabled`] into a local bool at run
+/// start and skips both event *construction* and the virtual call when it
+/// is false, so a [`NullObserver`] run pays only one branch per publish
+/// site.
+pub trait Observer {
+    /// Whether this observer wants events at all. Checked once per run.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event at simulated instant `at`. Events arrive in
+    /// publication order, which is nondecreasing in `at`.
+    fn on_event(&mut self, at: SimTime, event: &ObsEvent);
+}
+
+/// Discards everything; `is_enabled()` is `false` so the engine never even
+/// builds the events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn on_event(&mut self, _at: SimTime, _event: &ObsEvent) {}
+}
+
+/// Records every event as a [`TimedEvent`] with a per-run monotonic
+/// sequence number.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: Vec<TimedEvent>,
+    next_seq: u64,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events recorded so far, in `(sim_time, seq)` order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the stream sorted by
+    /// `(sim_time, seq)`. Publication order is already nondecreasing in
+    /// sim time and `seq` is monotonic, so the stable sort is a no-op
+    /// normalization — it exists to make the ordering contract explicit
+    /// and deterministic regardless of how the stream was produced.
+    pub fn take_events(self) -> Vec<TimedEvent> {
+        let mut events = self.events;
+        events.sort_by(|a, b| {
+            a.at.partial_cmp(&b.at)
+                .expect("sim times are finite")
+                .then(a.seq.cmp(&b.seq))
+        });
+        events
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn on_event(&mut self, at: SimTime, event: &ObsEvent) {
+        self.events.push(TimedEvent {
+            at,
+            seq: self.next_seq,
+            event: event.clone(),
+        });
+        self.next_seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsEvent;
+    use pdpa_sim::JobId;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        assert!(!NullObserver.is_enabled());
+    }
+
+    #[test]
+    fn recorder_assigns_monotonic_seq_and_sorts() {
+        let mut rec = RecordingObserver::new();
+        rec.on_event(
+            SimTime::from_secs(1.0),
+            &ObsEvent::JobSubmitted { job: JobId(0) },
+        );
+        rec.on_event(
+            SimTime::from_secs(1.0),
+            &ObsEvent::JobStarted {
+                job: JobId(0),
+                request: 8,
+            },
+        );
+        rec.on_event(
+            SimTime::from_secs(2.0),
+            &ObsEvent::JobFinished { job: JobId(0) },
+        );
+        let events = rec.take_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

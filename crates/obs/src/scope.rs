@@ -1,0 +1,73 @@
+//! Thread-local attribution scope.
+//!
+//! The parallel harness runs many experiments concurrently on worker
+//! threads; the scope label (the experiment's registry name) lets the
+//! global metrics [`collector`](crate::collector) and
+//! [`Registry`](crate::metrics::Registry) attribute counters and recorded
+//! event streams to the experiment that produced them. `pdpa-parallel`
+//! propagates the spawning thread's scope into its workers.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static SCOPE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The current thread's scope label, if any.
+pub fn current() -> Option<String> {
+    SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Sets the current thread's scope label, returning an RAII guard that
+/// restores the previous label on drop.
+pub fn enter(label: &str) -> ScopeGuard {
+    let prev = SCOPE.with(|s| s.borrow_mut().replace(label.to_string()));
+    ScopeGuard { prev }
+}
+
+/// Restores the previous scope label when dropped. See [`enter`].
+#[must_use = "dropping the guard immediately exits the scope"]
+pub struct ScopeGuard {
+    prev: Option<String>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        SCOPE.with(|s| *s.borrow_mut() = prev);
+    }
+}
+
+/// Sets the current thread's scope from an owned label without a guard;
+/// used by worker threads that live exactly as long as one scope.
+pub fn set(label: Option<String>) {
+    SCOPE.with(|s| *s.borrow_mut() = label);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert_eq!(current(), None);
+        {
+            let _outer = enter("fig5");
+            assert_eq!(current().as_deref(), Some("fig5"));
+            {
+                let _inner = enter("fig8");
+                assert_eq!(current().as_deref(), Some("fig8"));
+            }
+            assert_eq!(current().as_deref(), Some("fig5"));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn set_overrides_directly() {
+        set(Some("worker".to_string()));
+        assert_eq!(current().as_deref(), Some("worker"));
+        set(None);
+        assert_eq!(current(), None);
+    }
+}

@@ -60,6 +60,10 @@ where
     let panicked = AtomicUsize::new(0);
     let mut chunks: Vec<Vec<(usize, R)>> = Vec::new();
     let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
+    // The caller's observability scope label (e.g. the experiment name) is
+    // thread-local; hand it to each worker so engine runs fanned out here
+    // stay attributed to the right scope in the metrics registry.
+    let obs_scope = pdpa_obs::scope::current();
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -67,7 +71,9 @@ where
                 let next = &next;
                 let panicked = &panicked;
                 let f = &f;
+                let obs_scope = &obs_scope;
                 scope.spawn(move || {
+                    pdpa_obs::scope::set(obs_scope.clone());
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut caught: Option<Box<dyn std::any::Any + Send>> = None;
                     while panicked.load(Ordering::Relaxed) == 0 {
@@ -157,5 +163,13 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_scope() {
+        let _g = pdpa_obs::scope::enter("sweep");
+        let items: Vec<u32> = (0..32).collect();
+        let scopes = par_map(&items, 4, |_| pdpa_obs::scope::current());
+        assert!(scopes.iter().all(|s| s.as_deref() == Some("sweep")));
     }
 }

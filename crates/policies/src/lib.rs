@@ -31,5 +31,6 @@ pub use gang::GangScheduler;
 pub use irix::IrixLike;
 pub use policy::{
     Decisions, GangParams, JobView, PolicyCtx, SchedulingPolicy, SharingModel, TimeSharingParams,
+    TransitionNote,
 };
 pub use rigid::RigidFirstFit;

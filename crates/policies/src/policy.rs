@@ -133,6 +133,20 @@ impl PolicyCtx<'_> {
     }
 }
 
+/// A state-machine move a stateful policy made while deciding, reported
+/// for observability (the PDPA transitions of §4.2). State names are
+/// `&'static str` so carrying them costs nothing and keeps this crate
+/// free of an observability dependency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitionNote {
+    /// The job whose per-application state machine moved.
+    pub job: JobId,
+    /// State left.
+    pub from: &'static str,
+    /// State entered.
+    pub to: &'static str,
+}
+
 /// A policy's answer: target allocations to apply.
 ///
 /// Only the mentioned jobs change; the engine skips no-op resizes, so
@@ -141,6 +155,9 @@ impl PolicyCtx<'_> {
 pub struct Decisions {
     /// `(job, target processors)` pairs.
     pub allocations: Vec<(JobId, usize)>,
+    /// State-machine moves behind the allocations (possibly more moves
+    /// than allocations: a transition can keep the allocation).
+    pub transitions: Vec<TransitionNote>,
 }
 
 impl Decisions {
@@ -153,6 +170,7 @@ impl Decisions {
     pub fn one(job: JobId, procs: usize) -> Self {
         Decisions {
             allocations: vec![(job, procs)],
+            transitions: Vec::new(),
         }
     }
 
@@ -161,9 +179,14 @@ impl Decisions {
         self.allocations.push((job, procs));
     }
 
-    /// True when nothing changes.
+    /// Records a state-machine move.
+    pub fn note_transition(&mut self, job: JobId, from: &'static str, to: &'static str) {
+        self.transitions.push(TransitionNote { job, from, to });
+    }
+
+    /// True when nothing changes — no allocations *and* no transitions.
     pub fn is_empty(&self) -> bool {
-        self.allocations.is_empty()
+        self.allocations.is_empty() && self.transitions.is_empty()
     }
 }
 
@@ -171,6 +194,7 @@ impl FromIterator<(JobId, usize)> for Decisions {
     fn from_iter<T: IntoIterator<Item = (JobId, usize)>>(iter: T) -> Self {
         Decisions {
             allocations: iter.into_iter().collect(),
+            transitions: Vec::new(),
         }
     }
 }
@@ -226,6 +250,22 @@ mod tests {
         assert_eq!(one.allocations, vec![(JobId(2), 4)]);
         let collected: Decisions = [(JobId(3), 2)].into_iter().collect();
         assert_eq!(collected.allocations, vec![(JobId(3), 2)]);
+    }
+
+    #[test]
+    fn transitions_count_as_nonempty() {
+        let mut d = Decisions::none();
+        d.note_transition(JobId(0), "NO_REF", "STABLE");
+        assert!(!d.is_empty());
+        assert!(d.allocations.is_empty());
+        assert_eq!(
+            d.transitions,
+            vec![TransitionNote {
+                job: JobId(0),
+                from: "NO_REF",
+                to: "STABLE",
+            }]
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Bridge from the observability bus to the trace collector.
+//!
+//! Historically the engine called [`TraceCollector::assign`] directly from
+//! every placement-mutation site; with the decision-event bus those sites
+//! publish [`ObsEvent::CpuAssigned`] instead, and this observer is the one
+//! subscription point that turns the CPU-occupancy stream back into
+//! per-CPU activity bursts. The resulting [`Trace`] is identical to what
+//! the direct calls produced (pinned by a golden test), because `assign`
+//! is driven with the same arguments in the same order.
+
+use crate::record::{Trace, TraceCollector};
+use pdpa_obs::{ObsEvent, Observer};
+use pdpa_sim::SimTime;
+
+/// An [`Observer`] that feeds [`ObsEvent::CpuAssigned`] events into a
+/// [`TraceCollector`] and ignores everything else.
+#[derive(Clone, Debug)]
+pub struct TraceObserver {
+    collector: TraceCollector,
+}
+
+impl TraceObserver {
+    /// A recording observer for an `n_cpus` machine.
+    pub fn new(n_cpus: usize) -> Self {
+        TraceObserver {
+            collector: TraceCollector::new(n_cpus),
+        }
+    }
+
+    /// A disabled observer: events are ignored, no memory is spent.
+    pub fn disabled(n_cpus: usize) -> Self {
+        TraceObserver {
+            collector: TraceCollector::disabled(n_cpus),
+        }
+    }
+
+    /// Whether the underlying collector records.
+    pub fn is_enabled(&self) -> bool {
+        self.collector.is_enabled()
+    }
+
+    /// Closes open bursts and returns the finished trace.
+    pub fn into_trace(self, now: SimTime) -> Trace {
+        self.collector.finish(now)
+    }
+}
+
+impl Observer for TraceObserver {
+    fn is_enabled(&self) -> bool {
+        self.collector.is_enabled()
+    }
+
+    fn on_event(&mut self, at: SimTime, event: &ObsEvent) {
+        if let ObsEvent::CpuAssigned { cpu, job } = *event {
+            self.collector.assign(cpu, job, at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_sim::{CpuId, JobId};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn bus_events_reproduce_direct_assign_calls() {
+        // The same occupancy story told twice: directly to a collector and
+        // as CpuAssigned events through the observer.
+        let story: &[(f64, u16, Option<u32>)] = &[
+            (0.0, 0, Some(1)),
+            (0.0, 1, Some(1)),
+            (4.0, 1, Some(2)),
+            (6.0, 0, None),
+            (7.0, 0, Some(2)),
+        ];
+        let mut direct = TraceCollector::new(2);
+        let mut obs = TraceObserver::new(2);
+        for &(at, cpu, job) in story {
+            direct.assign(CpuId(cpu), job.map(JobId), t(at));
+            obs.on_event(
+                t(at),
+                &ObsEvent::CpuAssigned {
+                    cpu: CpuId(cpu),
+                    job: job.map(JobId),
+                },
+            );
+        }
+        let a = direct.finish(t(10.0));
+        let b = obs.into_trace(t(10.0));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.n_cpus, b.n_cpus);
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn non_cpu_events_are_ignored() {
+        let mut obs = TraceObserver::new(1);
+        obs.on_event(t(1.0), &ObsEvent::JobSubmitted { job: JobId(0) });
+        obs.on_event(
+            t(2.0),
+            &ObsEvent::MplChanged {
+                running: 1,
+                total_alloc: 4,
+            },
+        );
+        assert!(obs.into_trace(t(3.0)).records.is_empty());
+    }
+
+    #[test]
+    fn disabled_observer_reports_disabled() {
+        let obs = TraceObserver::disabled(4);
+        assert!(!obs.is_enabled());
+    }
+}

@@ -15,11 +15,13 @@
 //! - [`to_csv`] exports records for external plotting;
 //! - [`to_paraver`] writes a Paraver `.prv` document for the real tool.
 
+pub mod bridge;
 pub mod paraver;
 pub mod record;
 pub mod render;
 pub mod stats;
 
+pub use bridge::TraceObserver;
 pub use paraver::to_paraver;
 pub use record::{ActivityRecord, Trace, TraceCollector};
 pub use render::{render_ascii, to_csv, RenderOptions};

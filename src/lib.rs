@@ -23,6 +23,8 @@
 //! - [`qs`] (`pdpa-qs`) — queuing system, SWF traces, workload generator;
 //! - [`engine`] (`pdpa-engine`) — the workload execution engine;
 //! - [`trace`] (`pdpa-trace`) — Paraver-style tracing and Table-2 stats;
+//! - [`obs`] (`pdpa-obs`) — structured observability: the decision-event
+//!   bus, the metrics registry, and the Chrome-trace/CSV/JSON exporters;
 //! - [`metrics`] (`pdpa-metrics`) — response/execution aggregation;
 //! - [`nthlib`] (`pdpa-nthlib`) — a malleable runtime on real threads;
 //! - [`hybrid`] (`pdpa-hybrid`) — MPI+OpenMP hybrid applications (§6
@@ -55,6 +57,7 @@ pub use pdpa_engine as engine;
 pub use pdpa_hybrid as hybrid;
 pub use pdpa_metrics as metrics;
 pub use pdpa_nthlib as nthlib;
+pub use pdpa_obs as obs;
 pub use pdpa_perf as perf;
 pub use pdpa_policies as policies;
 pub use pdpa_qs as qs;

@@ -1,0 +1,53 @@
+//! Guard: observability must be zero-cost when disabled.
+//!
+//! `Engine::run` is the production path (it hands a `NullObserver` to
+//! `run_observed`); this pins the contract that calling `run_observed`
+//! with a disabled observer costs the same as `run` — i.e. nobody later
+//! adds per-run setup (event buffers, allocation, clock reads) that taxes
+//! unobserved runs. Paired, interleaved, median-of-N so machine noise
+//! cancels; a small absolute slack keeps sub-millisecond jitter from
+//! flaking CI.
+
+use std::time::Instant;
+
+use pdpa_suite::core::Pdpa;
+use pdpa_suite::engine::{Engine, EngineConfig};
+use pdpa_suite::obs::NullObserver;
+use pdpa_suite::qs::Workload;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+#[test]
+fn disabled_observer_costs_within_two_percent_of_plain_run() {
+    let engine = Engine::new(EngineConfig::default().with_seed(42));
+    let jobs = || Workload::W2.build(1.0, 42);
+    let policy = || Box::new(Pdpa::paper_default());
+
+    // Warm up allocators and caches before timing anything.
+    let warm = engine.run(jobs(), policy());
+    assert!(warm.completed_all);
+
+    let rounds = 15;
+    let mut plain = Vec::with_capacity(rounds);
+    let mut nulled = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let r = engine.run(jobs(), policy());
+        plain.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all);
+
+        let t = Instant::now();
+        let r = engine.run_observed(jobs(), policy(), &mut NullObserver);
+        nulled.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all);
+    }
+
+    let (p, n) = (median(plain), median(nulled));
+    assert!(
+        n <= p * 1.02 + 2e-3,
+        "disabled-observer run regressed: plain {p:.6}s vs NullObserver {n:.6}s"
+    );
+}

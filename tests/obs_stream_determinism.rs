@@ -1,0 +1,61 @@
+//! The recorded decision-event streams must be *byte-identical* between
+//! the parallel and sequential harness paths — same engine runs, same
+//! events, same `(sim_time, seq)` order, same collector keys — regardless
+//! of worker-thread scheduling. This is the observability analogue of
+//! `parallel_determinism.rs`.
+//!
+//! The whole scenario lives in one `#[test]` because the run collector is
+//! process-global: splitting it across tests would let the harness's test
+//! threads interleave their recordings.
+
+use pdpa_bench::{run_cell, run_cell_seq, PolicyKind, SEEDS};
+use pdpa_qs::Workload;
+use pdpa_suite::obs::{collector, scope, TimedEvent};
+
+/// Renders a drained run set as one text blob (key header + one line per
+/// event), so stream differences show up as a readable diff.
+fn render(runs: &[(String, Vec<TimedEvent>)]) -> String {
+    let mut out = String::new();
+    for (key, events) in runs {
+        out.push_str("== ");
+        out.push_str(key);
+        out.push('\n');
+        for te in events {
+            out.push_str(&te.to_line());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn recorded_streams_match_between_parallel_and_sequential() {
+    let _scope = scope::enter("det");
+    collector::set_recording(true);
+    let par_cell = run_cell(Workload::W1, true, PolicyKind::Pdpa, 0.6, &SEEDS);
+    let par_runs = collector::take_runs();
+
+    let seq_cell = run_cell_seq(Workload::W1, true, PolicyKind::Pdpa, 0.6, &SEEDS);
+    collector::set_recording(false);
+    let seq_runs = collector::take_runs();
+
+    assert_eq!(par_cell, seq_cell, "aggregate results diverged");
+    assert_eq!(par_runs.len(), SEEDS.len(), "one recorded run per seed");
+    let par_keys: Vec<&str> = par_runs.iter().map(|(k, _)| k.as_str()).collect();
+    for seed in SEEDS {
+        let expected = format!("det/w1-tuned-PDPA-load0.6-seed{seed}");
+        assert!(
+            par_keys.contains(&expected.as_str()),
+            "missing key {expected:?} in {par_keys:?}"
+        );
+    }
+    assert!(
+        par_runs.iter().all(|(_, events)| !events.is_empty()),
+        "every run records events"
+    );
+    assert_eq!(
+        render(&par_runs),
+        render(&seq_runs),
+        "event streams must be byte-identical"
+    );
+}

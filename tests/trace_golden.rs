@@ -1,0 +1,48 @@
+//! Golden-output pin for the Fig.-5 trace pipeline.
+//!
+//! The per-CPU activity trace is now built by routing the engine's
+//! `CpuAssigned` decision events through the observability bus into the
+//! `TraceCollector` bridge (instead of the engine calling the collector
+//! directly). These fixtures were generated *before* that rewiring, so the
+//! test proves the bridge is a pure refactor: `render_ascii` and
+//! `to_paraver` stay byte-identical.
+
+use pdpa_suite::apps::paper::{apsi, bt_a};
+use pdpa_suite::engine::{Engine, EngineConfig};
+use pdpa_suite::policies::Equipartition;
+use pdpa_suite::qs::JobSpec;
+use pdpa_suite::sim::{CostModel, SimTime};
+use pdpa_suite::trace::{render_ascii, to_paraver, RenderOptions};
+
+const GOLDEN_ASCII: &str = include_str!("golden/golden_ascii.txt");
+const GOLDEN_PRV: &str = include_str!("golden/golden.prv");
+
+#[test]
+fn trace_through_the_observer_bridge_matches_the_golden_fixtures() {
+    let jobs = vec![
+        JobSpec::new(SimTime::ZERO, apsi()),
+        JobSpec::new(SimTime::from_secs(3.0), bt_a()),
+    ];
+    let config = EngineConfig {
+        noise_sigma: 0.0,
+        cost: CostModel::free(),
+        cpus: 32,
+        ..EngineConfig::default()
+    }
+    .with_trace()
+    .with_seed(7);
+    let r = Engine::new(config).run(jobs, Box::new(Equipartition::default()));
+    let trace = r.trace.expect("trace collection enabled");
+
+    let ascii = render_ascii(
+        &trace,
+        &RenderOptions {
+            width: 80,
+            cpu_stride: 4,
+        },
+    );
+    assert_eq!(ascii, GOLDEN_ASCII, "ASCII execution view drifted");
+
+    let prv = to_paraver(&trace);
+    assert_eq!(prv, GOLDEN_PRV, "Paraver trace drifted");
+}
