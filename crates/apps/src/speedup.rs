@@ -42,6 +42,14 @@ pub trait SpeedupModel: Send + Sync {
             .find(|&p| self.efficiency(p) >= target)
             .unwrap_or(1)
     }
+
+    /// The last processor count at which the curve is *defined* by data
+    /// rather than extrapolation, if the model has one. Interpolators clamp
+    /// fractional processor counts to this bound instead of reading past
+    /// the curve's end. Closed-form models (`None`) are defined everywhere.
+    fn max_defined_procs(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Amdahl's law: `S(p) = 1 / (serial + (1 - serial)/p)`.
@@ -231,6 +239,10 @@ impl SpeedupModel for PiecewiseLinear {
         // Beyond the last point the curve is flat.
         pts.last().expect("non-empty").1
     }
+
+    fn max_defined_procs(&self) -> Option<usize> {
+        Some(self.points.last().expect("non-empty").0)
+    }
 }
 
 /// A superlinear curve modelling cache effects: once the working set fits in
@@ -337,11 +349,17 @@ impl SpeedupMemo {
 
     /// Speedup at a fractional processor count, by linear interpolation
     /// between the memoized integer points (the same interpolation as
-    /// `pdpa_engine::timeshare::fractional_speedup`).
+    /// `pdpa_engine::timeshare::fractional_speedup`). Fractional counts
+    /// past the model's last defined point are clamped to it rather than
+    /// interpolated into extrapolated territory.
     pub fn fractional(&mut self, model: &dyn SpeedupModel, procs: f64) -> f64 {
         if procs <= 0.0 {
             return 0.0;
         }
+        let procs = match model.max_defined_procs() {
+            Some(max) => procs.min(max as f64),
+            None => procs,
+        };
         let lo = procs.floor() as usize;
         let hi = procs.ceil() as usize;
         if lo == hi {
@@ -515,5 +533,27 @@ mod tests {
         assert_eq!(memo.fractional(&m, 4.0), 4.0);
         assert!((memo.fractional(&m, 4.5) - 4.5).abs() < 1e-12);
         assert!((memo.fractional(&m, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_defined_procs_only_for_measured_curves() {
+        assert_eq!(Amdahl::new(0.1).max_defined_procs(), None);
+        assert_eq!(Downey::new(8.0, 0.5).max_defined_procs(), None);
+        let m = PiecewiseLinear::new(vec![(4, 4.0), (8, 6.0)]);
+        assert_eq!(m.max_defined_procs(), Some(8));
+    }
+
+    #[test]
+    fn memo_fractional_clamps_at_the_curve_end() {
+        // Regression: fractional counts just past the last control point
+        // used to interpolate toward extrapolated values instead of holding
+        // the curve's final measured speedup.
+        let m = PiecewiseLinear::new(vec![(4, 4.0), (8, 6.0)]);
+        let mut memo = SpeedupMemo::new();
+        assert_eq!(memo.fractional(&m, 8.0), 6.0);
+        assert_eq!(memo.fractional(&m, 8.3), 6.0, "clamped to S(8)");
+        assert_eq!(memo.fractional(&m, 100.0), 6.0);
+        // Inside the defined range the interpolation is untouched.
+        assert!((memo.fractional(&m, 6.0) - 5.0).abs() < 1e-12);
     }
 }

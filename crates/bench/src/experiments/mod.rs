@@ -12,6 +12,7 @@ use pdpa_qs::Workload;
 use std::fmt::Write as _;
 
 pub mod ablation;
+pub mod chaos;
 pub mod cluster;
 pub mod fig3;
 pub mod fig5;
@@ -130,6 +131,11 @@ pub fn registry() -> Vec<Experiment> {
             title: "Space vs gang vs time sharing (extension)",
             run: sharing::run,
         },
+        Experiment {
+            name: "chaos",
+            title: "Graceful degradation under injected faults (extension)",
+            run: chaos::run,
+        },
     ]
 }
 
@@ -188,8 +194,8 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
         assert_eq!(names[0], "fig3");
         assert_eq!(names[2], "fig4");
-        assert_eq!(names.last(), Some(&"sharing"));
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.last(), Some(&"chaos"));
+        assert_eq!(names.len(), 19);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -80,6 +80,9 @@ pub struct Options {
     pub metrics_out: Option<String>,
     /// Write the MPL/allocation time-series CSV here.
     pub mpl_csv: Option<String>,
+    /// Fault-injection plan (the `pdpa_faults::FaultPlan` grammar),
+    /// unparsed — validated against `cpus` when the engine is built.
+    pub faults: Option<String>,
 }
 
 impl Options {
@@ -107,6 +110,7 @@ impl Default for Options {
             trace_out: None,
             metrics_out: None,
             mpl_csv: None,
+            faults: None,
         }
     }
 }
@@ -196,6 +200,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--trace-out" => opts.trace_out = Some(value_of("--trace-out", &mut it)?),
             "--metrics-out" => opts.metrics_out = Some(value_of("--metrics-out", &mut it)?),
             "--mpl-csv" => opts.mpl_csv = Some(value_of("--mpl-csv", &mut it)?),
+            "--faults" => opts.faults = Some(value_of("--faults", &mut it)?),
             other => return Err(format!("unknown option {other:?}; try `pdpa help`")),
         }
     }
@@ -251,6 +256,21 @@ mod tests {
         assert!(o.untuned && o.backfill && o.ascii && o.trace);
         assert_eq!(o.prv_out.as_deref(), Some("out.prv"));
         assert_eq!(o.swf_log.as_deref(), Some("log.swf"));
+    }
+
+    #[test]
+    fn fault_plan_flag() {
+        let cmd = parse(&argv(
+            "run --workload w1 --policy pdpa --faults cpu3@120;retry=2,backoff=30",
+        ))
+        .unwrap();
+        let Command::Run(o) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.faults.as_deref(), Some("cpu3@120;retry=2,backoff=30"));
+        assert!(parse(&argv("run --workload w1 --policy pdpa --faults"))
+            .unwrap_err()
+            .contains("--faults"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use pdpa_apps::{paper_app, AppClass};
 use pdpa_core::Pdpa;
 use pdpa_engine::{Engine, EngineConfig, RunResult};
+use pdpa_faults::FaultPlan;
 use pdpa_obs::metrics::Registry;
 use pdpa_obs::{
     chrome_trace, metrics_json, mpl_series_csv, scope, NullObserver, Observer, RecordingObserver,
@@ -43,7 +44,7 @@ fn build_policy(choice: PolicyChoice) -> Box<dyn SchedulingPolicy> {
     }
 }
 
-fn engine_config(opts: &Options) -> EngineConfig {
+fn engine_config(opts: &Options) -> Result<EngineConfig, String> {
     let mut config = EngineConfig::default()
         .with_seed(opts.seed ^ 0xA5A5)
         .with_cpus(opts.cpus);
@@ -53,7 +54,11 @@ fn engine_config(opts: &Options) -> EngineConfig {
     if opts.trace {
         config = config.with_trace();
     }
-    config
+    if let Some(plan) = &opts.faults {
+        let plan = FaultPlan::parse(plan, opts.cpus).map_err(|e| format!("--faults: {e}"))?;
+        config = config.with_faults(plan);
+    }
+    Ok(config)
 }
 
 fn execute_with(
@@ -65,7 +70,7 @@ fn execute_with(
         .workload
         .build_with_tuning(opts.load, opts.seed, !opts.untuned);
     let result =
-        Engine::new(engine_config(opts)).run_observed(jobs, build_policy(choice), observer);
+        Engine::new(engine_config(opts)?).run_observed(jobs, build_policy(choice), observer);
     if !result.completed_all {
         return Err(format!(
             "{:?} did not drain the workload within the simulation bound",
@@ -142,6 +147,13 @@ fn run_one(opts: &Options) -> Result<String, String> {
         result.utilization() * 100.0,
         result.total_migrations(),
     );
+    if result.cpu_failures + result.job_retries + result.jobs_failed > 0 {
+        let _ = writeln!(
+            out,
+            "faults: {} cpu failures | {} job retries | {} terminal job failures",
+            result.cpu_failures, result.job_retries, result.jobs_failed,
+        );
+    }
     out.push('\n');
     out.push_str(&class_table(&result));
 
@@ -183,7 +195,20 @@ fn run_one(opts: &Options) -> Result<String, String> {
         if opts.obs {
             let _ = writeln!(out, "\ndecision-event stream: {} events", events.len());
             for kind in [
-                "submit", "start", "finish", "iter", "decision", "state", "mpl", "cost", "cpu",
+                "submit",
+                "start",
+                "finish",
+                "iter",
+                "decision",
+                "state",
+                "mpl",
+                "cost",
+                "cpu",
+                "cpu_failed",
+                "cpu_recovered",
+                "degraded",
+                "retry",
+                "job_failed",
             ] {
                 let n = events.iter().filter(|te| te.event.kind() == kind).count();
                 if n > 0 {
@@ -378,6 +403,21 @@ mod tests {
             "MPL CSV has no rows:\n{csv_text}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_runs_and_reports() {
+        let out = run_cli(
+            "run --workload w3 --policy pdpa --load 0.6 --faults cpu3@120:recover@400;cpu7@150",
+        )
+        .unwrap();
+        assert!(
+            out.contains("faults: 2 cpu failures"),
+            "no fault line in:\n{out}"
+        );
+        let err =
+            run_cli("run --workload w3 --policy pdpa --cpus 8 --faults cpu80@10").unwrap_err();
+        assert!(err.contains("--faults"), "unhelpful error: {err}");
     }
 
     #[test]

@@ -38,6 +38,7 @@ USAGE:
                [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
                [--backfill] [--trace] [--ascii] [--prv-out <file>] [--swf-log <file>]
                [--obs] [--trace-out <file>] [--metrics-out <file>] [--mpl-csv <file>]
+               [--faults <plan>]
   pdpa compare --workload <w1|w2|w3|w4> [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
   pdpa curves
 
@@ -63,4 +64,6 @@ OPTIONS:
                (open in Perfetto or chrome://tracing)
   --metrics-out  write the metrics-registry snapshot as JSON
   --mpl-csv    write the multiprogramming-level history as CSV (Fig. 8 data)
+  --faults     inject a deterministic fault plan, e.g.
+               \"cpu3@120:recover@300;job0@70;retry=2,backoff=30\" or \"mtbf=4000\"
 ";

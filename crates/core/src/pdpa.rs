@@ -189,18 +189,35 @@ impl SchedulingPolicy for Pdpa {
             return Decisions::none();
         };
         // §4.2.1: "PDPA initially allocates the minimum between the number
-        // of processors requested and the number of free processors".
-        let initial = view.request.min(ctx.free_cpus).max(1);
+        // of processors requested and the number of free processors". With
+        // zero free processors the job gets nothing and waits: allocating a
+        // floor of one would overcommit a full machine.
+        let initial = view.request.min(ctx.free_cpus);
+        if initial == 0 {
+            return Decisions::none();
+        }
         Decisions::one(job, initial)
     }
 
-    fn on_job_completion(&mut self, _ctx: &PolicyCtx, job: JobId) -> Decisions {
+    fn on_job_completion(&mut self, ctx: &PolicyCtx, job: JobId) -> Decisions {
         self.jobs.remove(&job);
         // Freed processors flow to INC jobs at their next report and to the
         // queuing system through `may_start_new_job`; PDPA does not force a
         // global reallocation here (allocations change only on state
-        // transitions, §4.2).
-        Decisions::none()
+        // transitions, §4.2). The exception is stalled jobs — admitted when
+        // the machine was full (or cut to zero by a CPU failure), they
+        // produce no reports and would otherwise wait forever.
+        let mut free = ctx.free_cpus;
+        let mut d = Decisions::none();
+        for view in ctx.jobs.iter().filter(|v| v.allocated == 0) {
+            if free == 0 {
+                break;
+            }
+            let grant = view.request.min(free);
+            d.set(view.id, grant);
+            free -= grant;
+        }
+        d
     }
 
     fn on_performance_report(
@@ -335,6 +352,22 @@ mod tests {
         let jobs2 = vec![view(0, 30, 30), view(1, 30, 0)];
         let d = p.on_job_arrival(&ctx(&jobs2, 12), JobId(1));
         assert_eq!(d.allocations, vec![(JobId(1), 12)]);
+    }
+
+    #[test]
+    fn arrival_with_no_free_cpus_defers_instead_of_overcommitting() {
+        // Regression: the old `.max(1)` floor handed out a processor that
+        // did not exist whenever the machine was full.
+        let mut p = Pdpa::paper_default();
+        let jobs = vec![view(0, 30, 30), view(1, 30, 30), view(2, 8, 0)];
+        let d = p.on_job_arrival(&ctx(&jobs, 0), JobId(2));
+        assert!(d.allocations.is_empty(), "nothing free, nothing granted");
+        // The job is tracked and picked up as soon as a completion frees
+        // processors.
+        assert_eq!(p.job_state(JobId(2)), Some(AppState::NoRef));
+        let after = vec![view(1, 30, 30), view(2, 8, 0)];
+        let d = p.on_job_completion(&ctx(&after, 30), JobId(0));
+        assert_eq!(d.allocations, vec![(JobId(2), 8)]);
     }
 
     #[test]

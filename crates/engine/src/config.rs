@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use pdpa_faults::FaultPlan;
 use pdpa_perf::SelfAnalyzerConfig;
 use pdpa_sim::CostModel;
 
@@ -33,6 +34,10 @@ pub struct EngineConfig {
     /// NANOS QS is strict FCFS — backfilling mainly rescues *rigid*
     /// policies, whose head job can block the queue behind a large request.
     pub backfill: bool,
+    /// Deterministic fault-injection schedule replayed alongside the
+    /// workload (CPU failures/recoveries, job crashes, retry policy).
+    /// Empty by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +54,7 @@ impl Default for EngineConfig {
             max_sim_secs: 100_000.0,
             reset_analyzer_on_phase_change: true,
             backfill: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,6 +84,12 @@ impl EngineConfig {
         self
     }
 
+    /// Attaches a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -92,6 +104,15 @@ impl EngineConfig {
         }
         if self.max_sim_secs.is_nan() || self.max_sim_secs <= 0.0 {
             return Err("max_sim_secs must be positive".into());
+        }
+        for f in &self.faults.cpu_faults {
+            if f.cpu.index() >= self.cpus {
+                return Err(format!(
+                    "fault plan targets cpu {} but the machine has {}",
+                    f.cpu.index(),
+                    self.cpus
+                ));
+            }
         }
         Ok(())
     }
@@ -132,5 +153,18 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_must_fit_the_machine() {
+        use pdpa_sim::CpuId;
+        let c = EngineConfig::default()
+            .with_cpus(8)
+            .with_faults(FaultPlan::none().fail_cpu_at(CpuId(8), 10.0));
+        assert!(c.validate().is_err(), "cpu 8 does not exist on 8 CPUs");
+        let c = EngineConfig::default()
+            .with_cpus(8)
+            .with_faults(FaultPlan::none().fail_cpu_at(CpuId(7), 10.0));
+        c.validate().unwrap();
     }
 }

@@ -30,6 +30,14 @@ enum Ev {
     /// Time-shared placement quantum (only scheduled for time-shared runs
     /// with trace collection).
     Tick,
+    /// A CPU fails per the fault plan.
+    CpuFail(CpuId),
+    /// A failed CPU comes back per the fault plan.
+    CpuRecover(CpuId),
+    /// A job crashes per the fault plan (a no-op unless it is running).
+    JobKill(JobId),
+    /// A crashed job's backoff elapsed: it rejoins the queue.
+    JobRetry(JobId),
 }
 
 /// Executes workloads under a [`SchedulingPolicy`].
@@ -84,7 +92,12 @@ impl Engine {
                 }
                 live
             }
-            Ev::Arrival(_) | Ev::Tick => true,
+            Ev::Arrival(_)
+            | Ev::Tick
+            | Ev::CpuFail(_)
+            | Ev::CpuRecover(_)
+            | Ev::JobKill(_)
+            | Ev::JobRetry(_) => true,
         }) {
             if t.as_secs() > self.config.max_sim_secs {
                 break;
@@ -94,6 +107,10 @@ impl Engine {
                 Ev::Arrival(job) => sim.on_arrival(job, policy.as_mut()),
                 Ev::IterEnd { job, epoch } => sim.on_iter_end(job, epoch, policy.as_mut()),
                 Ev::Tick => sim.on_tick(),
+                Ev::CpuFail(cpu) => sim.on_cpu_fail(cpu, policy.as_mut()),
+                Ev::CpuRecover(cpu) => sim.on_cpu_recover(cpu, policy.as_mut()),
+                Ev::JobKill(job) => sim.on_job_kill(job, policy.as_mut()),
+                Ev::JobRetry(job) => sim.on_job_retry(job, policy.as_mut()),
             }
         }
         sim.into_result(policy.name())
@@ -151,6 +168,14 @@ struct Sim<'a> {
     max_ml: usize,
     /// Current row of the gang matrix (gang mode only).
     gang_slot: usize,
+    /// Retries consumed so far by each crashed job.
+    retries: HashMap<JobId, u32>,
+    /// CPU failures injected (events that actually took a CPU down).
+    cpu_failures: u64,
+    /// Job retries scheduled.
+    job_retries: u64,
+    /// Jobs that failed terminally.
+    jobs_failed: u64,
 }
 
 impl<'a> Sim<'a> {
@@ -199,6 +224,10 @@ impl<'a> Sim<'a> {
             ml_series: vec![(0.0, 0)],
             max_ml: 0,
             gang_slot: 0,
+            retries: HashMap::new(),
+            cpu_failures: 0,
+            job_retries: 0,
+            jobs_failed: 0,
         }
     }
 
@@ -236,6 +265,17 @@ impl<'a> Sim<'a> {
                 self.events.push(SimTime::ZERO + q, Ev::Tick);
             }
         }
+        // The fault plan is data: every failure, recovery, and crash is
+        // scheduled up front, which is what makes chaos runs reproducible.
+        for f in &self.config.faults.cpu_faults {
+            self.events.push(f.at, Ev::CpuFail(f.cpu));
+            if let Some(r) = f.recover_at {
+                self.events.push(r, Ev::CpuRecover(f.cpu));
+            }
+        }
+        for f in &self.config.faults.job_faults {
+            self.events.push(f.at, Ev::JobKill(f.job));
+        }
     }
 
     /// Refills the reusable snapshot of the running jobs for a policy call.
@@ -254,10 +294,20 @@ impl<'a> Sim<'a> {
         }));
     }
 
+    /// Operational processors right now (total minus injected failures) —
+    /// the capacity every policy decision is framed in.
+    fn alive_cpus(&self) -> usize {
+        if self.is_time_shared() {
+            self.placement.alive_cpus()
+        } else {
+            self.machine.alive_cpus()
+        }
+    }
+
     fn free_cpus(&self) -> usize {
         if self.is_time_shared() {
             let total: usize = self.running.values().map(|j| j.allocated).sum();
-            self.config.cpus.saturating_sub(total)
+            self.alive_cpus().saturating_sub(total)
         } else {
             self.machine.free_cpus()
         }
@@ -317,23 +367,22 @@ impl<'a> Sim<'a> {
                 (j.effective_procs() as f64, 1.0)
             }
             SharingModel::TimeShared(p) => {
+                // Threads compete for operational processors only.
+                let cpus = self.placement.alive_cpus();
                 let total: usize = self.running.values().map(RunningJob::effective_procs).sum();
                 let j = &self.running[&job];
-                let eff = effective_procs(j.effective_procs(), total, self.config.cpus);
-                let factor = throughput_factor(
-                    total,
-                    self.config.cpus,
-                    p.base_overhead,
-                    p.overcommit_overhead,
-                );
+                let eff = effective_procs(j.effective_procs(), total, cpus);
+                let factor = throughput_factor(total, cpus, p.base_overhead, p.overcommit_overhead);
                 (eff, factor)
             }
             SharingModel::Gang(p) => {
                 // Full coscheduled width for a 1/n duty cycle, minus the
-                // whole-machine switch overhead.
+                // whole-machine switch overhead. A degraded machine caps
+                // the width at the surviving processors.
                 let n = self.running.len().max(1) as f64;
+                let cpus = self.placement.alive_cpus();
                 let j = &self.running[&job];
-                let eff = j.effective_procs() as f64;
+                let eff = j.effective_procs().min(cpus) as f64;
                 (eff, (1.0 - p.switch_overhead) / n)
             }
         };
@@ -403,8 +452,11 @@ impl<'a> Sim<'a> {
             .into_iter()
             .filter(|(job, _)| self.running.contains_key(job))
             .map(|(job, target)| {
+                // Cap at the request; a zero target is honored (a job can be
+                // stalled by capacity loss and re-granted later) rather than
+                // rounded up, which would overcommit a full machine.
                 let req = self.running[&job].spec.request;
-                (job, target.clamp(1, req))
+                (job, target.min(req))
             })
             .collect();
         // Shrinks first.
@@ -544,7 +596,7 @@ impl<'a> Sim<'a> {
         for job in candidates {
             let ctx = PolicyCtx {
                 now: self.clock,
-                total_cpus: self.config.cpus,
+                total_cpus: self.alive_cpus(),
                 free_cpus: self.free_cpus(),
                 jobs: views,
                 queued_jobs: self.qs.waiting_count(),
@@ -577,7 +629,7 @@ impl<'a> Sim<'a> {
             self.refresh_views();
             let ctx = PolicyCtx {
                 now: self.clock,
-                total_cpus: self.config.cpus,
+                total_cpus: self.alive_cpus(),
                 free_cpus: self.free_cpus(),
                 jobs: &self.views_scratch,
                 queued_jobs: self.qs.waiting_count(),
@@ -671,7 +723,7 @@ impl<'a> Sim<'a> {
             self.refresh_views();
             let ctx = PolicyCtx {
                 now: self.clock,
-                total_cpus: self.config.cpus,
+                total_cpus: self.alive_cpus(),
                 free_cpus: self.free_cpus(),
                 jobs: &self.views_scratch,
                 queued_jobs: self.qs.waiting_count(),
@@ -740,7 +792,7 @@ impl<'a> Sim<'a> {
         self.refresh_views();
         let ctx = PolicyCtx {
             now: self.clock,
-            total_cpus: self.config.cpus,
+            total_cpus: self.alive_cpus(),
             free_cpus: self.free_cpus(),
             jobs: &self.views_scratch,
             queued_jobs: self.qs.waiting_count(),
@@ -773,14 +825,24 @@ impl<'a> Sim<'a> {
             }
             SharingModel::Gang(_) => {
                 // Rotate the matrix: the next gang owns the machine for this
-                // slot; everything beyond its width idles.
+                // slot; everything beyond its width idles. Dead processors
+                // never host a gang member.
                 if !self.order.is_empty() {
                     self.gang_slot = (self.gang_slot + 1) % self.order.len();
                     let job = self.order[self.gang_slot];
-                    let width = self.running[&job].allocated.min(self.config.cpus);
+                    let width = self.running[&job]
+                        .allocated
+                        .min(self.placement.alive_cpus());
+                    let mut granted = 0;
                     for c in 0..self.config.cpus {
-                        let occupant = if c < width { Some(job) } else { None };
-                        self.publish_cpu(CpuId(c as u16), occupant);
+                        let cpu = CpuId(c as u16);
+                        let occupant = if self.placement.is_alive(cpu) && granted < width {
+                            granted += 1;
+                            Some(job)
+                        } else {
+                            None
+                        };
+                        self.publish_cpu(cpu, occupant);
                     }
                 }
             }
@@ -790,6 +852,189 @@ impl<'a> Sim<'a> {
             let q = self.quantum().expect("ticks only under a quantum model");
             self.events.push(self.clock + q, Ev::Tick);
         }
+    }
+
+    // --- Fault handlers ---
+
+    /// Publishes the new capacity level and re-drives the policy after a
+    /// CPU failure or recovery. `changed` lists the jobs whose allocations
+    /// the failure cut.
+    fn drive_capacity_change(&mut self, changed: &[JobId], policy: &mut dyn SchedulingPolicy) {
+        if self.obs_on {
+            self.publish(ObsEvent::DegradedCapacity {
+                alive: self.alive_cpus(),
+                total: self.config.cpus,
+            });
+        }
+        self.refresh_views();
+        let ctx = PolicyCtx {
+            now: self.clock,
+            total_cpus: self.alive_cpus(),
+            free_cpus: self.free_cpus(),
+            jobs: &self.views_scratch,
+            queued_jobs: self.qs.waiting_count(),
+            next_request: self.next_request(),
+        };
+        let decisions = {
+            let _span = Span::start(Arc::clone(&self.decision_hist));
+            policy.on_capacity_change(&ctx, changed)
+        };
+        self.apply_decisions(decisions, DecisionTrigger::Fault);
+        if self.is_time_shared() {
+            self.recompute_all_rates();
+        }
+    }
+
+    fn on_cpu_fail(&mut self, cpu: CpuId, policy: &mut dyn SchedulingPolicy) {
+        let was_alive = if self.is_time_shared() {
+            self.placement.is_alive(cpu)
+        } else {
+            self.machine.is_alive(cpu)
+        };
+        if !was_alive {
+            // Overlapping plan elements: the CPU is already down.
+            return;
+        }
+        self.cpu_failures += 1;
+        if self.obs_on {
+            self.publish(ObsEvent::CpuFailed { cpu });
+        }
+        let mut changed = Vec::new();
+        match self.sharing {
+            SharingModel::SpaceShared => {
+                let victim = self.machine.fail_cpu(cpu);
+                if let Some(job) = victim {
+                    self.publish_cpu(cpu, None);
+                    let now = self.clock;
+                    let new_alloc = self.machine.allocation(job);
+                    let j = self.running.get_mut(&job).expect("victim is running");
+                    // Bank progress at the old rate before the revocation.
+                    j.advance_to(now);
+                    let eff_before = j.effective_procs();
+                    j.allocated = new_alloc;
+                    if j.effective_procs() != eff_before {
+                        j.iter_polluted = true;
+                    }
+                    changed.push(job);
+                    self.recompute_rate(job);
+                    self.reschedule(job);
+                }
+            }
+            SharingModel::TimeShared(_) | SharingModel::Gang(_) => {
+                if self.placement.set_alive(cpu, false).is_some() {
+                    self.publish_cpu(cpu, None);
+                }
+                // Thread counts are unchanged but every share shrank.
+                self.recompute_all_rates();
+            }
+        }
+        self.drive_capacity_change(&changed, policy);
+    }
+
+    fn on_cpu_recover(&mut self, cpu: CpuId, policy: &mut dyn SchedulingPolicy) {
+        let was_dead = if self.is_time_shared() {
+            let dead = !self.placement.is_alive(cpu);
+            if dead {
+                self.placement.set_alive(cpu, true);
+                self.recompute_all_rates();
+            }
+            dead
+        } else {
+            self.machine.recover_cpu(cpu)
+        };
+        if !was_dead {
+            return;
+        }
+        if self.obs_on {
+            self.publish(ObsEvent::CpuRecovered { cpu });
+        }
+        self.drive_capacity_change(&[], policy);
+        // Restored supply may unblock admission.
+        self.try_admit(policy);
+    }
+
+    fn on_job_kill(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
+        if !self.running.contains_key(&job) {
+            // You cannot crash what is not there (queued, done, or between
+            // retries). The fault is dropped.
+            return;
+        }
+        let attempt = self.retries.get(&job).copied().unwrap_or(0) + 1;
+        // Free the crashed job's resources — like a completion, but with no
+        // outcome record: a retried job restarts from scratch.
+        self.running
+            .get_mut(&job)
+            .expect("running")
+            .advance_to(self.clock);
+        match self.sharing {
+            SharingModel::SpaceShared => {
+                let released = self.machine.release(job);
+                for cpu in released {
+                    self.publish_cpu(cpu, None);
+                }
+            }
+            SharingModel::TimeShared(_) | SharingModel::Gang(_) => {
+                for cpu in self.placement.evict(job) {
+                    self.publish_cpu(cpu, None);
+                }
+            }
+        }
+        let (h, m) = self.running[&job].speedup_memo.stats();
+        self.memo_hits += h;
+        self.memo_misses += m;
+        self.running.remove(&job);
+        self.order.retain(|&id| id != job);
+        self.record_ml();
+
+        let retry = self.config.faults.retry;
+        if retry.is_some_and(|r| attempt <= r.max_retries) {
+            let backoff = retry.expect("checked").backoff_for(attempt);
+            self.retries.insert(job, attempt);
+            self.job_retries += 1;
+            if self.obs_on {
+                self.publish(ObsEvent::JobRetried {
+                    job,
+                    attempt,
+                    backoff_secs: backoff.as_secs(),
+                });
+            }
+            self.events.push(self.clock + backoff, Ev::JobRetry(job));
+        } else {
+            self.jobs_failed += 1;
+            if self.obs_on {
+                self.publish(ObsEvent::JobFailed {
+                    job,
+                    attempts: attempt,
+                });
+            }
+            self.qs.fail_terminal(job);
+        }
+
+        // The job departed: let the policy redistribute, then refill the
+        // multiprogramming slot it vacated.
+        self.refresh_views();
+        let ctx = PolicyCtx {
+            now: self.clock,
+            total_cpus: self.alive_cpus(),
+            free_cpus: self.free_cpus(),
+            jobs: &self.views_scratch,
+            queued_jobs: self.qs.waiting_count(),
+            next_request: self.next_request(),
+        };
+        let decisions = {
+            let _span = Span::start(Arc::clone(&self.decision_hist));
+            policy.on_job_completion(&ctx, job)
+        };
+        self.apply_decisions(decisions, DecisionTrigger::Fault);
+        if self.is_time_shared() {
+            self.recompute_all_rates();
+        }
+        self.try_admit(policy);
+    }
+
+    fn on_job_retry(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
+        self.qs.requeue(job);
+        self.try_admit(policy);
     }
 
     fn into_result(mut self, policy_name: &str) -> RunResult {
@@ -847,6 +1092,9 @@ impl<'a> Sim<'a> {
             decisions_applied: self.decisions_applied,
             memo_hits: self.memo_hits,
             memo_misses: self.memo_misses,
+            cpu_failures: self.cpu_failures,
+            job_retries: self.job_retries,
+            jobs_failed: self.jobs_failed,
         }
     }
 }
@@ -1073,6 +1321,234 @@ mod tests {
         // The series starts at 0 and returns to 0.
         assert_eq!(r.ml_series.first().unwrap().1, 0);
         assert_eq!(r.ml_series.last().unwrap().1, 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use pdpa_apps::paper::{apsi, bt_a, hydro2d};
+    use pdpa_core::Pdpa;
+    use pdpa_faults::{FaultPlan, RetryPolicy};
+    use pdpa_policies::Equipartition;
+    use pdpa_qs::JobSpec;
+    use pdpa_sim::CostModel;
+
+    fn quiet() -> EngineConfig {
+        EngineConfig {
+            noise_sigma: 0.0,
+            cost: CostModel::free(),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn permanent_cpu_failure_shrinks_the_run() {
+        // bt.A holds all 30 of its processors; losing 10 of the machine's 60
+        // mid-run must not panic, and the run still drains.
+        let mut plan = FaultPlan::none();
+        for c in 0..10 {
+            plan = plan.fail_cpu_at(CpuId(c), 50.0);
+        }
+        let jobs = vec![JobSpec::new(t(0.0), bt_a()), JobSpec::new(t(0.0), bt_a())];
+        let mut cfg = quiet().with_faults(plan);
+        cfg.cpus = 40; // 2 × 30 > 40: contention plus capacity loss
+        let r = Engine::new(cfg).run(jobs, Box::new(Equipartition::default()));
+        assert!(r.completed_all);
+        assert_eq!(r.cpu_failures, 10);
+    }
+
+    #[test]
+    fn failure_revokes_the_owners_cpu_and_policy_rebalances() {
+        // One bt.A on a small machine: every CPU is owned, so the failure
+        // dislodges the job. Equipartition's capacity hook re-deals over the
+        // survivors and the job finishes on 7 processors.
+        let plan = FaultPlan::none().fail_cpu_at(CpuId(3), 100.0);
+        let jobs = vec![JobSpec::new(t(0.0), bt_a())];
+        let cfg = quiet().with_cpus(8).with_faults(plan);
+        let r = Engine::new(cfg).run(jobs, Box::new(Equipartition::default()));
+        assert!(r.completed_all);
+        assert_eq!(r.cpu_failures, 1);
+    }
+
+    #[test]
+    fn recovery_restores_capacity() {
+        let plan = FaultPlan::none().fail_cpu_between(CpuId(0), 50.0, 200.0);
+        let jobs = vec![JobSpec::new(t(0.0), hydro2d())];
+        let r = Engine::new(quiet().with_faults(plan)).run(jobs, Box::new(Pdpa::paper_default()));
+        assert!(r.completed_all);
+        assert_eq!(r.cpu_failures, 1);
+    }
+
+    #[test]
+    fn job_crash_without_retry_is_terminal() {
+        let plan = FaultPlan::none().fail_job_at(JobId(0), 100.0);
+        let jobs = vec![JobSpec::new(t(0.0), bt_a()), JobSpec::new(t(0.0), apsi())];
+        let r = Engine::new(quiet().with_faults(plan)).run(jobs, Box::new(Pdpa::paper_default()));
+        // The workload drains: the crashed job counts as done (failed).
+        assert!(r.completed_all);
+        assert_eq!(r.jobs_failed, 1);
+        assert_eq!(r.job_retries, 0);
+        assert_eq!(r.summary.jobs(), 1, "only the survivor has an outcome");
+    }
+
+    #[test]
+    fn job_crash_with_retry_restarts_and_completes() {
+        let plan = FaultPlan::none()
+            .fail_job_at(JobId(0), 100.0)
+            .with_retry(RetryPolicy::default());
+        let jobs = vec![JobSpec::new(t(0.0), apsi())];
+        let r = Engine::new(quiet().with_faults(plan)).run(jobs, Box::new(Pdpa::paper_default()));
+        assert!(r.completed_all);
+        assert_eq!(r.job_retries, 1);
+        assert_eq!(r.jobs_failed, 0);
+        assert_eq!(r.summary.jobs(), 1, "the retried job completed");
+        // The restart threw away 100 s of progress plus 30 s of backoff.
+        assert!(r.end_secs > 130.0, "end at {:.0}s", r.end_secs);
+    }
+
+    #[test]
+    fn repeated_crashes_exhaust_retries() {
+        // Crash job 0 on every attempt: first run at 100 s, the two retries
+        // at later instants (backoff 30 s then 60 s — crash right after each
+        // restart). After max_retries = 2, the third crash is terminal.
+        let plan = FaultPlan::none()
+            .fail_job_at(JobId(0), 100.0)
+            .fail_job_at(JobId(0), 140.0)
+            .fail_job_at(JobId(0), 210.0)
+            .with_retry(RetryPolicy::default());
+        let jobs = vec![JobSpec::new(t(0.0), bt_a())];
+        let r = Engine::new(quiet().with_faults(plan)).run(jobs, Box::new(Pdpa::paper_default()));
+        assert!(r.completed_all, "terminal failure still drains the run");
+        assert_eq!(r.job_retries, 2);
+        assert_eq!(r.jobs_failed, 1);
+        assert_eq!(r.summary.jobs(), 0);
+    }
+
+    #[test]
+    fn crashing_a_queued_job_is_a_noop() {
+        // Job 1 waits behind an ML-1 policy when the fault fires: nothing to
+        // kill, the fault is dropped, and the job later runs to completion.
+        let plan = FaultPlan::none().fail_job_at(JobId(1), 10.0);
+        let jobs = vec![JobSpec::new(t(0.0), bt_a()), JobSpec::new(t(0.0), bt_a())];
+        let r = Engine::new(quiet().with_faults(plan)).run(jobs, Box::new(Equipartition::new(1)));
+        assert!(r.completed_all);
+        assert_eq!(r.jobs_failed, 0);
+        assert_eq!(r.summary.jobs(), 2);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use pdpa_obs::RecordingObserver;
+        let make = || {
+            vec![
+                JobSpec::new(t(0.0), bt_a()),
+                JobSpec::new(t(5.0), hydro2d()),
+                JobSpec::new(t(9.0), apsi()),
+            ]
+        };
+        let plan = FaultPlan::none()
+            .fail_cpu_between(CpuId(2), 60.0, 300.0)
+            .fail_cpu_at(CpuId(40), 120.0)
+            .fail_job_at(JobId(0), 70.0) // bt.A: long-running, still alive
+            .with_retry(RetryPolicy::default());
+        let cfg = quiet().with_faults(plan);
+        let mut rec_a = RecordingObserver::new();
+        let a = Engine::new(cfg.clone()).run_observed(
+            make(),
+            Box::new(Pdpa::paper_default()),
+            &mut rec_a,
+        );
+        let mut rec_b = RecordingObserver::new();
+        let b = Engine::new(cfg).run_observed(make(), Box::new(Pdpa::paper_default()), &mut rec_b);
+        assert_eq!(a.end_secs, b.end_secs);
+        assert_eq!(a.cpu_failures, b.cpu_failures);
+        let lines_a: Vec<String> = rec_a.take_events().iter().map(|e| e.to_line()).collect();
+        let lines_b: Vec<String> = rec_b.take_events().iter().map(|e| e.to_line()).collect();
+        assert_eq!(lines_a, lines_b, "identical seeds, identical streams");
+        let kinds: std::collections::HashSet<&str> = Vec::leak(lines_a)
+            .iter()
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        assert!(kinds.contains("cpu_failed"));
+        assert!(kinds.contains("cpu_recovered"));
+        assert!(kinds.contains("degraded"));
+        assert!(kinds.contains("retry"));
+    }
+
+    #[test]
+    fn time_shared_capacity_loss_slows_but_completes() {
+        use pdpa_policies::IrixLike;
+        let mut plan = FaultPlan::none();
+        for c in 0..20 {
+            plan = plan.fail_cpu_at(CpuId(c), 100.0);
+        }
+        let jobs = vec![JobSpec::new(t(0.0), bt_a()), JobSpec::new(t(0.0), bt_a())];
+        let degraded = Engine::new(quiet().with_faults(plan))
+            .run(jobs.clone(), Box::new(IrixLike::paper_default()));
+        let healthy = Engine::new(quiet()).run(
+            vec![JobSpec::new(t(0.0), bt_a()), JobSpec::new(t(0.0), bt_a())],
+            Box::new(IrixLike::paper_default()),
+        );
+        assert!(degraded.completed_all);
+        assert!(
+            degraded.end_secs > healthy.end_secs,
+            "40 CPUs for 60 threads is slower than 60: {:.0} vs {:.0}",
+            degraded.end_secs,
+            healthy.end_secs
+        );
+    }
+
+    #[test]
+    fn gang_capacity_loss_slows_but_completes() {
+        use pdpa_policies::GangScheduler;
+        let mut plan = FaultPlan::none();
+        for c in 0..30 {
+            plan = plan.fail_cpu_at(CpuId(c), 50.0);
+        }
+        let jobs = vec![JobSpec::new(t(0.0), bt_a())];
+        let r = Engine::new(quiet().with_faults(plan))
+            .run(jobs, Box::new(GangScheduler::paper_comparable()));
+        assert!(r.completed_all);
+        assert_eq!(r.cpu_failures, 30);
+    }
+
+    #[test]
+    fn every_policy_survives_a_chaos_plan() {
+        use pdpa_policies::{GangScheduler, IrixLike, RigidFirstFit};
+        let plan = || {
+            FaultPlan::none()
+                .fail_cpu_at(CpuId(0), 40.0)
+                .fail_cpu_between(CpuId(10), 80.0, 400.0)
+                .fail_job_at(JobId(0), 120.0)
+                .with_retry(RetryPolicy::default())
+        };
+        let jobs = || {
+            vec![
+                JobSpec::new(t(0.0), bt_a()),
+                JobSpec::new(t(3.0), hydro2d()),
+                JobSpec::new(t(6.0), apsi()),
+            ]
+        };
+        let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+            Box::new(Pdpa::paper_default()),
+            Box::new(Equipartition::default()),
+            Box::new(pdpa_policies::EqualEfficiency::paper_default()),
+            Box::new(IrixLike::paper_default()),
+            Box::new(GangScheduler::paper_comparable()),
+            Box::new(RigidFirstFit::new(8)),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let cfg = quiet().with_faults(plan());
+            let r = Engine::new(cfg).run(jobs(), policy);
+            assert!(r.completed_all, "{name} drains under chaos");
+            assert_eq!(r.cpu_failures, 2, "{name}");
+        }
     }
 }
 

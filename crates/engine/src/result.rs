@@ -55,6 +55,12 @@ pub struct RunResult {
     pub memo_hits: u64,
     /// Speedup-memo cache misses (actual model evaluations).
     pub memo_misses: u64,
+    /// Injected CPU failures that actually took a processor down.
+    pub cpu_failures: u64,
+    /// Job retries scheduled after injected crashes.
+    pub job_retries: u64,
+    /// Jobs that crashed terminally (retries exhausted or none allowed).
+    pub jobs_failed: u64,
 }
 
 impl RunResult {
@@ -107,6 +113,9 @@ mod tests {
             decisions_applied: 0,
             memo_hits: 0,
             memo_misses: 0,
+            cpu_failures: 0,
+            job_retries: 0,
+            jobs_failed: 0,
         };
         assert_eq!(r.peak_ml(), 4);
         assert_eq!(r.peak_ml(), r.max_ml);

@@ -50,10 +50,18 @@ pub fn throughput_factor(
 
 /// Speedup at a fractional processor count, by linear interpolation between
 /// the integer points of the curve.
+///
+/// Counts past the curve's last defined point (measured curves only define
+/// speedups up to their final control point) clamp to that point instead of
+/// interpolating into extrapolated territory.
 pub fn fractional_speedup(model: &dyn SpeedupModel, procs: f64) -> f64 {
     if procs <= 0.0 {
         return 0.0;
     }
+    let procs = match model.max_defined_procs() {
+        Some(max) => procs.min(max as f64),
+        None => procs,
+    };
     let lo = procs.floor() as usize;
     let hi = procs.ceil() as usize;
     if lo == hi {
@@ -73,6 +81,8 @@ pub fn fractional_speedup(model: &dyn SpeedupModel, procs: f64) -> f64 {
 pub struct QuantumPlacement {
     /// Current occupant of each CPU.
     assignment: Vec<Option<JobId>>,
+    /// Whether each CPU is operational; dead CPUs never receive threads.
+    alive: Vec<bool>,
     /// Total migrations so far.
     pub migrations: u64,
 }
@@ -82,6 +92,7 @@ impl QuantumPlacement {
     pub fn new(cpus: usize) -> Self {
         QuantumPlacement {
             assignment: vec![None; cpus],
+            alive: vec![true; cpus],
             migrations: 0,
         }
     }
@@ -89,6 +100,28 @@ impl QuantumPlacement {
     /// The current occupant of a CPU.
     pub fn occupant(&self, cpu: CpuId) -> Option<JobId> {
         self.assignment[cpu.index()]
+    }
+
+    /// Operational CPUs.
+    pub fn alive_cpus(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether a CPU is operational.
+    pub fn is_alive(&self, cpu: CpuId) -> bool {
+        self.alive[cpu.index()]
+    }
+
+    /// Marks a CPU failed or recovered. Failing a CPU evicts whatever thread
+    /// was placed there (returned so the caller can trace the displacement);
+    /// the scheduler re-places it on the next quantum boundary.
+    pub fn set_alive(&mut self, cpu: CpuId, alive: bool) -> Option<JobId> {
+        self.alive[cpu.index()] = alive;
+        if alive {
+            None
+        } else {
+            self.assignment[cpu.index()].take()
+        }
     }
 
     /// Advances one quantum. `jobs` is the running set as `(job, threads)`;
@@ -103,6 +136,9 @@ impl QuantumPlacement {
         let total_threads: usize = jobs.iter().map(|&(_, t)| t).sum();
         let mut changes = Vec::new();
         for i in 0..self.assignment.len() {
+            if !self.alive[i] {
+                continue;
+            }
             let cpu = CpuId(i as u16);
             let current = self.assignment[i];
             let current_runs = current
@@ -195,6 +231,41 @@ mod tests {
         assert_eq!(fractional_speedup(&m, 0.0), 0.0);
         // Sub-unit allocations interpolate between S(0) = 0 and S(1) = 1.
         assert!((fractional_speedup(&m, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_speedup_clamps_past_the_curve_end() {
+        use pdpa_apps::PiecewiseLinear;
+        // Regression: ceil() past the last control point used to interpolate
+        // with extrapolated values; the curve must hold its final speedup.
+        let m = PiecewiseLinear::new(vec![(4, 4.0), (8, 6.0)]);
+        assert_eq!(fractional_speedup(&m, 8.0), 6.0);
+        assert_eq!(fractional_speedup(&m, 8.4), 6.0, "clamped to S(8)");
+        assert_eq!(fractional_speedup(&m, 64.0), 6.0);
+        assert!((fractional_speedup(&m, 6.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_cpus_never_receive_threads() {
+        let mut p = QuantumPlacement::new(8);
+        let jobs = vec![(JobId(0), 8)];
+        let mut rng = SimRng::new(7);
+        p.advance(&jobs, 0.5, &mut rng);
+        let displaced = p.set_alive(CpuId(3), false);
+        assert!(displaced.is_some(), "occupied CPU evicts on failure");
+        assert_eq!(p.alive_cpus(), 7);
+        for _ in 0..50 {
+            p.advance(&jobs, 0.5, &mut rng);
+            assert!(p.occupant(CpuId(3)).is_none(), "dead CPU stays empty");
+        }
+        assert_eq!(p.set_alive(CpuId(3), true), None);
+        assert_eq!(p.alive_cpus(), 8);
+        let mut seen = false;
+        for _ in 0..50 {
+            p.advance(&jobs, 0.5, &mut rng);
+            seen |= p.occupant(CpuId(3)).is_some();
+        }
+        assert!(seen, "recovered CPU rejoins the placement");
     }
 
     #[test]

@@ -153,6 +153,59 @@ pub fn chrome_trace(runs: &[(String, Vec<TimedEvent>)]) -> String {
                          \"args\":{{\"running\":{running},\"allocated\":{total_alloc}}}"
                     ));
                 }
+                ObsEvent::CpuFailed { cpu } => {
+                    w.push(format!(
+                        "\"name\":\"cpu{} failed\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\
+                         \"pid\":{pid},\"tid\":0,\"args\":{{\"cpu\":{}}}",
+                        cpu.0, cpu.0
+                    ));
+                }
+                ObsEvent::CpuRecovered { cpu } => {
+                    w.push(format!(
+                        "\"name\":\"cpu{} recovered\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\
+                         \"pid\":{pid},\"tid\":0,\"args\":{{\"cpu\":{}}}",
+                        cpu.0, cpu.0
+                    ));
+                }
+                ObsEvent::DegradedCapacity { alive, total } => {
+                    w.push(format!(
+                        "\"name\":\"capacity\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\
+                         \"args\":{{\"alive\":{alive},\"dead\":{}}}",
+                        total - alive
+                    ));
+                }
+                ObsEvent::JobRetried {
+                    job,
+                    attempt,
+                    backoff_secs,
+                } => {
+                    // The crash ends the job's current span; the retry's
+                    // JobStarted opens a fresh one.
+                    let tid = job.0 as u64 + 1;
+                    if open.remove(&tid).is_some() {
+                        w.push(format!(
+                            "\"ph\":\"E\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}"
+                        ));
+                    }
+                    w.push(format!(
+                        "\"name\":\"retry {attempt}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                         \"pid\":{pid},\"tid\":{tid},\"args\":{{\"attempt\":{attempt},\
+                         \"backoff_secs\":{backoff_secs}}}"
+                    ));
+                }
+                ObsEvent::JobFailed { job, attempts } => {
+                    let tid = job.0 as u64 + 1;
+                    if open.remove(&tid).is_some() {
+                        w.push(format!(
+                            "\"ph\":\"E\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}"
+                        ));
+                    }
+                    w.push(format!(
+                        "\"name\":\"job {} failed\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                         \"pid\":{pid},\"tid\":{tid},\"args\":{{\"attempts\":{attempts}}}",
+                        job.0
+                    ));
+                }
                 ObsEvent::ExperimentFailed { name, message } => {
                     w.push(format!(
                         "\"name\":\"FAILED {}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\
@@ -274,6 +327,69 @@ mod tests {
         }
         assert_eq!(depth, 0);
         assert!(!in_str);
+    }
+
+    #[test]
+    fn fault_events_render_and_keep_spans_paired() {
+        use pdpa_sim::CpuId;
+        let runs = vec![(
+            "chaos/PDPA".to_string(),
+            vec![
+                te(
+                    0.0,
+                    0,
+                    ObsEvent::JobStarted {
+                        job: JobId(0),
+                        request: 8,
+                    },
+                ),
+                te(1.0, 1, ObsEvent::CpuFailed { cpu: CpuId(3) }),
+                te(
+                    1.0,
+                    2,
+                    ObsEvent::DegradedCapacity {
+                        alive: 59,
+                        total: 60,
+                    },
+                ),
+                te(
+                    2.0,
+                    3,
+                    ObsEvent::JobRetried {
+                        job: JobId(0),
+                        attempt: 1,
+                        backoff_secs: 30.0,
+                    },
+                ),
+                te(
+                    32.0,
+                    4,
+                    ObsEvent::JobStarted {
+                        job: JobId(0),
+                        request: 8,
+                    },
+                ),
+                te(
+                    40.0,
+                    5,
+                    ObsEvent::JobFailed {
+                        job: JobId(0),
+                        attempts: 2,
+                    },
+                ),
+                te(50.0, 6, ObsEvent::CpuRecovered { cpu: CpuId(3) }),
+            ],
+        )];
+        let json = chrome_trace(&runs);
+        assert!(json.contains("cpu3 failed"));
+        assert!(json.contains("cpu3 recovered"));
+        assert!(json.contains("\"name\":\"capacity\""));
+        assert!(json.contains("\"name\":\"retry 1\""));
+        assert!(json.contains("job 0 failed"));
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 2, "two starts (initial + retry)");
+        assert_eq!(b, e, "retry/failure must close spans:\n{json}");
     }
 
     #[test]

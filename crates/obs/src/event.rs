@@ -12,6 +12,8 @@ pub enum DecisionTrigger {
     Report,
     /// `on_job_completion`.
     Completion,
+    /// `on_capacity_change` — a CPU failed or recovered under the policy.
+    Fault,
 }
 
 impl DecisionTrigger {
@@ -21,6 +23,7 @@ impl DecisionTrigger {
             DecisionTrigger::Arrival => "arrival",
             DecisionTrigger::Report => "report",
             DecisionTrigger::Completion => "completion",
+            DecisionTrigger::Fault => "fault",
         }
     }
 }
@@ -113,6 +116,42 @@ pub enum ObsEvent {
         /// The new occupant.
         job: Option<JobId>,
     },
+    /// A CPU failed (fault injection): it is out of the allocatable set
+    /// until a matching [`ObsEvent::CpuRecovered`].
+    CpuFailed {
+        /// The failed CPU.
+        cpu: CpuId,
+    },
+    /// A failed CPU came back.
+    CpuRecovered {
+        /// The recovered CPU.
+        cpu: CpuId,
+    },
+    /// The machine's alive capacity changed (published alongside CPU
+    /// failures and recoveries so capacity is plottable as a counter).
+    DegradedCapacity {
+        /// CPUs currently alive.
+        alive: usize,
+        /// CPUs in the topology.
+        total: usize,
+    },
+    /// A crashed job was scheduled for a retry after its backoff.
+    JobRetried {
+        /// The job.
+        job: JobId,
+        /// Which retry this is (1 = first retry).
+        attempt: u32,
+        /// Backoff charged before the job rejoins the queue.
+        backoff_secs: f64,
+    },
+    /// A crashed job exhausted its retries; its resources were freed and it
+    /// will never complete.
+    JobFailed {
+        /// The job.
+        job: JobId,
+        /// Crashes the job suffered in total.
+        attempts: u32,
+    },
     /// A harness experiment panicked; the payload is preserved so failures
     /// are observable in the metrics export, not just a nonzero exit.
     ExperimentFailed {
@@ -136,6 +175,11 @@ impl ObsEvent {
             ObsEvent::MplChanged { .. } => "mpl",
             ObsEvent::ReallocCost { .. } => "cost",
             ObsEvent::CpuAssigned { .. } => "cpu",
+            ObsEvent::CpuFailed { .. } => "cpu_failed",
+            ObsEvent::CpuRecovered { .. } => "cpu_recovered",
+            ObsEvent::DegradedCapacity { .. } => "degraded",
+            ObsEvent::JobRetried { .. } => "retry",
+            ObsEvent::JobFailed { .. } => "job_failed",
             ObsEvent::ExperimentFailed { .. } => "failed",
         }
     }
@@ -221,6 +265,22 @@ impl TimedEvent {
                 Some(j) => format!("cpu={} job={}", cpu.0, j.0),
                 None => format!("cpu={} job=idle", cpu.0),
             },
+            ObsEvent::CpuFailed { cpu } => format!("cpu={}", cpu.0),
+            ObsEvent::CpuRecovered { cpu } => format!("cpu={}", cpu.0),
+            ObsEvent::DegradedCapacity { alive, total } => {
+                format!("alive={alive} total={total}")
+            }
+            ObsEvent::JobRetried {
+                job,
+                attempt,
+                backoff_secs,
+            } => format!(
+                "job={} attempt={} backoff_secs={}",
+                job.0, attempt, backoff_secs
+            ),
+            ObsEvent::JobFailed { job, attempts } => {
+                format!("job={} attempts={}", job.0, attempts)
+            }
             ObsEvent::ExperimentFailed { name, message } => {
                 format!("name={name} message={message:?}")
             }
@@ -269,6 +329,46 @@ mod tests {
             },
         );
         assert_eq!(c.to_line(), "2 2 cpu cpu=5 job=idle");
+    }
+
+    #[test]
+    fn fault_events_serialize() {
+        let fail = te(10.0, 0, ObsEvent::CpuFailed { cpu: CpuId(7) });
+        assert_eq!(fail.to_line(), "10 0 cpu_failed cpu=7");
+        let recover = te(20.0, 1, ObsEvent::CpuRecovered { cpu: CpuId(7) });
+        assert_eq!(recover.to_line(), "20 1 cpu_recovered cpu=7");
+        let degraded = te(
+            10.0,
+            2,
+            ObsEvent::DegradedCapacity {
+                alive: 59,
+                total: 60,
+            },
+        );
+        assert_eq!(degraded.to_line(), "10 2 degraded alive=59 total=60");
+        let retried = te(
+            30.0,
+            3,
+            ObsEvent::JobRetried {
+                job: JobId(2),
+                attempt: 1,
+                backoff_secs: 30.0,
+            },
+        );
+        assert_eq!(
+            retried.to_line(),
+            "30 3 retry job=2 attempt=1 backoff_secs=30"
+        );
+        let failed = te(
+            99.0,
+            4,
+            ObsEvent::JobFailed {
+                job: JobId(2),
+                attempts: 3,
+            },
+        );
+        assert_eq!(failed.to_line(), "99 4 job_failed job=2 attempts=3");
+        assert_eq!(DecisionTrigger::Fault.label(), "fault");
     }
 
     #[test]

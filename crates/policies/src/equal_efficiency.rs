@@ -104,6 +104,11 @@ impl SchedulingPolicy for EqualEfficiency {
         self.reallocate(ctx)
     }
 
+    fn on_capacity_change(&mut self, ctx: &PolicyCtx, _changed: &[JobId]) -> Decisions {
+        // Refill marginal gains over the surviving capacity.
+        self.reallocate(ctx)
+    }
+
     fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {
         ctx.running() < self.multiprogramming_level
     }

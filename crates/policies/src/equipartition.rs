@@ -88,6 +88,11 @@ impl SchedulingPolicy for Equipartition {
         Decisions::none()
     }
 
+    fn on_capacity_change(&mut self, ctx: &PolicyCtx, _changed: &[JobId]) -> Decisions {
+        // Capacity moved: deal equal shares of whatever is alive now.
+        self.repartition(ctx)
+    }
+
     fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool {
         ctx.running() < self.multiprogramming_level
     }
@@ -187,6 +192,22 @@ mod tests {
         assert!(p
             .on_performance_report(&ctx(&jobs, 60, 45), JobId(0), sample)
             .is_empty());
+    }
+
+    #[test]
+    fn capacity_loss_repartitions_over_alive_cpus() {
+        // 8 CPUs died: the engine reports total_cpus = 52 and the shares
+        // shrink accordingly instead of overcommitting dead processors.
+        let jobs = vec![
+            view(0, 30, 15),
+            view(1, 30, 15),
+            view(2, 30, 15),
+            view(3, 30, 7),
+        ];
+        let mut p = Equipartition::default();
+        let d = p.on_capacity_change(&ctx(&jobs, 52, 0), &[JobId(3)]);
+        let total: usize = d.allocations.iter().map(|&(_, a)| a).sum();
+        assert_eq!(total, 52, "alive capacity fully dealt, never exceeded");
     }
 
     #[test]

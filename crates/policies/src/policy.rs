@@ -231,6 +231,32 @@ pub trait SchedulingPolicy {
         sample: PerfSample,
     ) -> Decisions;
 
+    /// The machine's capacity changed under the policy: CPUs failed (their
+    /// allocations already revoked, reflected in `ctx`) or recovered.
+    /// `changed` lists the running jobs whose allocations were cut by the
+    /// failure, in arrival order.
+    ///
+    /// The default re-grants stalled jobs — jobs revoked down to zero
+    /// processors produce no further performance reports, so a policy that
+    /// only reacts to reports would strand them forever. Each stalled job
+    /// gets as much of its request as the remaining free supply covers.
+    /// Rebalancing policies should override this with their own
+    /// redistribution.
+    fn on_capacity_change(&mut self, ctx: &PolicyCtx, changed: &[JobId]) -> Decisions {
+        let _ = changed;
+        let mut free = ctx.free_cpus;
+        let mut decisions = Decisions::none();
+        for view in ctx.jobs.iter().filter(|v| v.allocated == 0) {
+            if free == 0 {
+                break;
+            }
+            let grant = view.request.min(free);
+            decisions.set(view.id, grant);
+            free -= grant;
+        }
+        decisions
+    }
+
     /// Multiprogramming-level decision: may the queuing system start another
     /// job right now?
     fn may_start_new_job(&self, ctx: &PolicyCtx) -> bool;

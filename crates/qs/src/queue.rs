@@ -23,6 +23,7 @@ pub struct QueueSystem {
     waiting: VecDeque<JobId>,
     started: usize,
     completed: usize,
+    failed: usize,
 }
 
 impl QueueSystem {
@@ -35,6 +36,7 @@ impl QueueSystem {
             waiting: VecDeque::new(),
             started: 0,
             completed: 0,
+            failed: 0,
         }
     }
 
@@ -104,6 +106,23 @@ impl QueueSystem {
         self.completed += 1;
     }
 
+    /// Records a terminal failure: the job crashed and exhausted its
+    /// retries (or had none). It will never complete, so the workload
+    /// drains without it.
+    pub fn fail_terminal(&mut self, _job: JobId) {
+        self.failed += 1;
+    }
+
+    /// Re-queues a crashed job for a retry. Unlike [`arrive`], the job has
+    /// been through the queue before; it rejoins at the back and competes
+    /// FCFS with whatever is waiting.
+    ///
+    /// [`arrive`]: QueueSystem::arrive
+    pub fn requeue(&mut self, job: JobId) {
+        debug_assert!(!self.waiting.contains(&job), "double requeue of {job}");
+        self.waiting.push_back(job);
+    }
+
     /// Jobs waiting to start.
     pub fn waiting_count(&self) -> usize {
         self.waiting.len()
@@ -119,9 +138,15 @@ impl QueueSystem {
         self.completed
     }
 
-    /// True once every job of the workload has completed.
+    /// Jobs that failed terminally.
+    pub fn failed_count(&self) -> usize {
+        self.failed
+    }
+
+    /// True once every job of the workload has either completed or failed
+    /// terminally — nothing is left to run.
     pub fn all_done(&self) -> bool {
-        self.completed == self.jobs.len()
+        self.completed + self.failed == self.jobs.len()
     }
 
     /// The submission instant of the last job (useful for progress bounds).
@@ -193,6 +218,35 @@ mod tests {
         assert!(!qs.start_specific(JobId(1)), "already started");
         assert_eq!(qs.head(), Some(JobId(0)), "head unchanged");
         assert_eq!(qs.waiting_count(), 2);
+    }
+
+    #[test]
+    fn terminal_failures_drain_the_workload() {
+        let mut qs = make_qs();
+        for i in 0..3 {
+            qs.arrive(JobId(i));
+            qs.start_next();
+        }
+        qs.complete(JobId(0));
+        qs.complete(JobId(1));
+        assert!(!qs.all_done());
+        qs.fail_terminal(JobId(2));
+        assert!(qs.all_done(), "a terminal failure counts as drained");
+        assert_eq!(qs.failed_count(), 1);
+        assert_eq!(qs.completed_count(), 2);
+    }
+
+    #[test]
+    fn requeue_rejoins_fcfs_at_the_back() {
+        let mut qs = make_qs();
+        qs.arrive(JobId(0));
+        qs.start_next();
+        qs.arrive(JobId(1));
+        qs.requeue(JobId(0)); // crashed, retrying
+        let order: Vec<JobId> = qs.waiting().collect();
+        assert_eq!(order, vec![JobId(1), JobId(0)]);
+        assert_eq!(qs.start_next(), Some(JobId(1)));
+        assert_eq!(qs.start_next(), Some(JobId(0)));
     }
 
     #[test]

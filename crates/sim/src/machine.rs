@@ -67,6 +67,18 @@ impl CpuSet {
     fn pop(&mut self) -> Option<CpuId> {
         self.0.pop()
     }
+
+    /// Removes `cpu` wherever it sits in the acquisition order (used when a
+    /// specific CPU fails rather than the most recent one being shrunk).
+    fn remove(&mut self, cpu: CpuId) -> bool {
+        match self.0.iter().position(|&c| c == cpu) {
+            Some(i) => {
+                self.0.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl FromIterator<CpuId> for CpuSet {
@@ -123,6 +135,9 @@ pub struct MachineStats {
 pub struct Machine {
     /// Owner of each CPU, indexed by CPU id.
     owner: Vec<Option<JobId>>,
+    /// Liveness of each CPU: failed CPUs stay in the topology but cannot be
+    /// owned until they recover.
+    alive: Vec<bool>,
     /// CPUs per NUMA node (2 on the Origin 2000).
     cpus_per_node: usize,
     /// Cpuset of each running job.
@@ -151,25 +166,73 @@ impl Machine {
         assert!(cpus_per_node > 0, "nodes need at least one CPU");
         Machine {
             owner: vec![None; n_cpus],
+            alive: vec![true; n_cpus],
             cpus_per_node,
             owned: HashMap::new(),
             stats: MachineStats::default(),
         }
     }
 
-    /// Total number of CPUs.
+    /// Total number of CPUs (alive or not).
     pub fn n_cpus(&self) -> usize {
         self.owner.len()
     }
 
-    /// Number of currently unowned CPUs.
+    /// Number of alive, unowned CPUs — the supply available to allocate.
     pub fn free_cpus(&self) -> usize {
-        self.owner.iter().filter(|o| o.is_none()).count()
+        self.owner
+            .iter()
+            .zip(&self.alive)
+            .filter(|(o, &a)| o.is_none() && a)
+            .count()
     }
 
     /// Number of currently owned CPUs.
     pub fn used_cpus(&self) -> usize {
-        self.n_cpus() - self.free_cpus()
+        self.owner.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Number of alive CPUs — the machine's current capacity.
+    pub fn alive_cpus(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of failed CPUs.
+    pub fn dead_cpus(&self) -> usize {
+        self.n_cpus() - self.alive_cpus()
+    }
+
+    /// True if `cpu` has not failed (or has recovered).
+    pub fn is_alive(&self, cpu: CpuId) -> bool {
+        self.alive[cpu.index()]
+    }
+
+    /// Marks `cpu` failed. If a job owned it, the CPU is revoked from its
+    /// cpuset and the dislodged owner is returned so the caller can react
+    /// (recompute the job's rate, notify the policy). Failing an
+    /// already-dead CPU is a no-op returning `None`.
+    pub fn fail_cpu(&mut self, cpu: CpuId) -> Option<JobId> {
+        if !self.alive[cpu.index()] {
+            return None;
+        }
+        self.alive[cpu.index()] = false;
+        let victim = self.owner[cpu.index()].take();
+        if let Some(job) = victim {
+            let set = self.owned.get_mut(&job).expect("owner table has the job");
+            set.remove(cpu);
+            if set.is_empty() {
+                self.owned.remove(&job);
+            }
+        }
+        victim
+    }
+
+    /// Marks `cpu` alive again. Returns `true` if it was dead (i.e. the
+    /// machine's capacity actually grew).
+    pub fn recover_cpu(&mut self, cpu: CpuId) -> bool {
+        let was_dead = !self.alive[cpu.index()];
+        self.alive[cpu.index()] = true;
+        was_dead
     }
 
     /// Number of jobs holding at least one CPU.
@@ -279,7 +342,7 @@ impl Machine {
         // is deterministic.
         let mut free: Vec<CpuId> = (0..self.n_cpus() as u16)
             .map(CpuId)
-            .filter(|c| self.owner[c.index()].is_none())
+            .filter(|c| self.owner[c.index()].is_none() && self.alive[c.index()])
             .collect();
         let score = |cpu: &CpuId| -> u8 {
             let node = self.node_of(*cpu);
@@ -296,11 +359,11 @@ impl Machine {
         free
     }
 
-    /// True if every CPU of `node` is free.
+    /// True if every CPU of `node` is alive and free.
     fn node_is_free(&self, node: usize) -> bool {
         let start = node * self.cpus_per_node;
         let end = (start + self.cpus_per_node).min(self.n_cpus());
-        (start..end).all(|i| self.owner[i].is_none())
+        (start..end).all(|i| self.owner[i].is_none() && self.alive[i])
     }
 
     /// Internal consistency check used by tests and debug assertions:
@@ -318,6 +381,9 @@ impl Machine {
                 seen[cpu.index()] = true;
                 if self.owner[cpu.index()] != Some(*job) {
                     return Err(format!("{cpu} owner table disagrees with {job}"));
+                }
+                if !self.alive[cpu.index()] {
+                    return Err(format!("{cpu} is dead but owned by {job}"));
                 }
             }
         }
@@ -468,6 +534,71 @@ mod tests {
     }
 
     #[test]
+    fn failing_a_free_cpu_shrinks_supply() {
+        let mut m = Machine::new(8);
+        assert_eq!(m.fail_cpu(CpuId(3)), None, "cpu3 was idle");
+        assert_eq!(m.alive_cpus(), 7);
+        assert_eq!(m.dead_cpus(), 1);
+        assert_eq!(m.free_cpus(), 7);
+        assert!(!m.is_alive(CpuId(3)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failing_an_owned_cpu_dislodges_its_owner() {
+        let mut m = Machine::new(8);
+        let got = m.resize(job(1), 4).gained.clone();
+        let victim_cpu = got[1]; // not the most recent: exercises mid-set removal
+        assert_eq!(m.fail_cpu(victim_cpu), Some(job(1)));
+        assert_eq!(m.allocation(job(1)), 3);
+        assert!(!m.cpuset(job(1)).unwrap().contains(victim_cpu));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dead_cpus_are_never_handed_out() {
+        let mut m = Machine::new(4);
+        m.fail_cpu(CpuId(0));
+        m.fail_cpu(CpuId(1));
+        let out = m.resize(job(1), 4);
+        assert_eq!(out.gained.len(), 2, "only the two alive CPUs are supply");
+        assert!(out.gained.iter().all(|&c| m.is_alive(c)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recover_restores_capacity() {
+        let mut m = Machine::new(4);
+        m.fail_cpu(CpuId(2));
+        assert!(m.recover_cpu(CpuId(2)));
+        assert!(!m.recover_cpu(CpuId(2)), "second recover is a no-op");
+        assert_eq!(m.alive_cpus(), 4);
+        let out = m.resize(job(1), 4);
+        assert_eq!(out.gained.len(), 4);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn double_fail_is_a_noop() {
+        let mut m = Machine::new(4);
+        m.resize(job(1), 4);
+        assert_eq!(m.fail_cpu(CpuId(0)), Some(job(1)));
+        assert_eq!(m.fail_cpu(CpuId(0)), None);
+        assert_eq!(m.allocation(job(1)), 3);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failing_a_jobs_last_cpu_removes_it() {
+        let mut m = Machine::new(4);
+        let got = m.resize(job(1), 1).gained.clone();
+        assert_eq!(m.fail_cpu(got[0]), Some(job(1)));
+        assert_eq!(m.running_jobs(), 0);
+        assert!(m.cpuset(job(1)).is_none());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
     fn many_jobs_fill_machine_exactly() {
         let mut m = Machine::new(60);
         for j in 0..15 {
@@ -491,12 +622,16 @@ mod proptests {
     enum Action {
         Resize { job: u32, target: usize },
         Release { job: u32 },
+        Fail { cpu: u16 },
+        Recover { cpu: u16 },
     }
 
     fn arb_action() -> impl Strategy<Value = Action> {
         prop_oneof![
             (0u32..8, 0usize..70).prop_map(|(job, target)| Action::Resize { job, target }),
             (0u32..8).prop_map(|job| Action::Release { job }),
+            (0u16..60).prop_map(|cpu| Action::Fail { cpu }),
+            (0u16..60).prop_map(|cpu| Action::Recover { cpu }),
         ]
     }
 
@@ -540,9 +675,28 @@ mod proptests {
                         m.release(JobId(job));
                         prop_assert_eq!(m.allocation(JobId(job)), 0);
                     }
+                    Action::Fail { cpu } => {
+                        let was_owned = m.used_cpus();
+                        let victim = m.fail_cpu(CpuId(cpu));
+                        prop_assert!(!m.is_alive(CpuId(cpu)));
+                        if victim.is_some() {
+                            prop_assert_eq!(m.used_cpus(), was_owned - 1);
+                        } else {
+                            prop_assert_eq!(m.used_cpus(), was_owned);
+                        }
+                    }
+                    Action::Recover { cpu } => {
+                        m.recover_cpu(CpuId(cpu));
+                        prop_assert!(m.is_alive(CpuId(cpu)));
+                    }
                 }
                 prop_assert!(m.check_invariants().is_ok(), "{:?}", m.check_invariants());
-                prop_assert_eq!(m.free_cpus() + m.used_cpus(), m.n_cpus());
+                // Dead CPUs are never owned, so supply + usage + casualties
+                // partition the topology.
+                prop_assert_eq!(
+                    m.free_cpus() + m.used_cpus() + m.dead_cpus(),
+                    m.n_cpus()
+                );
             }
         }
 

@@ -13,7 +13,8 @@
 //! - [`BurstStats`] computes the Table-2 statistics from a finished trace;
 //! - [`render_ascii`] draws the Fig.-5 execution view as text;
 //! - [`to_csv`] exports records for external plotting;
-//! - [`to_paraver`] writes a Paraver `.prv` document for the real tool.
+//! - [`to_paraver`] writes a Paraver `.prv` document for the real tool;
+//! - [`from_paraver`] reads one back, diagnosing malformed input by line.
 
 pub mod bridge;
 pub mod paraver;
@@ -22,7 +23,7 @@ pub mod render;
 pub mod stats;
 
 pub use bridge::TraceObserver;
-pub use paraver::to_paraver;
+pub use paraver::{from_paraver, to_paraver, ParaverError};
 pub use record::{ActivityRecord, Trace, TraceCollector};
 pub use render::{render_ascii, to_csv, RenderOptions};
 pub use stats::BurstStats;

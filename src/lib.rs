@@ -22,6 +22,8 @@
 //!   Equipartition, Equal_efficiency, and the IRIX time-sharing model;
 //! - [`qs`] (`pdpa-qs`) — queuing system, SWF traces, workload generator;
 //! - [`engine`] (`pdpa-engine`) — the workload execution engine;
+//! - [`faults`] (`pdpa-faults`) — deterministic fault-injection plans
+//!   (CPU failures, job crashes, retry policies) for chaos runs;
 //! - [`trace`] (`pdpa-trace`) — Paraver-style tracing and Table-2 stats;
 //! - [`obs`] (`pdpa-obs`) — structured observability: the decision-event
 //!   bus, the metrics registry, and the Chrome-trace/CSV/JSON exporters;
@@ -54,6 +56,7 @@ pub use pdpa_apps as apps;
 pub use pdpa_cluster as cluster;
 pub use pdpa_core as core;
 pub use pdpa_engine as engine;
+pub use pdpa_faults as faults;
 pub use pdpa_hybrid as hybrid;
 pub use pdpa_metrics as metrics;
 pub use pdpa_nthlib as nthlib;
@@ -69,6 +72,7 @@ pub mod prelude {
     pub use pdpa_apps::{paper_app, AppClass, ApplicationSpec, SpeedupModel};
     pub use pdpa_core::{Pdpa, PdpaParams};
     pub use pdpa_engine::{Engine, EngineConfig, RunResult};
+    pub use pdpa_faults::{FaultPlan, RetryPolicy};
     pub use pdpa_metrics::Summary;
     pub use pdpa_perf::{PerfSample, SelfAnalyzer, SelfAnalyzerConfig};
     pub use pdpa_policies::{

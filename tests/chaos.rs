@@ -1,0 +1,194 @@
+//! Fault-injection integration: seeded chaos plans across the policy suite.
+//!
+//! The engine's own unit tests cover the fault handlers; these tests drive
+//! whole workloads through the public facade and check the system-level
+//! promises: no policy panics or overcommits under capacity loss, and a
+//! given seed produces byte-identical observability exports.
+
+use std::collections::HashMap;
+
+use pdpa_suite::obs::{chrome_trace, mpl_series_csv, ObsEvent, Observer, RecordingObserver};
+use pdpa_suite::policies::GangScheduler;
+use pdpa_suite::prelude::*;
+use pdpa_suite::sim::{CpuId, SimTime};
+
+fn all_policies() -> Vec<(&'static str, Box<dyn SchedulingPolicy>)> {
+    vec![
+        ("pdpa", Box::new(Pdpa::paper_default())),
+        ("equip", Box::new(Equipartition::default())),
+        ("equal_eff", Box::new(EqualEfficiency::paper_default())),
+        ("rigid", Box::new(RigidFirstFit::paper_default())),
+        ("irix", Box::new(IrixLike::paper_default())),
+        ("gang", Box::new(GangScheduler::paper_comparable())),
+    ]
+}
+
+fn space_shared_policies() -> Vec<(&'static str, Box<dyn SchedulingPolicy>)> {
+    all_policies()
+        .into_iter()
+        .filter(|(name, _)| !matches!(*name, "irix" | "gang"))
+        .collect()
+}
+
+/// A chaos plan exercising every fault type: a transient CPU failure, a
+/// permanent one, and a job crash under the default bounded retry.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .fail_cpu_between(CpuId(2), 60.0, 300.0)
+        .fail_cpu_at(CpuId(40), 120.0)
+        .fail_job_at(JobId(0), 70.0)
+        .with_retry(RetryPolicy::default())
+}
+
+/// Tracks per-CPU ownership and liveness from the decision-event stream
+/// and records any violation of the allocation invariants:
+///
+/// - a CPU is never handed to a job while dead;
+/// - once the clock advances past a failure, no dead CPU retains an owner;
+/// - live allocations never exceed the currently-alive CPU count.
+struct OvercommitChecker {
+    total: usize,
+    owner: HashMap<usize, JobId>,
+    dead: std::collections::HashSet<usize>,
+    last: SimTime,
+    violations: Vec<String>,
+}
+
+impl OvercommitChecker {
+    fn new(total: usize) -> Self {
+        OvercommitChecker {
+            total,
+            owner: HashMap::new(),
+            dead: std::collections::HashSet::new(),
+            last: SimTime::ZERO,
+            violations: Vec::new(),
+        }
+    }
+
+    /// The invariant is checked whenever the clock moves, so same-instant
+    /// event bursts (a failure followed by its evictions) settle first.
+    fn settle(&mut self, at: SimTime) {
+        for cpu in self.owner.keys() {
+            if self.dead.contains(cpu) {
+                self.violations
+                    .push(format!("{at:?}: dead cpu{cpu} still owned"));
+            }
+        }
+        let alive = self.total - self.dead.len();
+        if self.owner.len() > alive {
+            self.violations.push(format!(
+                "{at:?}: {} CPUs allocated but only {alive} alive",
+                self.owner.len()
+            ));
+        }
+    }
+}
+
+impl Observer for OvercommitChecker {
+    fn on_event(&mut self, at: SimTime, event: &ObsEvent) {
+        if at > self.last {
+            let settled = self.last;
+            self.settle(settled);
+            self.last = at;
+        }
+        match event {
+            ObsEvent::CpuAssigned { cpu, job } => {
+                let i = cpu.index();
+                match job {
+                    Some(j) => {
+                        if self.dead.contains(&i) {
+                            self.violations
+                                .push(format!("{at:?}: dead cpu{i} assigned to {j:?}"));
+                        }
+                        self.owner.insert(i, *j);
+                    }
+                    None => {
+                        self.owner.remove(&i);
+                    }
+                }
+            }
+            ObsEvent::CpuFailed { cpu } => {
+                self.dead.insert(cpu.index());
+            }
+            ObsEvent::CpuRecovered { cpu } => {
+                self.dead.remove(&cpu.index());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Satellite invariant: at every event, the live allocations of a
+/// space-shared run fit in the currently-alive processor set — with and
+/// without fault injection.
+#[test]
+fn space_shared_runs_never_overcommit() {
+    for faults in [FaultPlan::none(), chaos_plan()] {
+        for (name, policy) in space_shared_policies() {
+            let jobs = Workload::W3.build(1.0, 42);
+            let config = EngineConfig::default()
+                .with_seed(42)
+                .with_faults(faults.clone());
+            let mut checker = OvercommitChecker::new(60);
+            let r = Engine::new(config).run_observed(jobs, policy, &mut checker);
+            assert!(r.completed_all, "{name} wedged");
+            let end = SimTime::from_secs(r.end_secs);
+            checker.settle(end);
+            assert!(
+                checker.violations.is_empty(),
+                "{name} (faults: {}) violated allocation invariants:\n{}",
+                !faults.is_empty(),
+                checker.violations.join("\n")
+            );
+        }
+    }
+}
+
+/// Tentpole acceptance: a seeded fault plan completes under every policy
+/// with zero panics, and the fault actually bit (both CPU failures landed).
+#[test]
+fn every_policy_completes_a_chaos_run() {
+    for (name, policy) in all_policies() {
+        let jobs = Workload::W3.build(1.0, 42);
+        let config = EngineConfig::default()
+            .with_seed(42)
+            .with_faults(chaos_plan());
+        let r = Engine::new(config).run(jobs, policy);
+        assert!(r.completed_all, "{name} wedged under chaos");
+        assert_eq!(r.cpu_failures, 2, "{name} missed a CPU failure");
+    }
+}
+
+/// Identical seeds must produce byte-identical Chrome-trace and MPL-series
+/// exports, fault events included.
+#[test]
+fn chaos_exports_are_reproducible() {
+    let run = || {
+        let jobs = Workload::W3.build(1.0, 7);
+        let config = EngineConfig::default()
+            .with_seed(7)
+            .with_faults(chaos_plan());
+        let mut rec = RecordingObserver::new();
+        let r = Engine::new(config).run_observed(jobs, Box::new(Pdpa::paper_default()), &mut rec);
+        assert!(r.completed_all);
+        rec.take_events()
+    };
+    let (a, b) = (run(), run());
+    let kinds: std::collections::HashSet<&str> = a.iter().map(|te| te.event.kind()).collect();
+    for kind in ["cpu_failed", "cpu_recovered", "degraded", "retry"] {
+        assert!(kinds.contains(kind), "no {kind} event in the stream");
+    }
+    let runs_a = vec![("w3-chaos".to_string(), a)];
+    let runs_b = vec![("w3-chaos".to_string(), b)];
+    assert_eq!(
+        chrome_trace(&runs_a),
+        chrome_trace(&runs_b),
+        "chrome trace differs between identical seeds"
+    );
+    assert_eq!(
+        mpl_series_csv(&runs_a),
+        mpl_series_csv(&runs_b),
+        "MPL series differs between identical seeds"
+    );
+    assert!(chrome_trace(&runs_a).contains("capacity"));
+}
