@@ -1,0 +1,392 @@
+//! One-stop aggregation: every derived metric of a recorded run, plus
+//! hand-built JSON export (`pdpa-analyze/v1`).
+//!
+//! The JSON is assembled by hand for the same reason `pdpa-obs` writes
+//! its exports by hand: the repo carries no serialization dependency, and
+//! the document is small and flat enough that a builder would cost more
+//! than it saves.
+
+use crate::series::{cpu_series, mpl_stats, CpuSeries, MplStats};
+use crate::stability::{migration_stats, MigrationStats};
+use crate::states::{time_in_state, StateBreakdown};
+use crate::timeline::{job_timelines, summarize, JobTimeline, TimelineStats};
+use pdpa_obs::{ObsEvent, TimedEvent};
+use pdpa_sim::JobId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag carried by every analysis document.
+pub const ANALYSIS_SCHEMA: &str = "pdpa-analyze/v1";
+
+/// Decision-rate accounting: how often the policy acted and what the
+/// reallocations it ordered cost.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DecisionStats {
+    /// Decisions published, all triggers.
+    pub total: u64,
+    /// Decisions per trigger label (`arrival`/`report`/`completion`/`fault`).
+    pub by_trigger: BTreeMap<&'static str, u64>,
+    /// Reallocation-cost charges observed.
+    pub realloc_events: u64,
+    /// Total repartitioning penalty charged, seconds.
+    pub realloc_penalty_secs: f64,
+}
+
+/// Every derived metric of one recorded run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunAnalysis {
+    /// Events in the stream.
+    pub events: usize,
+    /// First-to-last event span, seconds of simulated time.
+    pub span_secs: f64,
+    /// Per-job lifecycle reconstructions.
+    pub jobs: BTreeMap<JobId, JobTimeline>,
+    /// Run-level timeline aggregates.
+    pub timeline: TimelineStats,
+    /// PDPA time-in-state breakdown.
+    pub states: StateBreakdown,
+    /// Migration/placement accounting (Table-2 cross-check).
+    pub migrations: MigrationStats,
+    /// Integrated CPU busy/idle/fragmentation series.
+    pub cpus: CpuSeries,
+    /// Multiprogramming-level statistics.
+    pub mpl: MplStats,
+    /// Decision-rate accounting.
+    pub decisions: DecisionStats,
+}
+
+impl RunAnalysis {
+    /// Replays a recorded stream into the full metric set.
+    pub fn from_events(events: &[TimedEvent]) -> Self {
+        let jobs = job_timelines(events);
+        let timeline = summarize(&jobs);
+        let mut decisions = DecisionStats::default();
+        for te in events {
+            match &te.event {
+                ObsEvent::Decision { trigger, .. } => {
+                    decisions.total += 1;
+                    *decisions.by_trigger.entry(trigger.label()).or_insert(0) += 1;
+                }
+                ObsEvent::ReallocCost { penalty_secs, .. } => {
+                    decisions.realloc_events += 1;
+                    decisions.realloc_penalty_secs += penalty_secs;
+                }
+                _ => {}
+            }
+        }
+        let first = events.first().map_or(0.0, |te| te.at.as_secs());
+        let last = events.last().map_or(0.0, |te| te.at.as_secs());
+        RunAnalysis {
+            events: events.len(),
+            span_secs: (last - first).max(0.0),
+            timeline,
+            states: time_in_state(events),
+            migrations: migration_stats(events),
+            cpus: cpu_series(events),
+            mpl: mpl_stats(events),
+            decisions,
+            jobs,
+        }
+    }
+
+    /// The analysis as one JSON object (no schema wrapper; see
+    /// [`analysis_json`] for the full document).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_num(&mut out, "events", self.events as f64);
+        push_num(&mut out, "span_secs", self.span_secs);
+        push_num(&mut out, "jobs", self.timeline.jobs as f64);
+        push_num(&mut out, "finished", self.timeline.finished as f64);
+        push_num(&mut out, "failed", self.timeline.failed as f64);
+        push_num(&mut out, "retries", self.timeline.retries as f64);
+        push_num(
+            &mut out,
+            "avg_queue_wait_secs",
+            self.timeline.avg_queue_wait_secs,
+        );
+        push_num(
+            &mut out,
+            "avg_response_secs",
+            self.timeline.avg_response_secs,
+        );
+        push_num(&mut out, "avg_slowdown", self.timeline.avg_slowdown);
+        out.push_str("\"time_in_state_secs\":{");
+        let mut first = true;
+        for (state, secs) in &self.states.secs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", state, fmt_f64(*secs));
+        }
+        out.push_str("},");
+        push_num(
+            &mut out,
+            "state_transitions",
+            self.states.transitions as f64,
+        );
+        push_num(&mut out, "migrations", self.migrations.migrations() as f64);
+        push_num(
+            &mut out,
+            "initial_placements",
+            self.migrations.initial_placements as f64,
+        );
+        push_num(&mut out, "cpus", self.cpus.cpus as f64);
+        push_num(&mut out, "busy_cpu_secs", self.cpus.busy_cpu_secs);
+        push_num(&mut out, "idle_cpu_secs", self.cpus.idle_cpu_secs);
+        push_num(&mut out, "frag_cpu_secs", self.cpus.frag_cpu_secs);
+        push_num(&mut out, "utilization", self.cpus.utilization());
+        push_num(&mut out, "peak_busy", self.cpus.peak_busy as f64);
+        push_num(&mut out, "mpl_mean_running", self.mpl.mean_running);
+        push_num(&mut out, "mpl_mean_allocated", self.mpl.mean_allocated);
+        push_num(&mut out, "mpl_max_running", self.mpl.max_running as f64);
+        push_num(&mut out, "decisions", self.decisions.total as f64);
+        out.push_str("\"decisions_by_trigger\":{");
+        let mut first = true;
+        for (trigger, n) in &self.decisions.by_trigger {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", trigger, n);
+        }
+        out.push_str("},");
+        push_num(
+            &mut out,
+            "realloc_events",
+            self.decisions.realloc_events as f64,
+        );
+        let _ = write!(
+            out,
+            "\"realloc_penalty_secs\":{}",
+            fmt_f64(self.decisions.realloc_penalty_secs)
+        );
+        out.push('}');
+        out
+    }
+
+    /// Human-readable multi-line rendering for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "events {}  span {:.1}s  jobs {} ({} finished, {} failed, {} retries)",
+            self.events,
+            self.span_secs,
+            self.timeline.jobs,
+            self.timeline.finished,
+            self.timeline.failed,
+            self.timeline.retries
+        );
+        let _ = writeln!(
+            out,
+            "queue wait avg {:.2}s  response avg {:.1}s  slowdown avg {:.3}",
+            self.timeline.avg_queue_wait_secs,
+            self.timeline.avg_response_secs,
+            self.timeline.avg_slowdown
+        );
+        if !self.states.secs.is_empty() {
+            let _ = write!(out, "time in state:");
+            for (state, secs) in &self.states.secs {
+                let _ = write!(out, "  {state} {secs:.1}s");
+            }
+            let _ = writeln!(out, "  ({} transitions)", self.states.transitions);
+        }
+        let _ = writeln!(
+            out,
+            "migrations {}  placements {}  releases {}",
+            self.migrations.migrations(),
+            self.migrations.initial_placements,
+            self.migrations.releases
+        );
+        let _ = writeln!(
+            out,
+            "cpus {}  busy {:.1}  idle {:.1}  frag {:.1} cpu-s  util {:.1}%  peak {}",
+            self.cpus.cpus,
+            self.cpus.busy_cpu_secs,
+            self.cpus.idle_cpu_secs,
+            self.cpus.frag_cpu_secs,
+            self.cpus.utilization() * 100.0,
+            self.cpus.peak_busy
+        );
+        let _ = writeln!(
+            out,
+            "mpl mean {:.2} running / {:.1} allocated  max {} / {}",
+            self.mpl.mean_running,
+            self.mpl.mean_allocated,
+            self.mpl.max_running,
+            self.mpl.max_allocated
+        );
+        let _ = write!(
+            out,
+            "decisions {}  realloc charges {} ({:.2}s penalty)",
+            self.decisions.total,
+            self.decisions.realloc_events,
+            self.decisions.realloc_penalty_secs
+        );
+        for (trigger, n) in &self.decisions.by_trigger {
+            let _ = write!(out, "  {trigger}={n}");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// The full `pdpa-analyze/v1` document over one or more named runs.
+pub fn analysis_json(runs: &[(String, RunAnalysis)]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"schema\":\"{ANALYSIS_SCHEMA}\",\"runs\":{{");
+    for (i, (key, analysis)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(key), analysis.to_json());
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Formats an f64 as a JSON number (JSON has no NaN/∞; clamp to 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_num(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, "\"{}\":{},", key, fmt_f64(v));
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_obs::DecisionTrigger;
+    use pdpa_sim::{CpuId, SimTime};
+
+    fn te(at: f64, seq: u64, event: ObsEvent) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::from_secs(at),
+            seq,
+            event,
+        }
+    }
+
+    fn small_run() -> Vec<TimedEvent> {
+        let j = JobId(0);
+        vec![
+            te(0.0, 0, ObsEvent::JobSubmitted { job: j }),
+            te(1.0, 1, ObsEvent::JobDequeued { job: j }),
+            te(1.0, 2, ObsEvent::JobStarted { job: j, request: 2 }),
+            te(
+                1.0,
+                3,
+                ObsEvent::CpuAssigned {
+                    cpu: CpuId(0),
+                    job: Some(j),
+                },
+            ),
+            te(
+                1.0,
+                4,
+                ObsEvent::CpuAssigned {
+                    cpu: CpuId(1),
+                    job: Some(j),
+                },
+            ),
+            te(
+                1.0,
+                5,
+                ObsEvent::Decision {
+                    trigger: DecisionTrigger::Arrival,
+                    job: j,
+                    from_alloc: 0,
+                    to_alloc: 2,
+                    transition: None,
+                },
+            ),
+            te(
+                5.0,
+                6,
+                ObsEvent::MplChanged {
+                    running: 1,
+                    total_alloc: 2,
+                },
+            ),
+            te(
+                10.0,
+                7,
+                ObsEvent::CpuAssigned {
+                    cpu: CpuId(0),
+                    job: None,
+                },
+            ),
+            te(
+                10.0,
+                8,
+                ObsEvent::CpuAssigned {
+                    cpu: CpuId(1),
+                    job: None,
+                },
+            ),
+            te(10.0, 9, ObsEvent::JobFinished { job: j }),
+        ]
+    }
+
+    #[test]
+    fn aggregates_cover_every_module() {
+        let a = RunAnalysis::from_events(&small_run());
+        assert_eq!(a.events, 10);
+        assert_eq!(a.span_secs, 10.0);
+        assert_eq!(a.timeline.finished, 1);
+        assert_eq!(a.migrations.migrations(), 0);
+        assert_eq!(a.migrations.initial_placements, 2);
+        assert_eq!(a.cpus.cpus, 2);
+        assert_eq!(a.decisions.total, 1);
+        assert_eq!(a.decisions.by_trigger.get("arrival"), Some(&1));
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let a = RunAnalysis::from_events(&small_run());
+        let doc = analysis_json(&[("w1-PDPA".to_string(), a)]);
+        assert!(doc.starts_with("{\"schema\":\"pdpa-analyze/v1\""));
+        assert!(doc.contains("\"w1-PDPA\":{"));
+        assert!(doc.contains("\"migrations\":0"));
+        assert!(doc.ends_with("}}"));
+        // Balanced braces (cheap well-formedness check without a parser).
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn render_text_mentions_the_headline_numbers() {
+        let a = RunAnalysis::from_events(&small_run());
+        let text = a.render_text();
+        assert!(text.contains("jobs 1 (1 finished"));
+        assert!(text.contains("migrations 0"));
+    }
+}

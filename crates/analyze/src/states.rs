@@ -1,0 +1,185 @@
+//! PDPA time-in-state reconstruction (§4.2, quantified).
+//!
+//! The engine publishes the state machine's moves two ways: a `decision`
+//! event carries the transition that changed an allocation, and a bare
+//! `state` event records a move that kept the allocation (e.g.
+//! `INC → STABLE` at the held width). Replaying both yields, per job, how
+//! long each application sat in every state — the time the policy spent
+//! searching (`NO_REF`/`INC`/`DEC`) versus settled (`STABLE`).
+
+use pdpa_obs::{ObsEvent, TimedEvent};
+use pdpa_sim::JobId;
+use std::collections::BTreeMap;
+
+/// Aggregate time-in-state over a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StateBreakdown {
+    /// Seconds spent in each named state, summed over jobs.
+    pub secs: BTreeMap<&'static str, f64>,
+    /// State-machine moves observed (decisions with a transition plus
+    /// bare state events).
+    pub transitions: u64,
+}
+
+impl StateBreakdown {
+    /// Total attributed seconds across all states.
+    pub fn total_secs(&self) -> f64 {
+        self.secs.values().sum()
+    }
+
+    /// Seconds attributed to one state (0 when never entered).
+    pub fn in_state(&self, name: &str) -> f64 {
+        self.secs.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+/// Replays a stream into the aggregate time-in-state breakdown.
+///
+/// A job's clock starts at its (most recent) `start` event: the span from
+/// there to its first observed move is attributed to the move's *from*
+/// state, later spans to the state currently held, and the span from the
+/// last move to the job's finish (or the end of the stream) to the final
+/// state.
+pub fn time_in_state(events: &[TimedEvent]) -> StateBreakdown {
+    let mut breakdown = StateBreakdown::default();
+    // Per job: (state we are currently in, since when). `None` state means
+    // the job started but has not moved yet — its span is attributed
+    // retroactively by the first move's `from` name.
+    let mut current: BTreeMap<JobId, (Option<&'static str>, f64)> = BTreeMap::new();
+    let end = events.last().map_or(0.0, |te| te.at.as_secs());
+
+    fn close(slot: Option<(Option<&'static str>, f64)>, now: f64, breakdown: &mut StateBreakdown) {
+        if let Some((Some(state), since)) = slot {
+            *breakdown.secs.entry(state).or_insert(0.0) += (now - since).max(0.0);
+        }
+    }
+
+    for te in events {
+        let now = te.at.as_secs();
+        match &te.event {
+            ObsEvent::JobStarted { job, .. } => {
+                current.insert(*job, (None, now));
+            }
+            ObsEvent::Decision {
+                job,
+                transition: Some((from, to)),
+                ..
+            } => {
+                breakdown.transitions += 1;
+                let (state, since) = current.remove(job).unwrap_or((None, now));
+                // An unobserved stretch (job started, no move yet) belongs
+                // to the state the machine is now leaving.
+                let leaving = state.unwrap_or(from);
+                *breakdown.secs.entry(leaving).or_insert(0.0) += (now - since).max(0.0);
+                current.insert(*job, (Some(to), now));
+            }
+            ObsEvent::StateChanged { job, from, to } => {
+                breakdown.transitions += 1;
+                let (state, since) = current.remove(job).unwrap_or((None, now));
+                let leaving = state.unwrap_or(from);
+                *breakdown.secs.entry(leaving).or_insert(0.0) += (now - since).max(0.0);
+                current.insert(*job, (Some(to), now));
+            }
+            ObsEvent::JobFinished { job }
+            | ObsEvent::JobFailed { job, .. }
+            | ObsEvent::JobRetried { job, .. } => {
+                close(current.remove(job), now, &mut breakdown);
+            }
+            _ => {}
+        }
+    }
+    // Jobs still in flight at the end of the stream.
+    for (_, slot) in std::mem::take(&mut current) {
+        close(Some(slot), end, &mut breakdown);
+    }
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_obs::DecisionTrigger;
+    use pdpa_sim::SimTime;
+
+    fn te(at: f64, seq: u64, event: ObsEvent) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::from_secs(at),
+            seq,
+            event,
+        }
+    }
+
+    #[test]
+    fn spans_attribute_to_the_state_being_left() {
+        let j = JobId(0);
+        let stream = vec![
+            te(
+                0.0,
+                0,
+                ObsEvent::JobStarted {
+                    job: j,
+                    request: 16,
+                },
+            ),
+            // 10 s unobserved → NO_REF (the state the first move leaves).
+            te(
+                10.0,
+                1,
+                ObsEvent::Decision {
+                    trigger: DecisionTrigger::Report,
+                    job: j,
+                    from_alloc: 16,
+                    to_alloc: 12,
+                    transition: Some(("NO_REF", "DEC")),
+                },
+            ),
+            // 5 s in DEC, then settle.
+            te(
+                15.0,
+                2,
+                ObsEvent::StateChanged {
+                    job: j,
+                    from: "DEC",
+                    to: "STABLE",
+                },
+            ),
+            // 20 s in STABLE until completion.
+            te(35.0, 3, ObsEvent::JobFinished { job: j }),
+        ];
+        let b = time_in_state(&stream);
+        assert_eq!(b.transitions, 2);
+        assert_eq!(b.in_state("NO_REF"), 10.0);
+        assert_eq!(b.in_state("DEC"), 5.0);
+        assert_eq!(b.in_state("STABLE"), 20.0);
+        assert_eq!(b.in_state("INC"), 0.0);
+        assert!((b.total_secs() - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_states_close_at_stream_end() {
+        let j = JobId(1);
+        let stream = vec![
+            te(0.0, 0, ObsEvent::JobStarted { job: j, request: 4 }),
+            te(
+                2.0,
+                1,
+                ObsEvent::StateChanged {
+                    job: j,
+                    from: "NO_REF",
+                    to: "STABLE",
+                },
+            ),
+            te(
+                12.0,
+                2,
+                ObsEvent::MplChanged {
+                    running: 1,
+                    total_alloc: 4,
+                },
+            ),
+        ];
+        let b = time_in_state(&stream);
+        assert_eq!(b.in_state("NO_REF"), 2.0);
+        assert_eq!(b.in_state("STABLE"), 10.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-job timelines: queue wait, run spans, response and slowdown.
+//!
+//! Queue wait is measured from the stream's explicit queue → start
+//! hand-off (`dequeue` events), not inferred from `submit`/`start` gaps:
+//! a crashed job re-enters the queue after its retry backoff, and only the
+//! hand-off event tells how long the *queue* (rather than the backoff)
+//! held it.
+
+use pdpa_obs::{ObsEvent, TimedEvent};
+use pdpa_sim::JobId;
+use std::collections::BTreeMap;
+
+/// The reconstructed lifecycle of one job.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobTimeline {
+    /// Submission instant, seconds.
+    pub submitted: Option<f64>,
+    /// Processors requested at submission (from the first `start`).
+    pub request: Option<usize>,
+    /// Every start instant (more than one when the job retried).
+    pub starts: Vec<f64>,
+    /// Completion instant, when the job finished.
+    pub finished: Option<f64>,
+    /// Terminal-failure instant, when the job exhausted its retries.
+    pub failed: Option<f64>,
+    /// Retries scheduled after crashes.
+    pub retries: u32,
+    /// Total seconds spent waiting in the queue (every visit; retry
+    /// backoff is excluded — the queue clock restarts when it expires).
+    pub queue_wait_secs: f64,
+    /// Total seconds spent running (sum of start → finish/crash spans).
+    pub run_secs: f64,
+}
+
+impl JobTimeline {
+    /// Submission → completion, seconds.
+    pub fn response_secs(&self) -> Option<f64> {
+        Some(self.finished? - self.submitted?)
+    }
+
+    /// First start → completion, seconds.
+    pub fn execution_secs(&self) -> Option<f64> {
+        Some(self.finished? - *self.starts.first()?)
+    }
+
+    /// Response over execution (≥ 1; the paper's slowdown measure).
+    pub fn slowdown(&self) -> Option<f64> {
+        let exec = self.execution_secs()?;
+        if exec > 0.0 {
+            Some(self.response_secs()? / exec)
+        } else {
+            None
+        }
+    }
+}
+
+/// Aggregates over every job of a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimelineStats {
+    /// Jobs observed (submitted or started).
+    pub jobs: usize,
+    /// Jobs that completed.
+    pub finished: usize,
+    /// Jobs that failed terminally.
+    pub failed: usize,
+    /// Total retries across all jobs.
+    pub retries: u64,
+    /// Mean queue wait over all jobs, seconds.
+    pub avg_queue_wait_secs: f64,
+    /// Mean response time over completed jobs, seconds.
+    pub avg_response_secs: f64,
+    /// Mean slowdown over completed jobs.
+    pub avg_slowdown: f64,
+}
+
+/// Replays a stream into per-job timelines.
+pub fn job_timelines(events: &[TimedEvent]) -> BTreeMap<JobId, JobTimeline> {
+    let mut jobs: BTreeMap<JobId, JobTimeline> = BTreeMap::new();
+    // Per-job open-interval state: when the current queue wait began, and
+    // when the current run span began.
+    let mut wait_from: BTreeMap<JobId, f64> = BTreeMap::new();
+    let mut running_since: BTreeMap<JobId, f64> = BTreeMap::new();
+    for te in events {
+        let now = te.at.as_secs();
+        match &te.event {
+            ObsEvent::JobSubmitted { job } => {
+                jobs.entry(*job).or_default().submitted = Some(now);
+                wait_from.insert(*job, now);
+            }
+            ObsEvent::JobDequeued { job } => {
+                if let Some(since) = wait_from.remove(job) {
+                    jobs.entry(*job).or_default().queue_wait_secs += (now - since).max(0.0);
+                }
+            }
+            ObsEvent::JobStarted { job, request } => {
+                let t = jobs.entry(*job).or_default();
+                t.request.get_or_insert(*request);
+                t.starts.push(now);
+                running_since.insert(*job, now);
+            }
+            ObsEvent::JobFinished { job } => {
+                let t = jobs.entry(*job).or_default();
+                t.finished = Some(now);
+                if let Some(since) = running_since.remove(job) {
+                    t.run_secs += now - since;
+                }
+            }
+            ObsEvent::JobRetried {
+                job, backoff_secs, ..
+            } => {
+                let t = jobs.entry(*job).or_default();
+                t.retries += 1;
+                if let Some(since) = running_since.remove(job) {
+                    t.run_secs += now - since;
+                }
+                // The job rejoins the queue once the backoff expires; queue
+                // wait restarts there, not at the crash.
+                wait_from.insert(*job, now + backoff_secs);
+            }
+            ObsEvent::JobFailed { job, .. } => {
+                let t = jobs.entry(*job).or_default();
+                t.failed = Some(now);
+                if let Some(since) = running_since.remove(job) {
+                    t.run_secs += now - since;
+                }
+                wait_from.remove(job);
+            }
+            _ => {}
+        }
+    }
+    jobs
+}
+
+/// Summarizes timelines into run-level statistics.
+pub fn summarize(jobs: &BTreeMap<JobId, JobTimeline>) -> TimelineStats {
+    let mut s = TimelineStats {
+        jobs: jobs.len(),
+        ..TimelineStats::default()
+    };
+    let mut wait_sum = 0.0;
+    let mut response_sum = 0.0;
+    let mut slowdown_sum = 0.0;
+    let mut slowdown_n = 0usize;
+    for t in jobs.values() {
+        wait_sum += t.queue_wait_secs;
+        s.retries += u64::from(t.retries);
+        if t.finished.is_some() {
+            s.finished += 1;
+        }
+        if t.failed.is_some() {
+            s.failed += 1;
+        }
+        if let Some(r) = t.response_secs() {
+            response_sum += r;
+        }
+        if let Some(sd) = t.slowdown() {
+            slowdown_sum += sd;
+            slowdown_n += 1;
+        }
+    }
+    if s.jobs > 0 {
+        s.avg_queue_wait_secs = wait_sum / s.jobs as f64;
+    }
+    if s.finished > 0 {
+        s.avg_response_secs = response_sum / s.finished as f64;
+    }
+    if slowdown_n > 0 {
+        s.avg_slowdown = slowdown_sum / slowdown_n as f64;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_sim::SimTime;
+
+    fn te(at: f64, seq: u64, event: ObsEvent) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::from_secs(at),
+            seq,
+            event,
+        }
+    }
+
+    #[test]
+    fn queue_wait_comes_from_dequeue_events() {
+        let j = JobId(0);
+        let stream = vec![
+            te(10.0, 0, ObsEvent::JobSubmitted { job: j }),
+            te(14.0, 1, ObsEvent::JobDequeued { job: j }),
+            te(14.0, 2, ObsEvent::JobStarted { job: j, request: 8 }),
+            te(50.0, 3, ObsEvent::JobFinished { job: j }),
+        ];
+        let jobs = job_timelines(&stream);
+        let t = &jobs[&j];
+        assert_eq!(t.queue_wait_secs, 4.0);
+        assert_eq!(t.run_secs, 36.0);
+        assert_eq!(t.response_secs(), Some(40.0));
+        assert_eq!(t.execution_secs(), Some(36.0));
+        assert!((t.slowdown().unwrap() - 40.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_backoff_is_not_queue_wait() {
+        let j = JobId(1);
+        let stream = vec![
+            te(0.0, 0, ObsEvent::JobSubmitted { job: j }),
+            te(0.0, 1, ObsEvent::JobDequeued { job: j }),
+            te(0.0, 2, ObsEvent::JobStarted { job: j, request: 4 }),
+            // Crash at t=20 with a 30 s backoff: eligible again at t=50,
+            // re-dequeued at t=58 → 8 s of genuine queue wait.
+            te(
+                20.0,
+                3,
+                ObsEvent::JobRetried {
+                    job: j,
+                    attempt: 1,
+                    backoff_secs: 30.0,
+                },
+            ),
+            te(58.0, 4, ObsEvent::JobDequeued { job: j }),
+            te(58.0, 5, ObsEvent::JobStarted { job: j, request: 4 }),
+            te(100.0, 6, ObsEvent::JobFinished { job: j }),
+        ];
+        let jobs = job_timelines(&stream);
+        let t = &jobs[&j];
+        assert_eq!(t.retries, 1);
+        assert_eq!(t.queue_wait_secs, 8.0);
+        assert_eq!(t.run_secs, 20.0 + 42.0);
+        assert_eq!(t.starts.len(), 2);
+        let stats = summarize(&jobs);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.finished, 1);
+    }
+
+    #[test]
+    fn terminal_failure_closes_the_run_span() {
+        let j = JobId(2);
+        let stream = vec![
+            te(0.0, 0, ObsEvent::JobSubmitted { job: j }),
+            te(1.0, 1, ObsEvent::JobDequeued { job: j }),
+            te(1.0, 2, ObsEvent::JobStarted { job: j, request: 2 }),
+            te(
+                9.0,
+                3,
+                ObsEvent::JobFailed {
+                    job: j,
+                    attempts: 3,
+                },
+            ),
+        ];
+        let jobs = job_timelines(&stream);
+        let t = &jobs[&j];
+        assert_eq!(t.failed, Some(9.0));
+        assert_eq!(t.run_secs, 8.0);
+        assert_eq!(t.response_secs(), None);
+        let stats = summarize(&jobs);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.finished, 0);
+    }
+}

@@ -2,7 +2,8 @@
 //! the CI gate behind `--trace-out` / `--metrics-out`.
 //!
 //! ```text
-//! validate-obs --trace trace.json --metrics metrics.json [--bench BENCH_pdpa.json]
+//! validate-obs --trace trace.json --metrics metrics.json \
+//!              [--bench BENCH_pdpa.json] [--analyze analysis.json]
 //! ```
 //!
 //! Checks (any failure exits nonzero with a message):
@@ -12,8 +13,11 @@
 //!   same `(pid, tid)` lane;
 //! - the metrics document parses, carries the `pdpa-obs-metrics/v1`
 //!   schema, and shows nonzero engine runs, drained events, and decisions;
-//! - with `--bench`, the trajectory carries the `pdpa-bench/v2` schema and
-//!   at least one mode embeds a metrics block.
+//! - with `--bench`, the trajectory carries a `pdpa-bench/v2`-or-newer
+//!   schema, at least one mode embeds a metrics block, and (v3) the
+//!   `trajectory` array is non-empty;
+//! - with `--analyze`, the analysis document carries the `pdpa-analyze/v1`
+//!   schema and every run shows events, jobs, and decisions.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -104,7 +108,7 @@ fn check_bench(doc: &Value) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("bench document has no schema")?;
-    if schema != "pdpa-bench/v2" {
+    if schema != "pdpa-bench/v2" && schema != "pdpa-bench/v3" {
         return Err(format!("unexpected bench schema {schema:?}"));
     }
     let modes = doc.get("modes").ok_or("bench document has no modes")?;
@@ -115,17 +119,70 @@ fn check_bench(doc: &Value) -> Result<(), String> {
     if !has_metrics {
         return Err("no mode embeds a metrics block".into());
     }
+    if schema == "pdpa-bench/v3" {
+        // v3 documents must carry history: a --json run that failed to
+        // append would silently starve the perf gate.
+        let entries = doc
+            .get("trajectory")
+            .and_then(Value::as_arr)
+            .ok_or("v3 bench document has no trajectory array")?;
+        if entries.is_empty() {
+            return Err("trajectory array is empty — the run did not append".into());
+        }
+        for e in entries {
+            for key in ["git_rev", "mode"] {
+                if e.get(key).and_then(Value::as_str).is_none() {
+                    return Err(format!("trajectory entry missing {key}"));
+                }
+            }
+            for key in ["threads", "wall_secs", "events_per_sec"] {
+                if e.get(key).and_then(Value::as_f64).is_none() {
+                    return Err(format!("trajectory entry missing {key}"));
+                }
+            }
+        }
+    }
     Ok(())
+}
+
+fn check_analysis(doc: &Value) -> Result<usize, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("analysis document has no schema")?;
+    if schema != "pdpa-analyze/v1" {
+        return Err(format!("unexpected analysis schema {schema:?}"));
+    }
+    let runs = doc.get("runs").ok_or("analysis document has no runs")?;
+    let Value::Obj(pairs) = runs else {
+        return Err("runs is not an object".into());
+    };
+    if pairs.is_empty() {
+        return Err("runs is empty — nothing was recorded".into());
+    }
+    for (key, run) in pairs {
+        for field in ["events", "jobs", "decisions"] {
+            let n = run
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("run {key:?} missing {field}"))?;
+            if n <= 0.0 {
+                return Err(format!("run {key:?} has zero {field}"));
+            }
+        }
+    }
+    Ok(pairs.len())
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let (mut trace, mut metrics, mut bench) = (None, None, None);
+    let (mut trace, mut metrics, mut bench, mut analyze) = (None, None, None, None);
     while let Some(arg) = args.next() {
         let slot = match arg.as_str() {
             "--trace" => &mut trace,
             "--metrics" => &mut metrics,
             "--bench" => &mut bench,
+            "--analyze" => &mut analyze,
             other => return fail(&format!("unknown argument `{other}`")),
         };
         match args.next() {
@@ -133,8 +190,8 @@ fn main() -> ExitCode {
             None => return fail(&format!("{arg} requires a file path")),
         }
     }
-    if trace.is_none() && metrics.is_none() && bench.is_none() {
-        return fail("nothing to validate (pass --trace, --metrics, or --bench)");
+    if trace.is_none() && metrics.is_none() && bench.is_none() && analyze.is_none() {
+        return fail("nothing to validate (pass --trace, --metrics, --bench, or --analyze)");
     }
 
     if let Some(path) = trace {
@@ -151,7 +208,13 @@ fn main() -> ExitCode {
     }
     if let Some(path) = bench {
         match read(&path).and_then(|doc| check_bench(&doc)) {
-            Ok(()) => println!("validate-obs: {path}: OK (pdpa-bench/v2 with metrics)"),
+            Ok(()) => println!("validate-obs: {path}: OK (bench schema, metrics, trajectory)"),
+            Err(e) => return fail(&e),
+        }
+    }
+    if let Some(path) = analyze {
+        match read(&path).and_then(|doc| check_analysis(&doc)) {
+            Ok(n) => println!("validate-obs: {path}: OK ({n} analyzed run(s), nonzero metrics)"),
             Err(e) => return fail(&e),
         }
     }

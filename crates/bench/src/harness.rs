@@ -9,8 +9,10 @@
 //!
 //! Flags (shared by `expt-all` and the single-experiment binaries):
 //!
-//! - `--json` — append this run's timings (and the metrics block) to
-//!   `BENCH_pdpa.json` (see [`crate::trajectory`]);
+//! - `--json` — record this run in `BENCH_pdpa.json`: the mode block is
+//!   overwritten, and one entry is **appended** to the `trajectory` array
+//!   (see [`crate::trajectory`]), so the file accumulates per-invocation
+//!   history for `bench-compare` to gate on;
 //! - `--sequential` — one worker thread everywhere, including the
 //!   experiments' inner sweeps (the baseline mode for the trajectory);
 //! - `--only <name>` — run a single experiment from `expt-all`;
@@ -19,7 +21,10 @@
 //! - `--metrics-out <file>` — write the metrics-registry snapshot
 //!   (counters, scopes, histograms, failures) as JSON;
 //! - `--mpl-csv <file>` — export the recorded runs' multiprogramming-level
-//!   history as CSV (the Fig.-8 series, one row per change).
+//!   history as CSV (the Fig.-8 series, one row per change);
+//! - `--analyze-out <file>` — run `pdpa-analyze` over every recorded
+//!   stream and write the `pdpa-analyze/v1` document (timelines,
+//!   time-in-state, migrations, CPU/MPL series) as JSON.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
@@ -55,12 +60,14 @@ pub struct Options {
     pub metrics_out: Option<String>,
     /// Export the recorded runs' MPL history as CSV.
     pub mpl_csv: Option<String>,
+    /// Export the recorded runs' derived analytics as JSON.
+    pub analyze_out: Option<String>,
 }
 
 impl Options {
     /// Whether engine runs should record their decision-event streams.
     fn observing(&self) -> bool {
-        self.trace_out.is_some() || self.mpl_csv.is_some()
+        self.trace_out.is_some() || self.mpl_csv.is_some() || self.analyze_out.is_some()
     }
 }
 
@@ -88,10 +95,15 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String>
                 Some(path) => opts.mpl_csv = Some(path),
                 None => return Err("--mpl-csv requires a file path".into()),
             },
+            "--analyze-out" => match args.next() {
+                Some(path) => opts.analyze_out = Some(path),
+                None => return Err("--analyze-out requires a file path".into()),
+            },
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (expected --json, --sequential, --only <name>, \
-                     --trace-out <file>, --metrics-out <file>, or --mpl-csv <file>)"
+                     --trace-out <file>, --metrics-out <file>, --mpl-csv <file>, or \
+                     --analyze-out <file>)"
                 ))
             }
         }
@@ -169,6 +181,20 @@ fn run_guarded(e: &Experiment) -> Outcome {
     }
 }
 
+/// The abbreviated revision stamped into trajectory entries. Outside a
+/// git checkout (or without git on PATH) the entry reads `unknown`.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Writes an export file, reporting the path on stderr like the CLI does.
 fn write_export(path: &str, what: &str, contents: &str) -> Result<(), ExitCode> {
     if let Err(e) = std::fs::write(path, contents) {
@@ -242,6 +268,16 @@ fn run(list: &[Experiment], opts: &Options) -> ExitCode {
             return code;
         }
     }
+    if let Some(path) = &opts.analyze_out {
+        let analyses: Vec<(String, pdpa_analyze::RunAnalysis)> = recorded_runs
+            .iter()
+            .map(|(key, events)| (key.clone(), pdpa_analyze::RunAnalysis::from_events(events)))
+            .collect();
+        let doc = pdpa_analyze::analysis_json(&analyses);
+        if let Err(code) = write_export(path, "run analysis JSON", &doc) {
+            return code;
+        }
+    }
 
     if opts.json {
         let report = ModeReport {
@@ -263,7 +299,8 @@ fn run(list: &[Experiment], opts: &Options) -> ExitCode {
         };
         let events_per_sec = report.events_per_sec();
         let existing = std::fs::read_to_string(BENCH_PATH).ok();
-        let merged = BenchReport::merge_into(existing.as_deref(), opts.sequential, report);
+        let merged =
+            BenchReport::merge_into(existing.as_deref(), opts.sequential, report, &git_rev());
         if let Err(e) = std::fs::write(BENCH_PATH, merged) {
             eprintln!("error: cannot write {BENCH_PATH}: {e}");
             return ExitCode::FAILURE;
@@ -322,13 +359,20 @@ mod tests {
             "metrics.json",
             "--mpl-csv",
             "mpl.csv",
+            "--analyze-out",
+            "analysis.json",
         ])
         .unwrap();
         assert_eq!(opts.trace_out.as_deref(), Some("trace.json"));
         assert_eq!(opts.metrics_out.as_deref(), Some("metrics.json"));
         assert_eq!(opts.mpl_csv.as_deref(), Some("mpl.csv"));
+        assert_eq!(opts.analyze_out.as_deref(), Some("analysis.json"));
         assert!(opts.observing());
         assert!(!Options::default().observing());
+        // --analyze-out alone must turn recording on, or the analysis
+        // would silently be empty.
+        let alone = parse(&["--analyze-out", "analysis.json"]).unwrap();
+        assert!(alone.observing());
     }
 
     #[test]
@@ -338,6 +382,7 @@ mod tests {
         assert!(parse(&["--trace-out"]).is_err());
         assert!(parse(&["--metrics-out"]).is_err());
         assert!(parse(&["--mpl-csv"]).is_err());
+        assert!(parse(&["--analyze-out"]).is_err());
     }
 
     #[test]

@@ -6,17 +6,65 @@
 //! under separate mode keys in the same file, so a single document carries
 //! both the baseline and the parallel number (and their ratio) for later
 //! PRs to regress against.
+//!
+//! The mode blocks are *latest-wins*: each invocation overwrites its own
+//! mode. History lives in the `trajectory` array instead — every `--json`
+//! invocation **appends** one entry `(git_rev, mode, threads, wall_secs,
+//! events_per_sec)`, so the file accumulates a real performance trajectory
+//! across commits for `bench-compare` to gate on.
 
 use crate::json::{parse, Value};
 use crate::stats::Snapshot;
 
-/// Schema tag written at the top of the document. `v2` adds the optional
-/// per-mode `metrics` block (the observability registry snapshot).
-pub const SCHEMA: &str = "pdpa-bench/v2";
+/// Schema tag written at the top of the document. `v3` adds the
+/// append-only `trajectory` array; `v2` added the optional per-mode
+/// `metrics` block (the observability registry snapshot).
+pub const SCHEMA: &str = "pdpa-bench/v3";
 
-/// The previous schema, still accepted on read so existing trajectories
-/// merge instead of being discarded (their modes just have no `metrics`).
+/// Previous schemas, still accepted on read so existing trajectories merge
+/// instead of being discarded (their modes just lack the newer blocks).
+pub const SCHEMA_V2: &str = "pdpa-bench/v2";
+/// See [`SCHEMA_V2`].
 pub const SCHEMA_V1: &str = "pdpa-bench/v1";
+
+/// One appended line of bench history: which commit ran, in which mode,
+/// and how fast.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Abbreviated git revision of the working tree (`unknown` outside a
+    /// repository).
+    pub git_rev: String,
+    /// `parallel` or `sequential`.
+    pub mode: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock seconds of the invocation.
+    pub wall_secs: f64,
+    /// Simulation events drained per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+impl TrajectoryEntry {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("git_rev".into(), Value::Str(self.git_rev.clone())),
+            ("mode".into(), Value::Str(self.mode.clone())),
+            ("threads".into(), Value::Num(self.threads as f64)),
+            ("wall_secs".into(), Value::Num(self.wall_secs)),
+            ("events_per_sec".into(), Value::Num(self.events_per_sec)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<TrajectoryEntry> {
+        Some(TrajectoryEntry {
+            git_rev: v.get("git_rev")?.as_str()?.to_string(),
+            mode: v.get("mode")?.as_str()?.to_string(),
+            threads: v.get("threads")?.as_u64()? as usize,
+            wall_secs: v.get("wall_secs")?.as_f64()?,
+            events_per_sec: v.get("events_per_sec")?.as_f64()?,
+        })
+    }
+}
 
 /// Wall time of one experiment.
 #[derive(Clone, Debug, PartialEq)]
@@ -132,6 +180,8 @@ pub struct BenchReport {
     pub parallel: Option<ModeReport>,
     /// The sequential baseline run, when recorded.
     pub sequential: Option<ModeReport>,
+    /// Append-only history, one entry per `--json` invocation.
+    pub trajectory: Vec<TrajectoryEntry>,
 }
 
 impl BenchReport {
@@ -156,6 +206,15 @@ impl BenchReport {
         let mut doc = vec![
             ("schema".to_string(), Value::Str(SCHEMA.into())),
             ("modes".to_string(), Value::Obj(modes)),
+            (
+                "trajectory".to_string(),
+                Value::Arr(
+                    self.trajectory
+                        .iter()
+                        .map(TrajectoryEntry::to_value)
+                        .collect(),
+                ),
+            ),
         ];
         if let Some(speedup) = self.speedup() {
             doc.push((
@@ -171,22 +230,50 @@ impl BenchReport {
     pub fn from_json(text: &str) -> Option<BenchReport> {
         let doc = parse(text).ok()?;
         let schema = doc.get("schema")?.as_str()?;
-        if schema != SCHEMA && schema != SCHEMA_V1 {
+        if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
             return None;
         }
         let modes = doc.get("modes")?;
         Some(BenchReport {
             parallel: modes.get("parallel").and_then(ModeReport::from_value),
             sequential: modes.get("sequential").and_then(ModeReport::from_value),
+            trajectory: doc
+                .get("trajectory")
+                .and_then(Value::as_arr)
+                .map(|entries| {
+                    entries
+                        .iter()
+                        .filter_map(TrajectoryEntry::from_value)
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
     }
 
-    /// Folds this run's mode report into a document on disk, preserving
-    /// the other mode's numbers when present, and returns the merged text.
-    pub fn merge_into(existing: Option<&str>, sequential_mode: bool, report: ModeReport) -> String {
+    /// Folds this run's mode report into a document on disk — overwriting
+    /// this mode's block, preserving the other mode's, and **appending**
+    /// one trajectory entry — and returns the merged text.
+    pub fn merge_into(
+        existing: Option<&str>,
+        sequential_mode: bool,
+        report: ModeReport,
+        git_rev: &str,
+    ) -> String {
         let mut doc = existing
             .and_then(BenchReport::from_json)
             .unwrap_or_default();
+        let mode = if sequential_mode {
+            "sequential"
+        } else {
+            "parallel"
+        };
+        doc.trajectory.push(TrajectoryEntry {
+            git_rev: git_rev.to_string(),
+            mode: mode.to_string(),
+            threads: report.threads,
+            wall_secs: report.wall_secs,
+            events_per_sec: report.events_per_sec(),
+        });
         if sequential_mode {
             doc.sequential = Some(report);
         } else {
@@ -231,6 +318,13 @@ mod tests {
         let report = BenchReport {
             parallel: Some(sample_mode(4, 3.5)),
             sequential: Some(sample_mode(1, 14.0)),
+            trajectory: vec![TrajectoryEntry {
+                git_rev: "abc1234".into(),
+                mode: "parallel".into(),
+                threads: 4,
+                wall_secs: 3.5,
+                events_per_sec: 271.4,
+            }],
         };
         let text = report.to_json();
         let back = BenchReport::from_json(&text).expect("parse back");
@@ -240,13 +334,32 @@ mod tests {
 
     #[test]
     fn merge_preserves_the_other_mode() {
-        let first = BenchReport::merge_into(None, true, sample_mode(1, 14.0));
+        let first = BenchReport::merge_into(None, true, sample_mode(1, 14.0), "rev1");
         assert!(BenchReport::from_json(&first).unwrap().parallel.is_none());
-        let second = BenchReport::merge_into(Some(&first), false, sample_mode(4, 3.5));
+        let second = BenchReport::merge_into(Some(&first), false, sample_mode(4, 3.5), "rev1");
         let doc = BenchReport::from_json(&second).unwrap();
         assert_eq!(doc.sequential.as_ref().unwrap().wall_secs, 14.0);
         assert_eq!(doc.parallel.as_ref().unwrap().wall_secs, 3.5);
         assert!(second.contains("speedup_parallel_over_sequential"));
+    }
+
+    #[test]
+    fn every_merge_appends_a_trajectory_entry() {
+        // Re-running the same mode overwrites the mode block but GROWS the
+        // trajectory — history is never lost to a rerun.
+        let first = BenchReport::merge_into(None, false, sample_mode(4, 3.5), "rev1");
+        let second = BenchReport::merge_into(Some(&first), false, sample_mode(4, 3.2), "rev2");
+        let third = BenchReport::merge_into(Some(&second), true, sample_mode(1, 14.0), "rev2");
+        let doc = BenchReport::from_json(&third).unwrap();
+        assert_eq!(doc.trajectory.len(), 3);
+        assert_eq!(doc.trajectory[0].git_rev, "rev1");
+        assert_eq!(doc.trajectory[1].wall_secs, 3.2);
+        assert_eq!(doc.trajectory[2].mode, "sequential");
+        // The mode block holds only the latest parallel run.
+        assert_eq!(doc.parallel.as_ref().unwrap().wall_secs, 3.2);
+        // events_per_sec is derived from the run's own counters.
+        let expected = 950.0 / 3.2;
+        assert!((doc.trajectory[1].events_per_sec - expected).abs() < 1e-9);
     }
 
     #[test]
@@ -262,39 +375,44 @@ mod tests {
         let report = BenchReport {
             parallel: Some(mode.clone()),
             sequential: None,
+            trajectory: Vec::new(),
         };
         let text = report.to_json();
-        assert!(text.contains("pdpa-bench/v2"));
+        assert!(text.contains("pdpa-bench/v3"));
         assert!(text.contains("pdpa-obs-metrics/v1"));
         let back = BenchReport::from_json(&text).expect("parse back");
         assert_eq!(back.parallel.unwrap().metrics, mode.metrics);
     }
 
     #[test]
-    fn v1_documents_still_parse() {
-        // A v1 document (no metrics block) merges rather than being
-        // discarded.
-        let mut report = BenchReport {
+    fn older_schemas_still_parse() {
+        // v1/v2 documents (no trajectory array) merge rather than being
+        // discarded; the upgrade rewrites them as v3.
+        let report = BenchReport {
             sequential: Some(sample_mode(1, 14.0)),
             parallel: None,
+            trajectory: Vec::new(),
         };
-        let v1_text = report.to_json().replace("pdpa-bench/v2", "pdpa-bench/v1");
-        let doc = BenchReport::from_json(&v1_text).expect("v1 accepted");
-        assert_eq!(doc.sequential.as_ref().unwrap().wall_secs, 14.0);
-        assert_eq!(doc.sequential.as_ref().unwrap().metrics, None);
-        // Merging a v2 mode into a v1 document keeps the old mode.
-        report.parallel = Some(sample_mode(4, 3.5));
-        let merged = BenchReport::merge_into(Some(&v1_text), false, sample_mode(4, 3.5));
-        let doc = BenchReport::from_json(&merged).unwrap();
-        assert!(doc.sequential.is_some() && doc.parallel.is_some());
-        assert!(merged.contains("pdpa-bench/v2"));
+        for old in ["pdpa-bench/v1", "pdpa-bench/v2"] {
+            let old_text = report.to_json().replace("pdpa-bench/v3", old);
+            let doc = BenchReport::from_json(&old_text).expect("old schema accepted");
+            assert_eq!(doc.sequential.as_ref().unwrap().wall_secs, 14.0);
+            assert_eq!(doc.sequential.as_ref().unwrap().metrics, None);
+            // Merging into the old document keeps its mode and upgrades the
+            // schema tag.
+            let merged = BenchReport::merge_into(Some(&old_text), false, sample_mode(4, 3.5), "r");
+            let doc = BenchReport::from_json(&merged).unwrap();
+            assert!(doc.sequential.is_some() && doc.parallel.is_some());
+            assert_eq!(doc.trajectory.len(), 1);
+            assert!(merged.contains("pdpa-bench/v3"));
+        }
     }
 
     #[test]
     fn malformed_documents_start_fresh() {
         assert!(BenchReport::from_json("{]").is_none());
         assert!(BenchReport::from_json("{\"schema\": \"other\"}").is_none());
-        let text = BenchReport::merge_into(Some("not json"), false, sample_mode(4, 1.0));
+        let text = BenchReport::merge_into(Some("not json"), false, sample_mode(4, 1.0), "r");
         assert!(BenchReport::from_json(&text).unwrap().parallel.is_some());
     }
 

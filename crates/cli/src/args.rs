@@ -9,6 +9,10 @@ pub enum Command {
     Run(Options),
     /// `pdpa compare` — one workload, every policy.
     Compare(Options),
+    /// `pdpa analyze` — one recorded run, full derived analytics.
+    Analyze(Options),
+    /// `pdpa diff` — two recorded runs, first divergence + metric deltas.
+    Diff(Options),
     /// `pdpa curves` — print the Fig. 3 speedup curves.
     Curves,
     /// `pdpa help` / `--help`.
@@ -80,15 +84,25 @@ pub struct Options {
     pub metrics_out: Option<String>,
     /// Write the MPL/allocation time-series CSV here.
     pub mpl_csv: Option<String>,
+    /// Write the `pdpa-analyze/v1` analysis document here.
+    pub analyze_out: Option<String>,
     /// Fault-injection plan (the `pdpa_faults::FaultPlan` grammar),
     /// unparsed — validated against `cpus` when the engine is built.
     pub faults: Option<String>,
+    /// Second policy for `pdpa diff` (defaults to `--policy`).
+    pub policy_b: Option<PolicyChoice>,
+    /// Second seed for `pdpa diff` (defaults to `--seed`).
+    pub seed_b: Option<u64>,
 }
 
 impl Options {
     /// Whether the run must record its decision-event stream.
     pub fn observing(&self) -> bool {
-        self.obs || self.trace_out.is_some() || self.metrics_out.is_some() || self.mpl_csv.is_some()
+        self.obs
+            || self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.mpl_csv.is_some()
+            || self.analyze_out.is_some()
     }
 }
 
@@ -110,7 +124,10 @@ impl Default for Options {
             trace_out: None,
             metrics_out: None,
             mpl_csv: None,
+            analyze_out: None,
             faults: None,
+            policy_b: None,
+            seed_b: None,
         }
     }
 }
@@ -138,7 +155,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match verb.as_str() {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "curves" => return Ok(Command::Curves),
-        "run" | "compare" => {}
+        "run" | "compare" | "analyze" | "diff" => {}
         other => return Err(format!("unknown command {other:?}; try `pdpa help`")),
     }
 
@@ -200,19 +217,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--trace-out" => opts.trace_out = Some(value_of("--trace-out", &mut it)?),
             "--metrics-out" => opts.metrics_out = Some(value_of("--metrics-out", &mut it)?),
             "--mpl-csv" => opts.mpl_csv = Some(value_of("--mpl-csv", &mut it)?),
+            "--analyze-out" => opts.analyze_out = Some(value_of("--analyze-out", &mut it)?),
             "--faults" => opts.faults = Some(value_of("--faults", &mut it)?),
+            "--policy-b" => {
+                let v = value_of("--policy-b", &mut it)?;
+                opts.policy_b =
+                    Some(PolicyChoice::parse(&v).ok_or_else(|| format!("unknown policy {v:?}"))?);
+            }
+            "--seed-b" => {
+                let v = value_of("--seed-b", &mut it)?;
+                opts.seed_b = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed-b expects an integer, got {v:?}"))?,
+                );
+            }
             other => return Err(format!("unknown option {other:?}; try `pdpa help`")),
         }
     }
     if !workload_set {
         return Err("--workload is required".into());
     }
+    if verb != "diff" && (opts.policy_b.is_some() || opts.seed_b.is_some()) {
+        return Err("--policy-b/--seed-b are only meaningful for `pdpa diff`".into());
+    }
     match verb.as_str() {
-        "run" => {
+        "run" | "analyze" | "diff" => {
             if opts.policy.is_none() {
-                return Err("--policy is required for `pdpa run`".into());
+                return Err(format!("--policy is required for `pdpa {verb}`"));
             }
-            Ok(Command::Run(opts))
+            Ok(match verb.as_str() {
+                "run" => Command::Run(opts),
+                "analyze" => Command::Analyze(opts),
+                _ => Command::Diff(opts),
+            })
         }
         _ => Ok(Command::Compare(opts)),
     }
@@ -307,6 +344,46 @@ mod tests {
     fn compare_needs_only_workload() {
         let cmd = parse(&argv("compare --workload w4")).unwrap();
         assert!(matches!(cmd, Command::Compare(_)));
+    }
+
+    #[test]
+    fn analyze_parses_like_run() {
+        let cmd = parse(&argv(
+            "analyze --workload w1 --policy pdpa --analyze-out a.json",
+        ))
+        .unwrap();
+        let Command::Analyze(o) = cmd else {
+            panic!("expected Analyze")
+        };
+        assert_eq!(o.policy, Some(PolicyChoice::Pdpa));
+        assert_eq!(o.analyze_out.as_deref(), Some("a.json"));
+        assert!(o.observing());
+        assert!(parse(&argv("analyze --workload w1"))
+            .unwrap_err()
+            .contains("--policy"));
+    }
+
+    #[test]
+    fn diff_accepts_a_second_policy_and_seed() {
+        let cmd = parse(&argv(
+            "diff --workload w1 --policy pdpa --policy-b equip --seed-b 7",
+        ))
+        .unwrap();
+        let Command::Diff(o) = cmd else {
+            panic!("expected Diff")
+        };
+        assert_eq!(o.policy, Some(PolicyChoice::Pdpa));
+        assert_eq!(o.policy_b, Some(PolicyChoice::Equipartition));
+        assert_eq!(o.seed_b, Some(7));
+        // The B-side flags are rejected everywhere else.
+        assert!(
+            parse(&argv("run --workload w1 --policy pdpa --policy-b equip"))
+                .unwrap_err()
+                .contains("--policy-b")
+        );
+        assert!(parse(&argv("diff --workload w1 --policy pdpa --seed-b x"))
+            .unwrap_err()
+            .contains("--seed-b"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt::Write as _;
 
+use pdpa_analyze::{analysis_json, RunAnalysis, RunDiff};
 use pdpa_apps::{paper_app, AppClass};
 use pdpa_core::Pdpa;
 use pdpa_engine::{Engine, EngineConfig, RunResult};
@@ -30,6 +31,8 @@ pub fn dispatch(command: Command) -> Result<String, String> {
         Command::Curves => Ok(curves()),
         Command::Run(opts) => run_one(&opts),
         Command::Compare(opts) => compare(&opts),
+        Command::Analyze(opts) => analyze(&opts),
+        Command::Diff(opts) => diff(&opts),
     }
 }
 
@@ -196,6 +199,7 @@ fn run_one(opts: &Options) -> Result<String, String> {
             let _ = writeln!(out, "\ndecision-event stream: {} events", events.len());
             for kind in [
                 "submit",
+                "dequeue",
                 "start",
                 "finish",
                 "iter",
@@ -232,7 +236,96 @@ fn run_one(opts: &Options) -> Result<String, String> {
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             let _ = writeln!(out, "\nMetrics JSON written to {path}");
         }
+        if let Some(path) = &opts.analyze_out {
+            let analyses: Vec<(String, RunAnalysis)> = runs
+                .iter()
+                .map(|(key, events)| (key.clone(), RunAnalysis::from_events(events)))
+                .collect();
+            std::fs::write(path, analysis_json(&analyses))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out, "\nRun analysis JSON written to {path}");
+        }
     }
+    Ok(out)
+}
+
+/// `pdpa analyze`: run one configuration recorded and print every derived
+/// metric (plus the JSON document under `--analyze-out`).
+fn analyze(opts: &Options) -> Result<String, String> {
+    let choice = opts.policy.expect("parser enforces --policy for analyze");
+    let mut recorder = RecordingObserver::new();
+    let result = {
+        let _scope = scope::enter(&format!("cli-{}", opts.workload));
+        execute_with(opts, choice, &mut recorder)?
+    };
+    let events = recorder.take_events();
+    let analysis = RunAnalysis::from_events(&events);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "analysis of {} on {} (load {:.0} %, seed {}, {} CPUs)\n",
+        result.policy,
+        opts.workload,
+        opts.load * 100.0,
+        opts.seed,
+        opts.cpus,
+    );
+    out.push_str(&analysis.render_text());
+    // Cross-check the replayed migration count against the engine's own
+    // Table-2 counter; a mismatch means the event stream lost information.
+    let engine_count = result.total_migrations();
+    let replayed = analysis.migrations.migrations();
+    if replayed != engine_count {
+        let _ = writeln!(
+            out,
+            "WARNING: replayed migrations ({replayed}) != engine count ({engine_count})"
+        );
+    }
+    if let Some(path) = &opts.analyze_out {
+        let key = format!("{}-{}", opts.workload, result.policy);
+        std::fs::write(path, analysis_json(&[(key, analysis)]))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "\nRun analysis JSON written to {path}");
+    }
+    Ok(out)
+}
+
+/// `pdpa diff`: record two runs (policy/seed vs `--policy-b`/`--seed-b`,
+/// defaulting to the same configuration) and report the first divergent
+/// event plus per-metric deltas.
+fn diff(opts: &Options) -> Result<String, String> {
+    let choice_a = opts.policy.expect("parser enforces --policy for diff");
+    let choice_b = opts.policy_b.unwrap_or(choice_a);
+    let opts_b = Options {
+        seed: opts.seed_b.unwrap_or(opts.seed),
+        ..opts.clone()
+    };
+
+    let mut rec_a = RecordingObserver::new();
+    let mut rec_b = RecordingObserver::new();
+    let (result_a, result_b) = {
+        let _scope = scope::enter(&format!("cli-{}", opts.workload));
+        (
+            execute_with(opts, choice_a, &mut rec_a)?,
+            execute_with(&opts_b, choice_b, &mut rec_b)?,
+        )
+    };
+    let events_a = rec_a.take_events();
+    let events_b = rec_b.take_events();
+    let label_a = format!("{}/seed{}", result_a.policy, opts.seed);
+    let label_b = format!("{}/seed{}", result_b.policy, opts_b.seed);
+
+    let run_diff = RunDiff::compare(&events_a, &events_b);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "diff of {label_a} vs {label_b} on {} (load {:.0} %, {} CPUs)\n",
+        opts.workload,
+        opts.load * 100.0,
+        opts.cpus,
+    );
+    out.push_str(&run_diff.render(&label_a, &label_b));
     Ok(out)
 }
 
@@ -424,5 +517,51 @@ mod tests {
     fn small_machine_run_works() {
         let out = run_cli("run --workload w3 --policy pdpa --load 0.3 --cpus 8").unwrap();
         assert!(out.contains("8 CPUs"));
+    }
+
+    #[test]
+    fn analyze_reports_derived_metrics() {
+        let out = run_cli("analyze --workload w3 --policy pdpa --load 0.6").unwrap();
+        assert!(out.contains("analysis of PDPA on w3"), "header in:\n{out}");
+        assert!(out.contains("time in state:"), "no states in:\n{out}");
+        assert!(out.contains("migrations"), "no migrations in:\n{out}");
+        assert!(out.contains("mpl mean"), "no MPL stats in:\n{out}");
+        // The replayed migration count must agree with the engine's.
+        assert!(!out.contains("WARNING"), "consistency warning in:\n{out}");
+    }
+
+    #[test]
+    fn analyze_writes_the_json_document() {
+        let dir = std::env::temp_dir().join("pdpa-cli-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.json");
+        let cmd = format!(
+            "analyze --workload w3 --policy equip --load 0.6 --analyze-out {}",
+            path.display()
+        );
+        run_cli(&cmd).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"pdpa-analyze/v1\""));
+        assert!(text.contains("w3-Equipartition"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_of_the_same_config_reports_zero_divergence() {
+        let out = run_cli("diff --workload w3 --policy pdpa --load 0.6").unwrap();
+        assert!(
+            out.contains("streams identical"),
+            "same seeded config diverged:\n{out}"
+        );
+    }
+
+    #[test]
+    fn diff_of_two_policies_reports_the_first_divergence() {
+        let out = run_cli("diff --workload w3 --policy pdpa --policy-b equip --load 0.6").unwrap();
+        assert!(
+            out.contains("first divergence at event #"),
+            "no divergence reported:\n{out}"
+        );
+        assert!(out.contains("metric deltas"), "no deltas in:\n{out}");
     }
 }

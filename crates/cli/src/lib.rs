@@ -5,6 +5,8 @@
 //! ```text
 //! pdpa run     --workload w3 --policy pdpa --load 0.8 [options]
 //! pdpa compare --workload w3 --load 0.8 [options]
+//! pdpa analyze --workload w3 --policy pdpa [options]
+//! pdpa diff    --workload w3 --policy pdpa --policy-b equip [options]
 //! pdpa curves
 //! ```
 //!
@@ -38,13 +40,21 @@ USAGE:
                [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
                [--backfill] [--trace] [--ascii] [--prv-out <file>] [--swf-log <file>]
                [--obs] [--trace-out <file>] [--metrics-out <file>] [--mpl-csv <file>]
-               [--faults <plan>]
+               [--analyze-out <file>] [--faults <plan>]
   pdpa compare --workload <w1|w2|w3|w4> [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
+  pdpa analyze --workload <w1|w2|w3|w4> --policy <name>
+               [--load <frac>] [--seed <n>] [--cpus <n>] [--analyze-out <file>] [run options]
+  pdpa diff    --workload <w1|w2|w3|w4> --policy <name>
+               [--policy-b <name>] [--seed-b <n>] [--load <frac>] [--seed <n>] [--cpus <n>]
   pdpa curves
 
 COMMANDS:
   run       execute one workload under one policy and print per-class metrics
   compare   execute one workload under every policy and print the comparison
+  analyze   record one run and print derived analytics: per-job timelines,
+            PDPA time-in-state, migration accounting, CPU/MPL series
+  diff      record two runs and report the first divergent event (sim_time,
+            seq, kind) plus per-metric deltas
   curves    print the calibrated Fig. 3 speedup curves
 
 OPTIONS:
@@ -64,6 +74,9 @@ OPTIONS:
                (open in Perfetto or chrome://tracing)
   --metrics-out  write the metrics-registry snapshot as JSON
   --mpl-csv    write the multiprogramming-level history as CSV (Fig. 8 data)
+  --analyze-out  write the pdpa-analyze/v1 analysis document as JSON
+  --policy-b   diff only: the second run's policy (defaults to --policy)
+  --seed-b     diff only: the second run's seed (defaults to --seed)
   --faults     inject a deterministic fault plan, e.g.
                \"cpu3@120:recover@300;job0@70;retry=2,backoff=30\" or \"mtbf=4000\"
 ";

@@ -616,6 +616,11 @@ impl<'a> Sim<'a> {
                 return;
             };
             assert!(self.qs.start_specific(job), "picked job is waiting");
+            if self.obs_on {
+                // The queue → start hand-off: queue-wait time is the span
+                // from submit (or a retry's backoff expiry) to this event.
+                self.publish(ObsEvent::JobDequeued { job });
+            }
             let spec = self.qs.spec(job).app.clone();
             let request = spec.request;
             let analyzer = SelfAnalyzer::new(self.config.analyzer);

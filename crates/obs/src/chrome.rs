@@ -216,10 +216,12 @@ pub fn chrome_trace(runs: &[(String, Vec<TimedEvent>)]) -> String {
                 }
                 // High-volume / low-value on a decision timeline: the CPU
                 // map is pdpa-trace's job, iteration samples would dwarf
-                // everything else.
+                // everything else, and queue-level events (submit/dequeue)
+                // are pdpa-analyze's raw material.
                 ObsEvent::CpuAssigned { .. }
                 | ObsEvent::IterationMeasured { .. }
-                | ObsEvent::JobSubmitted { .. } => {}
+                | ObsEvent::JobSubmitted { .. }
+                | ObsEvent::JobDequeued { .. } => {}
             }
         }
         // Close any span still open at the run's end so B/E always pair.

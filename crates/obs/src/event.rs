@@ -36,6 +36,14 @@ pub enum ObsEvent {
         /// The job.
         job: JobId,
     },
+    /// The queuing system handed a waiting job to the engine: it left the
+    /// queue and is about to start. The gap from [`ObsEvent::JobSubmitted`]
+    /// (or from a retry's backoff expiry) to this instant is the job's
+    /// queue wait, measurable from the stream even under faults/retries.
+    JobDequeued {
+        /// The job.
+        job: JobId,
+    },
     /// The queuing system started a job (it is running, allocation pending).
     JobStarted {
         /// The job.
@@ -167,6 +175,7 @@ impl ObsEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             ObsEvent::JobSubmitted { .. } => "submit",
+            ObsEvent::JobDequeued { .. } => "dequeue",
             ObsEvent::JobStarted { .. } => "start",
             ObsEvent::JobFinished { .. } => "finish",
             ObsEvent::IterationMeasured { .. } => "iter",
@@ -210,6 +219,7 @@ impl TimedEvent {
         let seq = self.seq;
         let body = match &self.event {
             ObsEvent::JobSubmitted { job } => format!("job={}", job.0),
+            ObsEvent::JobDequeued { job } => format!("job={}", job.0),
             ObsEvent::JobStarted { job, request } => {
                 format!("job={} request={}", job.0, request)
             }
@@ -286,6 +296,259 @@ impl TimedEvent {
             }
         };
         format!("{t} {seq} {} {body}", self.event.kind())
+    }
+
+    /// Parses a line produced by [`TimedEvent::to_line`] back into the
+    /// event. Together they form an exact round trip: floats re-parse to
+    /// the same bits (shortest formatting), and state names are interned
+    /// so `&'static str` fields compare equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the offending token on malformed input.
+    pub fn parse_line(line: &str) -> Result<TimedEvent, String> {
+        parse::line(line)
+    }
+}
+
+/// The [`TimedEvent::to_line`] inverse.
+mod parse {
+    use super::{DecisionTrigger, ObsEvent, TimedEvent};
+    use pdpa_sim::{CpuId, JobId, SimTime};
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Returns a `'static` copy of `s`. PDPA state names come from a tiny
+    /// fixed vocabulary, so the common case is a table hit; genuinely new
+    /// names are leaked once and reused from then on.
+    fn intern(s: &str) -> &'static str {
+        for known in [
+            "NO_REF",
+            "INC",
+            "DEC",
+            "STABLE",
+            "arrival",
+            "report",
+            "completion",
+            "fault",
+        ] {
+            if s == known {
+                return known;
+            }
+        }
+        static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+        let mut pool = POOL
+            .get_or_init(|| Mutex::new(BTreeSet::new()))
+            .lock()
+            .expect("intern pool poisoned");
+        if let Some(existing) = pool.get(s) {
+            return existing;
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        pool.insert(leaked);
+        leaked
+    }
+
+    fn trigger(label: &str) -> Result<DecisionTrigger, String> {
+        match label {
+            "arrival" => Ok(DecisionTrigger::Arrival),
+            "report" => Ok(DecisionTrigger::Report),
+            "completion" => Ok(DecisionTrigger::Completion),
+            "fault" => Ok(DecisionTrigger::Fault),
+            other => Err(format!("unknown decision trigger {other:?}")),
+        }
+    }
+
+    /// Splits a `key=value` token, checking the key.
+    fn kv<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+        let token = token.ok_or_else(|| format!("missing field {key}"))?;
+        let (k, v) = token
+            .split_once('=')
+            .ok_or_else(|| format!("malformed field {token:?}"))?;
+        if k != key {
+            return Err(format!("expected field {key}, got {k}"));
+        }
+        Ok(v)
+    }
+
+    fn num<T: std::str::FromStr>(v: &str, key: &str) -> Result<T, String> {
+        v.parse()
+            .map_err(|_| format!("field {key} has unparseable value {v:?}"))
+    }
+
+    /// Undoes Rust's `{:?}` string escaping (the `ExperimentFailed`
+    /// message encoding).
+    fn unquote(v: &str) -> Result<String, String> {
+        let inner = v
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("message {v:?} is not a quoted string"))?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('\'') => out.push('\''),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some('u') => {
+                    let hex: String = chars
+                        .by_ref()
+                        .skip(1) // the `{`
+                        .take_while(|&c| c != '}')
+                        .collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape in {v:?}"))?;
+                    out.push(
+                        char::from_u32(code).ok_or_else(|| format!("bad \\u escape in {v:?}"))?,
+                    );
+                }
+                other => return Err(format!("bad escape \\{other:?} in {v:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn job(v: &str) -> Result<JobId, String> {
+        Ok(JobId(num(v, "job")?))
+    }
+
+    fn cpu(v: &str) -> Result<CpuId, String> {
+        Ok(CpuId(num(v, "cpu")?))
+    }
+
+    pub(super) fn line(line: &str) -> Result<TimedEvent, String> {
+        let mut tok = line.split(' ');
+        let at: f64 = num(tok.next().ok_or("empty line")?, "time")?;
+        if !(at.is_finite() && at >= 0.0) {
+            return Err(format!("time {at} out of range"));
+        }
+        let seq: u64 = num(tok.next().ok_or("line has no sequence number")?, "seq")?;
+        let kind = tok.next().ok_or("line has no event kind")?;
+        let event = match kind {
+            "submit" => ObsEvent::JobSubmitted {
+                job: job(kv(tok.next(), "job")?)?,
+            },
+            "dequeue" => ObsEvent::JobDequeued {
+                job: job(kv(tok.next(), "job")?)?,
+            },
+            "start" => ObsEvent::JobStarted {
+                job: job(kv(tok.next(), "job")?)?,
+                request: num(kv(tok.next(), "request")?, "request")?,
+            },
+            "finish" => ObsEvent::JobFinished {
+                job: job(kv(tok.next(), "job")?)?,
+            },
+            "iter" => ObsEvent::IterationMeasured {
+                job: job(kv(tok.next(), "job")?)?,
+                procs: num(kv(tok.next(), "procs")?, "procs")?,
+                iter_secs: num(kv(tok.next(), "iter_secs")?, "iter_secs")?,
+                speedup: num(kv(tok.next(), "speedup")?, "speedup")?,
+                efficiency: num(kv(tok.next(), "efficiency")?, "efficiency")?,
+                estimated: num(kv(tok.next(), "estimated")?, "estimated")?,
+            },
+            "decision" => {
+                let trigger = trigger(kv(tok.next(), "trigger")?)?;
+                let job = job(kv(tok.next(), "job")?)?;
+                let from_alloc = num(kv(tok.next(), "from")?, "from")?;
+                let to_alloc = num(kv(tok.next(), "to")?, "to")?;
+                let transition = match tok.next() {
+                    None => None,
+                    Some(t) => {
+                        let v = kv(Some(t), "transition")?;
+                        let (from, to) = v
+                            .split_once("->")
+                            .ok_or_else(|| format!("malformed transition {v:?}"))?;
+                        Some((intern(from), intern(to)))
+                    }
+                };
+                ObsEvent::Decision {
+                    trigger,
+                    job,
+                    from_alloc,
+                    to_alloc,
+                    transition,
+                }
+            }
+            "state" => ObsEvent::StateChanged {
+                job: job(kv(tok.next(), "job")?)?,
+                from: intern(kv(tok.next(), "from")?),
+                to: intern(kv(tok.next(), "to")?),
+            },
+            "mpl" => ObsEvent::MplChanged {
+                running: num(kv(tok.next(), "running")?, "running")?,
+                total_alloc: num(kv(tok.next(), "total_alloc")?, "total_alloc")?,
+            },
+            "cost" => ObsEvent::ReallocCost {
+                job: job(kv(tok.next(), "job")?)?,
+                penalty_secs: num(kv(tok.next(), "penalty_secs")?, "penalty_secs")?,
+                gained: num(kv(tok.next(), "gained")?, "gained")?,
+                lost: num(kv(tok.next(), "lost")?, "lost")?,
+            },
+            "cpu" => {
+                let cpu = cpu(kv(tok.next(), "cpu")?)?;
+                let occupant = kv(tok.next(), "job")?;
+                let job = if occupant == "idle" {
+                    None
+                } else {
+                    Some(job(occupant)?)
+                };
+                ObsEvent::CpuAssigned { cpu, job }
+            }
+            "cpu_failed" => ObsEvent::CpuFailed {
+                cpu: cpu(kv(tok.next(), "cpu")?)?,
+            },
+            "cpu_recovered" => ObsEvent::CpuRecovered {
+                cpu: cpu(kv(tok.next(), "cpu")?)?,
+            },
+            "degraded" => ObsEvent::DegradedCapacity {
+                alive: num(kv(tok.next(), "alive")?, "alive")?,
+                total: num(kv(tok.next(), "total")?, "total")?,
+            },
+            "retry" => ObsEvent::JobRetried {
+                job: job(kv(tok.next(), "job")?)?,
+                attempt: num(kv(tok.next(), "attempt")?, "attempt")?,
+                backoff_secs: num(kv(tok.next(), "backoff_secs")?, "backoff_secs")?,
+            },
+            "job_failed" => ObsEvent::JobFailed {
+                job: job(kv(tok.next(), "job")?)?,
+                attempts: num(kv(tok.next(), "attempts")?, "attempts")?,
+            },
+            "failed" => {
+                // The message is debug-quoted and may contain spaces, so the
+                // body is split on the ` message=` marker, not on spaces.
+                let body = tok.collect::<Vec<_>>().join(" ");
+                let (name_part, message_part) = body
+                    .split_once(" message=")
+                    .ok_or_else(|| format!("malformed failure body {body:?}"))?;
+                // The whole tail was the body; return directly, there can
+                // be no trailing tokens left to check.
+                return Ok(TimedEvent {
+                    at: SimTime::from_secs(at),
+                    seq,
+                    event: ObsEvent::ExperimentFailed {
+                        name: kv(Some(name_part), "name")?.to_string(),
+                        message: unquote(message_part)?,
+                    },
+                });
+            }
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        if tok.next().is_some() {
+            return Err(format!("trailing tokens on {kind} line"));
+        }
+        Ok(TimedEvent {
+            at: SimTime::from_secs(at),
+            seq,
+            event,
+        })
     }
 }
 

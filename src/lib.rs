@@ -27,6 +27,9 @@
 //! - [`trace`] (`pdpa-trace`) — Paraver-style tracing and Table-2 stats;
 //! - [`obs`] (`pdpa-obs`) — structured observability: the decision-event
 //!   bus, the metrics registry, and the Chrome-trace/CSV/JSON exporters;
+//! - [`analyze`] (`pdpa-analyze`) — trace analytics over recorded event
+//!   streams: per-job timelines, PDPA time-in-state, migration accounting,
+//!   CPU/MPL series, and run diffs;
 //! - [`metrics`] (`pdpa-metrics`) — response/execution aggregation;
 //! - [`nthlib`] (`pdpa-nthlib`) — a malleable runtime on real threads;
 //! - [`hybrid`] (`pdpa-hybrid`) — MPI+OpenMP hybrid applications (§6
@@ -52,6 +55,7 @@
 //! );
 //! ```
 
+pub use pdpa_analyze as analyze;
 pub use pdpa_apps as apps;
 pub use pdpa_cluster as cluster;
 pub use pdpa_core as core;
