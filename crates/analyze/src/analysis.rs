@@ -110,6 +110,16 @@ impl RunAnalysis {
             self.timeline.avg_response_secs,
         );
         push_num(&mut out, "avg_slowdown", self.timeline.avg_slowdown);
+        if let Some(d) = self.timeline.slowdown_dist {
+            let _ = write!(
+                out,
+                "\"slowdown_dist\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
+                fmt_f64(d.p50),
+                fmt_f64(d.p90),
+                fmt_f64(d.p99),
+                fmt_f64(d.max)
+            );
+        }
         out.push_str("\"time_in_state_secs\":{");
         let mut first = true;
         for (state, secs) in &self.states.secs {
@@ -185,6 +195,13 @@ impl RunAnalysis {
             self.timeline.avg_response_secs,
             self.timeline.avg_slowdown
         );
+        if let Some(d) = self.timeline.slowdown_dist {
+            let _ = writeln!(
+                out,
+                "slowdown dist p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}",
+                d.p50, d.p90, d.p99, d.max
+            );
+        }
         if !self.states.secs.is_empty() {
             let _ = write!(out, "time in state:");
             for (state, secs) in &self.states.secs {

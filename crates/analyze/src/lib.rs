@@ -38,4 +38,4 @@ pub use diff::{Divergence, RunDiff};
 pub use series::{CpuSeries, MplStats};
 pub use stability::MigrationStats;
 pub use states::StateBreakdown;
-pub use timeline::{JobTimeline, TimelineStats};
+pub use timeline::{JobTimeline, SlowdownDist, TimelineStats};

@@ -71,6 +71,46 @@ pub struct TimelineStats {
     pub avg_response_secs: f64,
     /// Mean slowdown over completed jobs.
     pub avg_slowdown: f64,
+    /// Distribution of per-job slowdowns over completed jobs, when any
+    /// completed. The headline number for trace replays: means hide the
+    /// tail jobs an allocation policy starves.
+    pub slowdown_dist: Option<SlowdownDist>,
+}
+
+/// Quantiles of the per-job slowdown distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SlowdownDist {
+    /// Median slowdown.
+    pub p50: f64,
+    /// 90th-percentile slowdown.
+    pub p90: f64,
+    /// 99th-percentile slowdown.
+    pub p99: f64,
+    /// Worst per-job slowdown.
+    pub max: f64,
+}
+
+impl SlowdownDist {
+    /// Computes the quantiles from an unordered sample; `None` when empty.
+    /// Quantiles use the nearest-rank method over the sorted sample, so
+    /// every reported value is an actually observed slowdown.
+    pub fn from_samples(samples: &[f64]) -> Option<SlowdownDist> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("slowdowns are finite"));
+        let rank = |q: f64| {
+            let idx = (q * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Some(SlowdownDist {
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
 }
 
 /// Replays a stream into per-job timelines.
@@ -139,8 +179,7 @@ pub fn summarize(jobs: &BTreeMap<JobId, JobTimeline>) -> TimelineStats {
     };
     let mut wait_sum = 0.0;
     let mut response_sum = 0.0;
-    let mut slowdown_sum = 0.0;
-    let mut slowdown_n = 0usize;
+    let mut slowdowns = Vec::new();
     for t in jobs.values() {
         wait_sum += t.queue_wait_secs;
         s.retries += u64::from(t.retries);
@@ -154,8 +193,7 @@ pub fn summarize(jobs: &BTreeMap<JobId, JobTimeline>) -> TimelineStats {
             response_sum += r;
         }
         if let Some(sd) = t.slowdown() {
-            slowdown_sum += sd;
-            slowdown_n += 1;
+            slowdowns.push(sd);
         }
     }
     if s.jobs > 0 {
@@ -164,9 +202,10 @@ pub fn summarize(jobs: &BTreeMap<JobId, JobTimeline>) -> TimelineStats {
     if s.finished > 0 {
         s.avg_response_secs = response_sum / s.finished as f64;
     }
-    if slowdown_n > 0 {
-        s.avg_slowdown = slowdown_sum / slowdown_n as f64;
+    if !slowdowns.is_empty() {
+        s.avg_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
     }
+    s.slowdown_dist = SlowdownDist::from_samples(&slowdowns);
     s
 }
 
@@ -258,5 +297,53 @@ mod tests {
         let stats = summarize(&jobs);
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.finished, 0);
+        assert_eq!(stats.slowdown_dist, None, "no completed jobs");
+    }
+
+    #[test]
+    fn slowdown_quantiles_use_nearest_rank() {
+        // 100 samples: 1.0, 2.0, …, 100.0.
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let d = SlowdownDist::from_samples(&samples).unwrap();
+        assert_eq!(d.p50, 50.0);
+        assert_eq!(d.p90, 90.0);
+        assert_eq!(d.p99, 99.0);
+        assert_eq!(d.max, 100.0);
+        // A single sample is every quantile at once.
+        let one = SlowdownDist::from_samples(&[3.5]).unwrap();
+        assert_eq!((one.p50, one.p90, one.p99, one.max), (3.5, 3.5, 3.5, 3.5));
+        assert_eq!(SlowdownDist::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn summarize_reports_the_slowdown_distribution() {
+        let mut stream = Vec::new();
+        // Five jobs, all 10 s of execution, with waits 0,10,20,30,40 s →
+        // slowdowns 1,2,3,4,5.
+        for i in 0..5u32 {
+            let j = JobId(i);
+            let wait = f64::from(i) * 10.0;
+            stream.push(te(0.0, u64::from(i) * 4, ObsEvent::JobSubmitted { job: j }));
+            stream.push(te(
+                wait,
+                u64::from(i) * 4 + 1,
+                ObsEvent::JobDequeued { job: j },
+            ));
+            stream.push(te(
+                wait,
+                u64::from(i) * 4 + 2,
+                ObsEvent::JobStarted { job: j, request: 1 },
+            ));
+            stream.push(te(
+                wait + 10.0,
+                u64::from(i) * 4 + 3,
+                ObsEvent::JobFinished { job: j },
+            ));
+        }
+        let stats = summarize(&job_timelines(&stream));
+        let d = stats.slowdown_dist.expect("five completed jobs");
+        assert_eq!(d.p50, 3.0);
+        assert_eq!(d.max, 5.0);
+        assert!((stats.avg_slowdown - 3.0).abs() < 1e-12);
     }
 }

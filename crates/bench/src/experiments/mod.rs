@@ -20,6 +20,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fragmentation;
 pub mod hybrid;
+pub mod scale;
 pub mod sensitivity;
 pub mod sharing;
 pub mod table1;
@@ -136,6 +137,11 @@ pub fn registry() -> Vec<Experiment> {
             title: "Graceful degradation under injected faults (extension)",
             run: chaos::run,
         },
+        Experiment {
+            name: "scale",
+            title: "Large-scale SWF trace replay (extension)",
+            run: scale::run,
+        },
     ]
 }
 
@@ -194,8 +200,8 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
         assert_eq!(names[0], "fig3");
         assert_eq!(names[2], "fig4");
-        assert_eq!(names.last(), Some(&"chaos"));
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.last(), Some(&"scale"));
+        assert_eq!(names.len(), 20);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -181,19 +181,7 @@ fn run_guarded(e: &Experiment) -> Outcome {
     }
 }
 
-/// The abbreviated revision stamped into trajectory entries. Outside a
-/// git checkout (or without git on PATH) the entry reads `unknown`.
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
+use crate::trajectory::git_rev;
 
 /// Writes an export file, reporting the path on stderr like the CLI does.
 fn write_export(path: &str, what: &str, contents: &str) -> Result<(), ExitCode> {

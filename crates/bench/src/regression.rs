@@ -39,7 +39,9 @@ pub struct ModeComparison {
 /// The whole gate outcome.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct GateReport {
-    /// Per-mode comparisons, in `parallel`, `sequential` order.
+    /// Per-mode comparisons: `parallel` and `sequential` first (when
+    /// present), then any other modes — `replay-*` etc. — in order of
+    /// first appearance in the current trajectory.
     pub comparisons: Vec<ModeComparison>,
     /// Modes present in the trajectory but without a predecessor to
     /// compare against.
@@ -91,9 +93,29 @@ impl GateReport {
     }
 }
 
+/// Every mode present in the trajectory, harness modes first so gate
+/// output stays stable, then the rest (`replay-*` and future modes) in
+/// order of first appearance.
+fn modes_of(report: &BenchReport) -> Vec<String> {
+    let mut modes: Vec<String> = ["parallel", "sequential"]
+        .iter()
+        .filter(|m| report.trajectory.iter().any(|e| &e.mode == *m))
+        .map(|m| (*m).to_string())
+        .collect();
+    for e in &report.trajectory {
+        if !modes.contains(&e.mode) {
+            modes.push(e.mode.clone());
+        }
+    }
+    modes
+}
+
 /// Compares the latest entry of each mode in `current` against the latest
 /// earlier entry of the same mode in `baseline`. When both documents are
 /// the same file, that pairs each mode's newest run with its previous one.
+/// Modes are discovered from the trajectory itself, so every producer that
+/// appends entries — the harness's `parallel`/`sequential` runs and the
+/// CLI's `replay-<policy>` runs alike — is gated.
 pub fn compare_reports(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -101,7 +123,8 @@ pub fn compare_reports(
 ) -> GateReport {
     let same_doc = std::ptr::eq(baseline, current) || baseline.trajectory == current.trajectory;
     let mut report = GateReport::default();
-    for mode in ["parallel", "sequential"] {
+    for mode in modes_of(current) {
+        let mode = mode.as_str();
         let newest = current.trajectory.iter().rev().find(|e| e.mode == mode);
         let Some(newest) = newest else { continue };
         let bar = if same_doc {
@@ -253,6 +276,27 @@ mod tests {
         // And a fast branch passes.
         let fast = doc(vec![entry("parallel", "branch", 1.5, 13_000.0)]);
         assert!(!compare_reports(&old, &fast, 0.10).regressed());
+    }
+
+    #[test]
+    fn replay_modes_are_discovered_and_gated() {
+        // A replay mode the gate was never taught about by name: it must
+        // still be paired and can still fail the gate.
+        let d = doc(vec![
+            entry("parallel", "old", 2.0, 10_000.0),
+            entry("replay-pdpa", "old", 3.0, 900_000.0),
+            entry("parallel", "new", 2.0, 10_100.0),
+            entry("replay-pdpa", "new", 8.0, 330_000.0),
+            entry("replay-equip", "only", 3.1, 880_000.0),
+        ]);
+        let gate = compare_reports(&d, &d, 0.10);
+        let modes: Vec<&str> = gate.comparisons.iter().map(|c| c.mode.as_str()).collect();
+        // Harness modes render first, discovered modes after.
+        assert_eq!(modes, vec!["parallel", "replay-pdpa"]);
+        assert!(gate.regressed(), "the replay slowdown trips the gate");
+        assert!(!gate.comparisons[0].regressed);
+        assert!(gate.comparisons[1].regressed);
+        assert_eq!(gate.uncompared, vec!["replay-equip".to_string()]);
     }
 
     #[test]

@@ -281,6 +281,34 @@ impl BenchReport {
         }
         doc.to_json()
     }
+
+    /// Appends one trajectory entry for an arbitrary mode (the harness's
+    /// two fixed modes use [`merge_into`](Self::merge_into)) to a document
+    /// on disk and returns the merged text. This is how trace replays
+    /// (`pdpa replay --json`, mode `replay-<policy>`) enter the same
+    /// history the regression gate reads; the `parallel`/`sequential` mode
+    /// blocks are preserved untouched.
+    pub fn append_entry(existing: Option<&str>, entry: TrajectoryEntry) -> String {
+        let mut doc = existing
+            .and_then(BenchReport::from_json)
+            .unwrap_or_default();
+        doc.trajectory.push(entry);
+        doc.to_json()
+    }
+}
+
+/// Abbreviated git revision of the working tree, or `unknown` outside a
+/// repository — the provenance stamp on every trajectory entry.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 #[cfg(test)]

@@ -13,10 +13,57 @@ pub enum Command {
     Analyze(Options),
     /// `pdpa diff` — two recorded runs, first divergence + metric deltas.
     Diff(Options),
+    /// `pdpa replay` — replay an SWF trace file through the engine.
+    Replay(ReplayOptions),
     /// `pdpa curves` — print the Fig. 3 speedup curves.
     Curves,
     /// `pdpa help` / `--help`.
     Help,
+}
+
+/// Options of `pdpa replay`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayOptions {
+    /// Path of the SWF trace to replay.
+    pub trace_path: String,
+    /// Scheduling policy to replay under.
+    pub policy: PolicyChoice,
+    /// Rescale the trace to this demand fraction (omitted: replay the
+    /// trace's intrinsic arrival rate).
+    pub load: Option<f64>,
+    /// Machine size to replay on; requests are remapped from the trace's
+    /// recorded machine size.
+    pub cpus: usize,
+    /// Replay only the submissions inside `[start, end)` seconds.
+    pub window: Option<(f64, f64)>,
+    /// Engine seed (timing noise).
+    pub seed: u64,
+    /// Append a `replay-<policy>` entry to the `BENCH_pdpa.json`
+    /// trajectory.
+    pub json: bool,
+    /// Print a decision-event summary after the metrics.
+    pub obs: bool,
+    /// Write a Chrome `trace_event` JSON of the decision-event stream here.
+    pub trace_out: Option<String>,
+    /// Write the `pdpa-analyze/v1` analysis document here.
+    pub analyze_out: Option<String>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            trace_path: String::new(),
+            policy: PolicyChoice::Pdpa,
+            load: None,
+            cpus: 60,
+            window: None,
+            seed: 42,
+            json: false,
+            obs: false,
+            trace_out: None,
+            analyze_out: None,
+        }
+    }
 }
 
 /// Scheduling policies selectable from the command line.
@@ -47,6 +94,18 @@ impl PolicyChoice {
             "rigid" => Some(PolicyChoice::Rigid),
             "gang" => Some(PolicyChoice::Gang),
             _ => None,
+        }
+    }
+
+    /// Short stable identifier used in `replay-<slug>` trajectory modes.
+    pub fn slug(self) -> &'static str {
+        match self {
+            PolicyChoice::Pdpa => "pdpa",
+            PolicyChoice::Equipartition => "equip",
+            PolicyChoice::EqualEfficiency => "equal-eff",
+            PolicyChoice::Irix => "irix",
+            PolicyChoice::Rigid => "rigid",
+            PolicyChoice::Gang => "gang",
         }
     }
 }
@@ -155,6 +214,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match verb.as_str() {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "curves" => return Ok(Command::Curves),
+        "replay" => return parse_replay(&mut it),
         "run" | "compare" | "analyze" | "diff" => {}
         other => return Err(format!("unknown command {other:?}; try `pdpa help`")),
     }
@@ -253,6 +313,96 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         _ => Ok(Command::Compare(opts)),
     }
+}
+
+/// Parses `pdpa replay <trace.swf> [flags]`.
+fn parse_replay(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Result<Command, String> {
+    let mut opts = ReplayOptions::default();
+    let mut policy_set = false;
+    let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--policy" => {
+                let v = value_of("--policy", it)?;
+                opts.policy =
+                    PolicyChoice::parse(&v).ok_or_else(|| format!("unknown policy {v:?}"))?;
+                policy_set = true;
+            }
+            "--load" => {
+                let v = value_of("--load", it)?;
+                let load = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--load expects a number, got {v:?}"))?;
+                if !(load > 0.0 && load <= 2.0) {
+                    return Err(format!("--load {v} out of range (0, 2]"));
+                }
+                opts.load = Some(load);
+            }
+            "--cpus" => {
+                let v = value_of("--cpus", it)?;
+                opts.cpus = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cpus expects an integer, got {v:?}"))?;
+                if opts.cpus == 0 {
+                    return Err("--cpus must be at least 1".into());
+                }
+            }
+            "--window" => {
+                let v = value_of("--window", it)?;
+                opts.window = Some(parse_window(&v)?);
+            }
+            "--seed" => {
+                let v = value_of("--seed", it)?;
+                opts.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+            }
+            "--json" => opts.json = true,
+            "--obs" => opts.obs = true,
+            "--trace-out" => opts.trace_out = Some(value_of("--trace-out", it)?),
+            "--analyze-out" => opts.analyze_out = Some(value_of("--analyze-out", it)?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}; try `pdpa help`"));
+            }
+            path => {
+                if !opts.trace_path.is_empty() {
+                    return Err(format!(
+                        "replay takes one trace path; got {:?} and {path:?}",
+                        opts.trace_path
+                    ));
+                }
+                opts.trace_path = path.to_string();
+            }
+        }
+    }
+    if opts.trace_path.is_empty() {
+        return Err("replay needs a trace path: `pdpa replay <trace.swf> --policy <p>`".into());
+    }
+    if !policy_set {
+        return Err("--policy is required for `pdpa replay`".into());
+    }
+    Ok(Command::Replay(opts))
+}
+
+/// Parses a `--window A:B` value into a `[start, end)` pair of seconds.
+fn parse_window(s: &str) -> Result<(f64, f64), String> {
+    let (a, b) = s
+        .split_once(':')
+        .ok_or_else(|| format!("--window expects START:END, got {s:?}"))?;
+    let from = a
+        .parse::<f64>()
+        .map_err(|_| format!("--window start is not a number: {a:?}"))?;
+    let to = b
+        .parse::<f64>()
+        .map_err(|_| format!("--window end is not a number: {b:?}"))?;
+    if !from.is_finite() || !to.is_finite() || from < 0.0 || to <= from {
+        return Err(format!("--window {s} must satisfy 0 <= START < END"));
+    }
+    Ok((from, to))
 }
 
 #[cfg(test)]
@@ -397,6 +547,82 @@ mod tests {
             Some(PolicyChoice::Equipartition)
         );
         assert_eq!(PolicyChoice::parse("nonesuch"), None);
+    }
+
+    #[test]
+    fn replay_full_invocation() {
+        let cmd = parse(&argv(
+            "replay trace.swf --policy equip --load 0.9 --cpus 128 \
+             --window 100:5000 --seed 9 --json --obs --analyze-out a.json \
+             --trace-out t.json",
+        ))
+        .unwrap();
+        let Command::Replay(o) = cmd else {
+            panic!("expected Replay")
+        };
+        assert_eq!(o.trace_path, "trace.swf");
+        assert_eq!(o.policy, PolicyChoice::Equipartition);
+        assert_eq!(o.load, Some(0.9));
+        assert_eq!(o.cpus, 128);
+        assert_eq!(o.window, Some((100.0, 5000.0)));
+        assert_eq!(o.seed, 9);
+        assert!(o.json && o.obs);
+        assert_eq!(o.analyze_out.as_deref(), Some("a.json"));
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn replay_defaults_and_flag_order() {
+        // The trace path may come after the flags.
+        let cmd = parse(&argv("replay --policy pdpa trace.swf")).unwrap();
+        let Command::Replay(o) = cmd else {
+            panic!("expected Replay")
+        };
+        assert_eq!(o.trace_path, "trace.swf");
+        assert_eq!(o.policy, PolicyChoice::Pdpa);
+        assert_eq!(o.load, None);
+        assert_eq!(o.cpus, 60);
+        assert_eq!(o.window, None);
+        assert_eq!(o.seed, 42);
+        assert!(!o.json && !o.obs);
+    }
+
+    #[test]
+    fn replay_requires_trace_and_policy() {
+        assert!(parse(&argv("replay --policy pdpa"))
+            .unwrap_err()
+            .contains("trace path"));
+        assert!(parse(&argv("replay trace.swf"))
+            .unwrap_err()
+            .contains("--policy"));
+        assert!(parse(&argv("replay a.swf b.swf --policy pdpa"))
+            .unwrap_err()
+            .contains("one trace path"));
+    }
+
+    #[test]
+    fn replay_window_diagnostics() {
+        assert!(parse(&argv("replay t.swf --policy pdpa --window 100"))
+            .unwrap_err()
+            .contains("START:END"));
+        assert!(parse(&argv("replay t.swf --policy pdpa --window x:5"))
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(parse(&argv("replay t.swf --policy pdpa --window 9:4"))
+            .unwrap_err()
+            .contains("START < END"));
+        assert!(parse(&argv("replay t.swf --policy pdpa --load 3"))
+            .unwrap_err()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn policy_slugs_are_stable() {
+        // Trajectory mode names (`replay-<slug>`) must never change, or
+        // the perf gate loses its baseline pairing.
+        assert_eq!(PolicyChoice::Pdpa.slug(), "pdpa");
+        assert_eq!(PolicyChoice::Equipartition.slug(), "equip");
+        assert_eq!(PolicyChoice::EqualEfficiency.slug(), "equal-eff");
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::fmt::Write as _;
 
 use pdpa_analyze::{analysis_json, RunAnalysis, RunDiff};
 use pdpa_apps::{paper_app, AppClass};
+use pdpa_bench::harness::BENCH_PATH;
+use pdpa_bench::trajectory::{git_rev, BenchReport, TrajectoryEntry};
 use pdpa_core::Pdpa;
 use pdpa_engine::{Engine, EngineConfig, RunResult};
 use pdpa_faults::FaultPlan;
@@ -14,10 +16,10 @@ use pdpa_obs::{
 use pdpa_policies::{
     EqualEfficiency, Equipartition, GangScheduler, IrixLike, RigidFirstFit, SchedulingPolicy,
 };
-use pdpa_qs::swf;
+use pdpa_qs::{shape, swf};
 use pdpa_trace::{render_ascii, to_paraver, RenderOptions};
 
-use crate::args::{Command, Options, PolicyChoice};
+use crate::args::{Command, Options, PolicyChoice, ReplayOptions};
 use crate::USAGE;
 
 /// Executes a parsed command and returns its output.
@@ -33,6 +35,7 @@ pub fn dispatch(command: Command) -> Result<String, String> {
         Command::Compare(opts) => compare(&opts),
         Command::Analyze(opts) => analyze(&opts),
         Command::Diff(opts) => diff(&opts),
+        Command::Replay(opts) => replay(&opts),
     }
 }
 
@@ -196,29 +199,7 @@ fn run_one(opts: &Options) -> Result<String, String> {
     if opts.observing() {
         let events = recorder.take_events();
         if opts.obs {
-            let _ = writeln!(out, "\ndecision-event stream: {} events", events.len());
-            for kind in [
-                "submit",
-                "dequeue",
-                "start",
-                "finish",
-                "iter",
-                "decision",
-                "state",
-                "mpl",
-                "cost",
-                "cpu",
-                "cpu_failed",
-                "cpu_recovered",
-                "degraded",
-                "retry",
-                "job_failed",
-            ] {
-                let n = events.iter().filter(|te| te.event.kind() == kind).count();
-                if n > 0 {
-                    let _ = writeln!(out, "  {kind:<8} {n}");
-                }
-            }
+            out.push_str(&event_kind_summary(&events));
         }
         let runs = vec![(format!("{}-{}", opts.workload, result.policy), events)];
         if let Some(path) = &opts.trace_out {
@@ -327,6 +308,178 @@ fn diff(opts: &Options) -> Result<String, String> {
     );
     out.push_str(&run_diff.render(&label_a, &label_b));
     Ok(out)
+}
+
+/// Per-kind counts of a recorded decision-event stream (`--obs` output).
+fn event_kind_summary(events: &[pdpa_obs::TimedEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\ndecision-event stream: {} events", events.len());
+    for kind in [
+        "submit",
+        "dequeue",
+        "start",
+        "finish",
+        "iter",
+        "decision",
+        "state",
+        "mpl",
+        "cost",
+        "cpu",
+        "cpu_failed",
+        "cpu_recovered",
+        "degraded",
+        "retry",
+        "job_failed",
+    ] {
+        let n = events.iter().filter(|te| te.event.kind() == kind).count();
+        if n > 0 {
+            let _ = writeln!(out, "  {kind:<8} {n}");
+        }
+    }
+    out
+}
+
+/// `pdpa replay`: stream an SWF trace file through the shaping transforms
+/// and the engine, and report makespan, utilization, and the per-job
+/// slowdown distribution. `--json` appends a `replay-<policy>` entry to
+/// the bench trajectory so CI gates replay throughput.
+fn replay(opts: &ReplayOptions) -> Result<String, String> {
+    let file = std::fs::File::open(&opts.trace_path)
+        .map_err(|e| format!("cannot open {}: {e}", opts.trace_path))?;
+    let trace = swf::read_swf(std::io::BufReader::new(file))
+        .map_err(|e| format!("{}: {e}", opts.trace_path))?;
+    let raw_jobs = trace.records.len();
+    let from_cpus = trace.machine_size().unwrap_or(opts.cpus);
+
+    let mut records = trace.records;
+    if let Some((a, b)) = opts.window {
+        records = shape::slice_window(&records, a, b);
+    }
+    records = shape::remap_machine(&records, from_cpus, opts.cpus);
+    if let Some(load) = opts.load {
+        records = shape::rescale_load(&records, load, opts.cpus);
+    }
+    if records.is_empty() {
+        return Err(format!(
+            "{}: no jobs to replay ({raw_jobs} in the trace, 0 after shaping)",
+            opts.trace_path
+        ));
+    }
+    let demand = shape::demand(&records, opts.cpus);
+    let span = records
+        .iter()
+        .map(|r| r.submit_secs)
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), t| {
+            (lo.min(t), hi.max(t))
+        });
+    let span_secs = (span.1 - span.0).max(0.0);
+    let jobs = shape::jobs_from_records(&records);
+    let n_jobs = jobs.len();
+
+    let mut config = EngineConfig::default()
+        .with_seed(opts.seed ^ 0xA5A5)
+        .with_cpus(opts.cpus);
+    // Long traces need headroom past the default simulation bound: give the
+    // slowest policies many times the submission span to drain.
+    config.max_sim_secs = config.max_sim_secs.max(span_secs * 20.0 + 10_000.0);
+
+    let mut recorder = RecordingObserver::new();
+    let started = std::time::Instant::now();
+    let result = {
+        let _scope = scope::enter("cli-replay");
+        Engine::new(config).run_observed(jobs, build_policy(opts.policy), &mut recorder)
+    };
+    let wall_secs = started.elapsed().as_secs_f64();
+    if !result.completed_all {
+        return Err(format!(
+            "{:?} did not drain the trace within the simulation bound",
+            opts.policy
+        ));
+    }
+    let events = recorder.take_events();
+    let analysis = RunAnalysis::from_events(&events);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replay of {} under {} ({} jobs over {:.0} s, demand {:.2}, {} CPUs, seed {})",
+        opts.trace_path, result.policy, n_jobs, span_secs, demand, opts.cpus, opts.seed,
+    );
+    let mut transforms = Vec::new();
+    if let Some((a, b)) = opts.window {
+        transforms.push(format!("window {a:.0}:{b:.0}"));
+    }
+    if from_cpus != opts.cpus {
+        transforms.push(format!("machine {from_cpus} -> {}", opts.cpus));
+    }
+    if let Some(load) = opts.load {
+        transforms.push(format!("load -> {load:.2}"));
+    }
+    if !transforms.is_empty() {
+        let _ = writeln!(out, "transforms: {}", transforms.join(" | "));
+    }
+    let _ = writeln!(
+        out,
+        "makespan {:.1} s | utilization {:.1} % | peak ML {} | migrations {} | {} events drained",
+        result.summary.makespan_secs(),
+        result.utilization() * 100.0,
+        result.max_ml,
+        result.total_migrations(),
+        result.events_popped,
+    );
+    let dist = analysis.timeline.slowdown_dist.unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "slowdown avg {:.3} | p50 {:.3} | p90 {:.3} | p99 {:.3} | max {:.1}",
+        analysis.timeline.avg_slowdown, dist.p50, dist.p90, dist.p99, dist.max,
+    );
+    out.push('\n');
+    out.push_str(&class_table(&result));
+    if opts.obs {
+        out.push_str(&event_kind_summary(&events));
+    }
+
+    let key = format!("replay-{}", opts.policy.slug());
+    if let Some(path) = &opts.trace_out {
+        let runs = vec![(key.clone(), events.clone())];
+        std::fs::write(path, chrome_trace(&runs))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "\nChrome trace written to {path}");
+    }
+    if let Some(path) = &opts.analyze_out {
+        std::fs::write(path, analysis_json(&[(key.clone(), analysis)]))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "\nRun analysis JSON written to {path}");
+    }
+    if opts.json {
+        let entry = replay_entry(opts.policy, wall_secs, result.events_popped);
+        let existing = std::fs::read_to_string(BENCH_PATH).ok();
+        std::fs::write(
+            BENCH_PATH,
+            BenchReport::append_entry(existing.as_deref(), entry),
+        )
+        .map_err(|e| format!("cannot write {BENCH_PATH}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "\ntrajectory entry ({key}) appended to {BENCH_PATH} \
+             ({:.0} events/s over {wall_secs:.3} s)",
+            result.events_popped as f64 / wall_secs.max(1e-9),
+        );
+    }
+    Ok(out)
+}
+
+/// The trajectory entry a `--json` replay appends: one `replay-<policy>`
+/// mode per policy, single-threaded, gated by `bench-compare` like the
+/// harness's own modes.
+fn replay_entry(policy: PolicyChoice, wall_secs: f64, events_popped: u64) -> TrajectoryEntry {
+    TrajectoryEntry {
+        git_rev: git_rev(),
+        mode: format!("replay-{}", policy.slug()),
+        threads: 1,
+        wall_secs,
+        events_per_sec: events_popped as f64 / wall_secs.max(1e-9),
+    }
 }
 
 fn compare(opts: &Options) -> Result<String, String> {
@@ -544,6 +697,100 @@ mod tests {
         assert!(text.starts_with("{\"schema\":\"pdpa-analyze/v1\""));
         assert!(text.contains("w3-Equipartition"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Writes a small generated workload as an SWF file and returns its
+    /// path inside a fresh temp directory.
+    fn write_test_trace(dir_name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(dir_name);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = pdpa_qs::Workload::W3.build_with_tuning(0.6, 42, true);
+        let path = dir.join("trace.swf");
+        std::fs::write(&path, swf::write_swf(&jobs)).unwrap();
+        (dir, path)
+    }
+
+    #[test]
+    fn replay_runs_an_swf_file_end_to_end() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-test");
+        let out = run_cli(&format!("replay {} --policy pdpa", path.display())).unwrap();
+        assert!(out.contains("replay of"), "no header in:\n{out}");
+        assert!(out.contains("under PDPA"), "no policy in:\n{out}");
+        assert!(out.contains("makespan"), "no metrics in:\n{out}");
+        assert!(out.contains("slowdown avg"), "no slowdown dist in:\n{out}");
+        assert!(out.contains("p99"), "no quantiles in:\n{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_applies_the_shaping_transforms() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-shape-test");
+        let out = run_cli(&format!(
+            "replay {} --policy equip --window 0:200 --cpus 32 --load 0.5 --obs",
+            path.display()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("transforms: window 0:200 | machine 60 -> 32 | load -> 0.50"),
+            "transform line wrong in:\n{out}"
+        );
+        assert!(out.contains("32 CPUs"), "cpus not applied in:\n{out}");
+        assert!(
+            out.contains("decision-event stream:"),
+            "no --obs summary in:\n{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_writes_exports() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-export-test");
+        let analyze = dir.join("a.json");
+        let trace = dir.join("t.json");
+        let cmd = format!(
+            "replay {} --policy pdpa --analyze-out {} --trace-out {}",
+            path.display(),
+            analyze.display(),
+            trace.display()
+        );
+        let a = run_cli(&cmd).unwrap();
+        let b = run_cli(&cmd).unwrap();
+        assert_eq!(a, b, "replay must be deterministic");
+        let text = std::fs::read_to_string(&analyze).unwrap();
+        assert!(text.starts_with("{\"schema\":\"pdpa-analyze/v1\""));
+        assert!(text.contains("replay-pdpa"));
+        assert!(text.contains("slowdown_dist"));
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("\"traceEvents\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_reports_missing_or_empty_traces() {
+        let err = run_cli("replay /nonexistent/x.swf --policy pdpa").unwrap_err();
+        assert!(err.contains("cannot open"), "unhelpful error: {err}");
+        let (dir, path) = write_test_trace("pdpa-cli-replay-empty-test");
+        // A window past the last submission leaves nothing to replay.
+        let err = run_cli(&format!(
+            "replay {} --policy pdpa --window 900000:900001",
+            path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("no jobs to replay"), "unhelpful error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_entries_match_the_gate_contract() {
+        let e = replay_entry(PolicyChoice::EqualEfficiency, 2.0, 1_000_000);
+        assert_eq!(e.mode, "replay-equal-eff");
+        assert_eq!(e.threads, 1);
+        assert!((e.events_per_sec - 500_000.0).abs() < 1e-9);
+        // Entries survive the append round-trip under their own mode.
+        let doc = BenchReport::append_entry(None, e);
+        let report = BenchReport::from_json(&doc).unwrap();
+        assert_eq!(report.trajectory.len(), 1);
+        assert_eq!(report.trajectory[0].mode, "replay-equal-eff");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! pdpa compare --workload w3 --load 0.8 [options]
 //! pdpa analyze --workload w3 --policy pdpa [options]
 //! pdpa diff    --workload w3 --policy pdpa --policy-b equip [options]
+//! pdpa replay  trace.swf --policy pdpa [--load 1.0 --cpus 60 --window 0:45000]
 //! pdpa curves
 //! ```
 //!
@@ -17,7 +18,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, Command, Options};
+pub use args::{parse, Command, Options, ReplayOptions};
 pub use commands::dispatch;
 
 /// Runs the CLI against an argument list (excluding the program name) and
@@ -46,6 +47,9 @@ USAGE:
                [--load <frac>] [--seed <n>] [--cpus <n>] [--analyze-out <file>] [run options]
   pdpa diff    --workload <w1|w2|w3|w4> --policy <name>
                [--policy-b <name>] [--seed-b <n>] [--load <frac>] [--seed <n>] [--cpus <n>]
+  pdpa replay  <trace.swf> --policy <name>
+               [--load <frac>] [--cpus <n>] [--window <start:end>] [--seed <n>]
+               [--json] [--obs] [--trace-out <file>] [--analyze-out <file>]
   pdpa curves
 
 COMMANDS:
@@ -55,6 +59,11 @@ COMMANDS:
             PDPA time-in-state, migration accounting, CPU/MPL series
   diff      record two runs and report the first divergent event (sim_time,
             seq, kind) plus per-metric deltas
+  replay    replay a Standard Workload Format trace file through the engine:
+            shape it (--window slice, --cpus remap, --load rescale), run it
+            under one policy, and print makespan, utilization, and the
+            per-job slowdown distribution; --json appends a replay-<policy>
+            events-per-second entry to BENCH_pdpa.json for the CI perf gate
   curves    print the calibrated Fig. 3 speedup curves
 
 OPTIONS:
@@ -77,6 +86,8 @@ OPTIONS:
   --analyze-out  write the pdpa-analyze/v1 analysis document as JSON
   --policy-b   diff only: the second run's policy (defaults to --policy)
   --seed-b     diff only: the second run's seed (defaults to --seed)
+  --window     replay only: keep submissions inside [start, end) seconds
+  --json       replay only: append wall-clock + events/s to BENCH_pdpa.json
   --faults     inject a deterministic fault plan, e.g.
                \"cpu3@120:recover@300;job0@70;retry=2,backoff=30\" or \"mtbf=4000\"
 ";

@@ -1,6 +1,5 @@
 //! The event loop: executes a workload under a scheduling policy.
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -24,9 +23,10 @@ use crate::timeshare::{effective_procs, throughput_factor, QuantumPlacement};
 enum Ev {
     /// A job's submission instant passed: it joins the queue.
     Arrival(JobId),
-    /// A job's current iteration is predicted to end (valid only if the
-    /// job's epoch still matches).
-    IterEnd { job: JobId, epoch: u64 },
+    /// A job's current iteration is predicted to end. Scheduled under the
+    /// job's queue key, so rescheduling or removing the job lazily
+    /// invalidates the pending prediction inside the event queue.
+    IterEnd { job: JobId },
     /// Time-shared placement quantum (only scheduled for time-shared runs
     /// with trace collection).
     Tick,
@@ -80,32 +80,17 @@ impl Engine {
     ) -> RunResult {
         let mut sim = Sim::new(&self.config, jobs, policy.sharing(), observer);
         sim.schedule_arrivals();
-        // Stale iteration events (their job's epoch moved on, or the job
-        // completed) are filtered at the queue so handlers only ever see
-        // live events. The closure borrows `sim.running` and the stale
-        // counter cell only, disjoint from the queue.
-        while let Some((t, ev)) = sim.events.pop_valid(|ev| match *ev {
-            Ev::IterEnd { job, epoch } => {
-                let live = sim.running.get(&job).is_some_and(|j| j.epoch == epoch);
-                if !live {
-                    sim.stale_dropped.set(sim.stale_dropped.get() + 1);
-                }
-                live
-            }
-            Ev::Arrival(_)
-            | Ev::Tick
-            | Ev::CpuFail(_)
-            | Ev::CpuRecover(_)
-            | Ev::JobKill(_)
-            | Ev::JobRetry(_) => true,
-        }) {
+        // Stale iteration events (their job rescheduled, completed, or
+        // crashed) are invalidated by key and discarded inside the queue,
+        // so handlers only ever see live events.
+        while let Some((t, ev)) = sim.events.pop() {
             if t.as_secs() > self.config.max_sim_secs {
                 break;
             }
             sim.clock = t;
             match ev {
                 Ev::Arrival(job) => sim.on_arrival(job, policy.as_mut()),
-                Ev::IterEnd { job, epoch } => sim.on_iter_end(job, epoch, policy.as_mut()),
+                Ev::IterEnd { job } => sim.on_iter_end(job, policy.as_mut()),
                 Ev::Tick => sim.on_tick(),
                 Ev::CpuFail(cpu) => sim.on_cpu_fail(cpu, policy.as_mut()),
                 Ev::CpuRecover(cpu) => sim.on_cpu_recover(cpu, policy.as_mut()),
@@ -152,10 +137,9 @@ struct Sim<'a> {
     /// `obs.is_enabled()`, cached at run start: publish sites skip event
     /// construction entirely when false.
     obs_on: bool,
-    /// Stale events dropped by the queue filter. A `Cell` so the filter
-    /// closure (which holds `&self.running` while the queue is mutably
-    /// borrowed) can bump it.
-    stale_dropped: Cell<u64>,
+    /// Reused buffer for decision batches — `apply_decisions` refills it
+    /// instead of allocating a fresh `Vec` per policy activation.
+    changes_scratch: Vec<(JobId, usize)>,
     /// Allocation changes applied (no-op resizes excluded).
     decisions_applied: u64,
     /// Speedup-memo stats harvested from completed jobs.
@@ -215,7 +199,7 @@ impl<'a> Sim<'a> {
             trace_obs,
             obs,
             obs_on,
-            stale_dropped: Cell::new(0),
+            changes_scratch: Vec::new(),
             decisions_applied: 0,
             memo_hits: 0,
             memo_misses: 0,
@@ -251,14 +235,16 @@ impl<'a> Sim<'a> {
     }
 
     fn schedule_arrivals(&mut self) {
-        let subs: Vec<(JobId, SimTime)> = self
+        // One O(n) batch insertion instead of n heap sifts — on a 10k-job
+        // replay trace this is the difference between a linear and an
+        // n log n startup. Sequence numbers are assigned in submission
+        // order, so pop order is identical to one-by-one pushes.
+        let subs: Vec<(SimTime, Ev)> = self
             .qs
             .submissions()
-            .map(|(id, spec)| (id, spec.submit))
+            .map(|(id, spec)| (spec.submit, Ev::Arrival(id)))
             .collect();
-        for (id, at) in subs {
-            self.events.push(at, Ev::Arrival(id));
-        }
+        self.events.push_batch(subs);
         // Kick off the time-shared/gang quantum clock when tracing.
         if self.config.collect_trace {
             if let Some(q) = self.quantum() {
@@ -411,13 +397,13 @@ impl<'a> Sim<'a> {
     /// path still runs.
     fn reschedule(&mut self, job: JobId) {
         let j = self.running.get_mut(&job).expect("job is running");
-        j.epoch += 1;
-        let epoch = j.epoch;
+        let key = u64::from(job.0);
+        self.events.invalidate_key(key);
         if j.progress.is_complete() {
-            self.events.push(self.clock, Ev::IterEnd { job, epoch });
+            self.events.push_keyed(self.clock, key, Ev::IterEnd { job });
         } else if let Some(dt) = j.time_to_iteration_end() {
             self.events
-                .push(self.clock + dt, Ev::IterEnd { job, epoch });
+                .push_keyed(self.clock + dt, key, Ev::IterEnd { job });
         }
     }
 
@@ -448,24 +434,28 @@ impl<'a> Sim<'a> {
             allocations,
             mut transitions,
         } = decisions;
-        let mut changes: Vec<(JobId, usize)> = allocations
-            .into_iter()
-            .filter(|(job, _)| self.running.contains_key(job))
-            .map(|(job, target)| {
-                // Cap at the request; a zero target is honored (a job can be
-                // stalled by capacity loss and re-granted later) rather than
-                // rounded up, which would overcommit a full machine.
-                let req = self.running[&job].spec.request;
-                (job, target.min(req))
-            })
-            .collect();
+        let mut changes = std::mem::take(&mut self.changes_scratch);
+        changes.clear();
+        changes.extend(
+            allocations
+                .into_iter()
+                .filter(|(job, _)| self.running.contains_key(job))
+                .map(|(job, target)| {
+                    // Cap at the request; a zero target is honored (a job
+                    // can be stalled by capacity loss and re-granted later)
+                    // rather than rounded up, which would overcommit a full
+                    // machine.
+                    let req = self.running[&job].spec.request;
+                    (job, target.min(req))
+                }),
+        );
         // Shrinks first.
         changes.sort_by_key(|&(job, target)| {
             let cur = self.running[&job].allocated;
             target > cur
         });
         let mut any_change = false;
-        for (job, target) in changes {
+        for &(job, target) in &changes {
             let from_alloc = self.running[&job].allocated;
             if self.apply_one(job, target) {
                 any_change = true;
@@ -499,6 +489,7 @@ impl<'a> Sim<'a> {
                 });
             }
         }
+        self.changes_scratch = changes;
         if any_change && self.is_time_shared() {
             self.recompute_all_rates();
         }
@@ -651,11 +642,10 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn on_iter_end(&mut self, job: JobId, epoch: u64, policy: &mut dyn SchedulingPolicy) {
-        // Stale events (completed job, bumped epoch) never reach here: the
-        // run loop filters them with `EventQueue::pop_valid`.
+    fn on_iter_end(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
+        // Stale events (completed job, bumped generation) never reach here:
+        // the queue discards invalidated keys inside `pop`.
         let j = self.running.get_mut(&job).expect("filtered at the queue");
-        debug_assert_eq!(j.epoch, epoch, "filtered at the queue");
         let crossed = j.advance_to(self.clock);
         let mut sample = None;
         // `(procs, measured_secs)` of a clean iteration, kept for the
@@ -790,6 +780,8 @@ impl<'a> Sim<'a> {
             }
         }
         self.running.remove(&job);
+        // The pending iteration prediction (if any) dies with the job.
+        self.events.invalidate_key(u64::from(job.0));
         self.order.retain(|&id| id != job);
         self.qs.complete(job);
         self.record_ml();
@@ -988,6 +980,10 @@ impl<'a> Sim<'a> {
         self.memo_hits += h;
         self.memo_misses += m;
         self.running.remove(&job);
+        // Invalidate the crashed incarnation's pending iteration event by
+        // key: a retried job reuses its id, and generations never reset, so
+        // the old prediction can never be mistaken for the new one.
+        self.events.invalidate_key(u64::from(job.0));
         self.order.retain(|&id| id != job);
         self.record_ml();
 
@@ -1064,7 +1060,7 @@ impl<'a> Sim<'a> {
         let end = self.clock;
         let events_pushed = self.events.total_pushed();
         let events_popped = self.events.total_popped();
-        let events_stale_dropped = self.stale_dropped.get();
+        let events_stale_dropped = self.events.stale_drops();
         pdpa_obs::metrics::record_engine_run(&RunCounters {
             events_pushed,
             events_popped,

@@ -19,8 +19,6 @@ pub struct RunningJob {
     /// Progress rate in iterations per second under the current effective
     /// processors (0 while stalled).
     pub rate: f64,
-    /// Event epoch: bumping it invalidates scheduled iteration-end events.
-    pub epoch: u64,
     /// When the job started executing.
     pub started_at: SimTime,
     /// When the current iteration began (for the timing measurement).
@@ -51,7 +49,6 @@ impl RunningJob {
             analyzer,
             allocated: 0,
             rate: 0.0,
-            epoch: 0,
             started_at: now,
             iter_started_at: now,
             advanced_to: now,

@@ -1,6 +1,6 @@
 //! Structured observability for the PDPA reproduction.
 //!
-//! The engine emits only final [`RunResult`] aggregates; this crate adds
+//! The engine emits only final `RunResult` aggregates; this crate adds
 //! the layer that lets the harness (and a human) *watch the scheduler
 //! act* — the paper's evaluation is built on exactly that kind of
 //! visibility (Fig. 5 execution views, Fig. 8 multiprogramming-level

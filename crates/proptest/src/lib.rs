@@ -289,7 +289,7 @@ fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`].
     pub struct SizeRange {
         min: usize,
         /// Inclusive upper bound.
@@ -327,7 +327,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

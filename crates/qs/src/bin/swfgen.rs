@@ -1,9 +1,15 @@
 //! `swfgen` — generate and inspect Standard Workload Format traces.
 //!
 //! ```text
-//! swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned]   # SWF to stdout
+//! swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned] [--duration S] [--cpus N]
 //! swfgen info < trace.swf                              # summarize stdin
 //! ```
+//!
+//! `gen` writes SWF to stdout; `--duration` stretches the submission
+//! window past the paper's 300 s (job count scales linearly with it, so
+//! long windows produce the multi-thousand-job traces the replay engine
+//! is benchmarked on) and `--cpus` sets the machine the demand math
+//! targets.
 //!
 //! The paper distributes its workloads as SWF trace files so that every
 //! scheduling policy replays the identical submission sequence; this tool
@@ -13,11 +19,13 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use pdpa_apps::AppClass;
-use pdpa_qs::{swf, Workload};
+use pdpa_qs::{
+    generate, swf, GeneratorConfig, Workload, DEFAULT_DURATION_SECS, DEFAULT_MACHINE_CPUS,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned]\n  swfgen info < trace.swf"
+        "usage:\n  swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned] [--duration S] [--cpus N]\n  swfgen info < trace.swf"
     );
     ExitCode::from(2)
 }
@@ -54,9 +62,42 @@ fn gen(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     let tuned = !args.iter().any(|a| a == "--untuned");
-    let jobs = workload.build_with_tuning(load, seed, tuned);
+    let duration = match flag_value(args, "--duration") {
+        Some(Ok(v)) if v > 0.0 => v,
+        Some(_) => {
+            eprintln!("--duration must be a positive number of seconds");
+            return ExitCode::from(2);
+        }
+        None => DEFAULT_DURATION_SECS,
+    };
+    let cpus = match flag_value(args, "--cpus") {
+        Some(Ok(v)) if v >= 1.0 => v as usize,
+        Some(_) => {
+            eprintln!("--cpus must be a positive integer");
+            return ExitCode::from(2);
+        }
+        None => DEFAULT_MACHINE_CPUS,
+    };
+    let config = GeneratorConfig {
+        composition: workload.composition(),
+        load,
+        cpus,
+        duration_secs: duration,
+        tuned,
+    };
+    if let Err(e) = config.validate() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::from(2);
+    }
+    let jobs = generate(&config, seed);
     print!("{}", swf::write_swf(&jobs));
     ExitCode::SUCCESS
+}
+
+/// The parsed value following `flag`, if the flag is present.
+fn flag_value(args: &[String], flag: &str) -> Option<Result<f64, ()>> {
+    let at = args.iter().position(|a| a == flag)?;
+    Some(args.get(at + 1).and_then(|v| v.parse().ok()).ok_or(()))
 }
 
 fn info() -> ExitCode {

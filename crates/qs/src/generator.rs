@@ -11,6 +11,36 @@
 //! application class contributes its Table-1 share of that work, which
 //! fixes its arrival rate; arrivals are then a Poisson process per class,
 //! merged and sorted.
+//!
+//! # Example
+//!
+//! Generate a small all-swim workload at 80% demand and check the demand
+//! math: expected job count = `load × cpus × duration / seq_work`, where
+//! swim's sequential work is 50 iterations × 4 s = 200 CPU-seconds.
+//!
+//! ```
+//! use pdpa_apps::AppClass;
+//! use pdpa_qs::{generate, GeneratorConfig};
+//!
+//! let config = GeneratorConfig {
+//!     composition: vec![(AppClass::Swim, 1.0)],
+//!     load: 0.8,
+//!     cpus: 60,
+//!     duration_secs: 300.0,
+//!     tuned: true,
+//! };
+//! config.validate().expect("valid configuration");
+//!
+//! let jobs = generate(&config, 42);
+//! let expected = 0.8 * 60.0 * 300.0 / 200.0; // = 72 jobs
+//! assert!((jobs.len() as f64 - expected).abs() < 0.5 * expected,
+//!         "got {} jobs, expected about {expected:.0}", jobs.len());
+//! // Submissions are sorted and fall inside the window.
+//! assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+//! assert!(jobs.iter().all(|j| j.submit.as_secs() < 300.0));
+//! // Same seed, same workload.
+//! assert_eq!(jobs.len(), generate(&config, 42).len());
+//! ```
 
 use pdpa_apps::{paper_app, AppClass, ApplicationSpec};
 use pdpa_sim::{SimRng, SimTime};

@@ -17,15 +17,22 @@
 //!   submitted to the system following a Poison interarrival function
 //!   during 300 seconds", §5);
 //! - [`workloads`] — the four workload compositions of Table 1, tuned and
-//!   untuned.
+//!   untuned;
+//! - [`shape`] — trace-shaping transforms (window slicing, load rescaling,
+//!   machine-size remapping, class inference) that turn published SWF logs
+//!   into engine-ready workloads.
+
+#![deny(missing_docs)]
 
 pub mod generator;
 pub mod job;
 pub mod queue;
+pub mod shape;
 pub mod swf;
 pub mod workloads;
 
 pub use generator::{generate, GeneratorConfig};
 pub use job::JobSpec;
 pub use queue::QueueSystem;
+pub use swf::{SwfError, SwfRecord, SwfTrace};
 pub use workloads::{Workload, DEFAULT_DURATION_SECS, DEFAULT_MACHINE_CPUS};

@@ -7,27 +7,43 @@
 //!    they were pushed (FIFO within a timestamp), so runs are deterministic.
 //! 2. **Cheap invalidation** — reallocation changes an application's progress
 //!    rate, which invalidates its pending completion events. Rather than
-//!    removing entries from the heap, callers tag events with an *epoch* and
-//!    drop stale ones on pop (see `pdpa-engine`).
+//!    removing entries from the heap (an O(n) scan), callers push entries
+//!    under a *key* and later [`invalidate_key`](EventQueue::invalidate_key)
+//!    it: the queue tags each keyed entry with the key's generation at push
+//!    time and lazily discards entries whose generation has since moved on.
+//!    Invalidation is an O(1) hash bump; the stale entry costs one extra
+//!    O(log n) pop when its turn comes.
+//!
+//! Large traces additionally benefit from
+//! [`push_batch`](EventQueue::push_batch), which rebuilds the heap
+//! bottom-up in O(n) instead of n × O(log n) sifts.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::time::SimTime;
 
-/// A priority queue of `(SimTime, payload)` entries with FIFO tie-breaking.
+/// A priority queue of `(SimTime, payload)` entries with FIFO tie-breaking
+/// and generation-keyed lazy deletion.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Current generation per key; keyed entries pushed under an older
+    /// generation are stale. Generations only grow, so a key reused after
+    /// retirement can never collide with an entry still buried in the heap.
+    generations: HashMap<u64, u64>,
     next_seq: u64,
     pushed: u64,
     popped: u64,
+    stale: u64,
 }
 
 #[derive(Debug)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    /// `(key, generation at push time)` for invalidatable entries.
+    key: Option<(u64, u64)>,
     payload: E,
 }
 
@@ -60,9 +76,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            generations: HashMap::new(),
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            stale: 0,
         }
     }
 
@@ -71,25 +89,95 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.heap.push(Entry {
+            at,
+            seq,
+            key: None,
+            payload,
+        });
     }
 
-    /// Removes and returns the earliest event, or `None` when empty.
+    /// Schedules `payload` at instant `at` under `key`, so a later
+    /// [`invalidate_key`](Self::invalidate_key) can lazily discard it.
+    /// Entries pushed after an invalidation are live again — the queue
+    /// snapshots the key's generation at push time.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        let generation = self.generations.get(&key).copied().unwrap_or(0);
+        self.heap.push(Entry {
+            at,
+            seq,
+            key: Some((key, generation)),
+            payload,
+        });
+    }
+
+    /// Schedules a batch of events in one O(n) heap rebuild instead of
+    /// n individual O(log n) sifts. Entries receive sequence numbers in
+    /// slice order, so same-instant batch entries pop FIFO exactly as if
+    /// pushed one by one.
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = (SimTime, E)>) {
+        let mut batch: BinaryHeap<Entry<E>> = events
+            .into_iter()
+            .map(|(at, payload)| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.pushed += 1;
+                Entry {
+                    at,
+                    seq,
+                    key: None,
+                    payload,
+                }
+            })
+            .collect();
+        self.heap.append(&mut batch);
+    }
+
+    /// Marks every entry currently pushed under `key` as stale; they are
+    /// discarded (and counted by [`stale_drops`](Self::stale_drops)) when
+    /// they reach the head of the queue. O(1).
+    pub fn invalidate_key(&mut self, key: u64) {
+        *self.generations.entry(key).or_insert(0) += 1;
+    }
+
+    /// True if `entry` was invalidated after it was pushed.
+    fn is_stale(&self, entry: &Entry<E>) -> bool {
+        match entry.key {
+            Some((key, generation)) => {
+                self.generations.get(&key).copied().unwrap_or(0) != generation
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns the earliest live event, or `None` when empty.
+    /// Stale keyed entries are discarded along the way; discards count
+    /// toward [`total_popped`](Self::total_popped) and
+    /// [`stale_drops`](Self::stale_drops).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
+        loop {
+            let stale = self.heap.peek().map(|e| self.is_stale(e))?;
+            let e = self.heap.pop().expect("peeked entry exists");
             self.popped += 1;
-            (e.at, e.payload)
-        })
+            if stale {
+                self.stale += 1;
+                continue;
+            }
+            return Some((e.at, e.payload));
+        }
     }
 
-    /// Removes and returns the earliest event for which `valid` holds,
-    /// discarding invalid ones along the way; `None` when the queue runs
-    /// out.
+    /// Removes and returns the earliest live event for which `valid` also
+    /// holds, discarding invalid ones along the way; `None` when the queue
+    /// runs out.
     ///
-    /// This is the companion to epoch invalidation: stale entries stay in
-    /// the heap until their turn, and this helper centralizes the skip so
-    /// event-loop callers never see them. Discarded events still count
-    /// toward [`total_popped`](Self::total_popped).
+    /// Key-stale entries are skipped by [`pop`](Self::pop) underneath;
+    /// this adds a payload-level predicate on top for callers with their
+    /// own validity notion. Discarded events still count toward
+    /// [`total_popped`](Self::total_popped).
     pub fn pop_valid(&mut self, mut valid: impl FnMut(&E) -> bool) -> Option<(SimTime, E)> {
         loop {
             let (at, payload) = self.pop()?;
@@ -99,12 +187,14 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// The timestamp of the earliest pending event.
+    /// The timestamp of the earliest pending entry — possibly a stale one
+    /// (a stale head is discarded only when popped, so `peek_time` may be
+    /// earlier than what [`pop`](Self::pop) returns).
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
     }
 
-    /// Number of pending events.
+    /// Number of pending entries, stale ones included.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -119,9 +209,15 @@ impl<E> EventQueue<E> {
         self.pushed
     }
 
-    /// Total events popped over the queue's lifetime.
+    /// Total events popped over the queue's lifetime, stale discards
+    /// included.
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Total keyed entries discarded as stale over the queue's lifetime.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale
     }
 }
 
@@ -209,5 +305,93 @@ mod tests {
         assert!(q.pop().is_none());
         assert!(q.peek_time().is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_pushes_preserve_order_and_ties() {
+        let mut q = EventQueue::new();
+        q.push(t(1.5), "single");
+        q.push_batch(vec![(t(2.0), "b1"), (t(1.0), "a"), (t(2.0), "b2")]);
+        q.push(t(2.0), "b3");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        // Batch entries tie-break FIFO in slice order, interleaved
+        // correctly with singly-pushed entries.
+        assert_eq!(order, vec!["a", "single", "b1", "b2", "b3"]);
+        assert_eq!(q.total_pushed(), 5);
+    }
+
+    #[test]
+    fn batch_matches_sequential_pushes_exactly() {
+        let events: Vec<(SimTime, u32)> =
+            (0..200).map(|i| (t(f64::from(i * 7919 % 97)), i)).collect();
+        let mut batched = EventQueue::new();
+        batched.push_batch(events.clone());
+        let mut sequential = EventQueue::new();
+        for (at, e) in events {
+            sequential.push(at, e);
+        }
+        loop {
+            let (a, b) = (batched.pop(), sequential.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn invalidated_keys_drop_lazily() {
+        let mut q = EventQueue::new();
+        q.push_keyed(t(1.0), 7, "old");
+        q.push(t(2.0), "plain");
+        q.invalidate_key(7);
+        q.push_keyed(t(3.0), 7, "new");
+        assert_eq!(q.pop(), Some((t(2.0), "plain")), "stale head skipped");
+        assert_eq!(q.pop(), Some((t(3.0), "new")), "re-pushed key is live");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.stale_drops(), 1);
+        // Discards still count as pops.
+        assert_eq!(q.total_popped(), 3);
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_one_key() {
+        let mut q = EventQueue::new();
+        q.push_keyed(t(1.0), 1, "one");
+        q.push_keyed(t(2.0), 2, "two");
+        q.invalidate_key(1);
+        assert_eq!(q.pop(), Some((t(2.0), "two")));
+        assert_eq!(q.stale_drops(), 1);
+    }
+
+    #[test]
+    fn generations_survive_key_reuse() {
+        let mut q = EventQueue::new();
+        // A long-buried entry for key 9, then many invalidate/push cycles.
+        q.push_keyed(t(100.0), 9, 0);
+        for round in 1..=5 {
+            q.invalidate_key(9);
+            q.push_keyed(t(100.0 - f64::from(round)), 9, round);
+        }
+        // Only the latest generation survives.
+        assert_eq!(q.pop(), Some((t(95.0), 5)));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.stale_drops(), 5);
+    }
+
+    #[test]
+    fn pop_valid_composes_with_key_staleness() {
+        let mut q = EventQueue::new();
+        q.push_keyed(t(1.0), 3, "stale");
+        q.push(t(2.0), "rejected");
+        q.push_keyed(t(3.0), 4, "live");
+        q.invalidate_key(3);
+        assert_eq!(
+            q.pop_valid(|e| *e != "rejected"),
+            Some((t(3.0), "live")),
+            "skips both the key-stale and the predicate-rejected entry"
+        );
+        assert_eq!(q.stale_drops(), 1);
+        assert_eq!(q.total_popped(), 3);
     }
 }

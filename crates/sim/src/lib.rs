@@ -16,6 +16,8 @@
 //! The workload execution engine itself lives in the `pdpa-engine` crate;
 //! this crate deliberately knows nothing about applications or policies.
 
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod event;
 pub mod ids;
