@@ -42,6 +42,16 @@ const POLICIES: [PolicyKind; 3] = [
     PolicyKind::EqualEfficiency,
 ];
 
+/// Shard count requested through the harness `--shards` flag (delivered
+/// via `PDPA_SHARDS`, the same environment channel `--sequential` uses).
+/// `None` means the classic sequential engine loop.
+fn requested_shards() -> Option<usize> {
+    std::env::var("PDPA_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 struct Row {
     label: &'static str,
     makespan: f64,
@@ -81,9 +91,22 @@ fn replay(trace: &pdpa_qs::SwfTrace, policy: PolicyKind) -> Row {
         .with_cpus(CPUS)
         .with_seed(SEED ^ 0xA5A5);
     let engine = Engine::new(config);
-    let key = format!("scale-{}-seed{SEED}", policy.label());
+    let shards = requested_shards();
+    let key = match shards {
+        Some(s) => format!("scale-{}-seed{SEED}-s{s}", policy.label()),
+        None => format!("scale-{}-seed{SEED}", policy.label()),
+    };
     let mut rec = RecordingObserver::new();
-    let result = engine.run_observed(jobs, policy.build(), &mut rec);
+    let result = match shards {
+        Some(s) => engine.run_sharded_observed(
+            jobs,
+            policy.build(),
+            s,
+            pdpa_engine::shard::DEFAULT_EPOCH_SECS,
+            &mut rec,
+        ),
+        None => engine.run_observed(jobs, policy.build(), &mut rec),
+    };
     let events = rec.take_events();
     assert!(result.completed_all, "{} wedged at scale", policy.label());
     crate::stats::record_run(&result);
@@ -111,10 +134,14 @@ pub fn run() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Scale (extension): large SWF trace replay\n");
     let (first, last) = trace.submit_span().unwrap_or((0.0, 0.0));
+    let engine_mode = match requested_shards() {
+        Some(s) => format!("sharded engine, {s} shards"),
+        None => "classic sequential engine".to_owned(),
+    };
     let _ = writeln!(
         out,
         "w4 mix at {LOAD:.1} load on {CPUS} CPUs; {} jobs submitted over {:.0}s\n\
-         (generated, SWF round-trip, window/remap/rescale transforms)\n",
+         (generated, SWF round-trip, window/remap/rescale transforms; {engine_mode})\n",
         trace.records.len(),
         last - first,
     );

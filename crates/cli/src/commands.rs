@@ -382,12 +382,29 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
     // Long traces need headroom past the default simulation bound: give the
     // slowest policies many times the submission span to drain.
     config.max_sim_secs = config.max_sim_secs.max(span_secs * 20.0 + 10_000.0);
+    if let Some(plan) = &opts.faults {
+        let plan = FaultPlan::parse(plan, opts.cpus).map_err(|e| format!("--faults: {e}"))?;
+        config = config.with_faults(plan);
+    }
+
+    let jobs_b = opts.diff_shards.map(|_| jobs.clone());
+    let config_b = config.clone();
 
     let mut recorder = RecordingObserver::new();
     let started = std::time::Instant::now();
     let result = {
         let _scope = scope::enter("cli-replay");
-        Engine::new(config).run_observed(jobs, build_policy(opts.policy), &mut recorder)
+        let engine = Engine::new(config);
+        match opts.shards {
+            Some(shards) => engine.run_sharded_observed(
+                jobs,
+                build_policy(opts.policy),
+                shards,
+                opts.epoch.unwrap_or(pdpa_engine::shard::DEFAULT_EPOCH_SECS),
+                &mut recorder,
+            ),
+            None => engine.run_observed(jobs, build_policy(opts.policy), &mut recorder),
+        }
     };
     let wall_secs = started.elapsed().as_secs_f64();
     if !result.completed_all {
@@ -439,7 +456,45 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
         out.push_str(&event_kind_summary(&events));
     }
 
-    let key = format!("replay-{}", opts.policy.slug());
+    // `--diff-shards N`: replay again at N shards and require the two
+    // decision-event streams to be identical — the shard-count-invariance
+    // contract of the sharded engine, checked end to end on a real trace.
+    if let Some(shards_b) = opts.diff_shards {
+        let shards_a = opts.shards.expect("parser enforces --shards");
+        let mut rec_b = RecordingObserver::new();
+        let result_b = {
+            let _scope = scope::enter("cli-replay");
+            Engine::new(config_b).run_sharded_observed(
+                jobs_b.expect("cloned when --diff-shards is set"),
+                build_policy(opts.policy),
+                shards_b,
+                opts.epoch.unwrap_or(pdpa_engine::shard::DEFAULT_EPOCH_SECS),
+                &mut rec_b,
+            )
+        };
+        if !result_b.completed_all {
+            return Err(format!(
+                "{:?} at {shards_b} shards did not drain the trace within the simulation bound",
+                opts.policy
+            ));
+        }
+        let events_b = rec_b.take_events();
+        let label_a = format!("{}-s{shards_a}", opts.policy.slug());
+        let label_b = format!("{}-s{shards_b}", opts.policy.slug());
+        let run_diff = RunDiff::compare(&events, &events_b);
+        if !run_diff.identical() {
+            return Err(format!(
+                "shard-count divergence:\n{}",
+                run_diff.render(&label_a, &label_b)
+            ));
+        }
+        let _ = writeln!(out, "\n{}", run_diff.render(&label_a, &label_b));
+    }
+
+    let key = match opts.shards {
+        Some(shards) => format!("replay-{}-s{shards}", opts.policy.slug()),
+        None => format!("replay-{}", opts.policy.slug()),
+    };
     if let Some(path) = &opts.trace_out {
         let runs = vec![(key.clone(), events.clone())];
         std::fs::write(path, chrome_trace(&runs))
@@ -452,7 +507,7 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
         let _ = writeln!(out, "\nRun analysis JSON written to {path}");
     }
     if opts.json {
-        let entry = replay_entry(opts.policy, wall_secs, result.events_popped);
+        let entry = replay_entry(&key, opts.shards, wall_secs, result.events_popped);
         let existing = std::fs::read_to_string(BENCH_PATH).ok();
         std::fs::write(
             BENCH_PATH,
@@ -470,13 +525,20 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
 }
 
 /// The trajectory entry a `--json` replay appends: one `replay-<policy>`
-/// mode per policy, single-threaded, gated by `bench-compare` like the
-/// harness's own modes.
-fn replay_entry(policy: PolicyChoice, wall_secs: f64, events_popped: u64) -> TrajectoryEntry {
+/// mode per classic replay and one `replay-<policy>-s<N>` mode per shard
+/// count, gated by `bench-compare` like the harness's own modes. The
+/// `threads` field records the worker threads actually used — 1 for the
+/// classic sequential engine, the shard count for `--shards N`.
+fn replay_entry(
+    mode: &str,
+    shards: Option<usize>,
+    wall_secs: f64,
+    events_popped: u64,
+) -> TrajectoryEntry {
     TrajectoryEntry {
         git_rev: git_rev(),
-        mode: format!("replay-{}", policy.slug()),
-        threads: 1,
+        mode: mode.to_string(),
+        threads: shards.unwrap_or(1),
         wall_secs,
         events_per_sec: events_popped as f64 / wall_secs.max(1e-9),
     }
@@ -766,6 +828,34 @@ mod tests {
     }
 
     #[test]
+    fn replay_diff_shards_proves_shard_count_invariance() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-diff-shards-test");
+        let out = run_cli(&format!(
+            "replay {} --policy pdpa --shards 1 --diff-shards 4",
+            path.display()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("streams identical"),
+            "shards 1 vs 4 diverged:\n{out}"
+        );
+        // The invariance must survive fault injection: the chaos plan
+        // perturbs both replays identically.
+        let out = run_cli(&format!(
+            "replay {} --policy equip \
+             --faults mtbf=2000,horizon=6000,repair=500;retry=2,backoff=30 \
+             --shards 1 --diff-shards 4",
+            path.display()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("streams identical"),
+            "faulted shards 1 vs 4 diverged:\n{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn replay_reports_missing_or_empty_traces() {
         let err = run_cli("replay /nonexistent/x.swf --policy pdpa").unwrap_err();
         assert!(err.contains("cannot open"), "unhelpful error: {err}");
@@ -782,15 +872,25 @@ mod tests {
 
     #[test]
     fn replay_entries_match_the_gate_contract() {
-        let e = replay_entry(PolicyChoice::EqualEfficiency, 2.0, 1_000_000);
+        // Classic replay: single-threaded, bare policy mode.
+        let e = replay_entry("replay-equal-eff", None, 2.0, 1_000_000);
         assert_eq!(e.mode, "replay-equal-eff");
         assert_eq!(e.threads, 1);
         assert!((e.events_per_sec - 500_000.0).abs() < 1e-9);
+        // Sharded replay: the threads field records the real worker
+        // count, and the mode carries the shard suffix so each point of
+        // the scaling curve is gated independently.
+        let s = replay_entry("replay-pdpa-s4", Some(4), 1.0, 1_000_000);
+        assert_eq!(s.mode, "replay-pdpa-s4");
+        assert_eq!(s.threads, 4);
         // Entries survive the append round-trip under their own mode.
         let doc = BenchReport::append_entry(None, e);
+        let doc = BenchReport::append_entry(Some(&doc), s);
         let report = BenchReport::from_json(&doc).unwrap();
-        assert_eq!(report.trajectory.len(), 1);
+        assert_eq!(report.trajectory.len(), 2);
         assert_eq!(report.trajectory[0].mode, "replay-equal-eff");
+        assert_eq!(report.trajectory[1].mode, "replay-pdpa-s4");
+        assert_eq!(report.trajectory[1].threads, 4);
     }
 
     #[test]

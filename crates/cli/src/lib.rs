@@ -49,7 +49,9 @@ USAGE:
                [--policy-b <name>] [--seed-b <n>] [--load <frac>] [--seed <n>] [--cpus <n>]
   pdpa replay  <trace.swf> --policy <name>
                [--load <frac>] [--cpus <n>] [--window <start:end>] [--seed <n>]
+               [--shards <n>] [--epoch <secs>] [--diff-shards <n>]
                [--json] [--obs] [--trace-out <file>] [--analyze-out <file>]
+               [--faults <plan>]
   pdpa curves
 
 COMMANDS:
@@ -87,6 +89,11 @@ OPTIONS:
   --policy-b   diff only: the second run's policy (defaults to --policy)
   --seed-b     diff only: the second run's seed (defaults to --seed)
   --window     replay only: keep submissions inside [start, end) seconds
+  --shards     replay only: run the epoch-parallel sharded engine with this
+               many shards (space-sharing policies only)
+  --epoch      replay only: barrier epoch in simulated seconds (with --shards)
+  --diff-shards  replay only: replay again at this shard count and fail
+               unless the two decision-event streams are identical
   --json       replay only: append wall-clock + events/s to BENCH_pdpa.json
   --faults     inject a deterministic fault plan, e.g.
                \"cpu3@120:recover@300;job0@70;retry=2,backoff=30\" or \"mtbf=4000\"

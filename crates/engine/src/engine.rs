@@ -10,12 +10,12 @@ use pdpa_obs::{DecisionTrigger, NullObserver, ObsEvent, Observer};
 use pdpa_perf::SelfAnalyzer;
 use pdpa_policies::{Decisions, JobView, PolicyCtx, SchedulingPolicy, SharingModel};
 use pdpa_qs::{JobSpec, QueueSystem};
-use pdpa_sim::{CpuId, EventQueue, JobId, Machine, SimRng, SimTime};
+use pdpa_sim::{AdaptiveQueue, CpuId, JobId, Machine, SimRng, SimTime};
 use pdpa_trace::TraceObserver;
 
 use crate::config::EngineConfig;
 use crate::result::RunResult;
-use crate::runjob::RunningJob;
+use crate::store::{job_noise_rng, JobStore};
 use crate::timeshare::{effective_procs, throughput_factor, QuantumPlacement};
 
 /// Engine events.
@@ -83,7 +83,23 @@ impl Engine {
         // Stale iteration events (their job rescheduled, completed, or
         // crashed) are invalidated by key and discarded inside the queue,
         // so handlers only ever see live events.
+        let dbg_progress = std::env::var_os("PDPA_DEBUG_PROGRESS").is_some();
+        let mut dbg_n: u64 = 0;
         while let Some((t, ev)) = sim.events.pop() {
+            if dbg_progress {
+                dbg_n += 1;
+                if dbg_n.is_multiple_of(1_000_000) {
+                    eprintln!(
+                        "progress: {}M events, clock={:.0}s, ml={}, waiting={}, qlen={}, stale={}",
+                        dbg_n / 1_000_000,
+                        t.as_secs(),
+                        sim.store.len(),
+                        sim.qs.waiting_count(),
+                        sim.events.len(),
+                        sim.events.stale_drops(),
+                    );
+                }
+            }
             if t.as_secs() > self.config.max_sim_secs {
                 break;
             }
@@ -108,14 +124,15 @@ struct Sim<'a> {
     sharing: SharingModel,
     qs: QueueSystem,
     machine: Machine,
-    events: EventQueue<Ev>,
+    /// The event queue: heap-backed while small, migrating to a calendar
+    /// (bucketed) backend once the backlog crosses the upgrade threshold.
+    events: AdaptiveQueue<Ev>,
     rng: SimRng,
     noise: NoiseModel,
     clock: SimTime,
-    /// Running jobs by id.
-    running: HashMap<JobId, RunningJob>,
-    /// Running jobs in arrival order (policy context ordering).
-    order: Vec<JobId>,
+    /// Running jobs in struct-of-arrays layout (hot fields dense, arrival
+    /// order preserved for policy context ordering).
+    store: JobStore,
     /// Reused buffer for policy-call snapshots — refilled by
     /// `refresh_views` instead of allocating a fresh `Vec` per policy call.
     views_scratch: Vec<JobView>,
@@ -180,7 +197,7 @@ impl<'a> Sim<'a> {
             sharing,
             qs: QueueSystem::new(jobs),
             machine: Machine::new(config.cpus),
-            events: EventQueue::new(),
+            events: AdaptiveQueue::new(),
             rng: SimRng::new(config.seed),
             noise: if config.noise_sigma == 0.0 {
                 NoiseModel::none()
@@ -188,8 +205,7 @@ impl<'a> Sim<'a> {
                 NoiseModel::new(config.noise_sigma)
             },
             clock: SimTime::ZERO,
-            running: HashMap::new(),
-            order: Vec::new(),
+            store: JobStore::new(),
             views_scratch: Vec::new(),
             outcomes: Vec::new(),
             completed_allocs: Vec::new(),
@@ -267,17 +283,7 @@ impl<'a> Sim<'a> {
     /// Refills the reusable snapshot of the running jobs for a policy call.
     /// Read the result via `self.views_scratch`.
     fn refresh_views(&mut self) {
-        self.views_scratch.clear();
-        let running = &self.running;
-        self.views_scratch.extend(self.order.iter().map(|id| {
-            let j = &running[id];
-            JobView {
-                id: *id,
-                request: j.spec.request,
-                allocated: j.allocated,
-                last_sample: j.last_sample,
-            }
-        }));
+        self.store.fill_views(&mut self.views_scratch);
     }
 
     /// Operational processors right now (total minus injected failures) —
@@ -292,7 +298,7 @@ impl<'a> Sim<'a> {
 
     fn free_cpus(&self) -> usize {
         if self.is_time_shared() {
-            let total: usize = self.running.values().map(|j| j.allocated).sum();
+            let total = self.store.total_allocated();
             self.alive_cpus().saturating_sub(total)
         } else {
             self.machine.free_cpus()
@@ -305,12 +311,12 @@ impl<'a> Sim<'a> {
     }
 
     fn record_ml(&mut self) {
-        let ml = self.running.len();
+        let ml = self.store.len();
         self.max_ml = self.max_ml.max(ml);
         self.ml_series.push((self.clock.as_secs(), ml));
         if self.obs_on {
             // The O(n) allocation sum runs only with a live observer.
-            let total_alloc = self.running.values().map(|j| j.allocated).sum();
+            let total_alloc = self.store.total_allocated();
             self.publish(ObsEvent::MplChanged {
                 running: ml,
                 total_alloc,
@@ -348,16 +354,12 @@ impl<'a> Sim<'a> {
     /// processors. The job must already be advanced to `self.clock`.
     fn recompute_rate(&mut self, job: JobId) {
         let (eff, factor) = match self.sharing {
-            SharingModel::SpaceShared => {
-                let j = &self.running[&job];
-                (j.effective_procs() as f64, 1.0)
-            }
+            SharingModel::SpaceShared => (self.store.effective_procs(job) as f64, 1.0),
             SharingModel::TimeShared(p) => {
                 // Threads compete for operational processors only.
                 let cpus = self.placement.alive_cpus();
-                let total: usize = self.running.values().map(RunningJob::effective_procs).sum();
-                let j = &self.running[&job];
-                let eff = effective_procs(j.effective_procs(), total, cpus);
+                let total = self.store.total_effective_procs();
+                let eff = effective_procs(self.store.effective_procs(job), total, cpus);
                 let factor = throughput_factor(total, cpus, p.base_overhead, p.overcommit_overhead);
                 (eff, factor)
             }
@@ -365,27 +367,15 @@ impl<'a> Sim<'a> {
                 // Full coscheduled width for a 1/n duty cycle, minus the
                 // whole-machine switch overhead. A degraded machine caps
                 // the width at the surviving processors.
-                let n = self.running.len().max(1) as f64;
+                let n = self.store.len().max(1) as f64;
                 let cpus = self.placement.alive_cpus();
-                let j = &self.running[&job];
-                let eff = j.effective_procs().min(cpus) as f64;
+                let eff = self.store.effective_procs(job).min(cpus) as f64;
                 (eff, (1.0 - p.switch_overhead) / n)
             }
         };
-        let j = self.running.get_mut(&job).expect("job is running");
-        let speedup = j.speedup_memo.fractional(j.spec.speedup.as_ref(), eff);
-        // The current iteration's sequential time (working-set changes make
-        // later phases heavier or lighter, §3.1).
-        let iter_secs = j
-            .spec
-            .seq_iter_time_at(j.progress.iterations_done())
-            .as_secs()
-            * (1.0 + j.spec.measurement_overhead);
-        j.rate = if speedup > 0.0 {
-            speedup * factor / iter_secs
-        } else {
-            0.0
-        };
+        // The speedup curve goes through the job's memo; the current
+        // iteration's sequential time honours working-set changes (§3.1).
+        self.store.set_rate_from(job, eff, factor);
     }
 
     /// Invalidates the job's pending iteration event and schedules a fresh
@@ -396,26 +386,31 @@ impl<'a> Sim<'a> {
     /// iteration event), an immediate event is scheduled so the completion
     /// path still runs.
     fn reschedule(&mut self, job: JobId) {
-        let j = self.running.get_mut(&job).expect("job is running");
         let key = u64::from(job.0);
         self.events.invalidate_key(key);
-        if j.progress.is_complete() {
+        if self.store.is_complete(job) {
             self.events.push_keyed(self.clock, key, Ev::IterEnd { job });
-        } else if let Some(dt) = j.time_to_iteration_end() {
-            self.events
-                .push_keyed(self.clock + dt, key, Ev::IterEnd { job });
+        } else if let Some(dt) = self.store.time_to_iteration_end(job) {
+            // `dt` is positive but can be sub-ULP at a large clock, making
+            // `clock + dt` round back onto `clock` — the event would then
+            // advance nothing and reschedule itself forever. The next
+            // representable instant still covers the true boundary.
+            let mut at = self.clock + dt;
+            if at == self.clock {
+                at = self.clock.next_up();
+            }
+            self.events.push_keyed(at, key, Ev::IterEnd { job });
         }
     }
 
     /// Recomputes every running job's rate (time-shared: any membership or
     /// thread-count change shifts every share).
     fn recompute_all_rates(&mut self) {
-        // Indexed loop instead of cloning `order`: nothing below touches
+        // Indexed loop instead of cloning the order: nothing below touches
         // the membership, only per-job rates and the event queue.
-        for i in 0..self.order.len() {
-            let id = self.order[i];
-            let j = self.running.get_mut(&id).expect("running");
-            j.advance_to(self.clock);
+        for i in 0..self.store.len() {
+            let id = self.store.id_at(i);
+            self.store.advance_to(id, self.clock);
             self.recompute_rate(id);
             self.reschedule(id);
         }
@@ -439,29 +434,29 @@ impl<'a> Sim<'a> {
         changes.extend(
             allocations
                 .into_iter()
-                .filter(|(job, _)| self.running.contains_key(job))
+                .filter(|(job, _)| self.store.contains(*job))
                 .map(|(job, target)| {
                     // Cap at the request; a zero target is honored (a job
                     // can be stalled by capacity loss and re-granted later)
                     // rather than rounded up, which would overcommit a full
                     // machine.
-                    let req = self.running[&job].spec.request;
+                    let req = self.store.request(job);
                     (job, target.min(req))
                 }),
         );
         // Shrinks first.
         changes.sort_by_key(|&(job, target)| {
-            let cur = self.running[&job].allocated;
+            let cur = self.store.allocated(job);
             target > cur
         });
         let mut any_change = false;
         for &(job, target) in &changes {
-            let from_alloc = self.running[&job].allocated;
+            let from_alloc = self.store.allocated(job);
             if self.apply_one(job, target) {
                 any_change = true;
                 self.decisions_applied += 1;
                 if self.obs_on {
-                    let to_alloc = self.running[&job].allocated;
+                    let to_alloc = self.store.allocated(job);
                     // Pair the decision with the state move that caused it.
                     let transition = transitions
                         .iter()
@@ -506,7 +501,7 @@ impl<'a> Sim<'a> {
                 }
                 // Advance progress at the old rate before the change.
                 let now = self.clock;
-                self.running.get_mut(&job).expect("running").advance_to(now);
+                self.store.advance_to(job, now);
                 let outcome = self.machine.resize(job, target);
                 if outcome.is_noop() {
                     return false;
@@ -522,19 +517,18 @@ impl<'a> Sim<'a> {
                     .cost
                     .charge(outcome.gained.len(), outcome.lost.len());
                 let new_alloc = self.machine.allocation(job);
-                let j = self.running.get_mut(&job).expect("running");
                 // Initial placement is free; reallocations of a running job
                 // cost cache and page-migration time.
                 if current > 0 {
-                    j.charge(penalty);
+                    self.store.charge(job, penalty);
                 }
-                let eff_before = j.effective_procs();
-                j.allocated = new_alloc;
-                if current > 0 && j.effective_procs() != eff_before {
+                let eff_before = self.store.effective_procs(job);
+                self.store.set_allocated(job, new_alloc);
+                if current > 0 && self.store.effective_procs(job) != eff_before {
                     // The in-flight iteration now mixes two allocations; its
                     // timing must not reach the policy. (Initial placement
                     // starts the first iteration fresh — nothing in flight.)
-                    j.iter_polluted = true;
+                    self.store.set_iter_polluted(job, true);
                 }
                 if current > 0 && self.obs_on {
                     self.publish(ObsEvent::ReallocCost {
@@ -549,16 +543,15 @@ impl<'a> Sim<'a> {
                 true
             }
             SharingModel::TimeShared(_) | SharingModel::Gang(_) => {
-                let j = self.running.get_mut(&job).expect("running");
-                if j.allocated == target {
+                if self.store.allocated(job) == target {
                     return false;
                 }
                 let now = self.clock;
-                j.advance_to(now);
-                let was_running = j.allocated > 0;
-                j.allocated = target;
+                self.store.advance_to(job, now);
+                let was_running = self.store.allocated(job) > 0;
+                self.store.set_allocated(job, target);
                 if was_running {
-                    j.iter_polluted = true;
+                    self.store.set_iter_polluted(job, true);
                 }
                 // Rates for everyone are refreshed by the caller.
                 true
@@ -615,9 +608,13 @@ impl<'a> Sim<'a> {
             let spec = self.qs.spec(job).app.clone();
             let request = spec.request;
             let analyzer = SelfAnalyzer::new(self.config.analyzer);
-            self.running
-                .insert(job, RunningJob::start(spec, analyzer, self.clock));
-            self.order.push(job);
+            // The per-job noise stream is derived, not drawn from the shared
+            // rng, so admission order does not perturb other jobs' noise.
+            // (The classic engine perturbs from the shared stream; the
+            // private stream drives the sharded engine.)
+            let attempt = self.retries.get(&job).copied().unwrap_or(0);
+            let rng = job_noise_rng(self.config.seed, job, attempt);
+            self.store.start(job, spec, analyzer, self.clock, rng);
             if self.obs_on {
                 self.publish(ObsEvent::JobStarted { job, request });
             }
@@ -645,32 +642,28 @@ impl<'a> Sim<'a> {
     fn on_iter_end(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
         // Stale events (completed job, bumped generation) never reach here:
         // the queue discards invalidated keys inside `pop`.
-        let j = self.running.get_mut(&job).expect("filtered at the queue");
-        let crossed = j.advance_to(self.clock);
+        let crossed = self.store.advance_to(job, self.clock);
         let mut sample = None;
         // `(procs, measured_secs)` of a clean iteration, kept for the
-        // observer once `j`'s borrow ends.
+        // observer.
         let mut iter_meta: Option<(usize, f64)> = None;
         if crossed > 0 {
-            if j.iter_polluted {
+            if self.store.iter_polluted(job) {
                 // The finished iteration straddled an allocation change; its
                 // wall time mixes two rates. Restart the measurement window
                 // and report nothing — the next full iteration is clean.
-                j.iter_polluted = false;
-                j.iter_started_at = self.clock;
+                self.store.set_iter_polluted(job, false);
+                self.store.set_iter_started_at(job, self.clock);
             } else {
                 // Measure the finished iteration (wall time since the
                 // iteration started, with timing noise) and feed the
                 // SelfAnalyzer.
-                let truth = self.clock.since(j.iter_started_at);
+                let truth = self.clock.since(self.store.iter_started_at(job));
                 let per_iter = truth / crossed as f64;
-                j.iter_started_at = self.clock;
-                let procs_used = j.effective_procs();
+                self.store.set_iter_started_at(job, self.clock);
+                let procs_used = self.store.effective_procs(job);
                 let measured = self.noise.perturb(per_iter, &mut self.rng);
-                sample = j.analyzer.record_iteration(procs_used, measured);
-                if let Some(s) = sample {
-                    j.last_sample = Some(s);
-                }
+                sample = self.store.record_iteration(job, procs_used, measured);
                 if self.obs_on {
                     iter_meta = Some((procs_used, measured.as_secs()));
                 }
@@ -680,18 +673,17 @@ impl<'a> Sim<'a> {
             // analyzer (§3.1). The reset comes *after* recording the
             // iteration that just finished — it belongs to the old phase.
             if self.config.reset_analyzer_on_phase_change {
-                if let Some(pc) = j.spec.phase_change {
-                    let done = j.progress.iterations_done();
+                if let Some(pc) = self.store.phase_change(job) {
+                    let done = self.store.iterations_done(job);
                     if done >= pc.at_iteration && done - crossed < pc.at_iteration {
-                        j.analyzer.reset();
-                        j.last_sample = None;
+                        self.store.reset_analyzer(job);
                         sample = None;
                     }
                 }
             }
         }
 
-        let complete = j.progress.is_complete();
+        let complete = self.store.is_complete(job);
         if let Some((procs, iter_secs)) = iter_meta {
             // Published after `j`'s borrow ends, before any JobFinished.
             self.publish(ObsEvent::IterationMeasured {
@@ -733,7 +725,7 @@ impl<'a> Sim<'a> {
             // coordination path).
             self.try_admit(policy);
         }
-        if self.running.contains_key(&job) {
+        if self.store.contains(job) {
             // The analyzer phase may have flipped (baseline → measuring), so
             // refresh the rate either way.
             self.recompute_rate(job);
@@ -742,14 +734,9 @@ impl<'a> Sim<'a> {
     }
 
     fn complete_job(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
-        let j = self.running.get(&job).expect("running");
-        let class = j.spec.class;
-        let avg_alloc = j.average_allocation(self.clock);
-        let started_at = j.started_at;
-        // Harvest the speedup-memo stats before the job record is dropped.
-        let (memo_hits, memo_misses) = j.speedup_memo.stats();
-        self.memo_hits += memo_hits;
-        self.memo_misses += memo_misses;
+        let class = self.store.class(job);
+        let avg_alloc = self.store.average_allocation(job, self.clock);
+        let started_at = self.store.started_at(job);
         self.completed_allocs.push((class, avg_alloc));
         self.completed_alloc_by_job.insert(job, avg_alloc);
         self.cpu_seconds_used += avg_alloc * self.clock.since(started_at).as_secs();
@@ -779,10 +766,12 @@ impl<'a> Sim<'a> {
                 }
             }
         }
-        self.running.remove(&job);
+        // Removing the job harvests its speedup-memo stats.
+        let memo = self.store.remove(job);
+        self.memo_hits += memo.hits;
+        self.memo_misses += memo.misses;
         // The pending iteration prediction (if any) dies with the job.
         self.events.invalidate_key(u64::from(job.0));
-        self.order.retain(|&id| id != job);
         self.qs.complete(job);
         self.record_ml();
 
@@ -810,10 +799,10 @@ impl<'a> Sim<'a> {
         match self.sharing {
             SharingModel::SpaceShared => return,
             SharingModel::TimeShared(p) => {
-                let jobs: Vec<(JobId, usize)> = self
-                    .order
-                    .iter()
-                    .map(|&id| (id, self.running[&id].allocated))
+                let store = &self.store;
+                let jobs: Vec<(JobId, usize)> = store
+                    .ids_in_order()
+                    .map(|id| (id, store.allocated(id)))
                     .collect();
                 let changes = self.placement.advance(&jobs, p.affinity, &mut self.rng);
                 for (cpu, occupant) in changes {
@@ -824,12 +813,10 @@ impl<'a> Sim<'a> {
                 // Rotate the matrix: the next gang owns the machine for this
                 // slot; everything beyond its width idles. Dead processors
                 // never host a gang member.
-                if !self.order.is_empty() {
-                    self.gang_slot = (self.gang_slot + 1) % self.order.len();
-                    let job = self.order[self.gang_slot];
-                    let width = self.running[&job]
-                        .allocated
-                        .min(self.placement.alive_cpus());
+                if !self.store.is_empty() {
+                    self.gang_slot = (self.gang_slot + 1) % self.store.len();
+                    let job = self.store.id_at(self.gang_slot);
+                    let width = self.store.allocated(job).min(self.placement.alive_cpus());
                     let mut granted = 0;
                     for c in 0..self.config.cpus {
                         let cpu = CpuId(c as u16);
@@ -904,13 +891,12 @@ impl<'a> Sim<'a> {
                     self.publish_cpu(cpu, None);
                     let now = self.clock;
                     let new_alloc = self.machine.allocation(job);
-                    let j = self.running.get_mut(&job).expect("victim is running");
                     // Bank progress at the old rate before the revocation.
-                    j.advance_to(now);
-                    let eff_before = j.effective_procs();
-                    j.allocated = new_alloc;
-                    if j.effective_procs() != eff_before {
-                        j.iter_polluted = true;
+                    self.store.advance_to(job, now);
+                    let eff_before = self.store.effective_procs(job);
+                    self.store.set_allocated(job, new_alloc);
+                    if self.store.effective_procs(job) != eff_before {
+                        self.store.set_iter_polluted(job, true);
                     }
                     changed.push(job);
                     self.recompute_rate(job);
@@ -951,7 +937,7 @@ impl<'a> Sim<'a> {
     }
 
     fn on_job_kill(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
-        if !self.running.contains_key(&job) {
+        if !self.store.contains(job) {
             // You cannot crash what is not there (queued, done, or between
             // retries). The fault is dropped.
             return;
@@ -959,10 +945,7 @@ impl<'a> Sim<'a> {
         let attempt = self.retries.get(&job).copied().unwrap_or(0) + 1;
         // Free the crashed job's resources — like a completion, but with no
         // outcome record: a retried job restarts from scratch.
-        self.running
-            .get_mut(&job)
-            .expect("running")
-            .advance_to(self.clock);
+        self.store.advance_to(job, self.clock);
         match self.sharing {
             SharingModel::SpaceShared => {
                 let released = self.machine.release(job);
@@ -976,15 +959,13 @@ impl<'a> Sim<'a> {
                 }
             }
         }
-        let (h, m) = self.running[&job].speedup_memo.stats();
-        self.memo_hits += h;
-        self.memo_misses += m;
-        self.running.remove(&job);
+        let memo = self.store.remove(job);
+        self.memo_hits += memo.hits;
+        self.memo_misses += memo.misses;
         // Invalidate the crashed incarnation's pending iteration event by
         // key: a retried job reuses its id, and generations never reset, so
         // the old prediction can never be mistaken for the new one.
         self.events.invalidate_key(u64::from(job.0));
-        self.order.retain(|&id| id != job);
         self.record_ml();
 
         let retry = self.config.faults.retry;
@@ -1041,11 +1022,9 @@ impl<'a> Sim<'a> {
     fn into_result(mut self, policy_name: &str) -> RunResult {
         let completed_all = self.qs.all_done();
         // Memo stats of jobs still running at the simulation bound.
-        for j in self.running.values() {
-            let (h, m) = j.speedup_memo.stats();
-            self.memo_hits += h;
-            self.memo_misses += m;
-        }
+        let leftover = self.store.remaining_memo_stats();
+        self.memo_hits += leftover.hits;
+        self.memo_misses += leftover.misses;
         // Average allocation per class.
         let mut sums: HashMap<AppClass, (f64, usize)> = HashMap::new();
         for (class, avg) in &self.completed_allocs {

@@ -37,9 +37,11 @@
 pub mod config;
 pub mod engine;
 pub mod result;
-pub mod runjob;
+pub mod shard;
+pub mod store;
 pub mod timeshare;
 
 pub use config::EngineConfig;
 pub use engine::Engine;
 pub use result::RunResult;
+pub use store::JobStore;

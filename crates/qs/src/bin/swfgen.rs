@@ -1,7 +1,7 @@
 //! `swfgen` — generate and inspect Standard Workload Format traces.
 //!
 //! ```text
-//! swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned] [--duration S] [--cpus N]
+//! swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned] [--duration S] [--cpus N] [--jobs N]
 //! swfgen info < trace.swf                              # summarize stdin
 //! ```
 //!
@@ -9,7 +9,9 @@
 //! window past the paper's 300 s (job count scales linearly with it, so
 //! long windows produce the multi-thousand-job traces the replay engine
 //! is benchmarked on) and `--cpus` sets the machine the demand math
-//! targets.
+//! targets. `--jobs N` pins the trace to **exactly** N jobs (conditioned
+//! Poisson process) instead of hitting the demand target in expectation —
+//! use it when a benchmark promises a specific trace size.
 //!
 //! The paper distributes its workloads as SWF trace files so that every
 //! scheduling policy replays the identical submission sequence; this tool
@@ -20,12 +22,13 @@ use std::process::ExitCode;
 
 use pdpa_apps::AppClass;
 use pdpa_qs::{
-    generate, swf, GeneratorConfig, Workload, DEFAULT_DURATION_SECS, DEFAULT_MACHINE_CPUS,
+    generate, generate_exact, swf, GeneratorConfig, Workload, DEFAULT_DURATION_SECS,
+    DEFAULT_MACHINE_CPUS,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned] [--duration S] [--cpus N]\n  swfgen info < trace.swf"
+        "usage:\n  swfgen gen <w1|w2|w3|w4> <load> <seed> [--untuned] [--duration S] [--cpus N] [--jobs N]\n  swfgen info < trace.swf"
     );
     ExitCode::from(2)
 }
@@ -78,6 +81,14 @@ fn gen(args: &[String]) -> ExitCode {
         }
         None => DEFAULT_MACHINE_CPUS,
     };
+    let exact_jobs = match flag_value(args, "--jobs") {
+        Some(Ok(v)) if v >= 1.0 && v.fract() == 0.0 => Some(v as usize),
+        Some(_) => {
+            eprintln!("--jobs must be a positive integer");
+            return ExitCode::from(2);
+        }
+        None => None,
+    };
     let config = GeneratorConfig {
         composition: workload.composition(),
         load,
@@ -89,7 +100,10 @@ fn gen(args: &[String]) -> ExitCode {
         eprintln!("invalid configuration: {e}");
         return ExitCode::from(2);
     }
-    let jobs = generate(&config, seed);
+    let jobs = match exact_jobs {
+        Some(n) => generate_exact(&config, seed, n),
+        None => generate(&config, seed),
+    };
     print!("{}", swf::write_swf(&jobs));
     ExitCode::SUCCESS
 }

@@ -135,6 +135,56 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Vec<JobSpec> {
     jobs
 }
 
+/// Generates a workload with **exactly** `n_jobs` jobs.
+///
+/// The open-ended Poisson process in [`generate`] only hits a target count
+/// in expectation; benchmark harnesses that promise "a 1M-job trace" need
+/// the count to be exact. This variant conditions the process on the
+/// count: each class receives its share of the `n_jobs` total (largest
+/// remainders resolve rounding), and the submissions within the window
+/// are i.i.d. uniform draws — exactly the conditional distribution of a
+/// Poisson process given its event count. Deterministic for a given seed.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`GeneratorConfig::validate`]) or `n_jobs` is zero. `load` is ignored
+/// (the count replaces the demand math); it must still be in range.
+pub fn generate_exact(config: &GeneratorConfig, seed: u64, n_jobs: usize) -> Vec<JobSpec> {
+    config.validate().expect("invalid generator configuration");
+    assert!(n_jobs > 0, "n_jobs must be positive");
+    let mut rng = SimRng::new(seed);
+
+    // Apportion n_jobs across classes by share, largest remainder first.
+    let mut counts: Vec<(AppClass, usize, f64)> = config
+        .composition
+        .iter()
+        .map(|&(class, share)| {
+            let exact = share * n_jobs as f64;
+            (class, exact as usize, exact - exact.floor())
+        })
+        .collect();
+    let assigned: usize = counts.iter().map(|&(_, c, _)| c).sum();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| counts[b].2.partial_cmp(&counts[a].2).unwrap());
+    for &i in order.iter().cycle().take(n_jobs - assigned) {
+        counts[i].1 += 1;
+    }
+
+    let mut jobs = Vec::with_capacity(n_jobs);
+    for (class, count, _) in counts {
+        let app = app_for(class, config.tuned);
+        let mut stream = rng.fork(class as u64 + 1);
+        for _ in 0..count {
+            let t = stream.uniform(0.0, config.duration_secs);
+            jobs.push(JobSpec::new(SimTime::from_secs(t), app.clone()));
+        }
+    }
+    jobs.sort_by_key(|a| a.submit);
+    debug_assert_eq!(jobs.len(), n_jobs);
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +294,44 @@ mod tests {
         };
         let jobs = generate(&cfg, 3);
         assert!(jobs.iter().all(|j| j.app.request == 2));
+    }
+
+    #[test]
+    fn exact_count_is_exact() {
+        for n in [1, 7, 100, 1234] {
+            let jobs = generate_exact(&config(1.0), 42, n);
+            assert_eq!(jobs.len(), n);
+            assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+            assert!(jobs.iter().all(|j| j.submit.as_secs() < 300.0));
+        }
+    }
+
+    #[test]
+    fn exact_count_is_deterministic() {
+        let a = generate_exact(&config(0.8), 7, 500);
+        let b = generate_exact(&config(0.8), 7, 500);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit, y.submit);
+            assert_eq!(x.app.class, y.app.class);
+        }
+        let c = generate_exact(&config(0.8), 8, 500);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.submit != y.submit));
+    }
+
+    #[test]
+    fn exact_count_honors_composition_shares() {
+        let jobs = generate_exact(&config(1.0), 3, 1000);
+        let swim = jobs
+            .iter()
+            .filter(|j| j.app.class == AppClass::Swim)
+            .count();
+        assert_eq!(swim, 500, "0.5 share of 1000 jobs must be exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "n_jobs")]
+    fn exact_count_rejects_zero() {
+        let _ = generate_exact(&config(1.0), 3, 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod shape;
 pub mod swf;
 pub mod workloads;
 
-pub use generator::{generate, GeneratorConfig};
+pub use generator::{generate, generate_exact, GeneratorConfig};
 pub use job::JobSpec;
 pub use queue::QueueSystem;
 pub use swf::{SwfError, SwfRecord, SwfTrace};

@@ -1,0 +1,728 @@
+//! A calendar (bucketed) event queue and the size-adaptive wrapper.
+//!
+//! [`CalendarQueue`] is the classic Brown calendar queue specialized for
+//! the engine's access pattern: millions of events whose timestamps are
+//! spread roughly uniformly at a stable density. Events hash into
+//! `nbuckets` circular day-buckets of `width` seconds; a pop scans only
+//! the cursor's bucket for the earliest entry of the current "day", so
+//! push and pop are O(1) amortized instead of the binary heap's
+//! O(log n). The queue resizes itself (doubling or halving the bucket
+//! count and re-estimating the width from the backlog's time span)
+//! whenever the occupancy drifts away from ~1 entry per bucket, and
+//! memoizes the located minimum so repeated peeks between mutations are
+//! O(1).
+//!
+//! The public surface is identical to [`EventQueue`]: FIFO tie-breaking
+//! via a global sequence counter and generation-keyed lazy deletion —
+//! the equivalence is property-tested by driving both queues with the
+//! same randomized script (`crates/sim/tests/queue_equivalence.rs`).
+//!
+//! [`AdaptiveQueue`] front-ends both implementations: it starts as a
+//! heap (lower constant factor at small sizes) and migrates everything —
+//! pending entries, sequence counter, key generations, and statistics —
+//! into a calendar once the backlog crosses
+//! [`AdaptiveQueue::UPGRADE_AT`]. Pop order is unaffected by the
+//! migration point, so callers observe one continuous queue.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// One stored event. Ordering is by `(at, seq)`; `seq` is globally
+/// monotone so same-instant entries pop FIFO.
+#[derive(Debug)]
+struct CEntry<E> {
+    at: SimTime,
+    seq: u64,
+    /// `(key, generation at push time)` for invalidatable entries.
+    key: Option<(u64, u64)>,
+    payload: E,
+}
+
+/// A bucketed priority queue of `(SimTime, payload)` entries with FIFO
+/// tie-breaking and generation-keyed lazy deletion — the calendar-queue
+/// counterpart of [`EventQueue`], with the same observable behavior.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<CEntry<E>>>,
+    /// Bucket count; always a power of two so the day index masks.
+    nbuckets: usize,
+    /// Bucket width in seconds.
+    width: f64,
+    /// The day index (`floor(at / width)`) the cursor is on: every
+    /// remaining entry has a day index ≥ `current_day` (pushes into the
+    /// past move the cursor back to keep the invariant).
+    current_day: u64,
+    /// Live + stale entries currently stored.
+    len: usize,
+    /// Memoized location of the minimum entry `(bucket, index, day)`.
+    /// Interior mutability lets `peek_time(&self)` reuse one `locate`
+    /// walk across repeated peeks (the sharded engine peeks every shard
+    /// queue at every barrier round); cleared whenever stored positions
+    /// can shift (pop's `swap_remove`, rebuilds) and updated in place on
+    /// push, which only appends.
+    cache: Cell<Option<(usize, usize, u64)>>,
+    /// Current generation per key — see [`EventQueue::invalidate_key`].
+    generations: HashMap<u64, u64>,
+    next_seq: u64,
+    pushed: u64,
+    popped: u64,
+    stale: u64,
+}
+
+/// Day index of an instant at a given bucket width. Monotone in `at`,
+/// computed identically at push and pop time so an entry can never be
+/// misfiled relative to the cursor.
+#[inline]
+fn day_of(at: SimTime, width: f64) -> u64 {
+    (at.as_secs() / width) as u64
+}
+
+impl<E> CalendarQueue<E> {
+    /// Initial bucket count.
+    const INITIAL_BUCKETS: usize = 16;
+    /// Bucket-count ceiling (2²⁰ buckets ≈ 8 MiB of `Vec` headers).
+    const MAX_BUCKETS: usize = 1 << 20;
+
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..Self::INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            nbuckets: Self::INITIAL_BUCKETS,
+            width: 1.0,
+            current_day: 0,
+            len: 0,
+            cache: Cell::new(None),
+            generations: HashMap::new(),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+            stale: 0,
+        }
+    }
+
+    /// Rebuilds an entire queue from migrated raw state (see
+    /// [`EventQueue::into_raw_parts`]); pop order and all counters
+    /// continue exactly where the source queue left off.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn from_raw_parts(
+        entries: Vec<(SimTime, u64, Option<(u64, u64)>, E)>,
+        generations: HashMap<u64, u64>,
+        next_seq: u64,
+        pushed: u64,
+        popped: u64,
+        stale: u64,
+    ) -> Self {
+        let mut q = CalendarQueue {
+            buckets: Vec::new(),
+            nbuckets: 0,
+            width: 1.0,
+            current_day: 0,
+            len: entries.len(),
+            cache: Cell::new(None),
+            generations,
+            next_seq,
+            pushed,
+            popped,
+            stale,
+        };
+        let entries: Vec<CEntry<E>> = entries
+            .into_iter()
+            .map(|(at, seq, key, payload)| CEntry {
+                at,
+                seq,
+                key,
+                payload,
+            })
+            .collect();
+        let target = (entries.len().max(Self::INITIAL_BUCKETS)).next_power_of_two();
+        q.rebuild(entries, target.min(Self::MAX_BUCKETS));
+        q
+    }
+
+    /// Redistributes `entries` over `nbuckets` buckets, re-estimating the
+    /// width from the observed event density and repositioning the cursor
+    /// on the earliest remaining day.
+    fn rebuild(&mut self, entries: Vec<CEntry<E>>, nbuckets: usize) {
+        self.cache.set(None);
+        self.width = Self::estimate_width(&entries);
+        self.nbuckets = nbuckets;
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.current_day = entries
+            .iter()
+            .map(|e| day_of(e.at, self.width))
+            .min()
+            .unwrap_or(0);
+        let mask = nbuckets - 1;
+        for e in entries {
+            let b = (day_of(e.at, self.width) as usize) & mask;
+            self.buckets[b].push(e);
+        }
+    }
+
+    /// Bucket width from the backlog's full time span: `2·span/len`
+    /// targets ~2 entries per day. Using the span (not sampled gaps)
+    /// matters for long-tailed backlogs: a sample drawn from a dense
+    /// region underestimates the width by orders of magnitude, the day
+    /// count explodes past the bucket count, and every `locate` walks a
+    /// full lap before falling back to the O(n) scan. The span estimate
+    /// bounds the total days at `len/2 ≤ 2·nbuckets`, so a lap always
+    /// covers the whole backlog.
+    fn estimate_width(entries: &[CEntry<E>]) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for e in entries {
+            let s = e.at.as_secs();
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        let span = hi - lo;
+        if entries.len() < 2 || span <= 0.0 {
+            1.0
+        } else {
+            (2.0 * span / entries.len() as f64).max(1e-9)
+        }
+    }
+
+    /// Collects every stored entry (order unspecified), leaving the
+    /// buckets empty but counters intact.
+    fn drain_entries(&mut self) -> Vec<CEntry<E>> {
+        let mut all = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all
+    }
+
+    /// Grows or shrinks the bucket array when occupancy drifts from the
+    /// ~1–2 entries/bucket sweet spot.
+    fn maybe_resize(&mut self) {
+        if self.len > 2 * self.nbuckets && self.nbuckets < Self::MAX_BUCKETS {
+            let entries = self.drain_entries();
+            let n = self.nbuckets * 2;
+            self.rebuild(entries, n);
+        } else if self.len < self.nbuckets / 4 && self.nbuckets > Self::INITIAL_BUCKETS {
+            let entries = self.drain_entries();
+            let n = (self.nbuckets / 2).max(Self::INITIAL_BUCKETS);
+            self.rebuild(entries, n);
+        }
+    }
+
+    fn insert(&mut self, e: CEntry<E>) {
+        let day = day_of(e.at, self.width);
+        // A push behind the cursor (possible through the public API, the
+        // engine never does it) moves the cursor back so the entry is
+        // still found first.
+        if self.len == 0 || day < self.current_day {
+            self.current_day = day;
+        }
+        let b = (day as usize) & (self.nbuckets - 1);
+        let new_order = (e.at, e.seq);
+        self.buckets[b].push(e);
+        self.len += 1;
+        // Keep the memoized minimum exact: replace it when the new entry
+        // sorts first, keep it otherwise (appends never move entries).
+        match self.cache.get() {
+            Some((cb, ci, _)) => {
+                let cur = &self.buckets[cb][ci];
+                if new_order < (cur.at, cur.seq) {
+                    self.cache.set(Some((b, self.buckets[b].len() - 1, day)));
+                }
+            }
+            None if self.len == 1 => {
+                self.cache.set(Some((b, self.buckets[b].len() - 1, day)));
+            }
+            None => {}
+        }
+        self.maybe_resize();
+    }
+
+    /// Schedules `payload` at instant `at`.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.insert(CEntry {
+            at,
+            seq,
+            key: None,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` at instant `at` under `key` for later lazy
+    /// invalidation — same contract as [`EventQueue::push_keyed`].
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        let generation = self.generations.get(&key).copied().unwrap_or(0);
+        self.insert(CEntry {
+            at,
+            seq,
+            key: Some((key, generation)),
+            payload,
+        });
+    }
+
+    /// Schedules a batch of events; sequence numbers are assigned in
+    /// slice order, so same-instant batch entries pop FIFO exactly as if
+    /// pushed one by one — same contract as [`EventQueue::push_batch`].
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = (SimTime, E)>) {
+        for (at, payload) in events {
+            self.push(at, payload);
+        }
+    }
+
+    /// Marks every entry currently pushed under `key` as stale — same
+    /// contract as [`EventQueue::invalidate_key`]. O(1).
+    pub fn invalidate_key(&mut self, key: u64) {
+        *self.generations.entry(key).or_insert(0) += 1;
+    }
+
+    /// True if `entry` was invalidated after it was pushed.
+    fn is_stale(&self, entry: &CEntry<E>) -> bool {
+        match entry.key {
+            Some((key, generation)) => {
+                self.generations.get(&key).copied().unwrap_or(0) != generation
+            }
+            None => false,
+        }
+    }
+
+    /// Finds the earliest entry: `(bucket, index-in-bucket, its day)`.
+    /// Memoized — repeated peeks between mutations are O(1).
+    fn locate(&self) -> Option<(usize, usize, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(c) = self.cache.get() {
+            return Some(c);
+        }
+        let found = self.locate_uncached();
+        self.cache.set(found);
+        found
+    }
+
+    /// The actual walk behind [`locate`](Self::locate): day windows from
+    /// the cursor; after a full lap over empty windows (the backlog is
+    /// sparse relative to the width) it falls back to a direct O(n) min
+    /// scan — rare by construction, and the cursor then jumps straight
+    /// to the found day.
+    fn locate_uncached(&self) -> Option<(usize, usize, u64)> {
+        let mask = self.nbuckets - 1;
+        let mut day = self.current_day;
+        for _ in 0..self.nbuckets {
+            let b = (day as usize) & mask;
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                if day_of(e.at, self.width) != day {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, at, seq)) => (e.at, e.seq) < (at, seq),
+                };
+                if better {
+                    best = Some((i, e.at, e.seq));
+                }
+            }
+            if let Some((i, _, _)) = best {
+                return Some((b, i, day));
+            }
+            day += 1;
+        }
+        // Sparse backlog: locate the global minimum directly.
+        let mut best: Option<(usize, usize, SimTime, u64)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (i, e) in bucket.iter().enumerate() {
+                let better = match best {
+                    None => true,
+                    Some((_, _, at, seq)) => (e.at, e.seq) < (at, seq),
+                };
+                if better {
+                    best = Some((b, i, e.at, e.seq));
+                }
+            }
+        }
+        best.map(|(b, i, at, _)| (b, i, day_of(at, self.width)))
+    }
+
+    /// Removes and returns the earliest live event, discarding stale
+    /// keyed entries along the way — same contract as
+    /// [`EventQueue::pop`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let (b, i, day) = self.locate()?;
+            self.current_day = day;
+            let e = self.buckets[b].swap_remove(i);
+            self.cache.set(None);
+            self.len -= 1;
+            self.popped += 1;
+            let stale = self.is_stale(&e);
+            if stale {
+                self.stale += 1;
+                self.maybe_resize();
+                continue;
+            }
+            self.maybe_resize();
+            return Some((e.at, e.payload));
+        }
+    }
+
+    /// Removes and returns the earliest live event for which `valid`
+    /// also holds — same contract as [`EventQueue::pop_valid`].
+    pub fn pop_valid(&mut self, mut valid: impl FnMut(&E) -> bool) -> Option<(SimTime, E)> {
+        loop {
+            let (at, payload) = self.pop()?;
+            if valid(&payload) {
+                return Some((at, payload));
+            }
+        }
+    }
+
+    /// The timestamp of the earliest pending entry — possibly a stale
+    /// one, exactly like [`EventQueue::peek_time`].
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.locate().map(|(b, i, _)| self.buckets[b][i].at)
+    }
+
+    /// Number of pending entries, stale ones included.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events pushed over the queue's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events popped over the queue's lifetime, stale discards
+    /// included.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total keyed entries discarded as stale over the queue's lifetime.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Which implementation an [`AdaptiveQueue`] is currently running on.
+#[derive(Debug)]
+enum Backend<E> {
+    /// Binary heap: lower constant factor while the backlog is small.
+    Heap(EventQueue<E>),
+    /// Calendar queue: O(1) amortized once the backlog is large.
+    Calendar(CalendarQueue<E>),
+}
+
+/// An event queue that picks its implementation by backlog size.
+///
+/// Starts as a [`EventQueue`] (binary heap) and migrates to a
+/// [`CalendarQueue`] the first time the backlog reaches
+/// [`UPGRADE_AT`](Self::UPGRADE_AT) entries; it never migrates back. The
+/// explicit [`heap`](Self::heap) and [`calendar`](Self::calendar)
+/// constructors pin one implementation for tests and benchmarks. Pop
+/// order, key invalidation, and the traffic counters are identical
+/// across all three configurations.
+#[derive(Debug)]
+pub struct AdaptiveQueue<E> {
+    backend: Backend<E>,
+    /// When true, the queue never migrates off its initial backend.
+    pinned: bool,
+}
+
+impl<E> AdaptiveQueue<E> {
+    /// Backlog size at which an unpinned queue upgrades to a calendar.
+    /// Below this the heap's tighter inner loop wins; above it the
+    /// calendar's O(1) pops do.
+    pub const UPGRADE_AT: usize = 4096;
+
+    /// Creates an adaptive queue (heap now, calendar at scale).
+    pub fn new() -> Self {
+        AdaptiveQueue {
+            backend: Backend::Heap(EventQueue::new()),
+            pinned: false,
+        }
+    }
+
+    /// Creates a queue pinned to the binary-heap implementation.
+    pub fn heap() -> Self {
+        AdaptiveQueue {
+            backend: Backend::Heap(EventQueue::new()),
+            pinned: true,
+        }
+    }
+
+    /// Creates a queue pinned to the calendar implementation.
+    pub fn calendar() -> Self {
+        AdaptiveQueue {
+            backend: Backend::Calendar(CalendarQueue::new()),
+            pinned: true,
+        }
+    }
+
+    /// True when the calendar backend is active (test/bench
+    /// introspection).
+    pub fn is_calendar(&self) -> bool {
+        matches!(self.backend, Backend::Calendar(_))
+    }
+
+    /// Migrates heap → calendar once the backlog warrants it.
+    fn maybe_upgrade(&mut self) {
+        if self.pinned || self.len() < Self::UPGRADE_AT {
+            return;
+        }
+        if let Backend::Heap(h) = &mut self.backend {
+            let h = std::mem::take(h);
+            let (entries, generations, next_seq, pushed, popped, stale) = h.into_raw_parts();
+            self.backend = Backend::Calendar(CalendarQueue::from_raw_parts(
+                entries,
+                generations,
+                next_seq,
+                pushed,
+                popped,
+                stale,
+            ));
+        }
+    }
+
+    /// Schedules `payload` at instant `at` — see [`EventQueue::push`].
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        match &mut self.backend {
+            Backend::Heap(q) => q.push(at, payload),
+            Backend::Calendar(q) => q.push(at, payload),
+        }
+        self.maybe_upgrade();
+    }
+
+    /// Schedules `payload` under `key` — see [`EventQueue::push_keyed`].
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        match &mut self.backend {
+            Backend::Heap(q) => q.push_keyed(at, key, payload),
+            Backend::Calendar(q) => q.push_keyed(at, key, payload),
+        }
+        self.maybe_upgrade();
+    }
+
+    /// Schedules a batch of events — see [`EventQueue::push_batch`].
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = (SimTime, E)>) {
+        match &mut self.backend {
+            Backend::Heap(q) => q.push_batch(events),
+            Backend::Calendar(q) => q.push_batch(events),
+        }
+        self.maybe_upgrade();
+    }
+
+    /// Marks entries under `key` stale — see
+    /// [`EventQueue::invalidate_key`].
+    pub fn invalidate_key(&mut self, key: u64) {
+        match &mut self.backend {
+            Backend::Heap(q) => q.invalidate_key(key),
+            Backend::Calendar(q) => q.invalidate_key(key),
+        }
+    }
+
+    /// Pops the earliest live event — see [`EventQueue::pop`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match &mut self.backend {
+            Backend::Heap(q) => q.pop(),
+            Backend::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// Pops the earliest live event passing `valid` — see
+    /// [`EventQueue::pop_valid`].
+    pub fn pop_valid(&mut self, valid: impl FnMut(&E) -> bool) -> Option<(SimTime, E)> {
+        match &mut self.backend {
+            Backend::Heap(q) => q.pop_valid(valid),
+            Backend::Calendar(q) => q.pop_valid(valid),
+        }
+    }
+
+    /// Earliest pending timestamp — see [`EventQueue::peek_time`].
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match &self.backend {
+            Backend::Heap(q) => q.peek_time(),
+            Backend::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    /// Number of pending entries, stale ones included.
+    pub fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Heap(q) => q.len(),
+            Backend::Calendar(q) => q.len(),
+        }
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events pushed over the queue's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        match &self.backend {
+            Backend::Heap(q) => q.total_pushed(),
+            Backend::Calendar(q) => q.total_pushed(),
+        }
+    }
+
+    /// Total events popped, stale discards included.
+    pub fn total_popped(&self) -> u64 {
+        match &self.backend {
+            Backend::Heap(q) => q.total_popped(),
+            Backend::Calendar(q) => q.total_popped(),
+        }
+    }
+
+    /// Total keyed entries discarded as stale.
+    pub fn stale_drops(&self) -> u64 {
+        match &self.backend {
+            Backend::Heap(q) => q.stale_drops(),
+            Backend::Calendar(q) => q.stale_drops(),
+        }
+    }
+}
+
+impl<E> Default for AdaptiveQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(3.0), "c");
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(t(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn survives_resizes_and_sparse_jumps() {
+        // Enough entries to force several grows, spread over wildly
+        // different densities: a dense cluster, a sparse tail, and a
+        // far-future outlier exercising the full-lap fallback.
+        let mut q = CalendarQueue::new();
+        let mut expect: Vec<(f64, u32)> = Vec::new();
+        for i in 0..5_000u32 {
+            let at = f64::from(i % 997) * 0.01;
+            q.push(t(at), i);
+            expect.push((at, i));
+        }
+        q.push(t(1.0e6), 999_999);
+        expect.push((1.0e6, 999_999));
+        expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let got: Vec<(f64, u32)> =
+            std::iter::from_fn(|| q.pop().map(|(at, e)| (at.as_secs(), e))).collect();
+        assert_eq!(got, expect);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn invalidated_keys_drop_lazily() {
+        let mut q = CalendarQueue::new();
+        q.push_keyed(t(1.0), 7, "old");
+        q.push(t(2.0), "plain");
+        q.invalidate_key(7);
+        q.push_keyed(t(3.0), 7, "new");
+        assert_eq!(q.pop(), Some((t(2.0), "plain")));
+        assert_eq!(q.pop(), Some((t(3.0), "new")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.stale_drops(), 1);
+        assert_eq!(q.total_popped(), 3);
+    }
+
+    #[test]
+    fn peek_matches_next_pop_time() {
+        let mut q = CalendarQueue::new();
+        q.push(t(4.0), "x");
+        q.push(t(2.5), "y");
+        assert_eq!(q.peek_time(), Some(t(2.5)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((t(2.5), "y")));
+    }
+
+    #[test]
+    fn pushes_behind_the_cursor_are_found() {
+        let mut q = CalendarQueue::new();
+        q.push(t(100.0), "later");
+        assert_eq!(q.pop(), Some((t(100.0), "later")));
+        // The cursor sits at day(100); a push at 1.0 must still pop first.
+        q.push(t(200.0), "tail");
+        q.push(t(1.0), "early");
+        assert_eq!(q.pop(), Some((t(1.0), "early")));
+        assert_eq!(q.pop(), Some((t(200.0), "tail")));
+    }
+
+    #[test]
+    fn adaptive_upgrades_at_threshold_without_reordering() {
+        let mut adaptive = AdaptiveQueue::new();
+        let mut pinned = AdaptiveQueue::heap();
+        assert!(!adaptive.is_calendar());
+        let n = AdaptiveQueue::<usize>::UPGRADE_AT + 500;
+        for i in 0..n {
+            let at = t((i * 7919 % 10_007) as f64 * 0.1);
+            adaptive.push_keyed(at, (i % 64) as u64, i);
+            pinned.push_keyed(at, (i % 64) as u64, i);
+        }
+        adaptive.invalidate_key(13);
+        pinned.invalidate_key(13);
+        assert!(adaptive.is_calendar(), "upgraded past the threshold");
+        assert!(!pinned.is_calendar(), "pinned heap never migrates");
+        loop {
+            let (a, b) = (adaptive.pop(), pinned.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(adaptive.total_pushed(), pinned.total_pushed());
+        assert_eq!(adaptive.total_popped(), pinned.total_popped());
+        assert_eq!(adaptive.stale_drops(), pinned.stale_drops());
+    }
+
+    #[test]
+    fn pinned_calendar_starts_as_calendar() {
+        let q: AdaptiveQueue<u32> = AdaptiveQueue::calendar();
+        assert!(q.is_calendar());
+        assert!(q.is_empty());
+    }
+}

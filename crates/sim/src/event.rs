@@ -219,6 +219,38 @@ impl<E> EventQueue<E> {
     pub fn stale_drops(&self) -> u64 {
         self.stale
     }
+
+    /// Decomposes the queue into its raw state — pending entries as
+    /// `(at, seq, key, payload)` in unspecified order, key generations,
+    /// and the sequence/traffic counters — so another implementation
+    /// (the calendar queue) can take over mid-stream without disturbing
+    /// pop order or statistics.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_raw_parts(
+        self,
+    ) -> (
+        Vec<(SimTime, u64, Option<(u64, u64)>, E)>,
+        HashMap<u64, u64>,
+        u64,
+        u64,
+        u64,
+        u64,
+    ) {
+        let entries = self
+            .heap
+            .into_vec()
+            .into_iter()
+            .map(|e| (e.at, e.seq, e.key, e.payload))
+            .collect();
+        (
+            entries,
+            self.generations,
+            self.next_seq,
+            self.pushed,
+            self.popped,
+            self.stale,
+        )
+    }
 }
 
 impl<E> Default for EventQueue<E> {

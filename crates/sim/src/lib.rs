@@ -7,6 +7,9 @@
 //! - [`SimRng`] — a small deterministic SplitMix64-based random number
 //!   generator, so every experiment is reproducible from a seed.
 //! - [`EventQueue`] — a stable priority queue of timestamped events.
+//! - [`CalendarQueue`] / [`AdaptiveQueue`] — a bucketed O(1)-amortized
+//!   variant of the same queue API, and the wrapper that switches to it
+//!   automatically once the backlog is large enough to warrant it.
 //! - [`Machine`] — a CC-NUMA machine model (SGI Origin 2000-like: two CPUs
 //!   per node) with affinity-preserving cpuset assignment and migration
 //!   accounting.
@@ -18,6 +21,7 @@
 
 #![deny(missing_docs)]
 
+pub mod calendar;
 pub mod cost;
 pub mod event;
 pub mod ids;
@@ -25,6 +29,7 @@ pub mod machine;
 pub mod rng;
 pub mod time;
 
+pub use calendar::{AdaptiveQueue, CalendarQueue};
 pub use cost::CostModel;
 pub use event::EventQueue;
 pub use ids::{CpuId, JobId};

@@ -80,6 +80,18 @@ impl SimTime {
             other
         }
     }
+
+    /// The smallest representable instant strictly after `self`.
+    ///
+    /// Event scheduling uses this to guarantee forward progress at large
+    /// clock values: once the clock exceeds ~2²¹ seconds, a sub-ULP
+    /// remainder makes `t + dt` round back onto `t`, and an event
+    /// scheduled there would re-run with zero progress forever.
+    pub fn next_up(self) -> SimTime {
+        // Finite and non-negative by construction, so incrementing the
+        // bit pattern is exactly the next float toward +∞.
+        SimTime(f64::from_bits(self.0.to_bits() + 1))
+    }
 }
 
 impl SimDuration {
@@ -326,6 +338,16 @@ mod tests {
     fn duration_sum() {
         let total: SimDuration = (1..=4).map(|i| SimDuration::from_secs(i as f64)).sum();
         assert_eq!(total.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn next_up_strictly_advances() {
+        // At ~2²¹ seconds the ULP is ~4.7e-10 s: adding a smaller span
+        // rounds back onto the same instant, but next_up never does.
+        let t = SimTime::from_secs(2_097_157.0);
+        assert_eq!(t + SimDuration::from_secs(1e-10), t);
+        assert!(t.next_up() > t);
+        assert!(SimTime::ZERO.next_up() > SimTime::ZERO);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Property test: the calendar queue is observationally identical to the
+//! binary-heap event queue.
+//!
+//! A randomized script of `push`, `push_batch`, `push_keyed`,
+//! `invalidate_key`, `pop`, and `pop_valid` operations is replayed
+//! against three queues — the heap [`EventQueue`], the bucketed
+//! [`CalendarQueue`], and the migrating [`AdaptiveQueue`] — asserting
+//! after every step that popped `(time, payload)` pairs, `peek_time`,
+//! lengths, and the pushed/popped/stale counters all agree. Timestamps
+//! mix dense clusters, exact ties, and far-future outliers so the
+//! calendar's bucket resize and sparse-lap fallback paths are exercised,
+//! and the script length straddles [`AdaptiveQueue::UPGRADE_AT`] so the
+//! heap → calendar migration happens mid-stream.
+
+use proptest::prelude::*;
+
+use pdpa_sim::{AdaptiveQueue, CalendarQueue, EventQueue, SimTime};
+
+/// One scripted queue operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Push(f64),
+    PushKeyed(f64, u64),
+    /// Batch of plain pushes (calendar and heap both assign seqs in
+    /// slice order).
+    PushBatch(Vec<f64>),
+    InvalidateKey(u64),
+    Pop,
+    /// Pop through the payload predicate `payload % 3 != 0`.
+    PopValid,
+    Peek,
+}
+
+fn arb_time() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        // Dense cluster with frequent exact ties.
+        (0u32..200).prop_map(|k| f64::from(k) * 0.5),
+        // Spread-out mid-range times.
+        0.0f64..10_000.0,
+        // Sparse far-future outliers (forces the calendar's full-lap
+        // fallback and cursor jumps).
+        1.0e6f64..1.0e8,
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored prop_oneof! picks uniformly; duplicate the hot arms
+    // to weight pushes and pops over the rarer structural ops.
+    prop_oneof![
+        arb_time().prop_map(Op::Push),
+        arb_time().prop_map(Op::Push),
+        (arb_time(), 0u64..24).prop_map(|(t, k)| Op::PushKeyed(t, k)),
+        (arb_time(), 0u64..24).prop_map(|(t, k)| Op::PushKeyed(t, k)),
+        proptest::collection::vec(arb_time(), 1..40).prop_map(Op::PushBatch),
+        (0u64..24).prop_map(Op::InvalidateKey),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        Just(Op::PopValid),
+        Just(Op::Peek),
+    ]
+}
+
+/// Drives one op against a queue through a unified closure surface so the
+/// same script lands on all implementations identically.
+macro_rules! apply_op {
+    ($q:expr, $op:expr, $payload:expr) => {
+        match $op {
+            Op::Push(t) => {
+                $q.push(SimTime::from_secs(*t), $payload);
+                None
+            }
+            Op::PushKeyed(t, k) => {
+                $q.push_keyed(SimTime::from_secs(*t), *k, $payload);
+                None
+            }
+            Op::PushBatch(ts) => {
+                let base = $payload;
+                $q.push_batch(
+                    ts.iter()
+                        .enumerate()
+                        .map(|(i, t)| (SimTime::from_secs(*t), base + i as u64)),
+                );
+                None
+            }
+            Op::InvalidateKey(k) => {
+                $q.invalidate_key(*k);
+                None
+            }
+            Op::Pop => Some($q.pop()),
+            Op::PopValid => Some($q.pop_valid(|e| e % 3 != 0)),
+            Op::Peek => {
+                let _ = $q.peek_time();
+                None
+            }
+        }
+    };
+}
+
+fn run_script(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut heap: EventQueue<u64> = EventQueue::new();
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut ada: AdaptiveQueue<u64> = AdaptiveQueue::new();
+    let mut payload: u64 = 0;
+    for op in ops {
+        let h = apply_op!(heap, op, payload);
+        let c = apply_op!(cal, op, payload);
+        let a = apply_op!(ada, op, payload);
+        if let Op::PushBatch(ts) = op {
+            payload += ts.len() as u64;
+        } else {
+            payload += 1;
+        }
+        prop_assert_eq!(&h, &c, "heap vs calendar pop mismatch on {:?}", op);
+        prop_assert_eq!(&h, &a, "heap vs adaptive pop mismatch on {:?}", op);
+        prop_assert_eq!(heap.peek_time(), cal.peek_time());
+        prop_assert_eq!(heap.peek_time(), ada.peek_time());
+        prop_assert_eq!(heap.len(), cal.len());
+        prop_assert_eq!(heap.len(), ada.len());
+        prop_assert_eq!(heap.total_pushed(), cal.total_pushed());
+        prop_assert_eq!(heap.total_popped(), cal.total_popped());
+        prop_assert_eq!(heap.stale_drops(), cal.stale_drops());
+        prop_assert_eq!(heap.total_pushed(), ada.total_pushed());
+        prop_assert_eq!(heap.total_popped(), ada.total_popped());
+        prop_assert_eq!(heap.stale_drops(), ada.stale_drops());
+    }
+    // Drain everything left: the full remaining pop order must agree.
+    loop {
+        let h = heap.pop();
+        prop_assert_eq!(&h, &cal.pop());
+        prop_assert_eq!(&h, &ada.pop());
+        if h.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Short mixed scripts: every op interleaving agrees across all
+    /// three queue implementations.
+    #[test]
+    fn mixed_scripts_agree(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        run_script(&ops)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Long push-heavy scripts crossing the adaptive upgrade threshold:
+    /// the heap → calendar migration must not disturb order, key
+    /// invalidation, or counters.
+    #[test]
+    fn migration_preserves_order(
+        times in proptest::collection::vec(arb_time(), 5_000..6_000),
+        invalidate in proptest::collection::vec(0u64..24, 0..10),
+    ) {
+        let mut ops: Vec<Op> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                if i % 3 == 0 {
+                    Op::PushKeyed(t, (i % 24) as u64)
+                } else {
+                    Op::Push(t)
+                }
+            })
+            .collect();
+        for k in invalidate {
+            ops.push(Op::InvalidateKey(k));
+        }
+        for _ in 0..64 {
+            ops.push(Op::Pop);
+        }
+        run_script(&ops)?;
+    }
+}
