@@ -1,0 +1,176 @@
+//! Validates the self-profiling exports of `pdpa replay --profile-out` —
+//! the CI gate behind the span profiler and the binary observer stream.
+//!
+//! ```text
+//! validate-prof --profile prof.json --shards 2 \
+//!               [--report report.txt] [--stream run.bin]
+//! ```
+//!
+//! Checks (any failure exits nonzero with a message):
+//!
+//! - the profile parses as Chrome `trace_event` JSON, every event is a
+//!   complete (`X`) span or a metadata (`M`) record, every `X` span has a
+//!   name and a duration on a declared lane, and with `--shards N` the
+//!   thread lanes are exactly `coordinator` plus `shard-0..shard-N-1`;
+//! - with `--report`, the text hot-path report is non-empty and carries
+//!   the table header plus the top-level `replay` span row;
+//! - with `--stream`, the file starts with the `PDPAOBS1` magic and every
+//!   frame decodes back to a `TimedEvent` (non-empty).
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use pdpa_bench::json::{parse, Value};
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("validate-prof: FAILED: {message}");
+    ExitCode::FAILURE
+}
+
+fn read(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Validates the profiler's Chrome trace and returns
+/// `(span_count, lane_count)`.
+fn check_profile(doc: &Value, shards: Option<usize>) -> Result<(usize, usize), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("profile has no traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut lanes: BTreeSet<String> = BTreeSet::new();
+    let mut lane_tids: BTreeSet<u64> = BTreeSet::new();
+    let mut spans = 0usize;
+    let mut span_tids: BTreeSet<u64> = BTreeSet::new();
+    for ev in events {
+        let phase = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or("event without ph")?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("event without name")?;
+        let tid = ev.get("tid").and_then(Value::as_u64).unwrap_or(0);
+        match phase {
+            "M" => {
+                if name == "thread_name" {
+                    let lane = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .ok_or("thread_name record without args.name")?;
+                    lanes.insert(lane.to_string());
+                    lane_tids.insert(tid);
+                }
+            }
+            "X" => {
+                if ev.get("ts").and_then(Value::as_f64).is_none()
+                    || ev.get("dur").and_then(Value::as_f64).is_none()
+                {
+                    return Err(format!("X span {name:?} lacks ts/dur"));
+                }
+                spans += 1;
+                span_tids.insert(tid);
+            }
+            other => return Err(format!("unexpected phase {other:?} (want X or M)")),
+        }
+    }
+    if spans == 0 {
+        return Err("no X spans — the profiler recorded nothing".into());
+    }
+    if let Some(tid) = span_tids.difference(&lane_tids).next() {
+        return Err(format!("span on tid {tid} has no thread_name lane"));
+    }
+    if let Some(n) = shards {
+        // One lane per shard plus the coordinator: the acceptance shape.
+        let mut want: BTreeSet<String> = (0..n).map(|i| format!("shard-{i}")).collect();
+        want.insert("coordinator".to_string());
+        if lanes != want {
+            return Err(format!(
+                "lanes {lanes:?} do not match coordinator + {n} shard(s)"
+            ));
+        }
+    }
+    Ok((spans, lanes.len()))
+}
+
+fn check_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !text.contains("hot-path report") {
+        return Err(format!("{path}: no hot-path report header"));
+    }
+    if !text.contains("total ms") {
+        return Err(format!("{path}: no span table header"));
+    }
+    if !text.lines().any(|l| l.starts_with("replay ")) {
+        return Err(format!("{path}: no top-level replay span row"));
+    }
+    Ok(())
+}
+
+fn check_stream(path: &str) -> Result<usize, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !pdpa_obs::is_binary(&bytes) {
+        return Err(format!("{path}: missing PDPAOBS1 magic"));
+    }
+    let events = pdpa_obs::read_stream(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: stream decodes to zero events"));
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (mut profile, mut report, mut stream) = (None, None, None);
+    let mut shards = None;
+    while let Some(arg) = args.next() {
+        let Some(value) = args.next() else {
+            return fail(&format!("{arg} requires a value"));
+        };
+        match arg.as_str() {
+            "--profile" => profile = Some(value),
+            "--report" => report = Some(value),
+            "--stream" => stream = Some(value),
+            "--shards" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => shards = Some(n),
+                _ => {
+                    return fail(&format!(
+                        "--shards expects a positive integer, got {value:?}"
+                    ))
+                }
+            },
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+    if profile.is_none() && report.is_none() && stream.is_none() {
+        return fail("nothing to validate (pass --profile, --report, or --stream)");
+    }
+
+    if let Some(path) = profile {
+        match read(&path).and_then(|doc| check_profile(&doc, shards)) {
+            Ok((spans, lanes)) => {
+                println!("validate-prof: {path}: OK ({spans} spans across {lanes} lane(s))");
+            }
+            Err(e) => return fail(&e),
+        }
+    }
+    if let Some(path) = report {
+        match check_report(&path) {
+            Ok(()) => println!("validate-prof: {path}: OK (hot-path report)"),
+            Err(e) => return fail(&e),
+        }
+    }
+    if let Some(path) = stream {
+        match check_stream(&path) {
+            Ok(n) => println!("validate-prof: {path}: OK ({n} binary frames decoded)"),
+            Err(e) => return fail(&e),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -226,6 +226,7 @@ mod tests {
             threads: if mode == "parallel" { 4 } else { 1 },
             wall_secs: wall,
             events_per_sec: eps,
+            shard_imbalance: None,
         }
     }
 

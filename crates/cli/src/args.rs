@@ -60,6 +60,41 @@ pub struct ReplayOptions {
     /// Fault-injection plan (the `pdpa_faults::FaultPlan` grammar),
     /// applied identically to both replays under `--diff-shards`.
     pub faults: Option<String>,
+    /// Enable the span profiler and write its Chrome `trace_event` JSON
+    /// here (one lane per shard); also prints the text hot-path report.
+    pub profile_out: Option<String>,
+    /// Write the recorded decision-event stream to this file.
+    pub obs_out: Option<String>,
+    /// Serialization of `--obs-out`: line-oriented text or the `PDPAOBS1`
+    /// length-prefixed binary framing.
+    pub obs_format: ObsFormat,
+    /// Abort with a structured diagnostic when the simulated clock stops
+    /// advancing (default on for replay; `--no-watchdog` disables).
+    pub watchdog: bool,
+    /// Emit periodic health snapshots to stderr at this wall-clock cadence
+    /// in seconds (`--heartbeat SECS`; off when omitted).
+    pub heartbeat: Option<f64>,
+}
+
+/// On-disk encodings of a decision-event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ObsFormat {
+    /// One event per line, the `TimedEvent::to_line` grammar.
+    #[default]
+    Text,
+    /// `PDPAOBS1` magic + uvarint length-prefixed frames.
+    Binary,
+}
+
+impl ObsFormat {
+    /// Parses an `--obs-format` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Some(ObsFormat::Text),
+            "binary" | "bin" => Some(ObsFormat::Binary),
+            _ => None,
+        }
+    }
 }
 
 impl Default for ReplayOptions {
@@ -79,6 +114,11 @@ impl Default for ReplayOptions {
             epoch: None,
             diff_shards: None,
             faults: None,
+            profile_out: None,
+            obs_out: None,
+            obs_format: ObsFormat::Text,
+            watchdog: true,
+            heartbeat: None,
         }
     }
 }
@@ -169,6 +209,11 @@ pub struct Options {
     pub policy_b: Option<PolicyChoice>,
     /// Second seed for `pdpa diff` (defaults to `--seed`).
     pub seed_b: Option<u64>,
+    /// `analyze`/`diff`: read this recorded decision-event stream (text or
+    /// `PDPAOBS1` binary, auto-detected) instead of running the engine.
+    pub from_stream: Option<String>,
+    /// `diff`: the second recorded stream to compare against.
+    pub from_stream_b: Option<String>,
 }
 
 impl Options {
@@ -204,6 +249,8 @@ impl Default for Options {
             faults: None,
             policy_b: None,
             seed_b: None,
+            from_stream: None,
+            from_stream_b: None,
         }
     }
 }
@@ -308,10 +355,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .map_err(|_| format!("--seed-b expects an integer, got {v:?}"))?,
                 );
             }
+            "--from-stream" => opts.from_stream = Some(value_of("--from-stream", &mut it)?),
+            "--from-stream-b" => opts.from_stream_b = Some(value_of("--from-stream-b", &mut it)?),
             other => return Err(format!("unknown option {other:?}; try `pdpa help`")),
         }
     }
-    if !workload_set {
+    let from_stream = opts.from_stream.is_some();
+    if from_stream && !matches!(verb.as_str(), "analyze" | "diff") {
+        return Err("--from-stream is only meaningful for `pdpa analyze`/`pdpa diff`".into());
+    }
+    if opts.from_stream_b.is_some() && verb != "diff" {
+        return Err("--from-stream-b is only meaningful for `pdpa diff`".into());
+    }
+    if verb == "diff" && (from_stream != opts.from_stream_b.is_some()) {
+        return Err(
+            "`pdpa diff` compares two streams; give both --from-stream and --from-stream-b".into(),
+        );
+    }
+    if !workload_set && !from_stream {
         return Err("--workload is required".into());
     }
     if verb != "diff" && (opts.policy_b.is_some() || opts.seed_b.is_some()) {
@@ -319,7 +380,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     match verb.as_str() {
         "run" | "analyze" | "diff" => {
-            if opts.policy.is_none() {
+            if opts.policy.is_none() && !from_stream {
                 return Err(format!("--policy is required for `pdpa {verb}`"));
             }
             Ok(match verb.as_str() {
@@ -413,6 +474,27 @@ fn parse_replay(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Resul
             "--trace-out" => opts.trace_out = Some(value_of("--trace-out", it)?),
             "--analyze-out" => opts.analyze_out = Some(value_of("--analyze-out", it)?),
             "--faults" => opts.faults = Some(value_of("--faults", it)?),
+            "--profile-out" => opts.profile_out = Some(value_of("--profile-out", it)?),
+            "--obs-out" => opts.obs_out = Some(value_of("--obs-out", it)?),
+            "--obs-format" => {
+                let v = value_of("--obs-format", it)?;
+                opts.obs_format = ObsFormat::parse(&v)
+                    .ok_or_else(|| format!("--obs-format expects text or binary, got {v:?}"))?;
+            }
+            "--watchdog" => opts.watchdog = true,
+            "--no-watchdog" => opts.watchdog = false,
+            "--heartbeat" => {
+                let v = value_of("--heartbeat", it)?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--heartbeat expects seconds, got {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!(
+                        "--heartbeat {v} must be a positive number of seconds"
+                    ));
+                }
+                opts.heartbeat = Some(secs);
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}; try `pdpa help`"));
             }
@@ -446,6 +528,9 @@ fn parse_replay(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Resul
         return Err(
             "--diff-shards compares two sharded replays; give the first count with --shards".into(),
         );
+    }
+    if opts.obs_format != ObsFormat::Text && opts.obs_out.is_none() {
+        return Err("--obs-format chooses the --obs-out encoding; give --obs-out too".into());
     }
     Ok(Command::Replay(opts))
 }
@@ -716,6 +801,73 @@ mod tests {
         ))
         .unwrap_err()
         .contains("at least 1"));
+    }
+
+    #[test]
+    fn replay_observability_flags() {
+        let cmd = parse(&argv(
+            "replay t.swf --policy pdpa --shards 2 --profile-out p.json \
+             --obs-out s.bin --obs-format binary --heartbeat 2.5",
+        ))
+        .unwrap();
+        let Command::Replay(o) = cmd else {
+            panic!("expected Replay")
+        };
+        assert_eq!(o.profile_out.as_deref(), Some("p.json"));
+        assert_eq!(o.obs_out.as_deref(), Some("s.bin"));
+        assert_eq!(o.obs_format, ObsFormat::Binary);
+        assert_eq!(o.heartbeat, Some(2.5));
+        assert!(o.watchdog, "watchdog must default on for replay");
+        // The default encoding is text, and `bin` is accepted as an alias.
+        assert_eq!(ReplayOptions::default().obs_format, ObsFormat::Text);
+        assert_eq!(ObsFormat::parse("bin"), Some(ObsFormat::Binary));
+        assert_eq!(ObsFormat::parse("csv"), None);
+    }
+
+    #[test]
+    fn replay_watchdog_and_heartbeat_diagnostics() {
+        let cmd = parse(&argv("replay t.swf --policy pdpa --no-watchdog")).unwrap();
+        let Command::Replay(o) = cmd else {
+            panic!("expected Replay")
+        };
+        assert!(!o.watchdog);
+        assert!(parse(&argv("replay t.swf --policy pdpa --heartbeat -3"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&argv("replay t.swf --policy pdpa --obs-format xml"))
+            .unwrap_err()
+            .contains("--obs-format"));
+        // --obs-format binary is meaningless without a destination file.
+        assert!(
+            parse(&argv("replay t.swf --policy pdpa --obs-format binary"))
+                .unwrap_err()
+                .contains("--obs-out")
+        );
+    }
+
+    #[test]
+    fn from_stream_relaxes_workload_and_policy() {
+        let cmd = parse(&argv("analyze --from-stream run.obs")).unwrap();
+        let Command::Analyze(o) = cmd else {
+            panic!("expected Analyze")
+        };
+        assert_eq!(o.from_stream.as_deref(), Some("run.obs"));
+        assert!(o.policy.is_none());
+        let cmd = parse(&argv("diff --from-stream a.obs --from-stream-b b.obs")).unwrap();
+        assert!(matches!(cmd, Command::Diff(_)));
+        // A stream diff needs both sides, and the flags stay scoped to
+        // analyze/diff.
+        assert!(parse(&argv("diff --from-stream a.obs"))
+            .unwrap_err()
+            .contains("--from-stream-b"));
+        assert!(
+            parse(&argv("run --workload w1 --policy pdpa --from-stream a.obs"))
+                .unwrap_err()
+                .contains("--from-stream")
+        );
+        assert!(parse(&argv("analyze --from-stream-b b.obs"))
+            .unwrap_err()
+            .contains("--from-stream-b"));
     }
 
     #[test]

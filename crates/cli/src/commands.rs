@@ -7,7 +7,7 @@ use pdpa_apps::{paper_app, AppClass};
 use pdpa_bench::harness::BENCH_PATH;
 use pdpa_bench::trajectory::{git_rev, BenchReport, TrajectoryEntry};
 use pdpa_core::Pdpa;
-use pdpa_engine::{Engine, EngineConfig, RunResult};
+use pdpa_engine::{Engine, EngineConfig, Instrumentation, RunResult};
 use pdpa_faults::FaultPlan;
 use pdpa_obs::metrics::Registry;
 use pdpa_obs::{
@@ -16,10 +16,11 @@ use pdpa_obs::{
 use pdpa_policies::{
     EqualEfficiency, Equipartition, GangScheduler, IrixLike, RigidFirstFit, SchedulingPolicy,
 };
+use pdpa_prof::{HeartbeatConfig, WatchdogConfig};
 use pdpa_qs::{shape, swf};
 use pdpa_trace::{render_ascii, to_paraver, RenderOptions};
 
-use crate::args::{Command, Options, PolicyChoice, ReplayOptions};
+use crate::args::{Command, ObsFormat, Options, PolicyChoice, ReplayOptions};
 use crate::USAGE;
 
 /// Executes a parsed command and returns its output.
@@ -233,6 +234,26 @@ fn run_one(opts: &Options) -> Result<String, String> {
 /// `pdpa analyze`: run one configuration recorded and print every derived
 /// metric (plus the JSON document under `--analyze-out`).
 fn analyze(opts: &Options) -> Result<String, String> {
+    // `--from-stream`: analyze a recorded decision-event stream (text or
+    // PDPAOBS1 binary, auto-detected by magic bytes) without re-running
+    // the engine.
+    if let Some(path) = &opts.from_stream {
+        let events = load_stream(path)?;
+        let analysis = RunAnalysis::from_events(&events);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "analysis of recorded stream {path} ({} events)\n",
+            events.len()
+        );
+        out.push_str(&analysis.render_text());
+        if let Some(out_path) = &opts.analyze_out {
+            std::fs::write(out_path, analysis_json(&[(path.clone(), analysis)]))
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            let _ = writeln!(out, "\nRun analysis JSON written to {out_path}");
+        }
+        return Ok(out);
+    }
     let choice = opts.policy.expect("parser enforces --policy for analyze");
     let mut recorder = RecordingObserver::new();
     let result = {
@@ -276,6 +297,21 @@ fn analyze(opts: &Options) -> Result<String, String> {
 /// defaulting to the same configuration) and report the first divergent
 /// event plus per-metric deltas.
 fn diff(opts: &Options) -> Result<String, String> {
+    // `--from-stream A --from-stream-b B`: diff two recorded streams from
+    // disk; each side may be text or PDPAOBS1 binary independently, so
+    // this also cross-checks the two codecs against each other.
+    if let (Some(path_a), Some(path_b)) = (&opts.from_stream, &opts.from_stream_b) {
+        let events_a = load_stream(path_a)?;
+        let events_b = load_stream(path_b)?;
+        let run_diff = RunDiff::compare(&events_a, &events_b);
+        let mut out = String::new();
+        let _ = writeln!(out, "diff of recorded streams {path_a} vs {path_b}\n");
+        out.push_str(&run_diff.render(path_a, path_b));
+        if !run_diff.identical() {
+            return Err(out);
+        }
+        return Ok(out);
+    }
     let choice_a = opts.policy.expect("parser enforces --policy for diff");
     let choice_b = opts.policy_b.unwrap_or(choice_a);
     let opts_b = Options {
@@ -308,6 +344,13 @@ fn diff(opts: &Options) -> Result<String, String> {
     );
     out.push_str(&run_diff.render(&label_a, &label_b));
     Ok(out)
+}
+
+/// Reads a decision-event stream file in either encoding, auto-detected
+/// by the `PDPAOBS1` magic bytes.
+fn load_stream(path: &str) -> Result<Vec<pdpa_obs::TimedEvent>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    pdpa_obs::parse_stream(&bytes).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Per-kind counts of a recorded decision-event stream (`--obs` output).
@@ -390,23 +433,43 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
     let jobs_b = opts.diff_shards.map(|_| jobs.clone());
     let config_b = config.clone();
 
+    let mut instr = Instrumentation::none();
+    if opts.profile_out.is_some() {
+        instr = instr.with_profile();
+    }
+    if opts.watchdog {
+        instr = instr.with_watchdog(match opts.shards {
+            Some(_) => WatchdogConfig::sharded(),
+            None => WatchdogConfig::classic(),
+        });
+    }
+    if let Some(secs) = opts.heartbeat {
+        instr = instr.with_heartbeat(HeartbeatConfig {
+            every: std::time::Duration::from_secs_f64(secs),
+        });
+    }
+
     let mut recorder = RecordingObserver::new();
     let started = std::time::Instant::now();
     let result = {
         let _scope = scope::enter("cli-replay");
         let engine = Engine::new(config);
         match opts.shards {
-            Some(shards) => engine.run_sharded_observed(
+            Some(shards) => engine.run_sharded_instrumented(
                 jobs,
                 build_policy(opts.policy),
                 shards,
                 opts.epoch.unwrap_or(pdpa_engine::shard::DEFAULT_EPOCH_SECS),
                 &mut recorder,
+                instr,
             ),
-            None => engine.run_observed(jobs, build_policy(opts.policy), &mut recorder),
+            None => engine.run_instrumented(jobs, build_policy(opts.policy), &mut recorder, instr),
         }
     };
     let wall_secs = started.elapsed().as_secs_f64();
+    if let Some(diag) = &result.watchdog {
+        return Err(format!("{}: {diag}", opts.trace_path));
+    }
     if !result.completed_all {
         return Err(format!(
             "{:?} did not drain the trace within the simulation bound",
@@ -462,16 +525,25 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
     if let Some(shards_b) = opts.diff_shards {
         let shards_a = opts.shards.expect("parser enforces --shards");
         let mut rec_b = RecordingObserver::new();
+        let instr_b = if opts.watchdog {
+            Instrumentation::none().with_watchdog(WatchdogConfig::sharded())
+        } else {
+            Instrumentation::none()
+        };
         let result_b = {
             let _scope = scope::enter("cli-replay");
-            Engine::new(config_b).run_sharded_observed(
+            Engine::new(config_b).run_sharded_instrumented(
                 jobs_b.expect("cloned when --diff-shards is set"),
                 build_policy(opts.policy),
                 shards_b,
                 opts.epoch.unwrap_or(pdpa_engine::shard::DEFAULT_EPOCH_SECS),
                 &mut rec_b,
+                instr_b,
             )
         };
+        if let Some(diag) = &result_b.watchdog {
+            return Err(format!("{}: {diag}", opts.trace_path));
+        }
         if !result_b.completed_all {
             return Err(format!(
                 "{:?} at {shards_b} shards did not drain the trace within the simulation bound",
@@ -506,8 +578,36 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(out, "\nRun analysis JSON written to {path}");
     }
+    if let Some(path) = &opts.obs_out {
+        let (bytes, fmt) = match opts.obs_format {
+            ObsFormat::Binary => (pdpa_obs::write_stream(&events), "binary"),
+            ObsFormat::Text => (pdpa_obs::write_text_stream(&events).into_bytes(), "text"),
+        };
+        std::fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "\ndecision-event stream ({fmt}, {} events) written to {path}",
+            events.len()
+        );
+    }
+    if let Some(path) = &opts.profile_out {
+        let profile = result
+            .profile
+            .as_ref()
+            .expect("--profile-out enables the profiler");
+        std::fs::write(path, profile.chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "\nprofile trace written to {path}\n");
+        out.push_str(&profile.hot_path_report());
+    }
     if opts.json {
-        let entry = replay_entry(&key, opts.shards, wall_secs, result.events_popped);
+        let entry = replay_entry(
+            &key,
+            opts.shards,
+            wall_secs,
+            result.events_popped,
+            pdpa_prof::report::imbalance(&result.shard_events_popped),
+        );
         let existing = std::fs::read_to_string(BENCH_PATH).ok();
         std::fs::write(
             BENCH_PATH,
@@ -528,12 +628,15 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
 /// mode per classic replay and one `replay-<policy>-s<N>` mode per shard
 /// count, gated by `bench-compare` like the harness's own modes. The
 /// `threads` field records the worker threads actually used — 1 for the
-/// classic sequential engine, the shard count for `--shards N`.
+/// classic sequential engine, the shard count for `--shards N` — and
+/// sharded entries carry the per-shard event-count imbalance
+/// (`max/mean - 1`) so the trajectory tracks partitioning skew over time.
 fn replay_entry(
     mode: &str,
     shards: Option<usize>,
     wall_secs: f64,
     events_popped: u64,
+    shard_imbalance: Option<f64>,
 ) -> TrajectoryEntry {
     TrajectoryEntry {
         git_rev: git_rev(),
@@ -541,6 +644,11 @@ fn replay_entry(
         threads: shards.unwrap_or(1),
         wall_secs,
         events_per_sec: events_popped as f64 / wall_secs.max(1e-9),
+        shard_imbalance: if shards.is_some() {
+            shard_imbalance
+        } else {
+            None
+        },
     }
 }
 
@@ -872,17 +980,20 @@ mod tests {
 
     #[test]
     fn replay_entries_match_the_gate_contract() {
-        // Classic replay: single-threaded, bare policy mode.
-        let e = replay_entry("replay-equal-eff", None, 2.0, 1_000_000);
+        // Classic replay: single-threaded, bare policy mode; imbalance is
+        // meaningless without shards and is dropped even if supplied.
+        let e = replay_entry("replay-equal-eff", None, 2.0, 1_000_000, Some(0.5));
         assert_eq!(e.mode, "replay-equal-eff");
         assert_eq!(e.threads, 1);
+        assert_eq!(e.shard_imbalance, None);
         assert!((e.events_per_sec - 500_000.0).abs() < 1e-9);
         // Sharded replay: the threads field records the real worker
         // count, and the mode carries the shard suffix so each point of
         // the scaling curve is gated independently.
-        let s = replay_entry("replay-pdpa-s4", Some(4), 1.0, 1_000_000);
+        let s = replay_entry("replay-pdpa-s4", Some(4), 1.0, 1_000_000, Some(0.25));
         assert_eq!(s.mode, "replay-pdpa-s4");
         assert_eq!(s.threads, 4);
+        assert_eq!(s.shard_imbalance, Some(0.25));
         // Entries survive the append round-trip under their own mode.
         let doc = BenchReport::append_entry(None, e);
         let doc = BenchReport::append_entry(Some(&doc), s);
@@ -891,6 +1002,66 @@ mod tests {
         assert_eq!(report.trajectory[0].mode, "replay-equal-eff");
         assert_eq!(report.trajectory[1].mode, "replay-pdpa-s4");
         assert_eq!(report.trajectory[1].threads, 4);
+    }
+
+    #[test]
+    fn replay_profile_out_writes_chrome_lanes_and_hot_path_report() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-profile-test");
+        let profile = dir.join("prof.json");
+        let out = run_cli(&format!(
+            "replay {} --policy pdpa --shards 2 --profile-out {}",
+            path.display(),
+            profile.display()
+        ))
+        .unwrap();
+        assert!(out.contains("profile trace written to"), "in:\n{out}");
+        assert!(out.contains("hot-path report"), "no report in:\n{out}");
+        assert!(out.contains("policy_decision"), "no span rows in:\n{out}");
+        let json = std::fs::read_to_string(&profile).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        // One lane per shard plus the coordinator lane.
+        for lane in ["coordinator", "shard-0", "shard-1"] {
+            assert!(json.contains(lane), "missing {lane} lane in trace");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_obs_out_streams_feed_analyze_and_cross_format_diff() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-stream-test");
+        let text = dir.join("run.txt");
+        let bin = dir.join("run.bin");
+        // Same replay twice, once per encoding.
+        for (file, fmt) in [(&text, "text"), (&bin, "binary")] {
+            let out = run_cli(&format!(
+                "replay {} --policy pdpa --obs-out {} --obs-format {fmt}",
+                path.display(),
+                file.display()
+            ))
+            .unwrap();
+            assert!(
+                out.contains(&format!("decision-event stream ({fmt}")),
+                "no stream line in:\n{out}"
+            );
+        }
+        assert!(pdpa_obs::is_binary(&std::fs::read(&bin).unwrap()));
+        assert!(!pdpa_obs::is_binary(&std::fs::read(&text).unwrap()));
+        // Both encodings decode to the same events: the cross-format diff
+        // reports zero divergence...
+        let out = run_cli(&format!(
+            "diff --from-stream {} --from-stream-b {}",
+            text.display(),
+            bin.display()
+        ))
+        .unwrap();
+        assert!(out.contains("streams identical"), "diverged:\n{out}");
+        // ...and analyze accepts either encoding directly.
+        for file in [&text, &bin] {
+            let out = run_cli(&format!("analyze --from-stream {}", file.display())).unwrap();
+            assert!(out.contains("analysis of recorded stream"), "in:\n{out}");
+            assert!(out.contains("migrations"), "no analytics in:\n{out}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

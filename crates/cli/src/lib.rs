@@ -45,13 +45,16 @@ USAGE:
   pdpa compare --workload <w1|w2|w3|w4> [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
   pdpa analyze --workload <w1|w2|w3|w4> --policy <name>
                [--load <frac>] [--seed <n>] [--cpus <n>] [--analyze-out <file>] [run options]
+  pdpa analyze --from-stream <file>   [--analyze-out <file>]
   pdpa diff    --workload <w1|w2|w3|w4> --policy <name>
                [--policy-b <name>] [--seed-b <n>] [--load <frac>] [--seed <n>] [--cpus <n>]
+  pdpa diff    --from-stream <file> --from-stream-b <file>
   pdpa replay  <trace.swf> --policy <name>
                [--load <frac>] [--cpus <n>] [--window <start:end>] [--seed <n>]
                [--shards <n>] [--epoch <secs>] [--diff-shards <n>]
                [--json] [--obs] [--trace-out <file>] [--analyze-out <file>]
-               [--faults <plan>]
+               [--obs-out <file>] [--obs-format <text|binary>] [--profile-out <file>]
+               [--no-watchdog] [--heartbeat <secs>] [--faults <plan>]
   pdpa curves
 
 COMMANDS:
@@ -94,7 +97,23 @@ OPTIONS:
   --epoch      replay only: barrier epoch in simulated seconds (with --shards)
   --diff-shards  replay only: replay again at this shard count and fail
                unless the two decision-event streams are identical
-  --json       replay only: append wall-clock + events/s to BENCH_pdpa.json
+  --json       replay only: append wall-clock + events/s (and, for sharded
+               replays, the per-shard event imbalance) to BENCH_pdpa.json
+  --obs-out    replay only: write the decision-event stream to a file
+  --obs-format replay only: --obs-out encoding, text (default) or the
+               PDPAOBS1 length-prefixed binary framing
+  --profile-out  replay only: enable the span profiler and write its Chrome
+               trace_event JSON (one lane per shard); also prints the text
+               hot-path report
+  --watchdog / --no-watchdog  replay only: abort with a structured
+               diagnostic when the simulated clock stops advancing
+               (default on)
+  --heartbeat  replay only: print health snapshots (clock, events/s, queue
+               depth, per-shard lag, memory) to stderr every SECS seconds
+  --from-stream / --from-stream-b  analyze/diff only: read recorded
+               decision-event streams (text or binary, auto-detected)
+               instead of running the engine; a stream diff exits non-zero
+               on divergence
   --faults     inject a deterministic fault plan, e.g.
                \"cpu3@120:recover@300;job0@70;retry=2,backoff=30\" or \"mtbf=4000\"
 ";

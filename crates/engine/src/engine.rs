@@ -9,11 +9,13 @@ use pdpa_obs::metrics::{Histogram, Registry, RunCounters, Span};
 use pdpa_obs::{DecisionTrigger, NullObserver, ObsEvent, Observer};
 use pdpa_perf::SelfAnalyzer;
 use pdpa_policies::{Decisions, JobView, PolicyCtx, SchedulingPolicy, SharingModel};
+use pdpa_prof::{HealthSnapshot, Heartbeat, Lane, LaneProfile, Profile, SpanKind, Watchdog};
 use pdpa_qs::{JobSpec, QueueSystem};
 use pdpa_sim::{AdaptiveQueue, CpuId, JobId, Machine, SimRng, SimTime};
 use pdpa_trace::TraceObserver;
 
 use crate::config::EngineConfig;
+use crate::instrument::Instrumentation;
 use crate::result::RunResult;
 use crate::store::{job_noise_rng, JobStore};
 use crate::timeshare::{effective_procs, throughput_factor, QuantumPlacement};
@@ -75,35 +77,74 @@ impl Engine {
     pub fn run_observed(
         &self,
         jobs: Vec<JobSpec>,
-        mut policy: Box<dyn SchedulingPolicy>,
+        policy: Box<dyn SchedulingPolicy>,
         observer: &mut dyn Observer,
     ) -> RunResult {
-        let mut sim = Sim::new(&self.config, jobs, policy.sharing(), observer);
+        self.run_instrumented(jobs, policy, observer, Instrumentation::none())
+    }
+
+    /// Like [`run_observed`](Engine::run_observed), with optional runtime
+    /// instrumentation: span profiling (`RunResult::profile`), a
+    /// zero-progress watchdog that aborts a livelocked run with a
+    /// diagnostic (`RunResult::watchdog`), and periodic heartbeat lines on
+    /// stderr. With [`Instrumentation::none`] every touch point is a dead
+    /// branch — the event stream is bit-identical either way.
+    pub fn run_instrumented(
+        &self,
+        jobs: Vec<JobSpec>,
+        mut policy: Box<dyn SchedulingPolicy>,
+        observer: &mut dyn Observer,
+        instr: Instrumentation,
+    ) -> RunResult {
+        let mut lane = if instr.profile {
+            Lane::enabled(std::time::Instant::now())
+        } else {
+            Lane::disabled()
+        };
+        let mut watchdog = instr.watchdog.map(Watchdog::new);
+        let mut heartbeat = instr.heartbeat.map(Heartbeat::new);
+        let mut watchdog_diag = None;
+        let mut sim = Sim::new(&self.config, jobs, policy.sharing(), observer, &mut lane);
         sim.schedule_arrivals();
+        let replay = sim.lane.begin(SpanKind::Replay);
+        let mut steps: u64 = 0;
         // Stale iteration events (their job rescheduled, completed, or
         // crashed) are invalidated by key and discarded inside the queue,
         // so handlers only ever see live events.
-        let dbg_progress = std::env::var_os("PDPA_DEBUG_PROGRESS").is_some();
-        let mut dbg_n: u64 = 0;
         while let Some((t, ev)) = sim.events.pop() {
-            if dbg_progress {
-                dbg_n += 1;
-                if dbg_n.is_multiple_of(1_000_000) {
-                    eprintln!(
-                        "progress: {}M events, clock={:.0}s, ml={}, waiting={}, qlen={}, stale={}",
-                        dbg_n / 1_000_000,
-                        t.as_secs(),
-                        sim.store.len(),
-                        sim.qs.waiting_count(),
-                        sim.events.len(),
-                        sim.events.stale_drops(),
-                    );
-                }
-            }
             if t.as_secs() > self.config.max_sim_secs {
                 break;
             }
             sim.clock = t;
+            steps += 1;
+            if let Some(wd) = watchdog.as_mut() {
+                if wd.observe(t.as_secs()) {
+                    watchdog_diag = Some(wd.diagnostic(&format!(
+                        "classic engine: running={}, waiting={}, qlen={}, stale_drops={}",
+                        sim.store.len(),
+                        sim.qs.waiting_count(),
+                        sim.events.len(),
+                        sim.events.stale_drops(),
+                    )));
+                    break;
+                }
+            }
+            // Amortized: the wall-clock due-check runs every 64k events.
+            if let Some(hb) = heartbeat.as_mut() {
+                if steps & 0xFFFF == 0 && hb.due() {
+                    let stats = sim.events.stats();
+                    if let Some(line) = hb.tick(&HealthSnapshot {
+                        sim_clock_secs: t.as_secs(),
+                        events_popped: stats.popped,
+                        queue_len: stats.len,
+                        running: sim.store.len(),
+                        waiting: sim.qs.waiting_count(),
+                        shard_events: Vec::new(),
+                    }) {
+                        eprintln!("{line}");
+                    }
+                }
+            }
             match ev {
                 Ev::Arrival(job) => sim.on_arrival(job, policy.as_mut()),
                 Ev::IterEnd { job } => sim.on_iter_end(job, policy.as_mut()),
@@ -114,7 +155,18 @@ impl Engine {
                 Ev::JobRetry(job) => sim.on_job_retry(job, policy.as_mut()),
             }
         }
-        sim.into_result(policy.name())
+        sim.lane.add_events(steps);
+        sim.lane.end(replay);
+        let mut result = sim.into_result(policy.name());
+        result.watchdog = watchdog_diag;
+        if instr.profile {
+            result.profile = Some(Profile::from_lanes(vec![LaneProfile {
+                name: "coordinator".to_string(),
+                spans: lane.spans().to_vec(),
+                events: lane.events(),
+            }]));
+        }
+        result
     }
 }
 
@@ -164,6 +216,9 @@ struct Sim<'a> {
     memo_misses: u64,
     /// Wall-time histogram for policy activations (`decision_ns`).
     decision_hist: Arc<Histogram>,
+    /// Span buffer for self-profiling; a disabled lane (the default) costs
+    /// one branch per touch point.
+    lane: &'a mut Lane,
     placement: QuantumPlacement,
     ml_series: Vec<(f64, usize)>,
     max_ml: usize,
@@ -185,6 +240,7 @@ impl<'a> Sim<'a> {
         jobs: Vec<JobSpec>,
         sharing: SharingModel,
         obs: &'a mut dyn Observer,
+        lane: &'a mut Lane,
     ) -> Self {
         let trace_obs = if config.collect_trace {
             TraceObserver::new(config.cpus)
@@ -220,6 +276,7 @@ impl<'a> Sim<'a> {
             memo_hits: 0,
             memo_misses: 0,
             decision_hist: Registry::global().histogram("decision_ns"),
+            lane,
             placement: QuantumPlacement::new(config.cpus),
             ml_series: vec![(0.0, 0)],
             max_ml: 0,
@@ -260,7 +317,9 @@ impl<'a> Sim<'a> {
             .submissions()
             .map(|(id, spec)| (spec.submit, Ev::Arrival(id)))
             .collect();
+        let prof = self.lane.begin(SpanKind::QueueOps);
         self.events.push_batch(subs);
+        self.lane.end(prof);
         // Kick off the time-shared/gang quantum clock when tracing.
         if self.config.collect_trace {
             if let Some(q) = self.quantum() {
@@ -628,10 +687,12 @@ impl<'a> Sim<'a> {
                 queued_jobs: self.qs.waiting_count(),
                 next_request: self.next_request(),
             };
+            let prof = self.lane.begin(SpanKind::PolicyDecision);
             let decisions = {
                 let _span = Span::start(Arc::clone(&self.decision_hist));
                 policy.on_job_arrival(&ctx, job)
             };
+            self.lane.end(prof);
             self.apply_decisions(decisions, DecisionTrigger::Arrival);
             if self.is_time_shared() {
                 self.recompute_all_rates();
@@ -716,10 +777,12 @@ impl<'a> Sim<'a> {
                 queued_jobs: self.qs.waiting_count(),
                 next_request: self.next_request(),
             };
+            let prof = self.lane.begin(SpanKind::PolicyDecision);
             let decisions = {
                 let _span = Span::start(Arc::clone(&self.decision_hist));
                 policy.on_performance_report(&ctx, job, s)
             };
+            self.lane.end(prof);
             self.apply_decisions(decisions, DecisionTrigger::Report);
             // A report can settle the system and unblock admission (PDPA's
             // coordination path).
@@ -784,10 +847,12 @@ impl<'a> Sim<'a> {
             queued_jobs: self.qs.waiting_count(),
             next_request: self.next_request(),
         };
+        let prof = self.lane.begin(SpanKind::PolicyDecision);
         let decisions = {
             let _span = Span::start(Arc::clone(&self.decision_hist));
             policy.on_job_completion(&ctx, job)
         };
+        self.lane.end(prof);
         self.apply_decisions(decisions, DecisionTrigger::Completion);
         if self.is_time_shared() {
             self.recompute_all_rates();
@@ -859,10 +924,12 @@ impl<'a> Sim<'a> {
             queued_jobs: self.qs.waiting_count(),
             next_request: self.next_request(),
         };
+        let prof = self.lane.begin(SpanKind::PolicyDecision);
         let decisions = {
             let _span = Span::start(Arc::clone(&self.decision_hist));
             policy.on_capacity_change(&ctx, changed)
         };
+        self.lane.end(prof);
         self.apply_decisions(decisions, DecisionTrigger::Fault);
         if self.is_time_shared() {
             self.recompute_all_rates();
@@ -1003,10 +1070,12 @@ impl<'a> Sim<'a> {
             queued_jobs: self.qs.waiting_count(),
             next_request: self.next_request(),
         };
+        let prof = self.lane.begin(SpanKind::PolicyDecision);
         let decisions = {
             let _span = Span::start(Arc::clone(&self.decision_hist));
             policy.on_job_completion(&ctx, job)
         };
+        self.lane.end(prof);
         self.apply_decisions(decisions, DecisionTrigger::Fault);
         if self.is_time_shared() {
             self.recompute_all_rates();
@@ -1075,6 +1144,9 @@ impl<'a> Sim<'a> {
             cpu_failures: self.cpu_failures,
             job_retries: self.job_retries,
             jobs_failed: self.jobs_failed,
+            watchdog: None,
+            shard_events_popped: Vec::new(),
+            profile: None,
         }
     }
 }

@@ -1,0 +1,51 @@
+//! Optional runtime instrumentation for engine runs.
+//!
+//! [`Instrumentation`] bundles the three health/introspection knobs from
+//! `pdpa-prof` — span profiling, the zero-progress watchdog, and periodic
+//! heartbeat snapshots — behind one parameter so the engines need a single
+//! `*_instrumented` entry point each. The default is everything off, which
+//! is what [`Engine::run_observed`](crate::Engine::run_observed) and
+//! friends pass: those paths stay inside the same ≤2% overhead bound as
+//! `NullObserver`, because disabled lanes and absent monitors cost one
+//! branch per touch point.
+
+use pdpa_prof::{HeartbeatConfig, WatchdogConfig};
+
+/// What to measure and guard during one run. All off by default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Instrumentation {
+    /// Record hierarchical wall-clock spans; the result lands in
+    /// `RunResult::profile`.
+    pub profile: bool,
+    /// Abort the run with a structured diagnostic (in
+    /// `RunResult::watchdog`) when the simulated clock stops advancing
+    /// for this many consecutive steps.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Emit periodic health snapshots to stderr during the run.
+    pub heartbeat: Option<HeartbeatConfig>,
+}
+
+impl Instrumentation {
+    /// Everything off — the zero-cost default.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Enables span profiling.
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Enables the zero-progress watchdog with the given threshold.
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+
+    /// Enables heartbeat snapshots at the given cadence.
+    pub fn with_heartbeat(mut self, cfg: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(cfg);
+        self
+    }
+}

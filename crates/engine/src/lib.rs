@@ -36,6 +36,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod instrument;
 pub mod result;
 pub mod shard;
 pub mod store;
@@ -43,5 +44,6 @@ pub mod timeshare;
 
 pub use config::EngineConfig;
 pub use engine::Engine;
+pub use instrument::Instrumentation;
 pub use result::RunResult;
 pub use store::JobStore;

@@ -61,6 +61,17 @@ pub struct RunResult {
     pub job_retries: u64,
     /// Jobs that crashed terminally (retries exhausted or none allowed).
     pub jobs_failed: u64,
+    /// `Some(diagnostic)` when the zero-progress watchdog aborted the run:
+    /// the simulated clock stopped advancing for the configured number of
+    /// steps (a livelock). `completed_all` is false for such runs.
+    pub watchdog: Option<String>,
+    /// Events popped per shard, in shard order — the input to the
+    /// load-imbalance figure in profiles and bench trajectories. Empty on
+    /// the classic (unsharded) engine.
+    pub shard_events_popped: Vec<u64>,
+    /// The self-profile collected when the run was instrumented with an
+    /// enabled profiler; `None` otherwise.
+    pub profile: Option<pdpa_prof::Profile>,
 }
 
 impl RunResult {
@@ -116,6 +127,9 @@ mod tests {
             cpu_failures: 0,
             job_retries: 0,
             jobs_failed: 0,
+            watchdog: None,
+            shard_events_popped: Vec::new(),
+            profile: None,
         };
         assert_eq!(r.peak_ml(), 4);
         assert_eq!(r.peak_ml(), r.max_ml);

@@ -47,12 +47,14 @@ use pdpa_obs::metrics::{Histogram, Registry, RunCounters, Span};
 use pdpa_obs::{DecisionTrigger, NullObserver, ObsEvent, Observer};
 use pdpa_perf::{PerfSample, SelfAnalyzer};
 use pdpa_policies::{Decisions, JobView, PolicyCtx, SchedulingPolicy, SharingModel};
+use pdpa_prof::{HealthSnapshot, Heartbeat, Lane, Profiler, SpanKind, Watchdog};
 use pdpa_qs::JobSpec;
 use pdpa_qs::QueueSystem;
 use pdpa_sim::{AdaptiveQueue, CpuId, EventQueue, JobId, Machine, SimDuration, SimTime};
 use pdpa_trace::TraceObserver;
 
 use crate::config::EngineConfig;
+use crate::instrument::Instrumentation;
 use crate::result::RunResult;
 use crate::store::{job_noise_rng, JobStore};
 use crate::Engine;
@@ -139,8 +141,17 @@ impl Shard {
     }
 
     /// Advances all owned jobs to the barrier `b`, buffering measurement
-    /// and completion items. Runs without any shared state.
-    fn advance_round(&mut self, b: SimTime, config: &EngineConfig, noise: &NoiseModel) {
+    /// and completion items. Runs without any shared state; `lane` is this
+    /// shard's private span buffer (disabled lanes record nothing).
+    fn advance_round(
+        &mut self,
+        b: SimTime,
+        config: &EngineConfig,
+        noise: &NoiseModel,
+        lane: &mut Lane,
+    ) {
+        let prof = lane.begin(SpanKind::ShardAdvance);
+        let popped_before = self.queue.total_popped();
         // `peek_time` may surface a stale (invalidated) head; pop
         // discards stales, so re-check the popped entry's time and
         // push it back if the live head lies beyond the barrier.
@@ -157,6 +168,8 @@ impl Shard {
             }
             self.iter_end(at, job, config, noise);
         }
+        lane.add_events(self.queue.total_popped() - popped_before);
+        lane.end(prof);
     }
 
     /// The shard-local half of the classic engine's `on_iter_end`:
@@ -245,10 +258,35 @@ impl Engine {
     pub fn run_sharded_observed(
         &self,
         jobs: Vec<JobSpec>,
+        policy: Box<dyn SchedulingPolicy>,
+        shards: usize,
+        epoch_secs: f64,
+        observer: &mut dyn Observer,
+    ) -> RunResult {
+        self.run_sharded_instrumented(
+            jobs,
+            policy,
+            shards,
+            epoch_secs,
+            observer,
+            Instrumentation::none(),
+        )
+    }
+
+    /// [`run_sharded_observed`](Engine::run_sharded_observed) with
+    /// optional runtime instrumentation — span profiling with one lane
+    /// per shard (`RunResult::profile`), a zero-progress watchdog counted
+    /// in barrier rounds (`RunResult::watchdog`), and heartbeat lines on
+    /// stderr. With [`Instrumentation::none`] every touch point is a dead
+    /// branch — the decision-event stream is bit-identical either way.
+    pub fn run_sharded_instrumented(
+        &self,
+        jobs: Vec<JobSpec>,
         mut policy: Box<dyn SchedulingPolicy>,
         shards: usize,
         epoch_secs: f64,
         observer: &mut dyn Observer,
+        instr: Instrumentation,
     ) -> RunResult {
         assert!(
             matches!(policy.sharing(), SharingModel::SpaceShared),
@@ -258,7 +296,14 @@ impl Engine {
             epoch_secs > 0.0 && epoch_secs.is_finite(),
             "epoch must be positive"
         );
-        let mut sim = ShardedSim::new(self.config(), jobs, shards.max(1), epoch_secs, observer);
+        let mut sim = ShardedSim::new(
+            self.config(),
+            jobs,
+            shards.max(1),
+            epoch_secs,
+            observer,
+            instr,
+        );
         sim.schedule_globals();
         sim.drive(policy.as_mut());
         sim.into_result(policy.name())
@@ -298,6 +343,13 @@ struct ShardedSim<'a> {
     cpu_failures: u64,
     job_retries: u64,
     jobs_failed: u64,
+    /// Span buffers: lane 0 is the coordinator, lanes `1..=N` the shards.
+    /// Disabled lanes (the default) record nothing.
+    prof: Profiler,
+    watchdog: Option<Watchdog>,
+    heartbeat: Option<Heartbeat>,
+    /// Set when the watchdog aborted the barrier loop.
+    watchdog_diag: Option<String>,
 }
 
 impl<'a> ShardedSim<'a> {
@@ -307,6 +359,7 @@ impl<'a> ShardedSim<'a> {
         shards: usize,
         epoch_secs: f64,
         obs: &'a mut dyn Observer,
+        instr: Instrumentation,
     ) -> Self {
         let trace_obs = if config.collect_trace {
             TraceObserver::new(config.cpus)
@@ -348,6 +401,14 @@ impl<'a> ShardedSim<'a> {
             cpu_failures: 0,
             job_retries: 0,
             jobs_failed: 0,
+            prof: if instr.profile {
+                Profiler::enabled(shards + 1)
+            } else {
+                Profiler::disabled(shards + 1)
+            },
+            watchdog: instr.watchdog.map(Watchdog::new),
+            heartbeat: instr.heartbeat.map(Heartbeat::new),
+            watchdog_diag: None,
         }
     }
 
@@ -441,7 +502,9 @@ impl<'a> ShardedSim<'a> {
     // --- The barrier loop ---
 
     fn drive(&mut self, policy: &mut dyn SchedulingPolicy) {
+        let replay = self.prof.lane(0).begin(SpanKind::Replay);
         loop {
+            let barrier_prof = self.prof.lane(0).begin(SpanKind::BarrierCompute);
             let next_global = self.globals.peek_time();
             // Minimum over all shard queue heads. A stale head only
             // shrinks the round — every entry it hides is popped (and
@@ -454,29 +517,75 @@ impl<'a> ShardedSim<'a> {
                 (None, Some(i)) => i,
                 // No globals, no predictions: nothing can ever happen
                 // again (any running jobs are permanently stalled).
-                (None, None) => break,
+                (None, None) => {
+                    self.prof.lane(0).end(barrier_prof);
+                    break;
+                }
             };
+            self.prof.lane(0).end(barrier_prof);
             if b.as_secs() > self.config.max_sim_secs {
                 break;
             }
+            // Steps are barrier rounds here: a barrier pinned to one
+            // instant for thousands of rounds means the advance loop is
+            // livelocked (e.g. a failed `next_up` guard).
+            if let Some(wd) = self.watchdog.as_mut() {
+                if wd.observe(b.as_secs()) {
+                    let qlen: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+                    let running: usize = self.shards.iter().map(|s| s.store.len()).sum();
+                    self.watchdog_diag = Some(wd.diagnostic(&format!(
+                        "sharded engine: shards={}, running={}, waiting={}, qlen={}",
+                        self.shards.len(),
+                        running,
+                        self.qs.waiting_count(),
+                        qlen,
+                    )));
+                    break;
+                }
+            }
+            if let Some(hb) = self.heartbeat.as_mut() {
+                if hb.due() {
+                    let shard_events: Vec<u64> =
+                        self.shards.iter().map(|s| s.queue.total_popped()).collect();
+                    let events_popped =
+                        self.globals.total_popped() + shard_events.iter().sum::<u64>();
+                    let snap = HealthSnapshot {
+                        sim_clock_secs: self.clock.as_secs(),
+                        events_popped,
+                        queue_len: self.globals.len()
+                            + self.shards.iter().map(|s| s.queue.len()).sum::<usize>(),
+                        running: self.shards.iter().map(|s| s.store.len()).sum(),
+                        waiting: self.qs.waiting_count(),
+                        shard_events,
+                    };
+                    if let Some(line) = hb.tick(&snap) {
+                        eprintln!("{line}");
+                    }
+                }
+            }
+            let round_prof = self.prof.lane(0).begin(SpanKind::Round);
             self.round(b, policy);
+            self.prof.lane(0).end(round_prof);
         }
+        self.prof.lane(0).end(replay);
     }
 
     /// One epoch round: parallel shard advance to `b`, then the
     /// deterministic barrier merge.
     fn round(&mut self, b: SimTime, policy: &mut dyn SchedulingPolicy) {
         // Parallel phase: each shard owns disjoint state; the coordinator
-        // (machine, queue system, policy) is untouched.
+        // (machine, queue system, policy) is untouched. Lane `i + 1` of
+        // the profiler travels into shard `i`'s worker thread.
         {
             let config = self.config;
             let noise = &self.noise;
+            let lanes = &mut self.prof.lanes_mut()[1..];
             if self.shards.len() == 1 {
-                self.shards[0].advance_round(b, config, noise);
+                self.shards[0].advance_round(b, config, noise, &mut lanes[0]);
             } else {
                 std::thread::scope(|scope| {
-                    for shard in &mut self.shards {
-                        scope.spawn(move || shard.advance_round(b, config, noise));
+                    for (shard, lane) in self.shards.iter_mut().zip(lanes.iter_mut()) {
+                        scope.spawn(move || shard.advance_round(b, config, noise, lane));
                     }
                 });
             }
@@ -485,11 +594,14 @@ impl<'a> ShardedSim<'a> {
         // Merge: stable sort by (time, job). Items of one job come from
         // exactly one shard in emission order, so the merged order is a
         // pure function of the item set — independent of the partition.
+        let merge_prof = self.prof.lane(0).begin(SpanKind::Merge);
         let mut items: Vec<Item> = Vec::new();
         for shard in &mut self.shards {
             items.append(&mut shard.items);
         }
         items.sort_by_key(|it| (it.at, it.job.0));
+        self.prof.lane(0).end(merge_prof);
+        let publish_prof = self.prof.lane(0).begin(SpanKind::Publish);
 
         // Pass A: publish measurements and record completions at their
         // true times (the observer stream stays monotonic: item times are
@@ -552,10 +664,12 @@ impl<'a> ShardedSim<'a> {
                     }
                     self.refresh_views();
                     let views = std::mem::take(&mut self.views_scratch);
+                    let prof = self.prof.lane(0).begin(SpanKind::PolicyDecision);
                     let decisions = {
                         let _span = Span::start(Arc::clone(&self.decision_hist));
                         policy.on_performance_report(&self.ctx(&views), it.job, s)
                     };
+                    self.prof.lane(0).end(prof);
                     self.views_scratch = views;
                     self.apply_decisions(decisions, DecisionTrigger::Report, policy);
                     self.try_admit(policy);
@@ -564,16 +678,19 @@ impl<'a> ShardedSim<'a> {
                 ItemKind::Complete => {
                     self.refresh_views();
                     let views = std::mem::take(&mut self.views_scratch);
+                    let prof = self.prof.lane(0).begin(SpanKind::PolicyDecision);
                     let decisions = {
                         let _span = Span::start(Arc::clone(&self.decision_hist));
                         policy.on_job_completion(&self.ctx(&views), it.job)
                     };
+                    self.prof.lane(0).end(prof);
                     self.views_scratch = views;
                     self.apply_decisions(decisions, DecisionTrigger::Completion, policy);
                     self.try_admit(policy);
                 }
             }
         }
+        self.prof.lane(0).end(publish_prof);
     }
 
     /// Records a completion at the current clock (pass A: the item's true
@@ -656,10 +773,12 @@ impl<'a> ShardedSim<'a> {
             self.record_ml();
             self.refresh_views();
             let views = std::mem::take(&mut self.views_scratch);
+            let prof = self.prof.lane(0).begin(SpanKind::PolicyDecision);
             let decisions = {
                 let _span = Span::start(Arc::clone(&self.decision_hist));
                 policy.on_job_arrival(&self.ctx(&views), job)
             };
+            self.prof.lane(0).end(prof);
             self.views_scratch = views;
             self.apply_decisions(decisions, DecisionTrigger::Arrival, policy);
         }
@@ -788,10 +907,12 @@ impl<'a> ShardedSim<'a> {
         }
         self.refresh_views();
         let views = std::mem::take(&mut self.views_scratch);
+        let prof = self.prof.lane(0).begin(SpanKind::PolicyDecision);
         let decisions = {
             let _span = Span::start(Arc::clone(&self.decision_hist));
             policy.on_capacity_change(&self.ctx(&views), changed)
         };
+        self.prof.lane(0).end(prof);
         self.views_scratch = views;
         self.apply_decisions(decisions, DecisionTrigger::Fault, policy);
     }
@@ -882,10 +1003,12 @@ impl<'a> ShardedSim<'a> {
 
         self.refresh_views();
         let views = std::mem::take(&mut self.views_scratch);
+        let prof = self.prof.lane(0).begin(SpanKind::PolicyDecision);
         let decisions = {
             let _span = Span::start(Arc::clone(&self.decision_hist));
             policy.on_job_completion(&self.ctx(&views), job)
         };
+        self.prof.lane(0).end(prof);
         self.views_scratch = views;
         self.apply_decisions(decisions, DecisionTrigger::Fault, policy);
         self.try_admit(policy);
@@ -927,6 +1050,8 @@ impl<'a> ShardedSim<'a> {
                 .iter()
                 .map(|s| s.queue.stale_drops())
                 .sum::<u64>();
+        let shard_events_popped: Vec<u64> =
+            self.shards.iter().map(|s| s.queue.total_popped()).collect();
         pdpa_obs::metrics::record_engine_run(&RunCounters {
             events_pushed,
             events_popped,
@@ -962,6 +1087,9 @@ impl<'a> ShardedSim<'a> {
             cpu_failures: self.cpu_failures,
             job_retries: self.job_retries,
             jobs_failed: self.jobs_failed,
+            watchdog: self.watchdog_diag.take(),
+            shard_events_popped,
+            profile: self.prof.finish(),
         }
     }
 }

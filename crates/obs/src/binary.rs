@@ -1,0 +1,669 @@
+//! The binary observer stream format (`PDPAOBS1`).
+//!
+//! A compact, length-prefixed frame encoding of [`TimedEvent`] streams —
+//! the wire format the future `pdpad` daemon will speak, and an on-disk
+//! alternative to the text lines of [`TimedEvent::to_line`]. Design goals,
+//! in order: **exact round trip** (decoding reproduces the event
+//! bit-for-bit, floats included — pinned against the text parser by
+//! proptest), **streamability** (each frame is self-delimiting, so a
+//! reader can process a stream incrementally and a truncated tail is
+//! detected, not misparsed), and **compactness** (varints for ids and
+//! counters, raw IEEE-754 bits for floats).
+//!
+//! # Layout
+//!
+//! A stream is the 8-byte magic [`MAGIC`] (`PDPAOBS1`) followed by zero or
+//! more frames. Each frame is:
+//!
+//! ```text
+//! uvarint payload_len | payload
+//! ```
+//!
+//! where the payload is:
+//!
+//! ```text
+//! u8 kind | f64le at | uvarint seq | per-kind fields
+//! ```
+//!
+//! `uvarint` is unsigned LEB128 (7 bits per byte, high bit = continuation).
+//! `f64le` is the 8 IEEE-754 bytes, little-endian — never reformatted, so
+//! the round trip is exact by construction. Strings are `uvarint len`
+//! followed by UTF-8 bytes. Options are a `u8` tag (0 = none, 1 = some)
+//! followed by the value. Kind codes follow [`ObsEvent`] declaration order
+//! (0 = `submit` … 15 = `failed`); the full field tables live in
+//! OBSERVABILITY.md.
+
+use std::io::{self, Write};
+
+use pdpa_sim::{CpuId, JobId, SimTime};
+
+use crate::event::{intern, DecisionTrigger, ObsEvent, TimedEvent};
+
+/// The stream header: `PDPAOBS1` in ASCII. Doubles as the format version —
+/// an incompatible revision bumps the trailing digit.
+pub const MAGIC: [u8; 8] = *b"PDPAOBS1";
+
+/// True when `bytes` starts with the binary-stream magic. The text format
+/// can never collide: its first byte is an ASCII digit of the timestamp.
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over one frame payload with diagnostic-bearing reads.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn byte(&mut self, what: &str) -> Result<u8, String> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| format!("frame truncated reading {what}"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn uvarint(&mut self, what: &str) -> Result<u64, String> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte(what)?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(format!("varint overflow reading {what}"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, String> {
+        if self.buf.len() - self.pos < 8 {
+            return Err(format!("frame truncated reading {what}"));
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, String> {
+        let len = self.uvarint(what)? as usize;
+        if self.buf.len() - self.pos < len {
+            return Err(format!("frame truncated reading {what}"));
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
+            .map_err(|_| format!("{what} is not valid UTF-8"))?
+            .to_string();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, String> {
+        usize::try_from(self.uvarint(what)?).map_err(|_| format!("{what} does not fit in usize"))
+    }
+
+    fn job(&mut self) -> Result<JobId, String> {
+        let v = self.uvarint("job")?;
+        Ok(JobId(
+            u32::try_from(v).map_err(|_| format!("job id {v} out of range"))?,
+        ))
+    }
+
+    fn cpu(&mut self) -> Result<CpuId, String> {
+        let v = self.uvarint("cpu")?;
+        Ok(CpuId(
+            u16::try_from(v).map_err(|_| format!("cpu id {v} out of range"))?,
+        ))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn kind_code(event: &ObsEvent) -> u8 {
+    match event {
+        ObsEvent::JobSubmitted { .. } => 0,
+        ObsEvent::JobDequeued { .. } => 1,
+        ObsEvent::JobStarted { .. } => 2,
+        ObsEvent::JobFinished { .. } => 3,
+        ObsEvent::IterationMeasured { .. } => 4,
+        ObsEvent::Decision { .. } => 5,
+        ObsEvent::StateChanged { .. } => 6,
+        ObsEvent::MplChanged { .. } => 7,
+        ObsEvent::ReallocCost { .. } => 8,
+        ObsEvent::CpuAssigned { .. } => 9,
+        ObsEvent::CpuFailed { .. } => 10,
+        ObsEvent::CpuRecovered { .. } => 11,
+        ObsEvent::DegradedCapacity { .. } => 12,
+        ObsEvent::JobRetried { .. } => 13,
+        ObsEvent::JobFailed { .. } => 14,
+        ObsEvent::ExperimentFailed { .. } => 15,
+    }
+}
+
+fn trigger_code(t: DecisionTrigger) -> u8 {
+    match t {
+        DecisionTrigger::Arrival => 0,
+        DecisionTrigger::Report => 1,
+        DecisionTrigger::Completion => 2,
+        DecisionTrigger::Fault => 3,
+    }
+}
+
+fn encode_payload(ev: &TimedEvent, out: &mut Vec<u8>) {
+    out.push(kind_code(&ev.event));
+    put_f64(out, ev.at.as_secs());
+    put_uvarint(out, ev.seq);
+    match &ev.event {
+        ObsEvent::JobSubmitted { job }
+        | ObsEvent::JobDequeued { job }
+        | ObsEvent::JobFinished { job } => {
+            put_uvarint(out, u64::from(job.0));
+        }
+        ObsEvent::JobStarted { job, request } => {
+            put_uvarint(out, u64::from(job.0));
+            put_uvarint(out, *request as u64);
+        }
+        ObsEvent::IterationMeasured {
+            job,
+            procs,
+            iter_secs,
+            speedup,
+            efficiency,
+            estimated,
+        } => {
+            put_uvarint(out, u64::from(job.0));
+            put_uvarint(out, *procs as u64);
+            put_f64(out, *iter_secs);
+            put_f64(out, *speedup);
+            put_f64(out, *efficiency);
+            out.push(u8::from(*estimated));
+        }
+        ObsEvent::Decision {
+            trigger,
+            job,
+            from_alloc,
+            to_alloc,
+            transition,
+        } => {
+            out.push(trigger_code(*trigger));
+            put_uvarint(out, u64::from(job.0));
+            put_uvarint(out, *from_alloc as u64);
+            put_uvarint(out, *to_alloc as u64);
+            match transition {
+                None => out.push(0),
+                Some((from, to)) => {
+                    out.push(1);
+                    put_str(out, from);
+                    put_str(out, to);
+                }
+            }
+        }
+        ObsEvent::StateChanged { job, from, to } => {
+            put_uvarint(out, u64::from(job.0));
+            put_str(out, from);
+            put_str(out, to);
+        }
+        ObsEvent::MplChanged {
+            running,
+            total_alloc,
+        } => {
+            put_uvarint(out, *running as u64);
+            put_uvarint(out, *total_alloc as u64);
+        }
+        ObsEvent::ReallocCost {
+            job,
+            penalty_secs,
+            gained,
+            lost,
+        } => {
+            put_uvarint(out, u64::from(job.0));
+            put_f64(out, *penalty_secs);
+            put_uvarint(out, *gained as u64);
+            put_uvarint(out, *lost as u64);
+        }
+        ObsEvent::CpuAssigned { cpu, job } => {
+            put_uvarint(out, u64::from(cpu.0));
+            match job {
+                None => out.push(0),
+                Some(j) => {
+                    out.push(1);
+                    put_uvarint(out, u64::from(j.0));
+                }
+            }
+        }
+        ObsEvent::CpuFailed { cpu } | ObsEvent::CpuRecovered { cpu } => {
+            put_uvarint(out, u64::from(cpu.0));
+        }
+        ObsEvent::DegradedCapacity { alive, total } => {
+            put_uvarint(out, *alive as u64);
+            put_uvarint(out, *total as u64);
+        }
+        ObsEvent::JobRetried {
+            job,
+            attempt,
+            backoff_secs,
+        } => {
+            put_uvarint(out, u64::from(job.0));
+            put_uvarint(out, u64::from(*attempt));
+            put_f64(out, *backoff_secs);
+        }
+        ObsEvent::JobFailed { job, attempts } => {
+            put_uvarint(out, u64::from(job.0));
+            put_uvarint(out, u64::from(*attempts));
+        }
+        ObsEvent::ExperimentFailed { name, message } => {
+            put_str(out, name);
+            put_str(out, message);
+        }
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<TimedEvent, String> {
+    let mut cur = Cur::new(payload);
+    let kind = cur.byte("event kind")?;
+    let at = cur.f64("timestamp")?;
+    let seq = cur.uvarint("seq")?;
+    let event = match kind {
+        0 => ObsEvent::JobSubmitted { job: cur.job()? },
+        1 => ObsEvent::JobDequeued { job: cur.job()? },
+        2 => ObsEvent::JobStarted {
+            job: cur.job()?,
+            request: cur.usize("request")?,
+        },
+        3 => ObsEvent::JobFinished { job: cur.job()? },
+        4 => ObsEvent::IterationMeasured {
+            job: cur.job()?,
+            procs: cur.usize("procs")?,
+            iter_secs: cur.f64("iter_secs")?,
+            speedup: cur.f64("speedup")?,
+            efficiency: cur.f64("efficiency")?,
+            estimated: cur.byte("estimated")? != 0,
+        },
+        5 => {
+            let trigger = match cur.byte("trigger")? {
+                0 => DecisionTrigger::Arrival,
+                1 => DecisionTrigger::Report,
+                2 => DecisionTrigger::Completion,
+                3 => DecisionTrigger::Fault,
+                other => return Err(format!("unknown trigger code {other}")),
+            };
+            let job = cur.job()?;
+            let from_alloc = cur.usize("from_alloc")?;
+            let to_alloc = cur.usize("to_alloc")?;
+            let transition = match cur.byte("transition tag")? {
+                0 => None,
+                1 => {
+                    let from = cur.str("transition from")?;
+                    let to = cur.str("transition to")?;
+                    Some((intern(&from), intern(&to)))
+                }
+                other => return Err(format!("bad option tag {other} for transition")),
+            };
+            ObsEvent::Decision {
+                trigger,
+                job,
+                from_alloc,
+                to_alloc,
+                transition,
+            }
+        }
+        6 => {
+            let job = cur.job()?;
+            let from = cur.str("from state")?;
+            let to = cur.str("to state")?;
+            ObsEvent::StateChanged {
+                job,
+                from: intern(&from),
+                to: intern(&to),
+            }
+        }
+        7 => ObsEvent::MplChanged {
+            running: cur.usize("running")?,
+            total_alloc: cur.usize("total_alloc")?,
+        },
+        8 => ObsEvent::ReallocCost {
+            job: cur.job()?,
+            penalty_secs: cur.f64("penalty_secs")?,
+            gained: cur.usize("gained")?,
+            lost: cur.usize("lost")?,
+        },
+        9 => {
+            let cpu = cur.cpu()?;
+            let job = match cur.byte("occupant tag")? {
+                0 => None,
+                1 => Some(cur.job()?),
+                other => return Err(format!("bad option tag {other} for occupant")),
+            };
+            ObsEvent::CpuAssigned { cpu, job }
+        }
+        10 => ObsEvent::CpuFailed { cpu: cur.cpu()? },
+        11 => ObsEvent::CpuRecovered { cpu: cur.cpu()? },
+        12 => ObsEvent::DegradedCapacity {
+            alive: cur.usize("alive")?,
+            total: cur.usize("total")?,
+        },
+        13 => ObsEvent::JobRetried {
+            job: cur.job()?,
+            attempt: cur.uvarint("attempt")? as u32,
+            backoff_secs: cur.f64("backoff_secs")?,
+        },
+        14 => ObsEvent::JobFailed {
+            job: cur.job()?,
+            attempts: cur.uvarint("attempts")? as u32,
+        },
+        15 => ObsEvent::ExperimentFailed {
+            name: cur.str("name")?,
+            message: cur.str("message")?,
+        },
+        other => return Err(format!("unknown event kind code {other}")),
+    };
+    if !cur.done() {
+        return Err(format!(
+            "frame for kind code {kind} has {} trailing bytes",
+            payload.len() - cur.pos
+        ));
+    }
+    Ok(TimedEvent {
+        at: SimTime::from_secs(at),
+        seq,
+        event,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------------
+
+/// Streaming frame writer: emits the magic on construction, one frame per
+/// [`BinaryWriter::write`]. Works over any `io::Write` (file, socket,
+/// `Vec<u8>`), which is what makes it reusable as the `pdpad` wire
+/// protocol.
+pub struct BinaryWriter<W: Write> {
+    out: W,
+    scratch: Vec<u8>,
+    frames: u64,
+}
+
+impl<W: Write> BinaryWriter<W> {
+    /// Wraps `out` and writes the stream magic.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&MAGIC)?;
+        Ok(BinaryWriter {
+            out,
+            scratch: Vec::with_capacity(64),
+            frames: 0,
+        })
+    }
+
+    /// Appends one event frame.
+    pub fn write(&mut self, ev: &TimedEvent) -> io::Result<()> {
+        self.scratch.clear();
+        encode_payload(ev, &mut self.scratch);
+        let mut len = Vec::with_capacity(2);
+        put_uvarint(&mut len, self.scratch.len() as u64);
+        self.out.write_all(&len)?;
+        self.out.write_all(&self.scratch)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Encodes a whole stream into a buffer (magic + frames).
+pub fn write_stream(events: &[TimedEvent]) -> Vec<u8> {
+    let mut w = BinaryWriter::new(Vec::new()).expect("Vec write cannot fail");
+    for ev in events {
+        w.write(ev).expect("Vec write cannot fail");
+    }
+    w.finish().expect("Vec flush cannot fail")
+}
+
+/// Decodes a binary stream (must start with [`MAGIC`]).
+///
+/// # Errors
+///
+/// Returns a diagnostic naming the frame index and offending field on
+/// malformed or truncated input.
+pub fn read_stream(bytes: &[u8]) -> Result<Vec<TimedEvent>, String> {
+    if !is_binary(bytes) {
+        return Err("not a PDPAOBS1 binary stream (bad magic)".to_string());
+    }
+    let mut events = Vec::new();
+    let mut rest = &bytes[MAGIC.len()..];
+    while !rest.is_empty() {
+        let mut cur = Cur::new(rest);
+        let len = cur
+            .uvarint("frame length")
+            .map_err(|e| format!("frame {}: {e}", events.len()))?;
+        let start = cur.pos;
+        let len = usize::try_from(len).map_err(|_| {
+            format!(
+                "frame {}: length {len} does not fit in memory",
+                events.len()
+            )
+        })?;
+        if rest.len() - start < len {
+            return Err(format!(
+                "frame {}: stream truncated ({} payload bytes present, {len} declared)",
+                events.len(),
+                rest.len() - start
+            ));
+        }
+        let ev = decode_payload(&rest[start..start + len])
+            .map_err(|e| format!("frame {}: {e}", events.len()))?;
+        events.push(ev);
+        rest = &rest[start + len..];
+    }
+    Ok(events)
+}
+
+/// Serializes a stream in the text format: one [`TimedEvent::to_line`]
+/// line per event, `\n`-terminated. The inverse of the text path of
+/// [`parse_stream`].
+pub fn write_text_stream(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an observer stream of either format, auto-detected by magic
+/// bytes: `PDPAOBS1` → binary frames, anything else → text lines through
+/// [`TimedEvent::parse_line`].
+///
+/// # Errors
+///
+/// Returns the underlying codec's diagnostic, prefixed with the line
+/// number for text streams.
+pub fn parse_stream(bytes: &[u8]) -> Result<Vec<TimedEvent>, String> {
+    if is_binary(bytes) {
+        return read_stream(bytes);
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| "stream is neither PDPAOBS1 binary nor UTF-8 text".to_string())?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        events.push(TimedEvent::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn te(at: f64, seq: u64, event: ObsEvent) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::from_secs(at),
+            seq,
+            event,
+        }
+    }
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            te(0.5, 0, ObsEvent::JobSubmitted { job: JobId(3) }),
+            te(
+                1.0,
+                1,
+                ObsEvent::Decision {
+                    trigger: DecisionTrigger::Report,
+                    job: JobId(3),
+                    from_alloc: 30,
+                    to_alloc: 26,
+                    transition: Some(("NO_REF", "DEC")),
+                },
+            ),
+            te(
+                1.0,
+                2,
+                ObsEvent::IterationMeasured {
+                    job: JobId(3),
+                    procs: 26,
+                    iter_secs: 0.123456789,
+                    speedup: 11.5,
+                    efficiency: 0.442,
+                    estimated: true,
+                },
+            ),
+            te(
+                2.0,
+                3,
+                ObsEvent::CpuAssigned {
+                    cpu: CpuId(59),
+                    job: None,
+                },
+            ),
+            te(
+                3.0,
+                4,
+                ObsEvent::ExperimentFailed {
+                    name: "table2".into(),
+                    message: "panic: \"quoted\"\nwith newline".into(),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trips_sample_events() {
+        let events = sample_events();
+        let bytes = write_stream(&events);
+        assert!(is_binary(&bytes));
+        assert_eq!(read_stream(&bytes).expect("decodes"), events);
+    }
+
+    #[test]
+    fn parse_stream_auto_detects_both_formats() {
+        let events = sample_events();
+        let binary = write_stream(&events);
+        let text = write_text_stream(&events);
+        assert!(!is_binary(text.as_bytes()));
+        assert_eq!(parse_stream(&binary).expect("binary decodes"), events);
+        assert_eq!(parse_stream(text.as_bytes()).expect("text parses"), events);
+    }
+
+    #[test]
+    fn truncated_stream_is_a_diagnostic_not_a_misparse() {
+        let bytes = write_stream(&sample_events());
+        let cut = &bytes[..bytes.len() - 3];
+        let err = read_stream(cut).expect_err("truncation must error");
+        assert!(err.contains("truncated"), "got: {err}");
+    }
+
+    #[test]
+    fn trailing_frame_bytes_are_rejected() {
+        let ev = te(1.0, 0, ObsEvent::JobFinished { job: JobId(1) });
+        let mut payload = Vec::new();
+        encode_payload(&ev, &mut payload);
+        payload.push(0xAA); // junk past the decoded fields
+        let mut bytes = MAGIC.to_vec();
+        put_uvarint(&mut bytes, payload.len() as u64);
+        bytes.extend_from_slice(&payload);
+        let err = read_stream(&bytes).expect_err("trailing bytes must error");
+        assert!(err.contains("trailing"), "got: {err}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_stream(b"NOTMAGIC").expect_err("bad magic must error");
+        assert!(err.contains("magic"), "got: {err}");
+    }
+
+    #[test]
+    fn varints_span_the_u64_range() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            buf.clear();
+            put_uvarint(&mut buf, v);
+            let mut cur = Cur::new(&buf);
+            assert_eq!(cur.uvarint("v").expect("decodes"), v);
+            assert!(cur.done());
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, 0.1 + 0.2] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let mut cur = Cur::new(&buf);
+            assert_eq!(cur.f64("v").expect("decodes").to_bits(), v.to_bits());
+        }
+    }
+}

@@ -311,6 +311,8 @@ impl TimedEvent {
     }
 }
 
+pub(crate) use parse::intern;
+
 /// The [`TimedEvent::to_line`] inverse.
 mod parse {
     use super::{DecisionTrigger, ObsEvent, TimedEvent};
@@ -320,8 +322,9 @@ mod parse {
 
     /// Returns a `'static` copy of `s`. PDPA state names come from a tiny
     /// fixed vocabulary, so the common case is a table hit; genuinely new
-    /// names are leaked once and reused from then on.
-    fn intern(s: &str) -> &'static str {
+    /// names are leaked once and reused from then on. Shared with the
+    /// binary decoder in `crate::binary`, which has the same need.
+    pub(crate) fn intern(s: &str) -> &'static str {
         for known in [
             "NO_REF",
             "INC",

@@ -23,12 +23,17 @@
 //! - the **exporters** ([`chrome`], [`export`]): Chrome `trace_event`
 //!   JSON viewable in Perfetto / `chrome://tracing`, a Fig.-8-style
 //!   MPL/allocation time-series CSV, and a metrics JSON document.
+//! - the **stream codecs** ([`binary`]): recorded event streams serialize
+//!   to stable text lines ([`TimedEvent::to_line`]) or to the compact
+//!   length-prefixed `PDPAOBS1` binary frame format, with magic-byte
+//!   auto-detection on read ([`parse_stream`]).
 //!
 //! `RunResult` above refers to `pdpa_engine::RunResult`; this crate sits
 //! below the engine (it depends only on `pdpa-sim`) so every layer —
 //! engine, trace, parallel harness, CLI — can publish and subscribe
 //! without dependency cycles.
 
+pub mod binary;
 pub mod chrome;
 pub mod collector;
 pub mod event;
@@ -37,6 +42,9 @@ pub mod metrics;
 pub mod observer;
 pub mod scope;
 
+pub use binary::{
+    is_binary, parse_stream, read_stream, write_stream, write_text_stream, BinaryWriter,
+};
 pub use chrome::chrome_trace;
 pub use collector::ExperimentFailure;
 pub use event::{DecisionTrigger, ObsEvent, TimedEvent};

@@ -1,0 +1,36 @@
+//! Runtime introspection for the PDPA replay engines.
+//!
+//! PDPA's thesis is allocation driven by *measured* performance; this crate
+//! turns the same discipline on the simulator itself. Three pillars:
+//!
+//! - [`span`] — a hierarchical wall-clock span profiler. The engine records
+//!   nested spans (replay → epoch round → barrier compute → shard advance →
+//!   merge → publish → policy decision → queue-op batches) into per-shard
+//!   [`Lane`] buffers that are safe to hand across `std::thread::scope`
+//!   boundaries. A disabled lane costs a single branch per span, so the
+//!   profiler-off path stays inside the same ≤2% overhead contract that
+//!   `NullObserver` is pinned to.
+//! - [`report`] — turns the collected lanes into a [`Profile`]: a Chrome
+//!   `trace_event` JSON document with one timeline lane per shard, and a
+//!   plain-text hot-path report aggregating time per span kind.
+//! - [`health`] — live run health: periodic [`Heartbeat`] snapshots
+//!   (sim-clock, events/sec, queue depth, per-shard imbalance, memory
+//!   high-water) and a zero-progress [`Watchdog`] that promotes the old
+//!   `PDPA_DEBUG_PROGRESS` env hack into a first-class detector which aborts
+//!   a stuck run with a structured diagnostic instead of hanging.
+//!
+//! The crate sits below `pdpa-engine` in the dependency graph and has no
+//! dependencies of its own: it knows nothing about jobs, policies, or
+//! observers — only about wall-clock time and counters.
+
+#![deny(missing_docs)]
+
+pub mod health;
+pub mod report;
+pub mod span;
+
+pub use health::{
+    memory_high_water_kib, HealthSnapshot, Heartbeat, HeartbeatConfig, Watchdog, WatchdogConfig,
+};
+pub use report::{LaneProfile, Profile};
+pub use span::{Lane, Profiler, SpanKind, SpanRec, SpanStart};

@@ -414,6 +414,17 @@ impl<E> CalendarQueue<E> {
     pub fn stale_drops(&self) -> u64 {
         self.stale
     }
+
+    /// One-call snapshot of the queue-op counters — see
+    /// [`EventQueue::stats`](crate::EventQueue::stats).
+    pub fn stats(&self) -> crate::event::QueueStats {
+        crate::event::QueueStats {
+            pushed: self.pushed,
+            popped: self.popped,
+            stale_drops: self.stale,
+            len: self.len(),
+        }
+    }
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -597,6 +608,15 @@ impl<E> AdaptiveQueue<E> {
         match &self.backend {
             Backend::Heap(q) => q.stale_drops(),
             Backend::Calendar(q) => q.stale_drops(),
+        }
+    }
+
+    /// One-call snapshot of the queue-op counters — see
+    /// [`EventQueue::stats`](crate::EventQueue::stats).
+    pub fn stats(&self) -> crate::event::QueueStats {
+        match &self.backend {
+            Backend::Heap(q) => q.stats(),
+            Backend::Calendar(q) => q.stats(),
         }
     }
 }

@@ -23,6 +23,21 @@ use std::collections::{BinaryHeap, HashMap};
 
 use crate::time::SimTime;
 
+/// A point-in-time snapshot of a queue's traffic counters, as returned by
+/// the `stats()` method on every queue implementation. Health monitors
+/// sample these per shard each heartbeat instead of calling four getters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events pushed over the queue's lifetime.
+    pub pushed: u64,
+    /// Total events popped, stale discards included.
+    pub popped: u64,
+    /// Total keyed entries discarded as stale.
+    pub stale_drops: u64,
+    /// Current backlog, stale entries included.
+    pub len: usize,
+}
+
 /// A priority queue of `(SimTime, payload)` entries with FIFO tie-breaking
 /// and generation-keyed lazy deletion.
 #[derive(Debug)]
@@ -218,6 +233,17 @@ impl<E> EventQueue<E> {
     /// Total keyed entries discarded as stale over the queue's lifetime.
     pub fn stale_drops(&self) -> u64 {
         self.stale
+    }
+
+    /// One-call snapshot of the queue-op counters, for health monitors
+    /// that sample many queues at once.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.pushed,
+            popped: self.popped,
+            stale_drops: self.stale,
+            len: self.len(),
+        }
     }
 
     /// Decomposes the queue into its raw state — pending entries as

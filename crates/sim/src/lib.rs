@@ -31,7 +31,7 @@ pub mod time;
 
 pub use calendar::{AdaptiveQueue, CalendarQueue};
 pub use cost::CostModel;
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueStats};
 pub use ids::{CpuId, JobId};
 pub use machine::{CpuSet, Machine, MachineStats};
 pub use rng::SimRng;

@@ -26,7 +26,11 @@
 //!   (CPU failures, job crashes, retry policies) for chaos runs;
 //! - [`trace`] (`pdpa-trace`) — Paraver-style tracing and Table-2 stats;
 //! - [`obs`] (`pdpa-obs`) — structured observability: the decision-event
-//!   bus, the metrics registry, and the Chrome-trace/CSV/JSON exporters;
+//!   bus, the metrics registry, the binary/text observer stream codecs, and
+//!   the Chrome-trace/CSV/JSON exporters;
+//! - [`prof`] (`pdpa-prof`) — engine self-profiling: hierarchical
+//!   wall-clock spans per shard lane, hot-path reports, heartbeat
+//!   snapshots, and the zero-progress watchdog;
 //! - [`analyze`] (`pdpa-analyze`) — trace analytics over recorded event
 //!   streams: per-job timelines, PDPA time-in-state, migration accounting,
 //!   CPU/MPL series, and run diffs;
@@ -67,6 +71,7 @@ pub use pdpa_nthlib as nthlib;
 pub use pdpa_obs as obs;
 pub use pdpa_perf as perf;
 pub use pdpa_policies as policies;
+pub use pdpa_prof as prof;
 pub use pdpa_qs as qs;
 pub use pdpa_sim as sim;
 pub use pdpa_trace as trace;

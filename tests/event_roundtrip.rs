@@ -1,13 +1,17 @@
-//! Property tests for the observability layer's text codec and metrics.
+//! Property tests for the observability layer's stream codecs and metrics.
 //!
-//! Two families:
+//! Three families:
 //!
 //! 1. `parse_line(to_line(e)) == e` across **every** [`ObsEvent`] kind, with
 //!    generated ids, floats, state names, and debug-quoted payloads. The
 //!    line format is the interchange surface for `pdpa analyze` / `pdpa
 //!    diff`, so a kind that cannot round-trip would silently vanish from
 //!    replays.
-//! 2. The log₂-bucket [`Histogram`] quantile estimate stays within one
+//! 2. The `PDPAOBS1` binary framing decodes every generated stream back to
+//!    the identical events, and `parse_stream` (the auto-detecting reader)
+//!    agrees with the text parser event-for-event on the same stream —
+//!    the two codecs can never drift apart.
+//! 3. The log₂-bucket [`Histogram`] quantile estimate stays within one
 //!    bucket width of the exact rank-order statistic: for a sample `v ≥ 2`
 //!    in bucket `i`, `v ∈ [2^i, 2^(i+1))` and the reported midpoint
 //!    `1.5·2^i` gives a ratio in `(0.75, 1.5]`; the sub-bucket values
@@ -15,7 +19,10 @@
 
 use proptest::prelude::*;
 
-use pdpa_suite::obs::{DecisionTrigger, Histogram, ObsEvent, TimedEvent};
+use pdpa_suite::obs::{
+    parse_stream, read_stream, write_stream, write_text_stream, DecisionTrigger, Histogram,
+    ObsEvent, TimedEvent,
+};
 use pdpa_suite::sim::{CpuId, JobId, SimTime};
 
 fn arb_job() -> impl Strategy<Value = JobId> {
@@ -158,6 +165,28 @@ proptest! {
             back.unwrap_err()
         );
         prop_assert_eq!(back.unwrap(), ev);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// Every generated stream survives the binary codec identically, and
+    /// the auto-detecting `parse_stream` yields the same events from the
+    /// binary bytes as from the text rendering of the same stream.
+    #[test]
+    fn binary_stream_matches_text_parser(
+        events in proptest::collection::vec(arb_timed(), 0..40),
+    ) {
+        let bytes = write_stream(&events);
+        let back = read_stream(&bytes).expect("binary stream decodes");
+        prop_assert_eq!(&back, &events);
+
+        let from_binary = parse_stream(&bytes).expect("binary auto-detects");
+        let from_text =
+            parse_stream(write_text_stream(&events).as_bytes()).expect("text parses");
+        prop_assert_eq!(&from_binary, &from_text);
+        prop_assert_eq!(&from_binary, &events);
     }
 }
 

@@ -1,17 +1,19 @@
-//! Guard: observability must be zero-cost when disabled.
+//! Guard: observability and profiling must be zero-cost when disabled.
 //!
 //! `Engine::run` is the production path (it hands a `NullObserver` to
 //! `run_observed`); this pins the contract that calling `run_observed`
 //! with a disabled observer costs the same as `run` — i.e. nobody later
 //! adds per-run setup (event buffers, allocation, clock reads) that taxes
-//! unobserved runs. Paired, interleaved, median-of-N so machine noise
-//! cancels; a small absolute slack keeps sub-millisecond jitter from
-//! flaking CI.
+//! unobserved runs. The same ≤2% bound covers the sharded engine and the
+//! disabled `pdpa-prof` instrumentation path (`Instrumentation::none()`),
+//! whose touch points are one branch each. Paired, interleaved,
+//! median-of-N so machine noise cancels; a small absolute slack keeps
+//! sub-millisecond jitter from flaking CI.
 
 use std::time::Instant;
 
 use pdpa_suite::core::Pdpa;
-use pdpa_suite::engine::{Engine, EngineConfig};
+use pdpa_suite::engine::{Engine, EngineConfig, Instrumentation};
 use pdpa_suite::obs::NullObserver;
 use pdpa_suite::qs::Workload;
 
@@ -49,5 +51,78 @@ fn disabled_observer_costs_within_two_percent_of_plain_run() {
     assert!(
         n <= p * 1.02 + 2e-3,
         "disabled-observer run regressed: plain {p:.6}s vs NullObserver {n:.6}s"
+    );
+}
+
+#[test]
+fn disabled_instrumentation_costs_within_two_percent_of_plain_run() {
+    let engine = Engine::new(EngineConfig::default().with_seed(42));
+    let jobs = || Workload::W2.build(1.0, 42);
+    let policy = || Box::new(Pdpa::paper_default());
+
+    let warm = engine.run(jobs(), policy());
+    assert!(warm.completed_all);
+
+    let rounds = 15;
+    let mut plain = Vec::with_capacity(rounds);
+    let mut instrumented = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let r = engine.run(jobs(), policy());
+        plain.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all);
+
+        let t = Instant::now();
+        let r =
+            engine.run_instrumented(jobs(), policy(), &mut NullObserver, Instrumentation::none());
+        instrumented.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all && r.profile.is_none() && r.watchdog.is_none());
+    }
+
+    let (p, n) = (median(plain), median(instrumented));
+    assert!(
+        n <= p * 1.02 + 2e-3,
+        "disabled-instrumentation run regressed: plain {p:.6}s vs Instrumentation::none() {n:.6}s"
+    );
+}
+
+#[test]
+fn sharded_disabled_observer_and_profiler_cost_within_two_percent() {
+    let engine = Engine::new(EngineConfig::default().with_seed(42));
+    let jobs = || Workload::W2.build(1.0, 42);
+    let policy = || Box::new(Pdpa::paper_default());
+    let shards = 2;
+    let epoch = pdpa_suite::engine::shard::DEFAULT_EPOCH_SECS;
+
+    let warm = engine.run_sharded(jobs(), policy(), shards);
+    assert!(warm.completed_all);
+
+    let rounds = 15;
+    let mut plain = Vec::with_capacity(rounds);
+    let mut instrumented = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let r = engine.run_sharded(jobs(), policy(), shards);
+        plain.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all);
+
+        let t = Instant::now();
+        let r = engine.run_sharded_instrumented(
+            jobs(),
+            policy(),
+            shards,
+            epoch,
+            &mut NullObserver,
+            Instrumentation::none(),
+        );
+        instrumented.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all && r.profile.is_none() && r.watchdog.is_none());
+    }
+
+    let (p, n) = (median(plain), median(instrumented));
+    assert!(
+        n <= p * 1.02 + 2e-3,
+        "sharded disabled-instrumentation run regressed: \
+         plain {p:.6}s vs Instrumentation::none() {n:.6}s"
     );
 }

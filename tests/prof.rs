@@ -1,0 +1,192 @@
+//! Integration tests for the `pdpa-prof` instrumentation layer wired
+//! through both engines: span profiles, the zero-progress watchdog, and
+//! the contract that instrumentation never perturbs the decision stream.
+
+use pdpa_suite::core::Pdpa;
+use pdpa_suite::engine::shard::DEFAULT_EPOCH_SECS;
+use pdpa_suite::engine::{Engine, EngineConfig, Instrumentation};
+use pdpa_suite::obs::{read_stream, write_stream, write_text_stream, RecordingObserver};
+use pdpa_suite::prof::{SpanKind, WatchdogConfig};
+use pdpa_suite::qs::{JobSpec, Workload};
+use pdpa_suite::sim::SimTime;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::default().with_seed(42))
+}
+
+#[test]
+fn sharded_profile_has_one_lane_per_shard_plus_coordinator() {
+    let jobs = Workload::W3.build(0.6, 42);
+    let result = engine().run_sharded_instrumented(
+        jobs,
+        Box::new(Pdpa::paper_default()),
+        3,
+        DEFAULT_EPOCH_SECS,
+        &mut pdpa_suite::obs::NullObserver,
+        Instrumentation::none().with_profile(),
+    );
+    assert!(result.completed_all);
+    let profile = result.profile.expect("profiling was enabled");
+    let names: Vec<&str> = profile.lanes.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(names, ["coordinator", "shard-0", "shard-1", "shard-2"]);
+    // The coordinator owns the hierarchy: one replay span wrapping the
+    // rounds, barrier computes, merges, publishes, and policy decisions.
+    assert_eq!(
+        profile.lanes[0]
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Replay)
+            .count(),
+        1
+    );
+    for kind in [
+        SpanKind::Round,
+        SpanKind::BarrierCompute,
+        SpanKind::Merge,
+        SpanKind::Publish,
+        SpanKind::PolicyDecision,
+    ] {
+        assert!(
+            profile.total_ns(kind) > 0,
+            "no {:?} time on the coordinator lane",
+            kind
+        );
+    }
+    // Every shard lane advanced and counted its popped events.
+    for lane in &profile.lanes[1..] {
+        assert!(
+            lane.spans.iter().any(|s| s.kind == SpanKind::ShardAdvance),
+            "{} recorded no shard_advance spans",
+            lane.name
+        );
+        assert!(lane.events > 0, "{} counted no events", lane.name);
+    }
+    // The Chrome export names each lane and the report aggregates them.
+    let json = profile.chrome_json();
+    for lane in ["coordinator", "shard-0", "shard-1", "shard-2"] {
+        assert!(json.contains(lane), "missing {lane} in Chrome trace");
+    }
+    assert!(profile.hot_path_report().contains("per-shard events:"));
+}
+
+#[test]
+fn classic_profile_records_the_coordinator_hierarchy() {
+    let jobs = Workload::W3.build(0.6, 42);
+    let result = engine().run_instrumented(
+        jobs,
+        Box::new(Pdpa::paper_default()),
+        &mut pdpa_suite::obs::NullObserver,
+        Instrumentation::none().with_profile(),
+    );
+    assert!(result.completed_all);
+    let profile = result.profile.expect("profiling was enabled");
+    assert_eq!(profile.lanes.len(), 1);
+    assert_eq!(profile.lanes[0].name, "coordinator");
+    assert!(profile.lanes[0].events > 0);
+    for kind in [
+        SpanKind::Replay,
+        SpanKind::PolicyDecision,
+        SpanKind::QueueOps,
+    ] {
+        assert!(profile.total_ns(kind) > 0, "no {:?} time recorded", kind);
+    }
+}
+
+#[test]
+fn watchdog_aborts_synthetic_zero_progress_with_a_diagnostic() {
+    // Fifty simultaneous submissions: the classic engine pops fifty
+    // arrival events without the simulated clock moving, which is exactly
+    // the signature of a stuck run. A tiny threshold makes the watchdog
+    // trip inside that burst instead of after the production 5M steps.
+    let jobs: Vec<JobSpec> = (0..50)
+        .map(|_| JobSpec::new(SimTime::ZERO, pdpa_suite::apps::paper::bt_a()))
+        .collect();
+    let result = engine().run_instrumented(
+        jobs,
+        Box::new(Pdpa::paper_default()),
+        &mut pdpa_suite::obs::NullObserver,
+        Instrumentation::none().with_watchdog(WatchdogConfig { max_stalled: 10 }),
+    );
+    let diag = result.watchdog.expect("watchdog must trip");
+    assert!(
+        diag.contains("no sim-clock progress"),
+        "unstructured diagnostic: {diag}"
+    );
+    assert!(
+        diag.contains("classic engine"),
+        "diagnostic lacks engine context: {diag}"
+    );
+    assert!(
+        !result.completed_all,
+        "an aborted run must not claim completion"
+    );
+}
+
+#[test]
+fn watchdog_stays_silent_on_healthy_runs() {
+    // Production thresholds on real workloads through both engines: the
+    // watchdog must never fire on a run that is actually progressing.
+    let jobs = Workload::W3.build(0.6, 42);
+    let classic = engine().run_instrumented(
+        jobs.clone(),
+        Box::new(Pdpa::paper_default()),
+        &mut pdpa_suite::obs::NullObserver,
+        Instrumentation::none().with_watchdog(WatchdogConfig::classic()),
+    );
+    assert!(classic.completed_all && classic.watchdog.is_none());
+    let sharded = engine().run_sharded_instrumented(
+        jobs,
+        Box::new(Pdpa::paper_default()),
+        2,
+        DEFAULT_EPOCH_SECS,
+        &mut pdpa_suite::obs::NullObserver,
+        Instrumentation::none().with_watchdog(WatchdogConfig::sharded()),
+    );
+    assert!(sharded.completed_all && sharded.watchdog.is_none());
+}
+
+#[test]
+fn profiling_leaves_the_decision_stream_bit_identical() {
+    // The acceptance pin: a profiled run and a binary-serialized stream
+    // must both be indistinguishable from the plain text-format run.
+    let jobs = Workload::W3.build(0.6, 42);
+    let mut plain_rec = RecordingObserver::new();
+    let plain = engine().run_sharded_instrumented(
+        jobs.clone(),
+        Box::new(Pdpa::paper_default()),
+        2,
+        DEFAULT_EPOCH_SECS,
+        &mut plain_rec,
+        Instrumentation::none(),
+    );
+    let mut profiled_rec = RecordingObserver::new();
+    let profiled = engine().run_sharded_instrumented(
+        jobs,
+        Box::new(Pdpa::paper_default()),
+        2,
+        DEFAULT_EPOCH_SECS,
+        &mut profiled_rec,
+        Instrumentation::none()
+            .with_profile()
+            .with_watchdog(WatchdogConfig::sharded()),
+    );
+    assert!(plain.completed_all && profiled.completed_all);
+    let plain_events = plain_rec.take_events();
+    let profiled_events = profiled_rec.take_events();
+    // Bit-identical text serializations, not just equal event counts.
+    assert_eq!(
+        write_text_stream(&plain_events),
+        write_text_stream(&profiled_events),
+        "profiling perturbed the decision stream"
+    );
+    // And the binary codec reproduces that same stream byte-exactly.
+    let decoded = read_stream(&write_stream(&plain_events)).expect("binary round trip");
+    assert_eq!(
+        write_text_stream(&decoded),
+        write_text_stream(&plain_events),
+        "binary framing perturbed the decision stream"
+    );
+    // Per-shard event accounting rode along on both results.
+    assert_eq!(plain.shard_events_popped.len(), 2);
+    assert_eq!(plain.shard_events_popped, profiled.shard_events_popped);
+}
