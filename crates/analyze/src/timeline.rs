@@ -100,14 +100,21 @@ impl SlowdownDist {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("slowdowns are finite"));
-        let rank = |q: f64| {
-            let idx = (q * sorted.len() as f64).ceil() as usize;
-            sorted[idx.clamp(1, sorted.len()) - 1]
+        // Nearest rank in exact integer arithmetic: rank = ⌈percent·n/100⌉,
+        // clamped into [1, n]. The float form `(q * n).ceil()` overshoots
+        // whenever the product rounds just above an integer (0.9 × 70 =
+        // 63.000000000000016 → rank 64 instead of 63), silently reporting
+        // a deeper tail value than asked for.
+        let rank = |percent: usize| {
+            let idx = (percent * sorted.len())
+                .div_ceil(100)
+                .clamp(1, sorted.len());
+            sorted[idx - 1]
         };
         Some(SlowdownDist {
-            p50: rank(0.50),
-            p90: rank(0.90),
-            p99: rank(0.99),
+            p50: rank(50),
+            p90: rank(90),
+            p99: rank(99),
             max: *sorted.last().expect("non-empty"),
         })
     }
@@ -313,6 +320,56 @@ mod tests {
         let one = SlowdownDist::from_samples(&[3.5]).unwrap();
         assert_eq!((one.p50, one.p90, one.p99, one.max), (3.5, 3.5, 3.5, 3.5));
         assert_eq!(SlowdownDist::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_at_awkward_sample_counts() {
+        // Regression: with 70 samples, 0.9 × 70 = 63.000000000000016 in
+        // floating point, so the old `(q * n).ceil()` rank picked the 64th
+        // order statistic instead of the 63rd.
+        let samples: Vec<f64> = (1..=70).map(f64::from).collect();
+        let d = SlowdownDist::from_samples(&samples).unwrap();
+        assert_eq!(d.p50, 35.0);
+        assert_eq!(d.p90, 63.0);
+        assert_eq!(d.p99, 70.0, "p99 of n < 100 is the max");
+        assert_eq!(d.max, 70.0);
+        // Small n: every quantile must stay inside the sample.
+        for n in 1..=25usize {
+            let samples: Vec<f64> = (1..=n).map(|v| v as f64).collect();
+            let d = SlowdownDist::from_samples(&samples).unwrap();
+            assert_eq!(d.p99, n as f64, "p99 at n={n} is the max");
+            assert_eq!(d.max, n as f64);
+        }
+    }
+
+    mod quantile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Nearest-rank quantiles are ordered, and every reported value
+            /// is a member of the sample (the defining property of the
+            /// method).
+            #[test]
+            fn quantiles_are_ordered_sample_members(
+                samples in proptest::collection::vec(1.0f64..1000.0, 1..300),
+            ) {
+                let d = SlowdownDist::from_samples(&samples).unwrap();
+                prop_assert!(d.p50 <= d.p90);
+                prop_assert!(d.p90 <= d.p99);
+                prop_assert!(d.p99 <= d.max);
+                for q in [d.p50, d.p90, d.p99, d.max] {
+                    prop_assert!(
+                        samples.contains(&q),
+                        "quantile {} is not a sample member", q
+                    );
+                }
+                if samples.len() < 100 {
+                    let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+                    prop_assert_eq!(d.p99, max, "p99 of n < 100 is the max");
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn views(n: usize) -> Vec<JobView> {
             request: 30,
             allocated: 60 / n.max(1),
             last_sample: None,
+            remaining_secs: 50.0 + i as f64,
         })
         .collect()
 }

@@ -1,0 +1,8 @@
+//! Thin wrapper over the in-process registry: `tournament` via the shared
+//! harness (flags: `--json`, `--sequential`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pdpa_bench::harness::main_single("tournament")
+}

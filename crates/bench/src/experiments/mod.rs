@@ -27,6 +27,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod tournament;
 
 /// One registered experiment.
 #[derive(Clone, Copy, Debug)]
@@ -142,6 +143,11 @@ pub fn registry() -> Vec<Experiment> {
             title: "Large-scale SWF trace replay (extension)",
             run: scale::run,
         },
+        Experiment {
+            name: "tournament",
+            title: "Policy-zoo slowdown tournament (extension)",
+            run: tournament::run,
+        },
     ]
 }
 
@@ -200,8 +206,8 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
         assert_eq!(names[0], "fig3");
         assert_eq!(names[2], "fig4");
-        assert_eq!(names.last(), Some(&"scale"));
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.last(), Some(&"tournament"));
+        assert_eq!(names.len(), 21);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -1,0 +1,495 @@
+//! Extension experiment — the policy-zoo slowdown tournament.
+//!
+//! The paper compares four policies on four hand-built workloads; the
+//! literature since has produced allocation rules with very different
+//! shapes — heSRPT's closed-form size-rank allocation (Berg et al.),
+//! water-filling over concave speedup curves (OptSplit), online
+//! gradient-style tuning (LearnedAlloc), rigid partitions, and gang
+//! rotation. This experiment races the whole zoo on equal terms over two
+//! legs:
+//!
+//! 1. **SWF replay** — a shaped Standard-Workload-Format trace (the
+//!    `scale` pipeline: generate, round-trip through SWF text, window/
+//!    remap/rescale), replayed under every entrant;
+//! 2. **chaos** — workload 3 at full load under the fixed fault plan of
+//!    the `chaos` experiment (two CPU failures, one recovery, one job
+//!    crash with bounded retries).
+//!
+//! Every run is traced, and the per-job slowdown distribution is computed
+//! by `pdpa-analyze` from the recorded decision-event stream — the same
+//! replay path the CI perf gate exercises. Entrants are ranked by p50,
+//! then p90, then p99 slowdown (label as the final tie-break), so the
+//! ranking is deterministic for a fixed seed; the `ranking(<leg>):` lines
+//! are the artifact the CI tournament-smoke job diffs across repeated
+//! runs. Migration counts are the engine's uniform churn measure,
+//! `total_migrations() + quantum_rotations`, so gang rotation is visible
+//! next to space-sharing reallocation instead of hiding at zero.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::experiments::chaos;
+use crate::json::Value;
+use pdpa_analyze::{RunAnalysis, SlowdownDist};
+use pdpa_core::Pdpa;
+use pdpa_engine::{Engine, EngineConfig};
+use pdpa_obs::RecordingObserver;
+use pdpa_policies::{
+    EqualEfficiency, Equipartition, GangScheduler, HeSrpt, LearnedAlloc, OptSplit, RigidFirstFit,
+    SchedulingPolicy,
+};
+use pdpa_qs::{shape, swf, GeneratorConfig, Workload};
+
+/// Submission window of the generated SWF leg, seconds (≈ 350 jobs at
+/// full load — large enough for stable quantiles, small enough that the
+/// traced gang run stays cheap).
+const DURATION_SECS: f64 = 1500.0;
+/// Target demand of the generated SWF leg.
+const LOAD: f64 = 1.0;
+/// Machine size of both legs.
+const CPUS: usize = 60;
+/// The tournament's fixed seed.
+const SEED: u64 = 42;
+
+/// One competing policy.
+pub struct Entrant {
+    /// Display label, as used in the paper's figures where applicable.
+    pub label: &'static str,
+    /// Stable identifier for `tournament-<slug>` trajectory modes.
+    pub slug: &'static str,
+    /// Builds a fresh policy instance.
+    pub build: fn() -> Box<dyn SchedulingPolicy>,
+}
+
+/// The roster: the paper's space-sharing policies, the rigid and gang
+/// baselines, and the three literature entrants. IRIX sits this one out —
+/// its 250 ms quantum makes a traced replay of a long trace emit millions
+/// of per-quantum placement events for no extra ranking insight.
+pub fn entrants() -> Vec<Entrant> {
+    vec![
+        Entrant {
+            label: "PDPA",
+            slug: "pdpa",
+            build: || Box::new(Pdpa::paper_default()),
+        },
+        Entrant {
+            label: "Equip",
+            slug: "equip",
+            build: || Box::new(Equipartition::default()),
+        },
+        Entrant {
+            label: "Equal_eff",
+            slug: "equal-eff",
+            build: || Box::new(EqualEfficiency::paper_default()),
+        },
+        Entrant {
+            label: "Rigid",
+            slug: "rigid",
+            build: || Box::new(RigidFirstFit::paper_default()),
+        },
+        Entrant {
+            label: "Gang",
+            slug: "gang",
+            build: || Box::new(GangScheduler::paper_comparable()),
+        },
+        Entrant {
+            label: "heSRPT",
+            slug: "hesrpt",
+            build: || Box::new(HeSrpt::default()),
+        },
+        Entrant {
+            label: "OptSplit",
+            slug: "optsplit",
+            build: || Box::new(OptSplit::default()),
+        },
+        Entrant {
+            label: "Learned",
+            slug: "learned",
+            build: || Box::new(LearnedAlloc::default()),
+        },
+    ]
+}
+
+/// Tournament parameters. [`Default`] is what the registry experiment and
+/// the CI smoke run; `pdpa tournament` maps its flags onto this.
+pub struct TournamentConfig {
+    /// Machine size of the SWF leg.
+    pub cpus: usize,
+    /// Seed for trace generation and both legs' engines.
+    pub seed: u64,
+    /// Target demand of the generated SWF leg.
+    pub load: f64,
+    /// Submission window of the generated SWF leg, seconds.
+    pub duration_secs: f64,
+    /// Replay this pre-shaped trace instead of generating one.
+    pub trace: Option<pdpa_qs::SwfTrace>,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            cpus: CPUS,
+            seed: SEED,
+            load: LOAD,
+            duration_secs: DURATION_SECS,
+            trace: None,
+        }
+    }
+}
+
+/// One entrant's measurements on one leg.
+#[derive(Clone, Debug)]
+pub struct LegStats {
+    /// Entrant display label.
+    pub label: &'static str,
+    /// Entrant trajectory slug.
+    pub slug: &'static str,
+    /// Mean per-job slowdown (replayed from the event stream).
+    pub avg_slowdown: f64,
+    /// Nearest-rank slowdown quantiles — the ranking key.
+    pub dist: SlowdownDist,
+    /// Workload makespan, simulated seconds.
+    pub makespan: f64,
+    /// Fraction of machine capacity held by jobs.
+    pub utilization: f64,
+    /// Uniform churn: Table-2 migrations plus gang-rotation hand-offs.
+    pub migrations: u64,
+    /// Mean running multiprogramming level over the run.
+    pub mean_mpl: f64,
+    /// Peak running multiprogramming level.
+    pub max_mpl: usize,
+    /// Host wall-clock of the engine run, seconds (reported, never ranked).
+    pub wall_secs: f64,
+    /// Simulation events drained (throughput accounting for `--json`).
+    pub events_popped: u64,
+}
+
+/// A finished tournament: both legs ranked best-first.
+pub struct Tournament {
+    /// Machine size of the SWF leg.
+    pub cpus: usize,
+    /// The seed both legs ran at.
+    pub seed: u64,
+    /// Jobs in the SWF leg's trace.
+    pub swf_jobs: usize,
+    /// Submission span of the SWF leg, seconds.
+    pub swf_span_secs: f64,
+    /// SWF-replay leg, ranked by (p50, p90, p99, label).
+    pub swf: Vec<LegStats>,
+    /// Chaos leg, ranked the same way.
+    pub chaos: Vec<LegStats>,
+}
+
+/// Generates the SWF leg's trace through the full pipeline: generate,
+/// SWF text round-trip, window/remap/rescale (the `scale` idiom).
+fn shaped_trace(config: &TournamentConfig) -> pdpa_qs::SwfTrace {
+    let gen = GeneratorConfig {
+        composition: Workload::W4.composition(),
+        load: config.load,
+        cpus: config.cpus,
+        duration_secs: config.duration_secs,
+        tuned: true,
+    };
+    gen.validate().expect("static config");
+    let jobs = pdpa_qs::generate(&gen, config.seed);
+    let text = swf::write_swf(&jobs);
+    let trace = swf::parse_swf_trace(&text).expect("own writer output parses");
+    let from = trace.machine_size().unwrap_or(config.cpus);
+    let records = shape::slice_window(&trace.records, 0.0, config.duration_secs);
+    let records = shape::remap_machine(&records, from, config.cpus);
+    let records = shape::rescale_load(&records, config.load, config.cpus);
+    pdpa_qs::SwfTrace {
+        max_procs: Some(config.cpus),
+        max_nodes: trace.max_nodes,
+        records,
+    }
+}
+
+/// Runs one entrant on one leg: traced engine run, event-stream analysis,
+/// uniform churn accounting.
+fn race(
+    entrant: &Entrant,
+    jobs: Vec<pdpa_qs::JobSpec>,
+    config: EngineConfig,
+    key: &str,
+) -> LegStats {
+    let mut rec = RecordingObserver::new();
+    let started = Instant::now();
+    let result = Engine::new(config).run_observed(jobs, (entrant.build)(), &mut rec);
+    let wall_secs = started.elapsed().as_secs_f64();
+    assert!(result.completed_all, "{} wedged on {key}", entrant.label);
+    crate::stats::record_run(&result);
+    let events = rec.take_events();
+    if pdpa_obs::collector::is_recording() {
+        let scope = pdpa_obs::scope::current().unwrap_or_default();
+        pdpa_obs::collector::record_run(format!("{scope}/{key}"), events.clone());
+    }
+    let analysis = RunAnalysis::from_events(&events);
+    LegStats {
+        label: entrant.label,
+        slug: entrant.slug,
+        avg_slowdown: analysis.timeline.avg_slowdown,
+        dist: analysis.timeline.slowdown_dist.unwrap_or_default(),
+        makespan: result.summary.makespan_secs(),
+        utilization: result.utilization(),
+        migrations: result.total_migrations() + result.quantum_rotations,
+        mean_mpl: analysis.mpl.mean_running,
+        max_mpl: analysis.mpl.max_running,
+        wall_secs,
+        events_popped: result.events_popped,
+    }
+}
+
+/// Sorts a leg by the ranking key: p50, then p90, then p99 slowdown,
+/// then label (so exact ties — common between the equal-split policies on
+/// light traces — stay in one deterministic order).
+fn rank(mut legs: Vec<LegStats>) -> Vec<LegStats> {
+    legs.sort_by(|a, b| {
+        a.dist
+            .p50
+            .total_cmp(&b.dist.p50)
+            .then(a.dist.p90.total_cmp(&b.dist.p90))
+            .then(a.dist.p99.total_cmp(&b.dist.p99))
+            .then(a.label.cmp(b.label))
+    });
+    legs
+}
+
+/// Races every entrant over both legs and ranks the results.
+///
+/// The SWF leg replays `config.trace` (or a generated one); the chaos leg
+/// is always workload 3 at full load on the standard 60-CPU machine under
+/// the `chaos` experiment's fixed fault plan, so the two legs probe
+/// steady-state quality and fault absorption independently.
+pub fn run_tournament(config: &TournamentConfig) -> Tournament {
+    let trace = match &config.trace {
+        Some(t) => t.clone(),
+        None => shaped_trace(config),
+    };
+    let (first, last) = trace.submit_span().unwrap_or((0.0, 0.0));
+    let swf_span_secs = (last - first).max(0.0);
+    let swf_jobs = trace.records.len();
+    let roster = entrants();
+
+    let legs = pdpa_parallel::par_map(&roster, pdpa_parallel::num_threads(), |entrant| {
+        // SWF leg. Trace collection drives the quantum clock (gang
+        // rotation), and long traces need headroom past the default
+        // simulation bound.
+        let mut engine_config = EngineConfig::default()
+            .with_cpus(config.cpus)
+            .with_seed(config.seed ^ 0xA5A5)
+            .with_trace();
+        engine_config.max_sim_secs = engine_config
+            .max_sim_secs
+            .max(swf_span_secs * 20.0 + 10_000.0);
+        let jobs = shape::jobs_from_records(&trace.records);
+        let swf_key = format!("tournament-{}-swf", entrant.slug);
+        let swf = race(entrant, jobs, engine_config, &swf_key);
+
+        // Chaos leg: fixed, independent of the SWF leg's shape.
+        let chaos_config = EngineConfig::default()
+            .with_seed(config.seed ^ 0xA5A5)
+            .with_faults(chaos::chaos_plan())
+            .with_trace();
+        let jobs = Workload::W3.build(1.0, config.seed);
+        let chaos_key = format!("tournament-{}-chaos", entrant.slug);
+        let chaos = race(entrant, jobs, chaos_config, &chaos_key);
+        (swf, chaos)
+    });
+
+    let (swf, chaos): (Vec<LegStats>, Vec<LegStats>) = legs.into_iter().unzip();
+    Tournament {
+        cpus: config.cpus,
+        seed: config.seed,
+        swf_jobs,
+        swf_span_secs,
+        swf: rank(swf),
+        chaos: rank(chaos),
+    }
+}
+
+impl Tournament {
+    /// Renders the ranked report. Deterministic for a fixed seed: wall
+    /// clock is excluded (it lives in the JSON report and the `--json`
+    /// trajectory), and the `ranking(<leg>):` lines are the stable
+    /// artifact CI diffs across repeated runs.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Tournament (extension): policy zoo on slowdown\n");
+        let _ = writeln!(
+            out,
+            "{} entrants, two legs: SWF replay ({} jobs over {:.0} s on {} CPUs,\n\
+             seed {}) and the chaos plan (w3 at 100 % load; cpu2 down 120-900 s,\n\
+             cpu40 down at 300 s, job0 crashes at 70 s). Ranked by p50, then p90,\n\
+             then p99 per-job slowdown; migrations include gang-rotation churn.\n",
+            self.swf.len(),
+            self.swf_jobs,
+            self.swf_span_secs,
+            self.cpus,
+            self.seed,
+        );
+        for (leg, rows) in [("swf", &self.swf), ("chaos", &self.chaos)] {
+            let _ = writeln!(
+                out,
+                "## {} leg",
+                if leg == "swf" { "SWF replay" } else { "Chaos" }
+            );
+            let _ = writeln!(
+                out,
+                "{:<5} {:<10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10} {:>6} {:>9} {:>6}",
+                "rank",
+                "policy",
+                "p50",
+                "p90",
+                "p99",
+                "max",
+                "slow_avg",
+                "makespan",
+                "util",
+                "migr",
+                "mpl"
+            );
+            for (i, r) in rows.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.1} {:>9.3} {:>9.0}s {:>5.0}% {:>9} {:>6.2}",
+                    i + 1,
+                    r.label,
+                    r.dist.p50,
+                    r.dist.p90,
+                    r.dist.p99,
+                    r.dist.max,
+                    r.avg_slowdown,
+                    r.makespan,
+                    r.utilization * 100.0,
+                    r.migrations,
+                    r.mean_mpl,
+                );
+            }
+            let order: Vec<&str> = rows.iter().map(|r| r.label).collect();
+            let _ = writeln!(out, "ranking({leg}): {}\n", order.join(" > "));
+        }
+        out
+    }
+
+    /// The `pdpa-tournament/v1` JSON report.
+    pub fn render_json(&self) -> String {
+        fn leg_json(rows: &[LegStats]) -> Value {
+            Value::Arr(
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        Value::Obj(vec![
+                            ("rank".into(), Value::Num((i + 1) as f64)),
+                            ("policy".into(), Value::Str(r.label.into())),
+                            ("slug".into(), Value::Str(r.slug.into())),
+                            ("p50".into(), Value::Num(r.dist.p50)),
+                            ("p90".into(), Value::Num(r.dist.p90)),
+                            ("p99".into(), Value::Num(r.dist.p99)),
+                            ("max".into(), Value::Num(r.dist.max)),
+                            ("avg_slowdown".into(), Value::Num(r.avg_slowdown)),
+                            ("makespan_secs".into(), Value::Num(r.makespan)),
+                            ("utilization".into(), Value::Num(r.utilization)),
+                            ("migrations".into(), Value::Num(r.migrations as f64)),
+                            ("mean_mpl".into(), Value::Num(r.mean_mpl)),
+                            ("max_mpl".into(), Value::Num(r.max_mpl as f64)),
+                            ("wall_secs".into(), Value::Num(r.wall_secs)),
+                            ("events_popped".into(), Value::Num(r.events_popped as f64)),
+                        ])
+                    })
+                    .collect(),
+            )
+        }
+        Value::Obj(vec![
+            ("schema".into(), Value::Str("pdpa-tournament/v1".into())),
+            ("cpus".into(), Value::Num(self.cpus as f64)),
+            ("seed".into(), Value::Num(self.seed as f64)),
+            ("swf_jobs".into(), Value::Num(self.swf_jobs as f64)),
+            ("swf_span_secs".into(), Value::Num(self.swf_span_secs)),
+            ("swf".into(), leg_json(&self.swf)),
+            ("chaos".into(), leg_json(&self.chaos)),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Renders the registry experiment (default configuration).
+pub fn run() -> String {
+    run_tournament(&TournamentConfig::default()).render_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_covers_the_required_policies() {
+        let roster = entrants();
+        let labels: Vec<&str> = roster.iter().map(|e| e.label).collect();
+        for required in [
+            "PDPA",
+            "Equip",
+            "Equal_eff",
+            "Gang",
+            "heSRPT",
+            "OptSplit",
+            "Learned",
+        ] {
+            assert!(labels.contains(&required), "missing {required}");
+        }
+        let mut slugs: Vec<&str> = roster.iter().map(|e| e.slug).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), roster.len(), "slugs must be unique");
+    }
+
+    /// A small tournament ranks every entrant on both legs, and repeating
+    /// it reproduces the same order and the same quantiles — the property
+    /// the CI smoke job asserts end to end on the real binary.
+    #[test]
+    fn small_tournament_is_complete_and_deterministic() {
+        let config = TournamentConfig {
+            duration_secs: 300.0,
+            ..TournamentConfig::default()
+        };
+        let a = run_tournament(&config);
+        assert_eq!(a.swf.len(), entrants().len());
+        assert_eq!(a.chaos.len(), entrants().len());
+        for leg in [&a.swf, &a.chaos] {
+            for r in leg {
+                assert!(r.dist.p50 >= 1.0, "{}: slowdown below 1", r.label);
+                assert!(r.dist.p50 <= r.dist.p90 && r.dist.p90 <= r.dist.p99);
+                assert!(r.makespan > 0.0);
+            }
+        }
+        let b = run_tournament(&config);
+        assert_eq!(a.render_text(), b.render_text(), "report must reproduce");
+        let order = |t: &Tournament| {
+            (
+                t.swf.iter().map(|r| r.label).collect::<Vec<_>>(),
+                t.chaos.iter().map(|r| r.label).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(order(&a), order(&b));
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_both_legs() {
+        let config = TournamentConfig {
+            duration_secs: 300.0,
+            ..TournamentConfig::default()
+        };
+        let t = run_tournament(&config);
+        let doc = crate::json::parse(&t.render_json()).expect("own JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("pdpa-tournament/v1")
+        );
+        for leg in ["swf", "chaos"] {
+            let rows = doc.get(leg).and_then(|v| v.as_arr()).expect("leg array");
+            assert_eq!(rows.len(), entrants().len());
+            assert_eq!(rows[0].get("rank").and_then(|v| v.as_u64()), Some(1));
+            assert!(rows[0].get("p50").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | `expt-fig10` | Fig. 10 — workload 4 response/execution times |
 //! | `expt-table4` | Table 4 — workload 4 untuned |
 //! | `expt-ablation` | (extension) PDPA design-choice ablations |
+//! | `expt-tournament` | (extension) policy-zoo slowdown tournament |
 //! | `expt-all` | everything above, in order |
 //!
 //! Numbers are averaged over several seeds; absolute values depend on the

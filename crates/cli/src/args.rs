@@ -15,6 +15,8 @@ pub enum Command {
     Diff(Options),
     /// `pdpa replay` — replay an SWF trace file through the engine.
     Replay(ReplayOptions),
+    /// `pdpa tournament` — race the whole policy zoo and rank by slowdown.
+    Tournament(TournamentOptions),
     /// `pdpa curves` — print the Fig. 3 speedup curves.
     Curves,
     /// `pdpa help` / `--help`.
@@ -74,6 +76,42 @@ pub struct ReplayOptions {
     /// Emit periodic health snapshots to stderr at this wall-clock cadence
     /// in seconds (`--heartbeat SECS`; off when omitted).
     pub heartbeat: Option<f64>,
+}
+
+/// Options of `pdpa tournament`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TournamentOptions {
+    /// SWF trace file for the replay leg (omitted: a shaped trace is
+    /// generated in process).
+    pub trace_path: Option<String>,
+    /// Machine size of the replay leg.
+    pub cpus: usize,
+    /// Seed for trace generation and both legs' engines.
+    pub seed: u64,
+    /// Rescale the replay leg to this demand fraction.
+    pub load: Option<f64>,
+    /// Submission window of the generated trace, seconds (only without a
+    /// trace file).
+    pub duration: Option<f64>,
+    /// Append one `tournament-<policy>` entry per entrant to the
+    /// `BENCH_pdpa.json` trajectory.
+    pub json: bool,
+    /// Write the `pdpa-tournament/v1` JSON report here.
+    pub out: Option<String>,
+}
+
+impl Default for TournamentOptions {
+    fn default() -> Self {
+        TournamentOptions {
+            trace_path: None,
+            cpus: 60,
+            seed: 42,
+            load: None,
+            duration: None,
+            json: false,
+            out: None,
+        }
+    }
 }
 
 /// On-disk encodings of a decision-event stream.
@@ -138,6 +176,12 @@ pub enum PolicyChoice {
     Rigid,
     /// Gang scheduling.
     Gang,
+    /// heSRPT: closed-form allocation by remaining-work rank.
+    Hesrpt,
+    /// OptSplit: water-filling over concave speedup curves.
+    Optsplit,
+    /// LearnedAlloc: online gradient steps on measured speedups.
+    Learned,
 }
 
 impl PolicyChoice {
@@ -150,6 +194,9 @@ impl PolicyChoice {
             "irix" => Some(PolicyChoice::Irix),
             "rigid" => Some(PolicyChoice::Rigid),
             "gang" => Some(PolicyChoice::Gang),
+            "hesrpt" | "he-srpt" => Some(PolicyChoice::Hesrpt),
+            "optsplit" | "opt-split" => Some(PolicyChoice::Optsplit),
+            "learned" | "learnedalloc" | "learned-alloc" => Some(PolicyChoice::Learned),
             _ => None,
         }
     }
@@ -163,6 +210,9 @@ impl PolicyChoice {
             PolicyChoice::Irix => "irix",
             PolicyChoice::Rigid => "rigid",
             PolicyChoice::Gang => "gang",
+            PolicyChoice::Hesrpt => "hesrpt",
+            PolicyChoice::Optsplit => "optsplit",
+            PolicyChoice::Learned => "learned",
         }
     }
 }
@@ -279,6 +329,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "curves" => return Ok(Command::Curves),
         "replay" => return parse_replay(&mut it),
+        "tournament" => return parse_tournament(&mut it),
         "run" | "compare" | "analyze" | "diff" => {}
         other => return Err(format!("unknown command {other:?}; try `pdpa help`")),
     }
@@ -533,6 +584,77 @@ fn parse_replay(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Resul
         return Err("--obs-format chooses the --obs-out encoding; give --obs-out too".into());
     }
     Ok(Command::Replay(opts))
+}
+
+/// Parses `pdpa tournament [trace.swf] [flags]`.
+fn parse_tournament(
+    it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+) -> Result<Command, String> {
+    let mut opts = TournamentOptions::default();
+    let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cpus" => {
+                let v = value_of("--cpus", it)?;
+                opts.cpus = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cpus expects an integer, got {v:?}"))?;
+                if opts.cpus == 0 {
+                    return Err("--cpus must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                let v = value_of("--seed", it)?;
+                opts.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+            }
+            "--load" => {
+                let v = value_of("--load", it)?;
+                let load = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--load expects a number, got {v:?}"))?;
+                if !(load > 0.0 && load <= 2.0) {
+                    return Err(format!("--load {v} out of range (0, 2]"));
+                }
+                opts.load = Some(load);
+            }
+            "--duration" => {
+                let v = value_of("--duration", it)?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--duration expects seconds, got {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!(
+                        "--duration {v} must be a positive number of seconds"
+                    ));
+                }
+                opts.duration = Some(secs);
+            }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value_of("--out", it)?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}; try `pdpa help`"));
+            }
+            path => {
+                if opts.trace_path.is_some() {
+                    return Err(format!(
+                        "tournament takes one trace path; got {:?} and {path:?}",
+                        opts.trace_path.as_deref().unwrap_or("")
+                    ));
+                }
+                opts.trace_path = Some(path.to_string());
+            }
+        }
+    }
+    if opts.duration.is_some() && opts.trace_path.is_some() {
+        return Err("--duration shapes the generated trace; it conflicts with a trace file".into());
+    }
+    Ok(Command::Tournament(opts))
 }
 
 /// Parses a `--window A:B` value into a `[start, end)` pair of seconds.
@@ -877,6 +999,76 @@ mod tests {
         assert_eq!(PolicyChoice::Pdpa.slug(), "pdpa");
         assert_eq!(PolicyChoice::Equipartition.slug(), "equip");
         assert_eq!(PolicyChoice::EqualEfficiency.slug(), "equal-eff");
+        assert_eq!(PolicyChoice::Hesrpt.slug(), "hesrpt");
+        assert_eq!(PolicyChoice::Optsplit.slug(), "optsplit");
+        assert_eq!(PolicyChoice::Learned.slug(), "learned");
+    }
+
+    #[test]
+    fn literature_policies_parse_with_aliases() {
+        assert_eq!(PolicyChoice::parse("hesrpt"), Some(PolicyChoice::Hesrpt));
+        assert_eq!(PolicyChoice::parse("he-srpt"), Some(PolicyChoice::Hesrpt));
+        assert_eq!(
+            PolicyChoice::parse("opt-split"),
+            Some(PolicyChoice::Optsplit)
+        );
+        assert_eq!(
+            PolicyChoice::parse("learnedalloc"),
+            Some(PolicyChoice::Learned)
+        );
+        // The new policies are space-shared, so sharded replay takes them.
+        let cmd = parse(&argv("replay t.swf --policy hesrpt --shards 2")).unwrap();
+        let Command::Replay(o) = cmd else {
+            panic!("expected Replay")
+        };
+        assert_eq!(o.policy, PolicyChoice::Hesrpt);
+        assert_eq!(o.shards, Some(2));
+    }
+
+    #[test]
+    fn tournament_defaults_and_full_invocation() {
+        let cmd = parse(&argv("tournament")).unwrap();
+        assert_eq!(cmd, Command::Tournament(TournamentOptions::default()));
+        let cmd = parse(&argv(
+            "tournament big.swf --cpus 50 --seed 7 --load 0.9 --json --out r.json",
+        ))
+        .unwrap();
+        let Command::Tournament(o) = cmd else {
+            panic!("expected Tournament")
+        };
+        assert_eq!(o.trace_path.as_deref(), Some("big.swf"));
+        assert_eq!(o.cpus, 50);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.load, Some(0.9));
+        assert!(o.json);
+        assert_eq!(o.out.as_deref(), Some("r.json"));
+        let cmd = parse(&argv("tournament --duration 600")).unwrap();
+        let Command::Tournament(o) = cmd else {
+            panic!("expected Tournament")
+        };
+        assert_eq!(o.duration, Some(600.0));
+    }
+
+    #[test]
+    fn tournament_diagnostics() {
+        assert!(parse(&argv("tournament a.swf b.swf"))
+            .unwrap_err()
+            .contains("one trace path"));
+        assert!(parse(&argv("tournament a.swf --duration 600"))
+            .unwrap_err()
+            .contains("--duration"));
+        assert!(parse(&argv("tournament --duration -5"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&argv("tournament --load 3"))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse(&argv("tournament --cpus 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("tournament --bogus"))
+            .unwrap_err()
+            .contains("--bogus"));
     }
 
     #[test]

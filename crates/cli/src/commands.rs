@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use pdpa_analyze::{analysis_json, RunAnalysis, RunDiff};
 use pdpa_apps::{paper_app, AppClass};
+use pdpa_bench::experiments::tournament::{run_tournament, TournamentConfig};
 use pdpa_bench::harness::BENCH_PATH;
 use pdpa_bench::trajectory::{git_rev, BenchReport, TrajectoryEntry};
 use pdpa_core::Pdpa;
@@ -14,13 +15,14 @@ use pdpa_obs::{
     chrome_trace, metrics_json, mpl_series_csv, scope, NullObserver, Observer, RecordingObserver,
 };
 use pdpa_policies::{
-    EqualEfficiency, Equipartition, GangScheduler, IrixLike, RigidFirstFit, SchedulingPolicy,
+    EqualEfficiency, Equipartition, GangScheduler, HeSrpt, IrixLike, LearnedAlloc, OptSplit,
+    RigidFirstFit, SchedulingPolicy,
 };
 use pdpa_prof::{HeartbeatConfig, WatchdogConfig};
 use pdpa_qs::{shape, swf};
 use pdpa_trace::{render_ascii, to_paraver, RenderOptions};
 
-use crate::args::{Command, ObsFormat, Options, PolicyChoice, ReplayOptions};
+use crate::args::{Command, ObsFormat, Options, PolicyChoice, ReplayOptions, TournamentOptions};
 use crate::USAGE;
 
 /// Executes a parsed command and returns its output.
@@ -37,6 +39,7 @@ pub fn dispatch(command: Command) -> Result<String, String> {
         Command::Analyze(opts) => analyze(&opts),
         Command::Diff(opts) => diff(&opts),
         Command::Replay(opts) => replay(&opts),
+        Command::Tournament(opts) => tournament(&opts),
     }
 }
 
@@ -48,6 +51,9 @@ fn build_policy(choice: PolicyChoice) -> Box<dyn SchedulingPolicy> {
         PolicyChoice::Irix => Box::new(IrixLike::paper_default()),
         PolicyChoice::Rigid => Box::new(RigidFirstFit::paper_default()),
         PolicyChoice::Gang => Box::new(GangScheduler::paper_comparable()),
+        PolicyChoice::Hesrpt => Box::new(HeSrpt::default()),
+        PolicyChoice::Optsplit => Box::new(OptSplit::default()),
+        PolicyChoice::Learned => Box::new(LearnedAlloc::default()),
     }
 }
 
@@ -275,8 +281,11 @@ fn analyze(opts: &Options) -> Result<String, String> {
     );
     out.push_str(&analysis.render_text());
     // Cross-check the replayed migration count against the engine's own
-    // Table-2 counter; a mismatch means the event stream lost information.
-    let engine_count = result.total_migrations();
+    // counters: Table-2 migrations plus gang-rotation occupant churn (the
+    // rotation reclaims the same footprint each slot, so Table 2 bills it
+    // as zero, but the stream — and therefore the replay — sees every
+    // hand-off). A mismatch means the event stream lost information.
+    let engine_count = result.total_migrations() + result.quantum_rotations;
     let replayed = analysis.migrations.migrations();
     if replayed != engine_count {
         let _ = writeln!(
@@ -650,6 +659,88 @@ fn replay_entry(
             None
         },
     }
+}
+
+/// `pdpa tournament`: race the whole policy zoo over an SWF-replay leg
+/// and the fixed chaos plan, ranked by per-job slowdown quantiles. The
+/// replay leg uses a given trace file (remapped to `--cpus`, optionally
+/// rescaled by `--load`) or a generated shaped trace; `--out` writes the
+/// `pdpa-tournament/v1` JSON report and `--json` appends one
+/// `tournament-<policy>` entry per entrant to the bench trajectory.
+fn tournament(opts: &TournamentOptions) -> Result<String, String> {
+    let mut config = TournamentConfig {
+        cpus: opts.cpus,
+        seed: opts.seed,
+        ..TournamentConfig::default()
+    };
+    if let Some(load) = opts.load {
+        config.load = load;
+    }
+    if let Some(secs) = opts.duration {
+        config.duration_secs = secs;
+    }
+    if let Some(path) = &opts.trace_path {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let trace =
+            swf::read_swf(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+        let from = trace.machine_size().unwrap_or(opts.cpus);
+        let mut records = shape::remap_machine(&trace.records, from, opts.cpus);
+        if let Some(load) = opts.load {
+            records = shape::rescale_load(&records, load, opts.cpus);
+        }
+        if records.is_empty() {
+            return Err(format!("{path}: no jobs to race"));
+        }
+        config.trace = Some(pdpa_qs::SwfTrace {
+            max_procs: Some(opts.cpus),
+            max_nodes: trace.max_nodes,
+            records,
+        });
+    }
+
+    let started = std::time::Instant::now();
+    let result = {
+        let _scope = scope::enter("cli-tournament");
+        run_tournament(&config)
+    };
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut out = result.render_text();
+    let _ = writeln!(
+        out,
+        "tournament wall clock: {wall_secs:.3} s over {} engine runs",
+        result.swf.len() + result.chaos.len(),
+    );
+    if let Some(path) = &opts.out {
+        std::fs::write(path, result.render_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "\ntournament report written to {path}");
+    }
+    if opts.json {
+        let mut doc = std::fs::read_to_string(BENCH_PATH).ok();
+        for swf_leg in &result.swf {
+            let chaos_leg = result
+                .chaos
+                .iter()
+                .find(|c| c.slug == swf_leg.slug)
+                .expect("both legs share the roster");
+            let entry = replay_entry(
+                &format!("tournament-{}", swf_leg.slug),
+                None,
+                swf_leg.wall_secs + chaos_leg.wall_secs,
+                swf_leg.events_popped + chaos_leg.events_popped,
+                None,
+            );
+            doc = Some(BenchReport::append_entry(doc.as_deref(), entry));
+        }
+        std::fs::write(BENCH_PATH, doc.expect("at least one entrant"))
+            .map_err(|e| format!("cannot write {BENCH_PATH}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "\ntrajectory entries (tournament-*) appended to {BENCH_PATH}"
+        );
+    }
+    Ok(out)
 }
 
 fn compare(opts: &Options) -> Result<String, String> {
@@ -1061,6 +1152,62 @@ mod tests {
             assert!(out.contains("analysis of recorded stream"), "in:\n{out}");
             assert!(out.contains("migrations"), "no analytics in:\n{out}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn literature_policies_run_and_replay() {
+        let out = run_cli("run --workload w3 --policy hesrpt --load 0.6").unwrap();
+        assert!(out.contains("heSRPT on w3"), "no header in:\n{out}");
+        let (dir, path) = write_test_trace("pdpa-cli-lit-replay-test");
+        for policy in ["optsplit", "learned"] {
+            let out = run_cli(&format!("replay {} --policy {policy}", path.display())).unwrap();
+            assert!(out.contains("makespan"), "{policy} replay in:\n{out}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tournament_ranks_the_zoo_on_both_legs() {
+        let dir = std::env::temp_dir().join("pdpa-cli-tournament-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("report.json");
+        let out = run_cli(&format!(
+            "tournament --duration 300 --out {}",
+            report.display()
+        ))
+        .unwrap();
+        for label in [
+            "PDPA",
+            "Equip",
+            "Equal_eff",
+            "Rigid",
+            "Gang",
+            "heSRPT",
+            "OptSplit",
+            "Learned",
+        ] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+        assert!(out.contains("ranking(swf):"), "no swf ranking in:\n{out}");
+        assert!(
+            out.contains("ranking(chaos):"),
+            "no chaos ranking in:\n{out}"
+        );
+        assert!(out.contains("tournament wall clock"), "no wall in:\n{out}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"schema\": \"pdpa-tournament/v1\""));
+        assert!(json.contains("\"slug\": \"hesrpt\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tournament_accepts_a_trace_file() {
+        let (dir, path) = write_test_trace("pdpa-cli-tournament-trace-test");
+        let out = run_cli(&format!("tournament {}", path.display())).unwrap();
+        assert!(out.contains("ranking(swf):"), "no ranking in:\n{out}");
+        let err = run_cli("tournament /nonexistent/x.swf").unwrap_err();
+        assert!(err.contains("cannot open"), "unhelpful error: {err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,6 +8,7 @@
 //! pdpa analyze --workload w3 --policy pdpa [options]
 //! pdpa diff    --workload w3 --policy pdpa --policy-b equip [options]
 //! pdpa replay  trace.swf --policy pdpa [--load 1.0 --cpus 60 --window 0:45000]
+//! pdpa tournament [trace.swf] [--load 1.0 --cpus 60 --json --out report.json]
 //! pdpa curves
 //! ```
 //!
@@ -37,7 +38,8 @@ pub const USAGE: &str = "\
 pdpa — Performance-Driven Processor Allocation reproduction driver
 
 USAGE:
-  pdpa run     --workload <w1|w2|w3|w4> --policy <pdpa|equip|equal-eff|irix|rigid|gang>
+  pdpa run     --workload <w1|w2|w3|w4>
+               --policy <pdpa|equip|equal-eff|irix|rigid|gang|hesrpt|optsplit|learned>
                [--load <frac>] [--seed <n>] [--cpus <n>] [--untuned]
                [--backfill] [--trace] [--ascii] [--prv-out <file>] [--swf-log <file>]
                [--obs] [--trace-out <file>] [--metrics-out <file>] [--mpl-csv <file>]
@@ -55,6 +57,8 @@ USAGE:
                [--json] [--obs] [--trace-out <file>] [--analyze-out <file>]
                [--obs-out <file>] [--obs-format <text|binary>] [--profile-out <file>]
                [--no-watchdog] [--heartbeat <secs>] [--faults <plan>]
+  pdpa tournament [<trace.swf>] [--cpus <n>] [--seed <n>] [--load <frac>]
+               [--duration <secs>] [--json] [--out <file>]
   pdpa curves
 
 COMMANDS:
@@ -69,6 +73,12 @@ COMMANDS:
             under one policy, and print makespan, utilization, and the
             per-job slowdown distribution; --json appends a replay-<policy>
             events-per-second entry to BENCH_pdpa.json for the CI perf gate
+  tournament  race the whole policy zoo (PDPA, Equip, Equal_eff, Rigid,
+            Gang, heSRPT, OptSplit, LearnedAlloc) over an SWF-replay leg
+            (a given trace file, or a generated shaped one) and the fixed
+            chaos fault plan, ranked by p50/p90/p99 per-job slowdown;
+            --out writes the pdpa-tournament/v1 JSON report, --json
+            appends tournament-<policy> entries to BENCH_pdpa.json
   curves    print the calibrated Fig. 3 speedup curves
 
 OPTIONS:
@@ -110,6 +120,9 @@ OPTIONS:
                (default on)
   --heartbeat  replay only: print health snapshots (clock, events/s, queue
                depth, per-shard lag, memory) to stderr every SECS seconds
+  --duration   tournament only: submission window of the generated trace
+               in seconds (conflicts with a trace file)
+  --out        tournament only: write the ranked report as JSON
   --from-stream / --from-stream-b  analyze/diff only: read recorded
                decision-event streams (text or binary, auto-detected)
                instead of running the engine; a stream diff exits non-zero

@@ -317,6 +317,7 @@ mod tests {
             request,
             allocated,
             last_sample: None,
+            remaining_secs: 100.0,
         }
     }
 

@@ -224,6 +224,13 @@ struct Sim<'a> {
     max_ml: usize,
     /// Current row of the gang matrix (gang mode only).
     gang_slot: usize,
+    /// Previous occupant of every CPU as published on the decision-event
+    /// bus (gang mode only) — the state needed to count occupant churn.
+    gang_prev: Vec<Option<JobId>>,
+    /// Gang-mode occupant hand-offs: a CPU passing directly from one job
+    /// to another at a slot rotation. Mirrors the analyzer's replayed
+    /// hand-off rule, so engine and replay agree on every policy.
+    quantum_rotations: u64,
     /// Retries consumed so far by each crashed job.
     retries: HashMap<JobId, u32>,
     /// CPU failures injected (events that actually took a CPU down).
@@ -281,6 +288,8 @@ impl<'a> Sim<'a> {
             ml_series: vec![(0.0, 0)],
             max_ml: 0,
             gang_slot: 0,
+            gang_prev: vec![None; config.cpus],
+            quantum_rotations: 0,
             retries: HashMap::new(),
             cpu_failures: 0,
             job_retries: 0,
@@ -402,6 +411,20 @@ impl<'a> Sim<'a> {
     /// branch and out when neither sink is live.
     #[inline]
     fn publish_cpu(&mut self, cpu: CpuId, job: Option<JobId>) {
+        if let SharingModel::Gang(_) = self.sharing {
+            // Gang rotation bypasses both the machine model and the quantum
+            // placement's migration counter, so occupant churn is counted
+            // here, at the single point every occupancy change flows
+            // through — with exactly the analyzer's replay rule: a direct
+            // occupied → occupied hand-off is one rotation switch.
+            let prev = &mut self.gang_prev[cpu.index()];
+            if let (Some(old), Some(new)) = (*prev, job) {
+                if old != new {
+                    self.quantum_rotations += 1;
+                }
+            }
+            *prev = job;
+        }
         if self.trace_on || self.obs_on {
             self.publish(ObsEvent::CpuAssigned { cpu, job });
         }
@@ -1127,6 +1150,7 @@ impl<'a> Sim<'a> {
             },
             machine_stats: self.machine.stats(),
             timeshare_migrations: self.placement.migrations,
+            quantum_rotations: self.quantum_rotations,
             ml_series: self.ml_series,
             max_ml: self.max_ml,
             avg_alloc_by_class,

@@ -21,6 +21,13 @@ pub struct RunResult {
     /// Migrations counted by the time-shared placement model (IRIX runs
     /// with trace collection; 0 otherwise).
     pub timeshare_migrations: u64,
+    /// Gang-mode occupant hand-offs at slot rotations (traced gang runs;
+    /// 0 otherwise). Rotation reclaims the same footprint every slot, so
+    /// Table 2 does not bill it as migration — but the decision-event
+    /// stream shows the churn, and the analyzer's replay counts it. Kept
+    /// separate so `analyzer == total_migrations() + quantum_rotations`
+    /// holds for every sharing model.
+    pub quantum_rotations: u64,
     /// `(time_secs, running_jobs)` at every multiprogramming-level change —
     /// the Fig. 8 series.
     pub ml_series: Vec<(f64, usize)>,
@@ -110,6 +117,7 @@ mod tests {
             trace: None,
             machine_stats: MachineStats::default(),
             timeshare_migrations: 0,
+            quantum_rotations: 0,
             ml_series: vec![(0.0, 1), (5.0, 4), (9.0, 2)],
             max_ml: 4,
             avg_alloc_by_class: HashMap::new(),

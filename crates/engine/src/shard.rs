@@ -1070,6 +1070,7 @@ impl<'a> ShardedSim<'a> {
             },
             machine_stats: self.machine.stats(),
             timeshare_migrations: 0,
+            quantum_rotations: 0,
             ml_series: self.ml_series,
             max_ml: self.max_ml,
             avg_alloc_by_class,

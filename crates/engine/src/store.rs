@@ -84,6 +84,10 @@ pub struct JobStore {
     iter_polluted: Vec<bool>,
     /// The job's most recent performance estimate.
     last_sample: Vec<Option<PerfSample>>,
+    /// Sequential seconds of the job's *current* iteration, overhead
+    /// included — a hot mirror of `spec.seq_iter_time_at(done)` refreshed
+    /// on every rate change so view snapshots never touch cold state.
+    seq_iter_secs: Vec<f64>,
 
     /// Cold remainder, indexed by slot (`None` for free slots).
     cold: Vec<Option<JobCold>>,
@@ -160,6 +164,8 @@ impl JobStore {
         );
         let iterations = spec.iterations;
         let request = spec.request;
+        let first_iter_secs =
+            spec.seq_iter_time_at(0).as_secs() * (1.0 + spec.measurement_overhead);
         let cold = JobCold {
             spec,
             analyzer,
@@ -180,6 +186,7 @@ impl JobStore {
                 self.iter_started_at[i] = now;
                 self.iter_polluted[i] = false;
                 self.last_sample[i] = None;
+                self.seq_iter_secs[i] = first_iter_secs;
                 self.cold[i] = Some(cold);
                 s
             }
@@ -195,6 +202,7 @@ impl JobStore {
                 self.iter_started_at.push(now);
                 self.iter_polluted.push(false);
                 self.last_sample.push(None);
+                self.seq_iter_secs.push(first_iter_secs);
                 self.cold.push(Some(cold));
                 s
             }
@@ -235,6 +243,16 @@ impl JobStore {
 
     // --- Dense scans ---
 
+    /// Estimated sequential seconds remaining for the slot: outstanding
+    /// iterations (partial current one included) times the current
+    /// per-iteration sequential time. Hot lanes only.
+    fn remaining_secs_slot(&self, i: usize) -> f64 {
+        let p = &self.progress[i];
+        let whole = p.iterations_total().saturating_sub(p.iterations_done()) as f64;
+        let remaining_iters = (whole - p.current_fraction()).max(0.0);
+        remaining_iters * self.seq_iter_secs[i]
+    }
+
     /// Refills `out` with the policy-view snapshot, in arrival order.
     pub fn fill_views(&self, out: &mut Vec<JobView>) {
         out.clear();
@@ -245,6 +263,7 @@ impl JobStore {
                 request: self.request[i],
                 allocated: self.allocated[i],
                 last_sample: self.last_sample[i],
+                remaining_secs: self.remaining_secs_slot(i),
             }
         }));
     }
@@ -257,6 +276,7 @@ impl JobStore {
             request: self.request[i],
             allocated: self.allocated[i],
             last_sample: self.last_sample[i],
+            remaining_secs: self.remaining_secs_slot(i),
         }
     }
 
@@ -458,6 +478,9 @@ impl JobStore {
             .seq_iter_time_at(self.progress[s].iterations_done())
             .as_secs()
             * (1.0 + cold.spec.measurement_overhead);
+        // Keep the hot mirror current: working-set phase changes move the
+        // per-iteration time, and every such move passes through here.
+        self.seq_iter_secs[s] = iter_secs;
         self.rate[s] = if speedup > 0.0 {
             speedup * factor / iter_secs
         } else {
@@ -578,6 +601,39 @@ mod tests {
         let mut views = Vec::new();
         store.fill_views(&mut views);
         assert_eq!(views.iter().map(|v| v.id.0).collect::<Vec<_>>(), [0, 2, 7]);
+    }
+
+    #[test]
+    fn views_estimate_remaining_sequential_work() {
+        let (mut store, job) = store_with_job();
+        let spec = apsi();
+        let per_iter = spec.seq_iter_time_at(0).as_secs() * (1.0 + spec.measurement_overhead);
+        let total = spec.iterations as f64;
+        let v0 = store.view_of(job);
+        assert!(
+            (v0.remaining_secs - total * per_iter).abs() < 1e-9,
+            "fresh job owes all iterations: {} vs {}",
+            v0.remaining_secs,
+            total * per_iter
+        );
+        // Run one iteration's worth of progress: the estimate shrinks by
+        // exactly one per-iteration quantum.
+        store.set_allocated(job, 2);
+        store.set_rate_from(job, 2.0, 1.0);
+        let eta = store.time_to_iteration_end(job).unwrap();
+        store.advance_to(job, t(10.0 + eta.as_secs()));
+        let v1 = store.view_of(job);
+        assert!(
+            (v1.remaining_secs - (total - 1.0) * per_iter).abs() < 1e-6,
+            "one iteration done: {} vs {}",
+            v1.remaining_secs,
+            (total - 1.0) * per_iter
+        );
+        assert!(v1.remaining_secs < v0.remaining_secs);
+        // Both view paths agree.
+        let mut views = Vec::new();
+        store.fill_views(&mut views);
+        assert_eq!(views[0].remaining_secs, v1.remaining_secs);
     }
 
     #[test]

@@ -123,6 +123,9 @@ impl LocalRm {
                 request: j.request,
                 allocated: j.allocated,
                 last_sample: j.last_sample,
+                // The native runtime has no iteration model to estimate
+                // remaining work from.
+                remaining_secs: 0.0,
             })
             .collect()
     }

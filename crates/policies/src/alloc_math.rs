@@ -103,6 +103,63 @@ where
     alloc
 }
 
+/// Proportional apportionment: divides `total` processors among jobs in
+/// proportion to non-negative `weights`, respecting per-job `requests` caps
+/// and a `min_each` floor.
+///
+/// Processors are handed out one at a time to the growable job furthest
+/// below its ideal share `weight/Σweights × total` (largest-deficit, ties
+/// toward the earliest job), so the result is work-conserving: when demand
+/// covers the supply, every processor is assigned even if capped jobs force
+/// others past their ideals. This is the integer-allocation engine of the
+/// closed-form heSRPT policy.
+pub fn weighted_fill(
+    total: usize,
+    requests: &[usize],
+    min_each: usize,
+    weights: &[f64],
+) -> Vec<usize> {
+    let n = requests.len();
+    assert_eq!(n, weights.len(), "one weight per request");
+    if n == 0 {
+        return Vec::new();
+    }
+    let weight_sum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    let mut alloc = vec![0usize; n];
+    let mut remaining = total;
+
+    for (a, &req) in alloc.iter_mut().zip(requests) {
+        let floor = min_each.min(req).min(remaining);
+        *a = floor;
+        remaining -= floor;
+    }
+
+    let ideal: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            if weight_sum > 0.0 {
+                w.max(0.0) / weight_sum * total as f64
+            } else {
+                total as f64 / n as f64
+            }
+        })
+        .collect();
+    while remaining > 0 {
+        let best = (0..n)
+            .filter(|&i| alloc[i] < requests[i])
+            .map(|i| (i, ideal[i] - alloc[i] as f64))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights must not be NaN"));
+        match best {
+            Some((i, _)) => {
+                alloc[i] += 1;
+                remaining -= 1;
+            }
+            None => break,
+        }
+    }
+    alloc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +227,32 @@ mod tests {
     fn marginal_fill_guarantees_minimum() {
         let alloc = marginal_fill(4, &[8, 8, 8, 8], 1, |_, _| 0.0);
         assert_eq!(alloc, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn weighted_fill_tracks_weights() {
+        let alloc = weighted_fill(60, &[60, 60, 60], 1, &[3.0, 2.0, 1.0]);
+        assert_eq!(alloc, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn weighted_fill_is_work_conserving_under_caps() {
+        // The heavy job caps at 10; its surplus flows to the others even
+        // though that pushes them past their ideal shares.
+        let alloc = weighted_fill(60, &[10, 60, 60], 1, &[10.0, 1.0, 1.0]);
+        assert_eq!(alloc.iter().sum::<usize>(), 60);
+        assert_eq!(alloc[0], 10);
+    }
+
+    #[test]
+    fn weighted_fill_zero_weights_fall_back_to_equal() {
+        let alloc = weighted_fill(9, &[30, 30, 30], 1, &[0.0, 0.0, 0.0]);
+        assert_eq!(alloc, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn weighted_fill_empty() {
+        assert!(weighted_fill(60, &[], 1, &[]).is_empty());
     }
 
     #[test]

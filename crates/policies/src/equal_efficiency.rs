@@ -126,6 +126,7 @@ mod tests {
             request,
             allocated,
             last_sample: None,
+            remaining_secs: 100.0,
         }
     }
 
@@ -218,6 +219,37 @@ mod tests {
         assert!(!p.may_start_new_job(&ctx(&jobs, 60, 0)));
         let one = vec![view(0, 30, 30)];
         assert!(p.may_start_new_job(&ctx(&one, 60, 30)));
+    }
+
+    #[test]
+    fn ragged_alive_sets_are_dealt_exactly() {
+        // Satellite invariant: after a capacity change the marginal-gain
+        // refill over any awkward alive-CPU count sums to exactly the alive
+        // supply while the fitted curves still show positive gain — no
+        // share lost to rounding, no dead processor dealt — and every
+        // share respects its request.
+        for alive in 41..=60 {
+            for njobs in [3usize, 4] {
+                let jobs: Vec<JobView> = (0..njobs).map(|i| view(i as u32, 30, 15)).collect();
+                let mut p = EqualEfficiency::paper_default();
+                for j in 0..njobs {
+                    let id = JobId(j as u32);
+                    p.on_job_arrival(&ctx(&jobs, 60, 0), id);
+                    // A healthy sublinear curve: marginal gain stays
+                    // positive everywhere, so the fill is work-conserving.
+                    p.on_performance_report(&ctx(&jobs, 60, 0), id, sample(10, 8.0));
+                }
+                let d = p.on_capacity_change(&ctx(&jobs, alive, 0), &[JobId(0)]);
+                let total: usize = d.allocations.iter().map(|&(_, a)| a).sum();
+                assert_eq!(
+                    total, alive,
+                    "{njobs} jobs over {alive} alive CPUs: dealt {total}"
+                );
+                for &(job, share) in &d.allocations {
+                    assert!(share <= 30, "{job:?} got {share} > request");
+                }
+            }
+        }
     }
 
     #[test]

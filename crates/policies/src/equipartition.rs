@@ -110,6 +110,7 @@ mod tests {
             request,
             allocated,
             last_sample: None,
+            remaining_secs: 100.0,
         }
     }
 
@@ -208,6 +209,30 @@ mod tests {
         let d = p.on_capacity_change(&ctx(&jobs, 52, 0), &[JobId(3)]);
         let total: usize = d.allocations.iter().map(|&(_, a)| a).sum();
         assert_eq!(total, 52, "alive capacity fully dealt, never exceeded");
+    }
+
+    #[test]
+    fn ragged_alive_sets_are_dealt_exactly() {
+        // Satellite invariant: for every awkward alive-CPU count (none of
+        // these divide evenly among the jobs), the repartition after a
+        // capacity change sums to exactly the alive supply — no share lost
+        // to rounding, no dead processor dealt — and every share stays
+        // within the job's request.
+        for alive in 41..=60 {
+            for njobs in [3usize, 4] {
+                let jobs: Vec<JobView> = (0..njobs).map(|i| view(i as u32, 30, 15)).collect();
+                let mut p = Equipartition::default();
+                let d = p.on_capacity_change(&ctx(&jobs, alive, 0), &[JobId(0)]);
+                let total: usize = d.allocations.iter().map(|&(_, a)| a).sum();
+                assert_eq!(
+                    total, alive,
+                    "{njobs} jobs over {alive} alive CPUs: dealt {total}"
+                );
+                for &(job, share) in &d.allocations {
+                    assert!(share <= 30, "{job:?} got {share} > request");
+                }
+            }
+        }
     }
 
     #[test]

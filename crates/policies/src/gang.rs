@@ -100,6 +100,7 @@ mod tests {
             request,
             allocated: 0,
             last_sample: None,
+            remaining_secs: 100.0,
         }
     }
 

@@ -106,6 +106,7 @@ mod tests {
             request,
             allocated: 0,
             last_sample: None,
+            remaining_secs: 100.0,
         }
     }
 

@@ -15,20 +15,38 @@
 //! - [`GangScheduler`] — Ousterhout-style gang scheduling (whole-machine
 //!   round-robin slots), the classic third sharing discipline.
 //!
+//! Three further competitors come from the later literature (see PAPERS.md)
+//! and feed the slowdown tournament:
+//!
+//! - [`HeSrpt`] (Berg, Vesilo & Harchol-Balter) — the closed-form
+//!   remaining-work-ranked allocation that minimizes mean slowdown under
+//!   power-law speedups;
+//! - [`OptSplit`] — size-aware water-filling over fitted concave speedup
+//!   curves, the numerical route to the same favor-the-small-jobs optimum;
+//! - [`LearnedAlloc`] (Chasparis et al.) — per-job online gradient steps on
+//!   the allocation, driven by measured iteration speedups with
+//!   deterministic seeded exploration.
+//!
 //! PDPA itself lives in the `pdpa-core` crate and implements the same trait.
 
 pub mod alloc_math;
 pub mod equal_efficiency;
 pub mod equipartition;
 pub mod gang;
+pub mod hesrpt;
 pub mod irix;
+pub mod learned;
+pub mod optsplit;
 pub mod policy;
 pub mod rigid;
 
 pub use equal_efficiency::EqualEfficiency;
 pub use equipartition::Equipartition;
 pub use gang::GangScheduler;
+pub use hesrpt::HeSrpt;
 pub use irix::IrixLike;
+pub use learned::LearnedAlloc;
+pub use optsplit::OptSplit;
 pub use policy::{
     Decisions, GangParams, JobView, PolicyCtx, SchedulingPolicy, SharingModel, TimeSharingParams,
     TransitionNote,

@@ -100,6 +100,12 @@ pub struct JobView {
     pub allocated: usize,
     /// The job's most recent performance estimate, if it has reported.
     pub last_sample: Option<PerfSample>,
+    /// Estimated *sequential* work remaining, seconds: outstanding
+    /// iterations times the current per-iteration sequential time. This is
+    /// the remaining-size signal size-based policies (heSRPT, OptSplit)
+    /// rank on; it is allocation-independent, so reallocating a job does
+    /// not change its rank.
+    pub remaining_secs: f64,
 }
 
 /// The system snapshot a policy decides from.
@@ -302,12 +308,14 @@ mod tests {
                 request: 30,
                 allocated: 15,
                 last_sample: None,
+                remaining_secs: 600.0,
             },
             JobView {
                 id: JobId(1),
                 request: 2,
                 allocated: 2,
                 last_sample: None,
+                remaining_secs: 40.0,
             },
         ];
         let ctx = PolicyCtx {

@@ -85,7 +85,8 @@ pub mod prelude {
     pub use pdpa_metrics::Summary;
     pub use pdpa_perf::{PerfSample, SelfAnalyzer, SelfAnalyzerConfig};
     pub use pdpa_policies::{
-        EqualEfficiency, Equipartition, IrixLike, RigidFirstFit, SchedulingPolicy, SharingModel,
+        EqualEfficiency, Equipartition, GangScheduler, HeSrpt, IrixLike, LearnedAlloc, OptSplit,
+        RigidFirstFit, SchedulingPolicy, SharingModel,
     };
     pub use pdpa_qs::{JobSpec, QueueSystem, Workload};
     pub use pdpa_sim::{CostModel, JobId, Machine, SimDuration, SimTime};

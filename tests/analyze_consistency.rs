@@ -1,13 +1,24 @@
 //! The analyzer's migration accounting must agree with the engine.
 //!
 //! `pdpa-analyze` recomputes Table-2 migration counts by replaying the
-//! recorded `cpu` event stream; the engine keeps its own counter while
-//! scheduling ([`RunResult::total_migrations`]). The two are produced by
-//! completely different code paths — the engine counts as it moves jobs,
-//! the analyzer reconstructs placements from `CpuAssigned` transitions —
-//! so equality per workload/policy cell is a strong check that the event
-//! stream carries full allocation information and that the analyzer's
-//! batch/handoff rules match the engine's semantics.
+//! recorded `cpu` event stream; the engine keeps its own counters while
+//! scheduling ([`RunResult::total_migrations`] plus the gang-rotation
+//! churn counter [`RunResult::quantum_rotations`]). The two sides are
+//! produced by completely different code paths — the engine counts as it
+//! moves jobs, the analyzer reconstructs placements from `CpuAssigned`
+//! transitions — so equality per workload/policy cell is a strong check
+//! that the event stream carries full allocation information and that the
+//! analyzer's batch/handoff rules match the engine's semantics. The rule
+//! is uniform across every sharing model:
+//!
+//! ```text
+//! replayed == total_migrations() + quantum_rotations
+//! ```
+//!
+//! Space-shared runs have zero rotations; gang runs have zero Table-2
+//! migrations (rotation reclaims the same footprint every slot) but heavy
+//! rotation churn, which the engine now counts with exactly the replay's
+//! hand-off rule.
 
 use pdpa_analyze::stability::migration_stats;
 use pdpa_suite::obs::RecordingObserver;
@@ -15,7 +26,7 @@ use pdpa_suite::policies::GangScheduler;
 use pdpa_suite::prelude::*;
 
 /// Runs one Table-2 cell with a recorder attached and returns the engine's
-/// own migration count next to the analyzer's replayed one.
+/// own count (migrations + rotations) next to the analyzer's replayed one.
 fn replay_cell(
     workload: Workload,
     load: f64,
@@ -38,14 +49,15 @@ fn replay_cell(
     let replayed = migration_stats(recorder.events()).migrations();
     (
         result.policy.to_string(),
-        result.total_migrations(),
+        result.total_migrations() + result.quantum_rotations,
         replayed,
     )
 }
 
-/// Every Table-2 cell: the analyzer's replay equals the engine counter for
-/// the space-sharing policies (batch-growth rule) and the time-sharing
-/// policies (handoff rule) alike.
+/// Every Table-2 cell: the analyzer's replay equals the engine counters
+/// for every sharing model — space-shared (batch-growth rule),
+/// time-shared (handoff rule), and gang (rotation-churn rule) alike, the
+/// tournament entrants included.
 #[test]
 fn replayed_migrations_match_the_engine_per_cell() {
     let policies: &[fn() -> Box<dyn SchedulingPolicy>] = &[
@@ -53,6 +65,10 @@ fn replayed_migrations_match_the_engine_per_cell() {
         || Box::new(Pdpa::paper_default()),
         || Box::new(Equipartition::default()),
         || Box::new(EqualEfficiency::paper_default()),
+        || Box::new(GangScheduler::paper_comparable()),
+        || Box::new(HeSrpt::default()),
+        || Box::new(OptSplit::default()),
+        || Box::new(LearnedAlloc::default()),
     ];
     for workload in [Workload::W1, Workload::W3] {
         for make in policies {
@@ -90,23 +106,31 @@ fn the_cross_check_is_not_vacuous() {
     assert_eq!(replayed, engine);
 }
 
-/// Gang scheduling is the deliberate exception: the engine's Table-2
-/// counter treats quantum rotation as context switching (zero migrations
-/// — each gang reclaims the same processor footprint every slot), while
-/// the analyzer's handoff rule sees every occupant change. The replay must
-/// therefore report heavy rotation where the engine reports none; if the
-/// two ever agree on a traced gang run, one of the counters broke.
+/// Gang rotation is occupant churn, not Table-2 migration: the Table-2
+/// counter stays at zero (each gang reclaims the same processor footprint
+/// every slot) while the rotation counter records the per-quantum
+/// hand-offs the stream shows — and matches the analyzer's replay exactly.
 #[test]
-fn gang_rotation_is_handoffs_not_migrations() {
-    let (_, engine, replayed) = replay_cell(
-        Workload::W1,
-        1.0,
-        42,
+fn gang_rotation_is_counted_as_churn_not_migration() {
+    let jobs = Workload::W1.build(1.0, 42);
+    let mut recorder = RecordingObserver::new();
+    let config = EngineConfig::default().with_seed(42 ^ 0xA5A5).with_trace();
+    let result = Engine::new(config).run_observed(
+        jobs,
         Box::new(GangScheduler::paper_comparable()),
+        &mut recorder,
     );
-    assert_eq!(engine, 0, "gang rotation is not an engine migration");
+    assert!(result.completed_all);
+    assert_eq!(
+        result.total_migrations(),
+        0,
+        "gang rotation is not a Table-2 migration"
+    );
     assert!(
-        replayed > 1_000,
-        "the stream should show per-quantum occupant churn, got {replayed}"
+        result.quantum_rotations > 1_000,
+        "rotation churn should be heavy, got {}",
+        result.quantum_rotations
     );
+    let replayed = migration_stats(recorder.events()).migrations();
+    assert_eq!(replayed, result.quantum_rotations);
 }
