@@ -17,6 +17,8 @@ pub enum Command {
     Replay(ReplayOptions),
     /// `pdpa tournament` — race the whole policy zoo and rank by slowdown.
     Tournament(TournamentOptions),
+    /// `pdpa watch` — query a live `--serve` replay over TCP.
+    Watch(WatchOptions),
     /// `pdpa curves` — print the Fig. 3 speedup curves.
     Curves,
     /// `pdpa help` / `--help`.
@@ -76,6 +78,14 @@ pub struct ReplayOptions {
     /// Emit periodic health snapshots to stderr at this wall-clock cadence
     /// in seconds (`--heartbeat SECS`; off when omitted).
     pub heartbeat: Option<f64>,
+    /// Serve live status/metrics queries on this TCP address while the
+    /// replay runs (`--serve ADDR`; `127.0.0.1:0` picks an ephemeral port,
+    /// printed to stderr at bind time).
+    pub serve: Option<String>,
+    /// Keep only these comma-separated event kinds in the recorded stream
+    /// (`--obs-filter kind1,kind2`; validated against `ObsEvent::KINDS` at
+    /// parse time).
+    pub obs_filter: Option<String>,
 }
 
 /// Options of `pdpa tournament`.
@@ -157,6 +167,37 @@ impl Default for ReplayOptions {
             obs_format: ObsFormat::Text,
             watchdog: true,
             heartbeat: None,
+            serve: None,
+            obs_filter: None,
+        }
+    }
+}
+
+/// Options of `pdpa watch`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchOptions {
+    /// TCP address of the `--serve` replay to query.
+    pub addr: String,
+    /// Poll until the run reaches a terminal state instead of querying
+    /// once.
+    pub follow: bool,
+    /// Print the raw protocol response lines (NDJSON) instead of the
+    /// human rendering.
+    pub json: bool,
+    /// Also fetch the newest N observer events.
+    pub tail: Option<usize>,
+    /// Poll cadence for `--follow`, in seconds.
+    pub interval: f64,
+}
+
+impl Default for WatchOptions {
+    fn default() -> Self {
+        WatchOptions {
+            addr: String::new(),
+            follow: false,
+            json: false,
+            tail: None,
+            interval: 1.0,
         }
     }
 }
@@ -330,6 +371,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "curves" => return Ok(Command::Curves),
         "replay" => return parse_replay(&mut it),
         "tournament" => return parse_tournament(&mut it),
+        "watch" => return parse_watch(&mut it),
         "run" | "compare" | "analyze" | "diff" => {}
         other => return Err(format!("unknown command {other:?}; try `pdpa help`")),
     }
@@ -546,6 +588,14 @@ fn parse_replay(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Resul
                 }
                 opts.heartbeat = Some(secs);
             }
+            "--serve" => opts.serve = Some(value_of("--serve", it)?),
+            "--obs-filter" => {
+                let v = value_of("--obs-filter", it)?;
+                // Validate the kind list now so typos fail before a long
+                // replay starts; the filter is rebuilt from the spec later.
+                pdpa_obs::KindFilter::parse(&v).map_err(|e| format!("--obs-filter: {e}"))?;
+                opts.obs_filter = Some(v);
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}; try `pdpa help`"));
             }
@@ -583,7 +633,64 @@ fn parse_replay(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Resul
     if opts.obs_format != ObsFormat::Text && opts.obs_out.is_none() {
         return Err("--obs-format chooses the --obs-out encoding; give --obs-out too".into());
     }
+    if opts.serve.is_some() && opts.diff_shards.is_some() {
+        return Err("--serve watches one live replay; it conflicts with --diff-shards".into());
+    }
     Ok(Command::Replay(opts))
+}
+
+/// Parses `pdpa watch <addr> [flags]`.
+fn parse_watch(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Result<Command, String> {
+    let mut opts = WatchOptions::default();
+    let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--follow" => opts.follow = true,
+            "--json" => opts.json = true,
+            "--tail" => {
+                let v = value_of("--tail", it)?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--tail expects an event count, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--tail must be at least 1".into());
+                }
+                opts.tail = Some(n);
+            }
+            "--interval" => {
+                let v = value_of("--interval", it)?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--interval expects seconds, got {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!(
+                        "--interval {v} must be a positive number of seconds"
+                    ));
+                }
+                opts.interval = secs;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}; try `pdpa help`"));
+            }
+            addr => {
+                if !opts.addr.is_empty() {
+                    return Err(format!(
+                        "watch takes one address; got {:?} and {addr:?}",
+                        opts.addr
+                    ));
+                }
+                opts.addr = addr.to_string();
+            }
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("watch needs the server address: `pdpa watch HOST:PORT`".into());
+    }
+    Ok(Command::Watch(opts))
 }
 
 /// Parses `pdpa tournament [trace.swf] [flags]`.
@@ -965,6 +1072,69 @@ mod tests {
                 .unwrap_err()
                 .contains("--obs-out")
         );
+    }
+
+    #[test]
+    fn replay_serve_and_obs_filter_flags() {
+        let cmd = parse(&argv(
+            "replay t.swf --policy pdpa --serve 127.0.0.1:0 --obs-filter decision,state",
+        ))
+        .unwrap();
+        let Command::Replay(o) = cmd else {
+            panic!("expected Replay")
+        };
+        assert_eq!(o.serve.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.obs_filter.as_deref(), Some("decision,state"));
+        // Bad kind names fail at parse time, before any replay starts.
+        assert!(
+            parse(&argv("replay t.swf --policy pdpa --obs-filter bogus"))
+                .unwrap_err()
+                .contains("bogus")
+        );
+        // A diff replay runs the engine twice; there is no single live run
+        // to serve.
+        assert!(parse(&argv(
+            "replay t.swf --policy pdpa --shards 2 --diff-shards 4 --serve 127.0.0.1:0"
+        ))
+        .unwrap_err()
+        .contains("--diff-shards"));
+    }
+
+    #[test]
+    fn watch_full_invocation_and_defaults() {
+        let cmd = parse(&argv(
+            "watch 127.0.0.1:7777 --follow --json --tail 5 --interval 0.5",
+        ))
+        .unwrap();
+        let Command::Watch(o) = cmd else {
+            panic!("expected Watch")
+        };
+        assert_eq!(o.addr, "127.0.0.1:7777");
+        assert!(o.follow && o.json);
+        assert_eq!(o.tail, Some(5));
+        assert_eq!(o.interval, 0.5);
+        let Command::Watch(o) = parse(&argv("watch localhost:9")).unwrap() else {
+            panic!("expected Watch")
+        };
+        assert!(!o.follow && !o.json && o.tail.is_none());
+        assert_eq!(o.interval, 1.0);
+    }
+
+    #[test]
+    fn watch_diagnostics() {
+        assert!(parse(&argv("watch")).unwrap_err().contains("address"));
+        assert!(parse(&argv("watch a:1 b:2"))
+            .unwrap_err()
+            .contains("one address"));
+        assert!(parse(&argv("watch a:1 --tail 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("watch a:1 --interval -2"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&argv("watch a:1 --bogus"))
+            .unwrap_err()
+            .contains("--bogus"));
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Command implementations.
 
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
 
 use pdpa_analyze::{analysis_json, RunAnalysis, RunDiff};
 use pdpa_apps::{paper_app, AppClass};
@@ -12,17 +16,24 @@ use pdpa_engine::{Engine, EngineConfig, Instrumentation, RunResult};
 use pdpa_faults::FaultPlan;
 use pdpa_obs::metrics::Registry;
 use pdpa_obs::{
-    chrome_trace, metrics_json, mpl_series_csv, scope, NullObserver, Observer, RecordingObserver,
+    chrome_trace, metrics_json, mpl_series_csv, scope, FilterObserver, KindFilter, NullObserver,
+    Observer, RecordingObserver,
 };
 use pdpa_policies::{
     EqualEfficiency, Equipartition, GangScheduler, HeSrpt, IrixLike, LearnedAlloc, OptSplit,
     RigidFirstFit, SchedulingPolicy,
 };
-use pdpa_prof::{HeartbeatConfig, WatchdogConfig};
+use pdpa_prof::{HealthSnapshot, HeartbeatConfig, HeartbeatSink, StderrHeartbeat, WatchdogConfig};
 use pdpa_qs::{shape, swf};
 use pdpa_trace::{render_ascii, to_paraver, RenderOptions};
+use pdpa_watch::{
+    LiveTap, Request, RequestKind, Response, ResponseBody, RunMeta, RunState, StatusServer,
+    TapObserver,
+};
 
-use crate::args::{Command, ObsFormat, Options, PolicyChoice, ReplayOptions, TournamentOptions};
+use crate::args::{
+    Command, ObsFormat, Options, PolicyChoice, ReplayOptions, TournamentOptions, WatchOptions,
+};
 use crate::USAGE;
 
 /// Executes a parsed command and returns its output.
@@ -40,6 +51,21 @@ pub fn dispatch(command: Command) -> Result<String, String> {
         Command::Diff(opts) => diff(&opts),
         Command::Replay(opts) => replay(&opts),
         Command::Tournament(opts) => tournament(&opts),
+        Command::Watch(opts) => watch(&opts),
+    }
+}
+
+/// Routes heartbeat lines to stderr (the classic behaviour) *and* the live
+/// tap, so `--heartbeat` plus `--serve` keeps its console output while the
+/// `health` query reports the latest line.
+struct TeeHeartbeat {
+    tap: Arc<LiveTap>,
+}
+
+impl HeartbeatSink for TeeHeartbeat {
+    fn emit(&self, line: &str, snapshot: &HealthSnapshot) {
+        StderrHeartbeat.emit(line, snapshot);
+        self.tap.emit(line, snapshot);
     }
 }
 
@@ -458,24 +484,75 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
         });
     }
 
+    // `--serve ADDR`: bind the status server before the run starts so a
+    // watcher can connect from the first event, and print the actual
+    // address (ephemeral `:0` ports resolve at bind time).
+    let serve = match &opts.serve {
+        Some(addr) => {
+            let tap = LiveTap::new(RunMeta {
+                policy: build_policy(opts.policy).name().to_string(),
+                trace: opts.trace_path.clone(),
+                shards: opts.shards.unwrap_or(1) as u64,
+                jobs_total: n_jobs as u64,
+            });
+            let server = StatusServer::bind(addr.as_str(), Arc::clone(&tap))
+                .map_err(|e| format!("--serve {addr}: {e}"))?;
+            eprintln!("serve: listening on {}", server.local_addr());
+            instr = instr.with_tap(Arc::clone(&tap) as _);
+            instr = instr.with_heartbeat_sink(Arc::new(TeeHeartbeat {
+                tap: Arc::clone(&tap),
+            }));
+            Some((tap, server))
+        }
+        None => None,
+    };
+
     let mut recorder = RecordingObserver::new();
     let started = std::time::Instant::now();
     let result = {
         let _scope = scope::enter("cli-replay");
         let engine = Engine::new(config);
+        // Observer chain, innermost out: recorder <- tap tee <- kind
+        // filter. The filter wraps the outside so the recorded stream and
+        // the tap's tail agree on what was kept.
+        let mut observer: &mut dyn Observer = &mut recorder;
+        let mut tap_tee;
+        if let Some((tap, _)) = &serve {
+            tap_tee = TapObserver::new(observer, Arc::clone(tap));
+            observer = &mut tap_tee;
+        }
+        let mut filtered;
+        if let Some(spec) = &opts.obs_filter {
+            let filter = KindFilter::parse(spec).expect("validated at parse time");
+            filtered = FilterObserver::new(observer, filter);
+            observer = &mut filtered;
+        }
         match opts.shards {
             Some(shards) => engine.run_sharded_instrumented(
                 jobs,
                 build_policy(opts.policy),
                 shards,
                 opts.epoch.unwrap_or(pdpa_engine::shard::DEFAULT_EPOCH_SECS),
-                &mut recorder,
+                observer,
                 instr,
             ),
-            None => engine.run_instrumented(jobs, build_policy(opts.policy), &mut recorder, instr),
+            None => engine.run_instrumented(jobs, build_policy(opts.policy), observer, instr),
         }
     };
     let wall_secs = started.elapsed().as_secs_f64();
+    // Publish the terminal state, give polling watchers a window to see
+    // it, then tear the server down — on the abort path too, so a
+    // `pdpa watch --follow` observes the failure instead of a dead socket.
+    let served_connections = serve.map(|(tap, server)| {
+        match &result.watchdog {
+            Some(diag) => tap.mark_aborted(diag),
+            None => tap.mark_done(),
+        }
+        server.wait_for_final_query(Duration::from_secs(10));
+        let connections = server.connections();
+        server.shutdown();
+        connections
+    });
     if let Some(diag) = &result.watchdog {
         return Err(format!("{}: {diag}", opts.trace_path));
     }
@@ -526,6 +603,9 @@ fn replay(opts: &ReplayOptions) -> Result<String, String> {
     out.push_str(&class_table(&result));
     if opts.obs {
         out.push_str(&event_kind_summary(&events));
+    }
+    if let Some(n) = served_connections {
+        let _ = writeln!(out, "\nstatus server answered {n} connection(s)");
     }
 
     // `--diff-shards N`: replay again at N shards and require the two
@@ -658,6 +738,181 @@ fn replay_entry(
         } else {
             None
         },
+    }
+}
+
+/// Sends `requests` down one connection to a `--serve` replay and returns
+/// the responses in order.
+fn query_live(addr: &str, requests: &[Request]) -> Result<Vec<Response>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut writer = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(requests.len());
+    for request in requests {
+        writer
+            .write_all(format!("{}\n", request.to_line()).as_bytes())
+            .map_err(|e| format!("{addr}: send failed: {e}"))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("{addr}: read failed: {e}"))?;
+        if line.is_empty() {
+            return Err(format!("{addr}: server closed the connection"));
+        }
+        let response = Response::parse_line(line.trim_end())
+            .map_err(|e| format!("{addr}: bad response: {e}"))?;
+        if response.id != request.id {
+            return Err(format!(
+                "{addr}: response id {} for request id {}",
+                response.id, request.id
+            ));
+        }
+        responses.push(response);
+    }
+    Ok(responses)
+}
+
+/// One watch poll rendered for humans.
+fn render_watch(responses: &[Response]) -> String {
+    let mut out = String::new();
+    for response in responses {
+        match &response.body {
+            ResponseBody::Status(s) => {
+                let _ = writeln!(
+                    out,
+                    "run: {} on {} [{}] shards={}",
+                    s.policy,
+                    s.trace,
+                    s.state.label(),
+                    s.shards,
+                );
+                let _ = writeln!(
+                    out,
+                    "jobs: {}/{} finished ({} failed), {} submitted, {} events published",
+                    s.jobs_finished,
+                    s.jobs_total,
+                    s.jobs_failed,
+                    s.jobs_submitted,
+                    s.events_published,
+                );
+                if let Some(diag) = &s.watchdog {
+                    let _ = writeln!(out, "watchdog: {diag}");
+                }
+            }
+            ResponseBody::Progress(p) => {
+                let _ = writeln!(
+                    out,
+                    "progress: sim clock {:.1} s | {} events drained ({:.0}/s) | qlen {} | running {} | waiting {}",
+                    p.sim_clock_secs, p.events_popped, p.events_per_sec, p.queue_len,
+                    p.running, p.waiting,
+                );
+                match p.eta_secs {
+                    Some(eta) => {
+                        let _ = writeln!(out, "eta: ~{eta:.0} s (elapsed {:.1} s)", p.elapsed_secs);
+                    }
+                    None => {
+                        let _ = writeln!(out, "eta: n/a (elapsed {:.1} s)", p.elapsed_secs);
+                    }
+                }
+            }
+            ResponseBody::Health(h) => {
+                if let Some(line) = &h.heartbeat {
+                    let _ = writeln!(out, "health: {line}");
+                }
+                if let Some(imb) = h.imbalance {
+                    let _ = writeln!(
+                        out,
+                        "health: shard imbalance {imb:.3} over {} shards",
+                        h.shard_events.len()
+                    );
+                }
+                if let Some(kib) = h.memory_hwm_kib {
+                    let _ = writeln!(out, "health: memory high-water {kib} KiB");
+                }
+                if let Some(diag) = &h.watchdog {
+                    let _ = writeln!(out, "health: watchdog fired: {diag}");
+                }
+            }
+            ResponseBody::Tail(t) => {
+                let _ = writeln!(
+                    out,
+                    "tail: {} recent event(s), {} dropped from the ring",
+                    t.events.len(),
+                    t.dropped
+                );
+                for event in &t.events {
+                    let _ = writeln!(out, "  {event}");
+                }
+            }
+            ResponseBody::Metrics { body, .. } => out.push_str(body),
+            ResponseBody::Error { message } => {
+                let _ = writeln!(out, "error: {message}");
+            }
+        }
+    }
+    out
+}
+
+/// `pdpa watch`: query a live `--serve` replay. One shot by default;
+/// `--follow` polls until the run reaches a terminal state and exits
+/// nonzero if that state is aborted.
+fn watch(opts: &WatchOptions) -> Result<String, String> {
+    loop {
+        let mut requests = vec![
+            Request {
+                id: 1,
+                kind: RequestKind::Status,
+            },
+            Request {
+                id: 2,
+                kind: RequestKind::Progress,
+            },
+            Request {
+                id: 3,
+                kind: RequestKind::Health,
+            },
+        ];
+        if let Some(n) = opts.tail {
+            requests.push(Request {
+                id: 4,
+                kind: RequestKind::Tail { n },
+            });
+        }
+        let responses = query_live(&opts.addr, &requests)?;
+        let rendered = if opts.json {
+            let mut lines = String::new();
+            for response in &responses {
+                let _ = writeln!(lines, "{}", response.to_line());
+            }
+            lines
+        } else {
+            render_watch(&responses)
+        };
+        let state = responses.iter().find_map(|r| match &r.body {
+            ResponseBody::Status(s) => Some((s.state, s.watchdog.clone())),
+            _ => None,
+        });
+        let Some((state, watchdog)) = state else {
+            return Err(format!("{}: no status in response", opts.addr));
+        };
+        if state == RunState::Aborted {
+            return Err(format!(
+                "{rendered}\nrun aborted: {}",
+                watchdog.as_deref().unwrap_or("(no watchdog diagnostic)")
+            ));
+        }
+        if !opts.follow || state == RunState::Done {
+            return Ok(rendered);
+        }
+        // Follow mode: show each poll as it happens; the final poll is
+        // returned (and printed) by the caller.
+        print!("{rendered}");
+        if !opts.json {
+            println!("--");
+        }
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs_f64(opts.interval));
     }
 }
 
@@ -1153,6 +1408,115 @@ mod tests {
             assert!(out.contains("migrations"), "no analytics in:\n{out}");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_serve_with_no_clients_does_not_linger() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-serve-test");
+        let started = std::time::Instant::now();
+        let out = run_cli(&format!(
+            "replay {} --policy pdpa --serve 127.0.0.1:0",
+            path.display()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("status server answered 0 connection(s)"),
+            "no server line in:\n{out}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "an unwatched --serve replay must not wait for watchers"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_obs_filter_prunes_the_recorded_stream() {
+        let (dir, path) = write_test_trace("pdpa-cli-replay-filter-test");
+        let stream = dir.join("run.txt");
+        let out = run_cli(&format!(
+            "replay {} --policy pdpa --obs --obs-filter submit,finish --obs-out {}",
+            path.display(),
+            stream.display()
+        ))
+        .unwrap();
+        assert!(out.contains("submit"), "kept kind missing in:\n{out}");
+        let text = std::fs::read_to_string(&stream).unwrap();
+        for line in text.lines() {
+            let kept = line.contains(" submit ") || line.contains(" finish ");
+            assert!(kept, "filtered stream leaked a foreign kind: {line}");
+        }
+        // The same replay unfiltered records far more kinds.
+        let unfiltered =
+            run_cli(&format!("replay {} --policy pdpa --obs", path.display())).unwrap();
+        assert!(
+            unfiltered.contains("iter") && unfiltered.contains("decision"),
+            "baseline lost kinds:\n{unfiltered}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_from_stream_names_the_bad_frame_and_byte_offset() {
+        let (dir, path) = write_test_trace("pdpa-cli-analyze-truncated-test");
+        let stream = dir.join("run.bin");
+        run_cli(&format!(
+            "replay {} --policy pdpa --obs-out {} --obs-format binary",
+            path.display(),
+            stream.display()
+        ))
+        .unwrap();
+        // Cut the stream mid-frame: drop the last 3 bytes.
+        let mut bytes = std::fs::read(&stream).unwrap();
+        let cut = bytes.len() - 3;
+        bytes.truncate(cut);
+        std::fs::write(&stream, &bytes).unwrap();
+        let err = run_cli(&format!("analyze --from-stream {}", stream.display())).unwrap_err();
+        assert!(
+            err.contains("frame ") && err.contains(" at byte "),
+            "no frame/byte diagnostics in: {err}"
+        );
+        assert!(err.contains("truncated"), "no truncation cause in: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_queries_a_live_server() {
+        let tap = LiveTap::new(RunMeta {
+            policy: "PDPA".into(),
+            trace: "t.swf".into(),
+            shards: 1,
+            jobs_total: 4,
+        });
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&tap)).expect("binds");
+        let addr = server.local_addr();
+        tap.mark_done();
+
+        let human = run_cli(&format!("watch {addr}")).unwrap();
+        assert!(human.contains("run: PDPA on t.swf [done]"), "in:\n{human}");
+        assert!(human.contains("progress:"), "no progress in:\n{human}");
+
+        let json = run_cli(&format!("watch {addr} --json --tail 5")).unwrap();
+        assert!(
+            json.lines().count() == 4,
+            "expected 4 NDJSON lines:\n{json}"
+        );
+        assert!(json.contains("\"state\":\"done\""), "in:\n{json}");
+
+        server.shutdown();
+        let err = run_cli(&format!("watch {addr}")).unwrap_err();
+        assert!(err.contains("cannot connect"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn watch_exits_nonzero_when_the_run_aborted() {
+        let tap = LiveTap::new(RunMeta::default());
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&tap)).expect("binds");
+        tap.mark_aborted("watchdog: no sim-time progress over 10000 rounds");
+        let err = run_cli(&format!("watch {}", server.local_addr())).unwrap_err();
+        assert!(err.contains("run aborted"), "in: {err}");
+        assert!(err.contains("watchdog"), "no diagnostic in: {err}");
+        server.shutdown();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! pdpa diff    --workload w3 --policy pdpa --policy-b equip [options]
 //! pdpa replay  trace.swf --policy pdpa [--load 1.0 --cpus 60 --window 0:45000]
 //! pdpa tournament [trace.swf] [--load 1.0 --cpus 60 --json --out report.json]
+//! pdpa watch   127.0.0.1:7777 [--follow --json --tail 20]
 //! pdpa curves
 //! ```
 //!
@@ -57,8 +58,10 @@ USAGE:
                [--json] [--obs] [--trace-out <file>] [--analyze-out <file>]
                [--obs-out <file>] [--obs-format <text|binary>] [--profile-out <file>]
                [--no-watchdog] [--heartbeat <secs>] [--faults <plan>]
+               [--serve <addr>] [--obs-filter <kind,...>]
   pdpa tournament [<trace.swf>] [--cpus <n>] [--seed <n>] [--load <frac>]
                [--duration <secs>] [--json] [--out <file>]
+  pdpa watch   <host:port> [--follow] [--json] [--tail <n>] [--interval <secs>]
   pdpa curves
 
 COMMANDS:
@@ -79,6 +82,11 @@ COMMANDS:
             chaos fault plan, ranked by p50/p90/p99 per-job slowdown;
             --out writes the pdpa-tournament/v1 JSON report, --json
             appends tournament-<policy> entries to BENCH_pdpa.json
+  watch     query a live `replay --serve` run over TCP: status, progress
+            with events/s and ETA, health, and (with --tail) the newest
+            observer events; --follow polls until the run finishes and
+            exits non-zero if it was aborted; --json prints the raw
+            protocol response lines
   curves    print the calibrated Fig. 3 speedup curves
 
 OPTIONS:
@@ -120,6 +128,15 @@ OPTIONS:
                (default on)
   --heartbeat  replay only: print health snapshots (clock, events/s, queue
                depth, per-shard lag, memory) to stderr every SECS seconds
+  --serve      replay only: answer status/progress/health/metrics/tail
+               queries on this TCP address while the run is live
+               (127.0.0.1:0 picks an ephemeral port, printed to stderr)
+  --obs-filter replay only: keep only these comma-separated event kinds in
+               the recorded stream (e.g. decision,state,mpl) — tames
+               event-flooding policies like the IRIX 250 ms quantum
+  --follow     watch only: poll every --interval seconds (default 1) until
+               the run reaches a terminal state
+  --tail       watch only: also fetch the newest N observer events
   --duration   tournament only: submission window of the generated trace
                in seconds (conflicts with a trace file)
   --out        tournament only: write the ranked report as JSON

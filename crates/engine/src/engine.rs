@@ -9,7 +9,9 @@ use pdpa_obs::metrics::{Histogram, Registry, RunCounters, Span};
 use pdpa_obs::{DecisionTrigger, NullObserver, ObsEvent, Observer};
 use pdpa_perf::SelfAnalyzer;
 use pdpa_policies::{Decisions, JobView, PolicyCtx, SchedulingPolicy, SharingModel};
-use pdpa_prof::{HealthSnapshot, Heartbeat, Lane, LaneProfile, Profile, SpanKind, Watchdog};
+use pdpa_prof::{
+    HealthSnapshot, Heartbeat, Lane, LaneProfile, Profile, SpanKind, StderrHeartbeat, Watchdog,
+};
 use pdpa_qs::{JobSpec, QueueSystem};
 use pdpa_sim::{AdaptiveQueue, CpuId, JobId, Machine, SimRng, SimTime};
 use pdpa_trace::TraceObserver;
@@ -103,6 +105,13 @@ impl Engine {
         };
         let mut watchdog = instr.watchdog.map(Watchdog::new);
         let mut heartbeat = instr.heartbeat.map(Heartbeat::new);
+        // Heartbeat lines take exactly one typed path; stderr is just the
+        // default sink.
+        let heartbeat_sink = instr
+            .heartbeat_sink
+            .clone()
+            .unwrap_or_else(|| Arc::new(StderrHeartbeat));
+        let tap = instr.tap.clone();
         let mut watchdog_diag = None;
         let mut sim = Sim::new(&self.config, jobs, policy.sharing(), observer, &mut lane);
         sim.schedule_arrivals();
@@ -119,29 +128,41 @@ impl Engine {
             steps += 1;
             if let Some(wd) = watchdog.as_mut() {
                 if wd.observe(t.as_secs()) {
-                    watchdog_diag = Some(wd.diagnostic(&format!(
+                    let diag = wd.diagnostic(&format!(
                         "classic engine: running={}, waiting={}, qlen={}, stale_drops={}",
                         sim.store.len(),
                         sim.qs.waiting_count(),
                         sim.events.len(),
                         sim.events.stale_drops(),
-                    )));
+                    ));
+                    if let Some(tap) = tap.as_deref() {
+                        tap.watchdog_fired(&diag);
+                    }
+                    watchdog_diag = Some(diag);
                     break;
                 }
             }
-            // Amortized: the wall-clock due-check runs every 64k events.
-            if let Some(hb) = heartbeat.as_mut() {
-                if steps & 0xFFFF == 0 && hb.due() {
+            // Amortized: snapshot building, the heartbeat due-check, and
+            // the live-tap refresh all run every 64k events.
+            if steps & 0xFFFF == 0 && (heartbeat.is_some() || tap.is_some()) {
+                let hb_due = heartbeat.as_ref().is_some_and(Heartbeat::due);
+                if hb_due || tap.is_some() {
                     let stats = sim.events.stats();
-                    if let Some(line) = hb.tick(&HealthSnapshot {
+                    let snap = HealthSnapshot {
                         sim_clock_secs: t.as_secs(),
                         events_popped: stats.popped,
                         queue_len: stats.len,
                         running: sim.store.len(),
                         waiting: sim.qs.waiting_count(),
                         shard_events: Vec::new(),
-                    }) {
-                        eprintln!("{line}");
+                    };
+                    if let Some(tap) = tap.as_deref() {
+                        tap.progress(&snap);
+                    }
+                    if hb_due {
+                        if let Some(line) = heartbeat.as_mut().and_then(|hb| hb.tick(&snap)) {
+                            heartbeat_sink.emit(&line, &snap);
+                        }
                     }
                 }
             }
@@ -157,6 +178,18 @@ impl Engine {
         }
         sim.lane.add_events(steps);
         sim.lane.end(replay);
+        if let Some(tap) = tap.as_deref() {
+            // Final refresh so the mirror's counters reflect the whole run.
+            let stats = sim.events.stats();
+            tap.progress(&HealthSnapshot {
+                sim_clock_secs: sim.clock.as_secs(),
+                events_popped: stats.popped,
+                queue_len: stats.len,
+                running: sim.store.len(),
+                waiting: sim.qs.waiting_count(),
+                shard_events: Vec::new(),
+            });
+        }
         let mut result = sim.into_result(policy.name());
         result.watchdog = watchdog_diag;
         if instr.profile {

@@ -47,7 +47,10 @@ use pdpa_obs::metrics::{Histogram, Registry, RunCounters, Span};
 use pdpa_obs::{DecisionTrigger, NullObserver, ObsEvent, Observer};
 use pdpa_perf::{PerfSample, SelfAnalyzer};
 use pdpa_policies::{Decisions, JobView, PolicyCtx, SchedulingPolicy, SharingModel};
-use pdpa_prof::{HealthSnapshot, Heartbeat, Lane, Profiler, SpanKind, Watchdog};
+use pdpa_prof::{
+    HealthSnapshot, Heartbeat, HeartbeatSink, Lane, Profiler, ProgressSink, SpanKind,
+    StderrHeartbeat, Watchdog,
+};
 use pdpa_qs::JobSpec;
 use pdpa_qs::QueueSystem;
 use pdpa_sim::{AdaptiveQueue, CpuId, EventQueue, JobId, Machine, SimDuration, SimTime};
@@ -348,6 +351,8 @@ struct ShardedSim<'a> {
     prof: Profiler,
     watchdog: Option<Watchdog>,
     heartbeat: Option<Heartbeat>,
+    heartbeat_sink: Arc<dyn HeartbeatSink>,
+    tap: Option<Arc<dyn ProgressSink>>,
     /// Set when the watchdog aborted the barrier loop.
     watchdog_diag: Option<String>,
 }
@@ -408,6 +413,10 @@ impl<'a> ShardedSim<'a> {
             },
             watchdog: instr.watchdog.map(Watchdog::new),
             heartbeat: instr.heartbeat.map(Heartbeat::new),
+            heartbeat_sink: instr
+                .heartbeat_sink
+                .unwrap_or_else(|| Arc::new(StderrHeartbeat)),
+            tap: instr.tap,
             watchdog_diag: None,
         }
     }
@@ -503,7 +512,9 @@ impl<'a> ShardedSim<'a> {
 
     fn drive(&mut self, policy: &mut dyn SchedulingPolicy) {
         let replay = self.prof.lane(0).begin(SpanKind::Replay);
+        let mut rounds = 0u64;
         loop {
+            rounds += 1;
             let barrier_prof = self.prof.lane(0).begin(SpanKind::BarrierCompute);
             let next_global = self.globals.peek_time();
             // Minimum over all shard queue heads. A stale head only
@@ -533,33 +544,35 @@ impl<'a> ShardedSim<'a> {
                 if wd.observe(b.as_secs()) {
                     let qlen: usize = self.shards.iter().map(|s| s.queue.len()).sum();
                     let running: usize = self.shards.iter().map(|s| s.store.len()).sum();
-                    self.watchdog_diag = Some(wd.diagnostic(&format!(
+                    let diag = wd.diagnostic(&format!(
                         "sharded engine: shards={}, running={}, waiting={}, qlen={}",
                         self.shards.len(),
                         running,
                         self.qs.waiting_count(),
                         qlen,
-                    )));
+                    ));
+                    if let Some(tap) = self.tap.as_deref() {
+                        tap.watchdog_fired(&diag);
+                    }
+                    self.watchdog_diag = Some(diag);
                     break;
                 }
             }
-            if let Some(hb) = self.heartbeat.as_mut() {
-                if hb.due() {
-                    let shard_events: Vec<u64> =
-                        self.shards.iter().map(|s| s.queue.total_popped()).collect();
-                    let events_popped =
-                        self.globals.total_popped() + shard_events.iter().sum::<u64>();
-                    let snap = HealthSnapshot {
-                        sim_clock_secs: self.clock.as_secs(),
-                        events_popped,
-                        queue_len: self.globals.len()
-                            + self.shards.iter().map(|s| s.queue.len()).sum::<usize>(),
-                        running: self.shards.iter().map(|s| s.store.len()).sum(),
-                        waiting: self.qs.waiting_count(),
-                        shard_events,
-                    };
-                    if let Some(line) = hb.tick(&snap) {
-                        eprintln!("{line}");
+            // Build one snapshot feeding both the heartbeat line and the
+            // live tap. The tap refresh is amortized over barrier rounds
+            // so `--serve` stays inside the ≤2% overhead bound.
+            if self.heartbeat.is_some() || self.tap.is_some() {
+                let hb_due = self.heartbeat.as_ref().is_some_and(Heartbeat::due);
+                let tap_due = self.tap.is_some() && rounds & 0xFF == 0;
+                if hb_due || tap_due {
+                    let snap = self.health_snapshot();
+                    if let Some(tap) = self.tap.as_deref() {
+                        tap.progress(&snap);
+                    }
+                    if hb_due {
+                        if let Some(line) = self.heartbeat.as_mut().and_then(|hb| hb.tick(&snap)) {
+                            self.heartbeat_sink.emit(&line, &snap);
+                        }
                     }
                 }
             }
@@ -568,6 +581,26 @@ impl<'a> ShardedSim<'a> {
             self.prof.lane(0).end(round_prof);
         }
         self.prof.lane(0).end(replay);
+        if let Some(tap) = self.tap.clone() {
+            // Final refresh so the mirror's counters reflect the whole run.
+            tap.progress(&self.health_snapshot());
+        }
+    }
+
+    /// The current health picture: clock, event totals, queue depth, and
+    /// per-shard popped counts (for imbalance diagnostics).
+    fn health_snapshot(&self) -> HealthSnapshot {
+        let shard_events: Vec<u64> = self.shards.iter().map(|s| s.queue.total_popped()).collect();
+        let events_popped = self.globals.total_popped() + shard_events.iter().sum::<u64>();
+        HealthSnapshot {
+            sim_clock_secs: self.clock.as_secs(),
+            events_popped,
+            queue_len: self.globals.len()
+                + self.shards.iter().map(|s| s.queue.len()).sum::<usize>(),
+            running: self.shards.iter().map(|s| s.store.len()).sum(),
+            waiting: self.qs.waiting_count(),
+            shard_events,
+        }
     }
 
     /// One epoch round: parallel shard advance to `b`, then the

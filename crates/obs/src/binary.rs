@@ -472,8 +472,10 @@ pub fn write_stream(events: &[TimedEvent]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a diagnostic naming the frame index and offending field on
-/// malformed or truncated input.
+/// Returns a diagnostic naming the frame index, the absolute byte offset of
+/// the frame's start within the stream, and the offending field on
+/// malformed or truncated input — enough to seek straight to the first bad
+/// frame of a corrupt capture.
 pub fn read_stream(bytes: &[u8]) -> Result<Vec<TimedEvent>, String> {
     if !is_binary(bytes) {
         return Err("not a PDPAOBS1 binary stream (bad magic)".to_string());
@@ -481,26 +483,30 @@ pub fn read_stream(bytes: &[u8]) -> Result<Vec<TimedEvent>, String> {
     let mut events = Vec::new();
     let mut rest = &bytes[MAGIC.len()..];
     while !rest.is_empty() {
+        // Absolute offset of this frame's length prefix: everything already
+        // consumed, magic included.
+        let frame_at = bytes.len() - rest.len();
         let mut cur = Cur::new(rest);
         let len = cur
             .uvarint("frame length")
-            .map_err(|e| format!("frame {}: {e}", events.len()))?;
+            .map_err(|e| format!("frame {} at byte {frame_at}: {e}", events.len()))?;
         let start = cur.pos;
         let len = usize::try_from(len).map_err(|_| {
             format!(
-                "frame {}: length {len} does not fit in memory",
+                "frame {} at byte {frame_at}: length {len} does not fit in memory",
                 events.len()
             )
         })?;
         if rest.len() - start < len {
             return Err(format!(
-                "frame {}: stream truncated ({} payload bytes present, {len} declared)",
+                "frame {} at byte {frame_at}: stream truncated \
+                 ({} payload bytes present, {len} declared)",
                 events.len(),
                 rest.len() - start
             ));
         }
         let ev = decode_payload(&rest[start..start + len])
-            .map_err(|e| format!("frame {}: {e}", events.len()))?;
+            .map_err(|e| format!("frame {} at byte {frame_at}: {e}", events.len()))?;
         events.push(ev);
         rest = &rest[start + len..];
     }
@@ -624,6 +630,45 @@ mod tests {
         let cut = &bytes[..bytes.len() - 3];
         let err = read_stream(cut).expect_err("truncation must error");
         assert!(err.contains("truncated"), "got: {err}");
+    }
+
+    #[test]
+    fn truncation_error_names_frame_index_and_byte_offset() {
+        let events = sample_events();
+        let bytes = write_stream(&events);
+        // Find where frame 2 starts by decoding the first two frames by
+        // hand: magic, then per frame a uvarint length plus that many
+        // payload bytes.
+        let mut offset = MAGIC.len();
+        for _ in 0..2 {
+            let mut cur = Cur::new(&bytes[offset..]);
+            let len = cur.uvarint("len").expect("valid stream") as usize;
+            offset += cur.pos + len;
+        }
+        // Cut in the middle of frame 2's payload: the error must name
+        // frame 2 and its absolute starting byte offset.
+        let cut = &bytes[..offset + 3];
+        let err = read_stream(cut).expect_err("mid-frame truncation must error");
+        assert!(
+            err.contains(&format!("frame 2 at byte {offset}")),
+            "got: {err}"
+        );
+        assert!(err.contains("truncated"), "got: {err}");
+    }
+
+    #[test]
+    fn corrupt_frame_error_names_byte_offset() {
+        let events = sample_events();
+        let mut bytes = write_stream(&events);
+        // Frame 0 starts right after the magic; corrupt its kind byte
+        // (first payload byte after the 1-byte length prefix).
+        let frame_at = MAGIC.len();
+        bytes[frame_at + 1] = 0xFF;
+        let err = read_stream(&bytes).expect_err("bad kind must error");
+        assert!(
+            err.contains(&format!("frame 0 at byte {frame_at}")),
+            "got: {err}"
+        );
     }
 
     #[test]

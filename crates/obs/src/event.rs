@@ -171,26 +171,53 @@ pub enum ObsEvent {
 }
 
 impl ObsEvent {
+    /// Every kind label, in declaration (= binary kind-code) order. The
+    /// authoritative vocabulary for `--obs-filter` and other by-kind
+    /// selections.
+    pub const KINDS: [&'static str; 16] = [
+        "submit",
+        "dequeue",
+        "start",
+        "finish",
+        "iter",
+        "decision",
+        "state",
+        "mpl",
+        "cost",
+        "cpu",
+        "cpu_failed",
+        "cpu_recovered",
+        "degraded",
+        "retry",
+        "job_failed",
+        "failed",
+    ];
+
+    /// This event's index into [`ObsEvent::KINDS`] (its binary kind code).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            ObsEvent::JobSubmitted { .. } => 0,
+            ObsEvent::JobDequeued { .. } => 1,
+            ObsEvent::JobStarted { .. } => 2,
+            ObsEvent::JobFinished { .. } => 3,
+            ObsEvent::IterationMeasured { .. } => 4,
+            ObsEvent::Decision { .. } => 5,
+            ObsEvent::StateChanged { .. } => 6,
+            ObsEvent::MplChanged { .. } => 7,
+            ObsEvent::ReallocCost { .. } => 8,
+            ObsEvent::CpuAssigned { .. } => 9,
+            ObsEvent::CpuFailed { .. } => 10,
+            ObsEvent::CpuRecovered { .. } => 11,
+            ObsEvent::DegradedCapacity { .. } => 12,
+            ObsEvent::JobRetried { .. } => 13,
+            ObsEvent::JobFailed { .. } => 14,
+            ObsEvent::ExperimentFailed { .. } => 15,
+        }
+    }
+
     /// Stable kind label (the first token of [`TimedEvent::to_line`]).
     pub fn kind(&self) -> &'static str {
-        match self {
-            ObsEvent::JobSubmitted { .. } => "submit",
-            ObsEvent::JobDequeued { .. } => "dequeue",
-            ObsEvent::JobStarted { .. } => "start",
-            ObsEvent::JobFinished { .. } => "finish",
-            ObsEvent::IterationMeasured { .. } => "iter",
-            ObsEvent::Decision { .. } => "decision",
-            ObsEvent::StateChanged { .. } => "state",
-            ObsEvent::MplChanged { .. } => "mpl",
-            ObsEvent::ReallocCost { .. } => "cost",
-            ObsEvent::CpuAssigned { .. } => "cpu",
-            ObsEvent::CpuFailed { .. } => "cpu_failed",
-            ObsEvent::CpuRecovered { .. } => "cpu_recovered",
-            ObsEvent::DegradedCapacity { .. } => "degraded",
-            ObsEvent::JobRetried { .. } => "retry",
-            ObsEvent::JobFailed { .. } => "job_failed",
-            ObsEvent::ExperimentFailed { .. } => "failed",
-        }
+        Self::KINDS[self.kind_index()]
     }
 }
 

@@ -50,4 +50,4 @@ pub use collector::ExperimentFailure;
 pub use event::{DecisionTrigger, ObsEvent, TimedEvent};
 pub use export::{metrics_json, mpl_series_csv};
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Registry, RunCounters};
-pub use observer::{NullObserver, Observer, RecordingObserver};
+pub use observer::{FilterObserver, KindFilter, NullObserver, Observer, RecordingObserver};

@@ -167,6 +167,27 @@ impl Histogram {
         self.max()
     }
 
+    /// Per-bucket sample counts, low magnitude first. Bucket `i` holds
+    /// samples in `[2^i, 2^(i+1))` (bucket 0 also holds zero), which is
+    /// exactly the shape a cumulative-bucket exporter (Prometheus text
+    /// exposition) needs: the upper bound of bucket `i` is `2^(i+1) - 1`.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the top bucket).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
     /// Resets all buckets (tests only).
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -329,6 +350,19 @@ impl Registry {
         Arc::clone(h.entry(name).or_default())
     }
 
+    /// Live handles to every registered histogram, sorted by name. Unlike
+    /// [`Registry::snapshot`] this exposes the histograms themselves, so an
+    /// exporter that needs raw buckets (Prometheus cumulative `le` series)
+    /// can read them without widening [`HistogramSnapshot`].
+    pub fn histogram_handles(&self) -> Vec<(&'static str, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (*name, Arc::clone(h)))
+            .collect()
+    }
+
     /// Freezes the registry's current state.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let scopes = self
@@ -453,6 +487,22 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn bucket_counts_expose_raw_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(counts[1], 2, "2 and 3 land in [2, 4)");
+        assert_eq!(counts[9], 1, "1000 lands in [512, 1024)");
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(Histogram::bucket_upper_bound(0), 1);
+        assert_eq!(Histogram::bucket_upper_bound(9), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
     }
 
     #[test]

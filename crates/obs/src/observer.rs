@@ -79,6 +79,90 @@ impl Observer for RecordingObserver {
     }
 }
 
+/// A set of event kinds, parsed from a comma-separated list of labels from
+/// [`ObsEvent::KINDS`]. The substrate of `pdpa replay --obs-filter`: a
+/// 250 ms-quantum IRIX run floods the stream with `cpu`/`state` churn, and
+/// keeping only the kinds under study makes such traces affordable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KindFilter {
+    mask: u32,
+}
+
+impl KindFilter {
+    /// Parses `"kind1,kind2,..."`. Unknown labels are an error listing the
+    /// full vocabulary; an empty spec is an error (an all-excluding filter
+    /// is never what the operator meant).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut mask = 0u32;
+        for label in spec.split(',').map(str::trim).filter(|l| !l.is_empty()) {
+            let idx = ObsEvent::KINDS
+                .iter()
+                .position(|k| *k == label)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown event kind '{label}' (expected one of: {})",
+                        ObsEvent::KINDS.join(", ")
+                    )
+                })?;
+            mask |= 1 << idx;
+        }
+        if mask == 0 {
+            return Err("event-kind filter selects nothing".to_string());
+        }
+        Ok(KindFilter { mask })
+    }
+
+    /// Whether the filter keeps this event.
+    pub fn allows(&self, event: &ObsEvent) -> bool {
+        self.mask & (1 << event.kind_index()) != 0
+    }
+
+    /// The kept kind labels, in [`ObsEvent::KINDS`] order.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        ObsEvent::KINDS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .collect()
+    }
+}
+
+/// Forwards only the kinds a [`KindFilter`] keeps to the wrapped observer.
+/// Wraps the *outside* of an observer chain, so everything downstream (the
+/// recorder, a live tap) sees the same reduced stream.
+pub struct FilterObserver<'a> {
+    inner: &'a mut dyn Observer,
+    filter: KindFilter,
+}
+
+impl std::fmt::Debug for FilterObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterObserver")
+            .field("filter", &self.filter)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> FilterObserver<'a> {
+    /// Wraps `inner`, keeping only kinds allowed by `filter`.
+    pub fn new(inner: &'a mut dyn Observer, filter: KindFilter) -> Self {
+        FilterObserver { inner, filter }
+    }
+}
+
+impl Observer for FilterObserver<'_> {
+    fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
+
+    fn on_event(&mut self, at: SimTime, event: &ObsEvent) {
+        if self.filter.allows(event) {
+            self.inner.on_event(at, event);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +172,46 @@ mod tests {
     #[test]
     fn null_observer_is_disabled() {
         assert!(!NullObserver.is_enabled());
+    }
+
+    #[test]
+    fn kind_filter_parses_and_rejects() {
+        let f = KindFilter::parse("decision, iter").expect("valid kinds");
+        assert_eq!(f.kinds(), vec!["iter", "decision"]);
+        assert!(f.allows(&ObsEvent::Decision {
+            trigger: crate::event::DecisionTrigger::Report,
+            job: JobId(0),
+            from_alloc: 4,
+            to_alloc: 2,
+            transition: None,
+        }));
+        assert!(!f.allows(&ObsEvent::JobSubmitted { job: JobId(0) }));
+
+        let err = KindFilter::parse("decision,bogus").expect_err("unknown kind");
+        assert!(err.contains("bogus"), "got: {err}");
+        assert!(err.contains("submit"), "error lists vocabulary: {err}");
+        assert!(KindFilter::parse("").is_err(), "empty spec selects nothing");
+    }
+
+    #[test]
+    fn filter_observer_drops_excluded_kinds() {
+        let mut rec = RecordingObserver::new();
+        {
+            let filter = KindFilter::parse("finish").expect("valid");
+            let mut filtered = FilterObserver::new(&mut rec, filter);
+            assert!(filtered.is_enabled());
+            filtered.on_event(
+                SimTime::from_secs(1.0),
+                &ObsEvent::JobSubmitted { job: JobId(0) },
+            );
+            filtered.on_event(
+                SimTime::from_secs(2.0),
+                &ObsEvent::JobFinished { job: JobId(0) },
+            );
+        }
+        let events = rec.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event.kind(), "finish");
     }
 
     #[test]

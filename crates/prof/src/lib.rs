@@ -18,6 +18,9 @@
 //!   high-water) and a zero-progress [`Watchdog`] that promotes the old
 //!   `PDPA_DEBUG_PROGRESS` env hack into a first-class detector which aborts
 //!   a stuck run with a structured diagnostic instead of hanging.
+//! - [`sink`] — typed delivery for those signals: [`HeartbeatSink`] (stderr,
+//!   test-capture, or the `pdpa-watch` live tap) and [`ProgressSink`], the
+//!   amortized snapshot feed behind `pdpa replay --serve`.
 //!
 //! The crate sits below `pdpa-engine` in the dependency graph and has no
 //! dependencies of its own: it knows nothing about jobs, policies, or
@@ -27,10 +30,12 @@
 
 pub mod health;
 pub mod report;
+pub mod sink;
 pub mod span;
 
 pub use health::{
     memory_high_water_kib, HealthSnapshot, Heartbeat, HeartbeatConfig, Watchdog, WatchdogConfig,
 };
 pub use report::{LaneProfile, Profile};
+pub use sink::{CaptureHeartbeat, HeartbeatSink, ProgressSink, StderrHeartbeat};
 pub use span::{Lane, Profiler, SpanKind, SpanRec, SpanStart};

@@ -237,6 +237,8 @@ tuple_strategies! {
     (A, B, C, D, E, F);
     (A, B, C, D, E, F, G);
     (A, B, C, D, E, F, G, H);
+    (A, B, C, D, E, F, G, H, I);
+    (A, B, C, D, E, F, G, H, I, J);
 }
 
 /// A simplified string-pattern strategy: `"[<class>]{m,n}"` draws a string

@@ -1,0 +1,48 @@
+//! Live run observability: watch a PDPA replay while it runs.
+//!
+//! Every observability layer before this one (the decision-event bus, the
+//! metrics registry, the profiler) is post-hoc: record, finish, analyze.
+//! This crate adds the *live* half — the substrate `pdpa replay --serve`
+//! and `pdpa watch` are built on, and the seed of the `pdpad` daemon's
+//! query surface (ROADMAP item 1):
+//!
+//! - [`tap`] — the [`LiveTap`], a lock-light shared-state mirror the
+//!   engine feeds without perturbing determinism or the ≤2% overhead
+//!   bound: atomic progress counters (via `pdpa_prof::ProgressSink`), the
+//!   latest heartbeat/watchdog state (via `pdpa_prof::HeartbeatSink`), and
+//!   a bounded ring of recent observer events with honest drop accounting
+//!   (via [`TapObserver`], which tees the stream unchanged to the real
+//!   recorder).
+//! - [`proto`] — the typed, correlation-ID'd, line-delimited JSON
+//!   request/response protocol: `status`, `progress`, `health`, `metrics`,
+//!   `tail N`. Both directions round-trip through the parsers in this
+//!   crate (pinned by proptest), so the client and the future daemon share
+//!   one schema.
+//! - [`server`] — a thread-per-connection TCP [`StatusServer`] over
+//!   std::net answering protocol queries from the tap and the global
+//!   metrics registry.
+//! - [`prom`] — [`prometheus_text`], the Prometheus text-exposition
+//!   renderer for the `pdpa-obs` registry (counters and log₂ histograms
+//!   as cumulative buckets).
+//! - [`json`] — the minimal JSON reader the protocol parsers use (the
+//!   workspace is offline; there is no serde).
+//!
+//! The crate sits between `pdpa-prof`/`pdpa-obs` and `pdpa-engine`: the
+//! engine only knows the sink traits from `pdpa-prof`, the CLI wires a
+//! concrete [`LiveTap`] into them.
+
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod prom;
+pub mod proto;
+pub mod server;
+pub mod tap;
+
+pub use prom::prometheus_text;
+pub use proto::{
+    HealthBody, ProgressBody, Request, RequestKind, Response, ResponseBody, RunState, StatusBody,
+    TailBody,
+};
+pub use server::StatusServer;
+pub use tap::{LiveTap, RunMeta, TapObserver, DEFAULT_RING_CAPACITY};

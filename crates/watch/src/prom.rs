@@ -1,0 +1,170 @@
+//! Prometheus text exposition for the `pdpa-obs` metrics registry.
+//!
+//! Renders the registry's engine counters (global and per-scope) and its
+//! log₂ histograms in the [text exposition format] a Prometheus scraper
+//! (or a human with `curl`) expects. Counters become `pdpa_engine_*_total`
+//! series, scoped variants carrying a `scope` label; each histogram's
+//! power-of-two buckets become the cumulative `_bucket{le="..."}` series
+//! with `le` at the bucket's inclusive upper bound `2^(i+1) - 1`, plus the
+//! standard `_sum`/`_count` pair.
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use pdpa_obs::metrics::CounterSnapshot;
+use pdpa_obs::{Histogram, Registry};
+
+/// Escapes a Prometheus label value (`\`, `"`, newline).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitizes a histogram name into a metric-name token.
+fn metric_token(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn counter_value(snap: &CounterSnapshot, field: &str) -> u64 {
+    match field {
+        "runs" => snap.runs,
+        "events_pushed" => snap.events_pushed,
+        "events_popped" => snap.events_popped,
+        "events_stale_dropped" => snap.events_stale_dropped,
+        "decisions" => snap.decisions,
+        "memo_hits" => snap.memo_hits,
+        "memo_misses" => snap.memo_misses,
+        _ => unreachable!("fields are enumerated below"),
+    }
+}
+
+/// Renders `registry` as one Prometheus text document.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let snap = registry.snapshot();
+    let mut out = String::new();
+
+    for field in [
+        "runs",
+        "events_pushed",
+        "events_popped",
+        "events_stale_dropped",
+        "decisions",
+        "memo_hits",
+        "memo_misses",
+    ] {
+        let name = format!("pdpa_engine_{field}_total");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", counter_value(&snap.engine, field));
+        for (scope, counters) in &snap.scopes {
+            let _ = writeln!(
+                out,
+                "{name}{{scope=\"{}\"}} {}",
+                escape_label(scope),
+                counter_value(counters, field)
+            );
+        }
+    }
+
+    // Raw handles, not HistogramSnapshot: cumulative buckets need the
+    // per-bucket counts the summary snapshot intentionally omits.
+    for (name, hist) in registry.histogram_handles() {
+        let name = format!("pdpa_{}", metric_token(name));
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let counts = hist.bucket_counts();
+        let last_nonzero = counts.iter().rposition(|&c| c > 0);
+        let mut cumulative = 0u64;
+        if let Some(last) = last_nonzero {
+            for (i, &c) in counts.iter().enumerate().take(last + 1) {
+                cumulative += c;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    Histogram::bucket_upper_bound(i)
+                );
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(out, "{name}_count {}", hist.count());
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_cumulative_buckets() {
+        // A private registry so the test does not race the global one.
+        let registry = Registry::default();
+        registry.record_run(&pdpa_obs::RunCounters {
+            events_pushed: 10,
+            events_popped: 8,
+            events_stale_dropped: 2,
+            decisions: 3,
+            memo_hits: 5,
+            memo_misses: 1,
+        });
+        let hist = registry.histogram("decision_ns");
+        for v in [1u64, 2, 3, 1000] {
+            hist.record(v);
+        }
+
+        let text = prometheus_text(&registry);
+        assert!(text.contains("# TYPE pdpa_engine_runs_total counter"));
+        assert!(text.contains("\npdpa_engine_events_popped_total 8\n"));
+        assert!(text.contains("# TYPE pdpa_decision_ns histogram"));
+        // Bucket 0 holds {0,1} → le="1" is 1 sample; 2 and 3 land in
+        // [2,4) → le="3" cumulative 3; 1000 in [512,1024) → le="1023" 4.
+        assert!(text.contains("pdpa_decision_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("pdpa_decision_ns_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("pdpa_decision_ns_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("pdpa_decision_ns_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("pdpa_decision_ns_sum 1006\n"));
+        assert!(text.contains("pdpa_decision_ns_count 4\n"));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let registry = Registry::default();
+        let hist = registry.histogram("x_ns");
+        for v in 0..200u64 {
+            hist.record(v * 37);
+        }
+        let text = prometheus_text(&registry);
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("pdpa_x_ns_bucket")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= prev, "not cumulative: {line}");
+            prev = value;
+        }
+        assert_eq!(prev, 200, "+Inf bucket equals total count");
+    }
+
+    #[test]
+    fn scoped_counters_carry_labels() {
+        let registry = Registry::default();
+        {
+            let _g = pdpa_obs::scope::enter("live-test");
+            registry.record_run(&pdpa_obs::RunCounters::default());
+        }
+        let text = prometheus_text(&registry);
+        assert!(
+            text.contains("pdpa_engine_runs_total{scope=\"live-test\"} 1"),
+            "got:\n{text}"
+        );
+    }
+}

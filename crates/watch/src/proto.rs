@@ -1,0 +1,660 @@
+//! The status protocol: typed, correlation-ID'd, line-delimited JSON.
+//!
+//! One request per line, one response per line, over any ordered byte
+//! stream (TCP here; the future `pdpad` daemon speaks the same frames).
+//! Every request carries a client-chosen `id`; the response echoes it, so
+//! a client may pipeline requests and correlate out-of-order handling —
+//! though the bundled server answers strictly in order.
+//!
+//! ```text
+//! → {"id":1,"type":"status"}
+//! ← {"id":1,"type":"status","state":"running","policy":"PDPA",...}
+//! → {"id":2,"type":"tail","n":5}
+//! ← {"id":2,"type":"tail","events":["0.50 submit job=3", ...],"dropped":0}
+//! ```
+//!
+//! Five request types: `status`, `progress`, `health`, `metrics`, `tail`.
+//! Malformed requests get a `type":"error"` response with `id` 0 (the id
+//! could not be read). Both sides of every message round-trip through
+//! [`Request::parse_line`] / [`Response::parse_line`], which is pinned by
+//! proptest across all message types.
+
+use std::fmt::Write as _;
+
+use crate::json::{fmt_f64, push_str_escaped, Json};
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// What is being asked.
+    pub kind: RequestKind,
+}
+
+/// The request vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Run identity, job totals, terminal state.
+    Status,
+    /// Counters for rendering a progress line: clock, events/sec, ETA.
+    Progress,
+    /// Latest heartbeat/watchdog state and per-shard balance.
+    Health,
+    /// The metrics registry in Prometheus text exposition format.
+    Metrics,
+    /// The most recent `n` observer events still in the ring.
+    Tail {
+        /// Maximum number of events to return.
+        n: usize,
+    },
+}
+
+impl RequestKind {
+    fn label(&self) -> &'static str {
+        match self {
+            RequestKind::Status => "status",
+            RequestKind::Progress => "progress",
+            RequestKind::Health => "health",
+            RequestKind::Metrics => "metrics",
+            RequestKind::Tail { .. } => "tail",
+        }
+    }
+}
+
+impl Request {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = format!("{{\"id\":{},\"type\":\"{}\"", self.id, self.kind.label());
+        if let RequestKind::Tail { n } = self.kind {
+            let _ = write!(out, ",\"n\":{n}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one protocol line.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line)?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("request missing numeric 'id'")?;
+        let kind = match doc.get("type").and_then(Json::as_str) {
+            Some("status") => RequestKind::Status,
+            Some("progress") => RequestKind::Progress,
+            Some("health") => RequestKind::Health,
+            Some("metrics") => RequestKind::Metrics,
+            Some("tail") => {
+                let n = doc
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("tail request missing numeric 'n'")?;
+                RequestKind::Tail {
+                    n: usize::try_from(n).map_err(|_| "'n' does not fit in usize")?,
+                }
+            }
+            Some(other) => return Err(format!("unknown request type '{other}'")),
+            None => return Err("request missing 'type'".to_string()),
+        };
+        Ok(Request { id, kind })
+    }
+}
+
+/// Terminal state of the watched run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunState {
+    /// The engine loop is still driving events.
+    Running,
+    /// The run completed and its result was computed.
+    Done,
+    /// The zero-progress watchdog aborted the run.
+    Aborted,
+}
+
+impl RunState {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunState::Running => "running",
+            RunState::Done => "done",
+            RunState::Aborted => "aborted",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(label: &str) -> Result<Self, String> {
+        match label {
+            "running" => Ok(RunState::Running),
+            "done" => Ok(RunState::Done),
+            "aborted" => Ok(RunState::Aborted),
+            other => Err(format!("unknown run state '{other}'")),
+        }
+    }
+}
+
+/// `status` payload: run identity and terminal state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatusBody {
+    /// Where the run is in its lifecycle.
+    pub state: RunState,
+    /// The policy's display name.
+    pub policy: String,
+    /// The trace (or workload) being replayed.
+    pub trace: String,
+    /// Shard count (1 = classic engine).
+    pub shards: u64,
+    /// Jobs in the workload.
+    pub jobs_total: u64,
+    /// Jobs submitted so far.
+    pub jobs_submitted: u64,
+    /// Jobs finished so far.
+    pub jobs_finished: u64,
+    /// Jobs terminally failed so far (fault injection).
+    pub jobs_failed: u64,
+    /// Observer events published through the tap so far.
+    pub events_published: u64,
+    /// Wall-clock seconds since the tap was created.
+    pub elapsed_secs: f64,
+    /// The watchdog diagnostic, when the run aborted.
+    pub watchdog: Option<String>,
+}
+
+/// `progress` payload: the live counters a progress bar needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgressBody {
+    /// Simulated clock, seconds.
+    pub sim_clock_secs: f64,
+    /// Cumulative simulation events popped.
+    pub events_popped: u64,
+    /// Average events per wall-clock second since run start.
+    pub events_per_sec: f64,
+    /// Current event-queue backlog.
+    pub queue_len: u64,
+    /// Jobs currently running.
+    pub running: u64,
+    /// Jobs waiting in the scheduler queue.
+    pub waiting: u64,
+    /// Jobs finished so far.
+    pub jobs_finished: u64,
+    /// Jobs in the workload.
+    pub jobs_total: u64,
+    /// Naive completion estimate (wall-clock seconds), once any job has
+    /// finished.
+    pub eta_secs: Option<f64>,
+    /// Wall-clock seconds since the tap was created.
+    pub elapsed_secs: f64,
+}
+
+/// `health` payload: the heartbeat/watchdog view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthBody {
+    /// The latest formatted heartbeat line, when heartbeats are enabled.
+    pub heartbeat: Option<String>,
+    /// The watchdog diagnostic, when the run aborted.
+    pub watchdog: Option<String>,
+    /// Per-shard cumulative popped-event counts (empty on classic runs).
+    pub shard_events: Vec<u64>,
+    /// Max relative deviation from the mean shard load, when sharded.
+    pub imbalance: Option<f64>,
+    /// Peak resident set size in KiB, when /proc is readable.
+    pub memory_hwm_kib: Option<u64>,
+}
+
+/// `tail` payload: recent observer events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailBody {
+    /// Most recent ring events, oldest first, in `TimedEvent::to_line`
+    /// form.
+    pub events: Vec<String>,
+    /// Events that passed through the tap but are no longer in the ring
+    /// (evicted by capacity or skipped under lock contention) — honest
+    /// drop accounting, so `tail` never pretends to be a full stream.
+    pub dropped: u64,
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Correlation id echoed from the request (0 when the request's id
+    /// could not be read).
+    pub id: u64,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+/// The response vocabulary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to `status`.
+    Status(StatusBody),
+    /// Answer to `progress`.
+    Progress(ProgressBody),
+    /// Answer to `health`.
+    Health(HealthBody),
+    /// Answer to `metrics`: the registry rendered in the named text
+    /// format (`prometheus`).
+    Metrics {
+        /// Exposition format label.
+        format: String,
+        /// The rendered document.
+        body: String,
+    },
+    /// Answer to `tail`.
+    Tail(TailBody),
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn push_opt_str(out: &mut String, key: &str, v: &Option<String>) {
+    let _ = write!(out, ",\"{key}\":");
+    match v {
+        Some(s) => push_str_escaped(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+impl Response {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = format!("{{\"id\":{}", self.id);
+        match &self.body {
+            ResponseBody::Status(s) => {
+                let _ = write!(
+                    out,
+                    ",\"type\":\"status\",\"state\":\"{}\"",
+                    s.state.label()
+                );
+                out.push_str(",\"policy\":");
+                push_str_escaped(&mut out, &s.policy);
+                out.push_str(",\"trace\":");
+                push_str_escaped(&mut out, &s.trace);
+                let _ = write!(
+                    out,
+                    ",\"shards\":{},\"jobs\":{{\"total\":{},\"submitted\":{},\
+                     \"finished\":{},\"failed\":{}}},\"events_published\":{},\
+                     \"elapsed_secs\":{}",
+                    s.shards,
+                    s.jobs_total,
+                    s.jobs_submitted,
+                    s.jobs_finished,
+                    s.jobs_failed,
+                    s.events_published,
+                    fmt_f64(s.elapsed_secs),
+                );
+                push_opt_str(&mut out, "watchdog", &s.watchdog);
+            }
+            ResponseBody::Progress(p) => {
+                let _ = write!(
+                    out,
+                    ",\"type\":\"progress\",\"sim_clock_secs\":{},\"events_popped\":{},\
+                     \"events_per_sec\":{},\"queue_len\":{},\"running\":{},\"waiting\":{},\
+                     \"jobs_finished\":{},\"jobs_total\":{},\"eta_secs\":{},\"elapsed_secs\":{}",
+                    fmt_f64(p.sim_clock_secs),
+                    p.events_popped,
+                    fmt_f64(p.events_per_sec),
+                    p.queue_len,
+                    p.running,
+                    p.waiting,
+                    p.jobs_finished,
+                    p.jobs_total,
+                    p.eta_secs.map_or("null".to_string(), fmt_f64),
+                    fmt_f64(p.elapsed_secs),
+                );
+            }
+            ResponseBody::Health(h) => {
+                out.push_str(",\"type\":\"health\"");
+                push_opt_str(&mut out, "heartbeat", &h.heartbeat);
+                push_opt_str(&mut out, "watchdog", &h.watchdog);
+                out.push_str(",\"shard_events\":[");
+                for (i, n) in h.shard_events.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{n}");
+                }
+                let _ = write!(
+                    out,
+                    "],\"imbalance\":{},\"memory_hwm_kib\":{}",
+                    h.imbalance.map_or("null".to_string(), fmt_f64),
+                    h.memory_hwm_kib
+                        .map_or("null".to_string(), |k| k.to_string()),
+                );
+            }
+            ResponseBody::Metrics { format, body } => {
+                out.push_str(",\"type\":\"metrics\",\"format\":");
+                push_str_escaped(&mut out, format);
+                out.push_str(",\"body\":");
+                push_str_escaped(&mut out, body);
+            }
+            ResponseBody::Tail(t) => {
+                out.push_str(",\"type\":\"tail\",\"events\":[");
+                for (i, ev) in t.events.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_str_escaped(&mut out, ev);
+                }
+                let _ = write!(out, "],\"dropped\":{}", t.dropped);
+            }
+            ResponseBody::Error { message } => {
+                out.push_str(",\"type\":\"error\",\"message\":");
+                push_str_escaped(&mut out, message);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one protocol line.
+    pub fn parse_line(line: &str) -> Result<Response, String> {
+        let doc = Json::parse(line)?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("response missing numeric 'id'")?;
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("response missing numeric '{key}'"))
+        };
+        let get_f64 = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("response missing numeric '{key}'"))
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("response missing string '{key}'"))
+        };
+        let get_opt_str = |key: &str| -> Option<String> {
+            doc.get(key).and_then(Json::as_str).map(str::to_string)
+        };
+        let body = match doc.get("type").and_then(Json::as_str) {
+            Some("status") => {
+                let jobs = doc.get("jobs").ok_or("status missing 'jobs'")?;
+                let job = |key: &str| -> Result<u64, String> {
+                    jobs.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("status missing jobs.{key}"))
+                };
+                ResponseBody::Status(StatusBody {
+                    state: RunState::parse(&get_str("state")?)?,
+                    policy: get_str("policy")?,
+                    trace: get_str("trace")?,
+                    shards: get_u64("shards")?,
+                    jobs_total: job("total")?,
+                    jobs_submitted: job("submitted")?,
+                    jobs_finished: job("finished")?,
+                    jobs_failed: job("failed")?,
+                    events_published: get_u64("events_published")?,
+                    elapsed_secs: get_f64("elapsed_secs")?,
+                    watchdog: get_opt_str("watchdog"),
+                })
+            }
+            Some("progress") => ResponseBody::Progress(ProgressBody {
+                sim_clock_secs: get_f64("sim_clock_secs")?,
+                events_popped: get_u64("events_popped")?,
+                events_per_sec: get_f64("events_per_sec")?,
+                queue_len: get_u64("queue_len")?,
+                running: get_u64("running")?,
+                waiting: get_u64("waiting")?,
+                jobs_finished: get_u64("jobs_finished")?,
+                jobs_total: get_u64("jobs_total")?,
+                eta_secs: doc.get("eta_secs").and_then(Json::as_f64),
+                elapsed_secs: get_f64("elapsed_secs")?,
+            }),
+            Some("health") => {
+                let shard_events = doc
+                    .get("shard_events")
+                    .and_then(Json::as_arr)
+                    .ok_or("health missing 'shard_events'")?
+                    .iter()
+                    .map(|v| v.as_u64().ok_or("shard_events entry not a count"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                ResponseBody::Health(HealthBody {
+                    heartbeat: get_opt_str("heartbeat"),
+                    watchdog: get_opt_str("watchdog"),
+                    shard_events,
+                    imbalance: doc.get("imbalance").and_then(Json::as_f64),
+                    memory_hwm_kib: doc.get("memory_hwm_kib").and_then(Json::as_u64),
+                })
+            }
+            Some("metrics") => ResponseBody::Metrics {
+                format: get_str("format")?,
+                body: get_str("body")?,
+            },
+            Some("tail") => {
+                let events = doc
+                    .get("events")
+                    .and_then(Json::as_arr)
+                    .ok_or("tail missing 'events'")?
+                    .iter()
+                    .map(|v| v.as_str().map(str::to_string).ok_or("event not a string"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                ResponseBody::Tail(TailBody {
+                    events,
+                    dropped: get_u64("dropped")?,
+                })
+            }
+            Some("error") => ResponseBody::Error {
+                message: get_str("message")?,
+            },
+            Some(other) => return Err(format!("unknown response type '{other}'")),
+            None => return Err("response missing 'type'".to_string()),
+        };
+        Ok(Response { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        for req in [
+            Request {
+                id: 0,
+                kind: RequestKind::Status,
+            },
+            Request {
+                id: 7,
+                kind: RequestKind::Progress,
+            },
+            Request {
+                id: 9,
+                kind: RequestKind::Health,
+            },
+            Request {
+                id: 11,
+                kind: RequestKind::Metrics,
+            },
+            Request {
+                id: u64::MAX >> 12,
+                kind: RequestKind::Tail { n: 25 },
+            },
+        ] {
+            let line = req.to_line();
+            assert_eq!(Request::parse_line(&line).expect("parses"), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_diagnostics() {
+        for bad in [
+            "",
+            "{}",
+            "{\"id\":1}",
+            "{\"id\":1,\"type\":\"nope\"}",
+            "{\"id\":1,\"type\":\"tail\"}",
+            "{\"type\":\"status\"}",
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response {
+                id: 1,
+                body: ResponseBody::Status(StatusBody {
+                    state: RunState::Running,
+                    policy: "PDPA".into(),
+                    trace: "big.swf".into(),
+                    shards: 4,
+                    jobs_total: 10430,
+                    jobs_submitted: 900,
+                    jobs_finished: 890,
+                    jobs_failed: 1,
+                    events_published: 123456,
+                    elapsed_secs: 2.75,
+                    watchdog: None,
+                }),
+            },
+            Response {
+                id: 2,
+                body: ResponseBody::Progress(ProgressBody {
+                    sim_clock_secs: 1234.5,
+                    events_popped: 999_999,
+                    events_per_sec: 350_000.25,
+                    queue_len: 42,
+                    running: 7,
+                    waiting: 3,
+                    jobs_finished: 890,
+                    jobs_total: 10430,
+                    eta_secs: Some(27.5),
+                    elapsed_secs: 2.75,
+                }),
+            },
+            Response {
+                id: 3,
+                body: ResponseBody::Health(HealthBody {
+                    heartbeat: Some("heartbeat t+5s: clock=9.1s".into()),
+                    watchdog: Some("watchdog: no sim-clock progress".into()),
+                    shard_events: vec![100, 120, 90],
+                    imbalance: Some(0.161),
+                    memory_hwm_kib: Some(65536),
+                }),
+            },
+            Response {
+                id: 4,
+                body: ResponseBody::Metrics {
+                    format: "prometheus".into(),
+                    body: "# TYPE pdpa_engine_runs_total counter\npdpa_engine_runs_total 3\n"
+                        .into(),
+                },
+            },
+            Response {
+                id: 5,
+                body: ResponseBody::Tail(TailBody {
+                    events: vec![
+                        "0.50 submit job=3".into(),
+                        "1.00 decision trigger=report \"quote\"".into(),
+                    ],
+                    dropped: 17,
+                }),
+            },
+            Response {
+                id: 0,
+                body: ResponseBody::Error {
+                    message: "unknown request type 'bogus'".into(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        for resp in sample_responses() {
+            let line = resp.to_line();
+            assert_eq!(
+                Response::parse_line(&line).expect("parses"),
+                resp,
+                "line: {line}"
+            );
+        }
+    }
+
+    // Strategy helpers: printable strings (escaping is exercised by the
+    // full printable-ASCII class plus the explicit cases above).
+    proptest! {
+        #[test]
+        fn protocol_round_trips_all_message_types(
+            id in 0u64..1 << 53,
+            pick in 0usize..8,
+            n in 0usize..10_000,
+            s1 in "[ -~]{0,40}",
+            s2 in "[ -~]{0,40}",
+            counts in proptest::collection::vec(0u64..1 << 53, 0..6),
+            f1 in 0.0f64..1e9,
+            f2 in 0.0f64..1e9,
+            some in proptest::bool::ANY,
+        ) {
+            // Requests: every kind.
+            let req = Request {
+                id,
+                kind: match pick % 5 {
+                    0 => RequestKind::Status,
+                    1 => RequestKind::Progress,
+                    2 => RequestKind::Health,
+                    3 => RequestKind::Metrics,
+                    _ => RequestKind::Tail { n },
+                },
+            };
+            prop_assert_eq!(Request::parse_line(&req.to_line()).unwrap(), req);
+
+            // Responses: every body shape, strings drawn from the full
+            // printable class so quoting/escaping is exercised.
+            let body = match pick % 6 {
+                0 => ResponseBody::Status(StatusBody {
+                    state: [RunState::Running, RunState::Done, RunState::Aborted][pick % 3],
+                    policy: s1.clone(),
+                    trace: s2.clone(),
+                    shards: counts.len() as u64,
+                    jobs_total: n as u64,
+                    jobs_submitted: id % 1000,
+                    jobs_finished: id % 999,
+                    jobs_failed: id % 7,
+                    events_published: id,
+                    elapsed_secs: f1,
+                    watchdog: some.then(|| s2.clone()),
+                }),
+                1 => ResponseBody::Progress(ProgressBody {
+                    sim_clock_secs: f1,
+                    events_popped: id,
+                    events_per_sec: f2,
+                    queue_len: n as u64,
+                    running: id % 61,
+                    waiting: id % 13,
+                    jobs_finished: id % 999,
+                    jobs_total: n as u64,
+                    eta_secs: some.then_some(f2),
+                    elapsed_secs: f1,
+                }),
+                2 => ResponseBody::Health(HealthBody {
+                    heartbeat: some.then(|| s1.clone()),
+                    watchdog: (!some).then(|| s2.clone()),
+                    shard_events: counts.clone(),
+                    imbalance: some.then_some(f1),
+                    memory_hwm_kib: some.then_some(id),
+                }),
+                3 => ResponseBody::Metrics { format: "prometheus".into(), body: s1.clone() },
+                4 => ResponseBody::Tail(TailBody {
+                    events: vec![s1.clone(), s2.clone()],
+                    dropped: id,
+                }),
+                _ => ResponseBody::Error { message: s1.clone() },
+            };
+            let resp = Response { id, body };
+            let line = resp.to_line();
+            prop_assert_eq!(Response::parse_line(&line).unwrap(), resp);
+        }
+    }
+}

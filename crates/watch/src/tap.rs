@@ -1,0 +1,420 @@
+//! The [`LiveTap`]: a lock-light shared-state mirror of a running engine.
+//!
+//! The tap is the bridge between the deterministic, single-owner world of
+//! the engine and the concurrent world of status-server threads. It never
+//! feeds anything *back* into the run — readers see a mirror, the engine
+//! sees a sink — so attaching it cannot perturb determinism; the
+//! bit-identical decision-stream test in `tests/live_watch.rs` pins that.
+//!
+//! Three feeds, all cheap on the engine side:
+//!
+//! - **progress**: the engine pushes a [`HealthSnapshot`] on its amortized
+//!   instrumentation cadence (every 64k events on the classic loop, every
+//!   few hundred barrier rounds sharded) through the
+//!   [`ProgressSink`] impl; the tap stores the fields in atomics.
+//! - **heartbeat/watchdog**: the [`HeartbeatSink`] impl keeps the latest
+//!   formatted line; a tripped watchdog marks the run aborted.
+//! - **events**: a [`TapObserver`] tees the observer stream into a bounded
+//!   ring with honest drop accounting — under lock contention the tap
+//!   *drops* (and counts) rather than ever blocking the engine.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pdpa_obs::{ObsEvent, Observer, TimedEvent};
+use pdpa_prof::{memory_high_water_kib, HealthSnapshot, HeartbeatSink, ProgressSink};
+use pdpa_sim::SimTime;
+
+use crate::proto::{HealthBody, ProgressBody, RunState, StatusBody, TailBody};
+
+/// Immutable identity of the watched run, set once at tap creation.
+#[derive(Clone, Debug, Default)]
+pub struct RunMeta {
+    /// The policy's display name.
+    pub policy: String,
+    /// The trace (or workload) being replayed.
+    pub trace: String,
+    /// Shard count (1 = classic engine).
+    pub shards: u64,
+    /// Jobs in the workload.
+    pub jobs_total: u64,
+}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DONE: u8 = 1;
+const STATE_ABORTED: u8 = 2;
+
+/// Default bound on the recent-event ring.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// The shared-state mirror served by [`StatusServer`](crate::StatusServer).
+#[derive(Debug)]
+pub struct LiveTap {
+    meta: RunMeta,
+    started: Instant,
+    state: AtomicU8,
+
+    // Progress mirror, written by ProgressSink::progress.
+    sim_clock_bits: AtomicU64,
+    events_popped: AtomicU64,
+    queue_len: AtomicU64,
+    running: AtomicU64,
+    waiting: AtomicU64,
+    shard_events: Mutex<Vec<u64>>,
+
+    // Health mirror.
+    heartbeat_line: Mutex<Option<String>>,
+    watchdog: Mutex<Option<String>>,
+
+    // Event feed, written by TapObserver.
+    events_published: AtomicU64,
+    jobs_submitted: AtomicU64,
+    jobs_finished: AtomicU64,
+    jobs_failed: AtomicU64,
+    ring: Mutex<VecDeque<TimedEvent>>,
+    ring_cap: usize,
+    ring_dropped: AtomicU64,
+}
+
+impl LiveTap {
+    /// A tap for the given run, with the default ring capacity.
+    pub fn new(meta: RunMeta) -> Arc<Self> {
+        Self::with_ring_capacity(meta, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tap keeping at most `capacity` recent events.
+    pub fn with_ring_capacity(meta: RunMeta, capacity: usize) -> Arc<Self> {
+        Arc::new(LiveTap {
+            meta,
+            started: Instant::now(),
+            state: AtomicU8::new(STATE_RUNNING),
+            sim_clock_bits: AtomicU64::new(0),
+            events_popped: AtomicU64::new(0),
+            queue_len: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            waiting: AtomicU64::new(0),
+            shard_events: Mutex::new(Vec::new()),
+            heartbeat_line: Mutex::new(None),
+            watchdog: Mutex::new(None),
+            events_published: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_finished: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            ring_cap: capacity.max(1),
+            ring_dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Feeds one observer event into the mirror. Non-blocking: if a server
+    /// thread holds the ring, the event is counted as dropped instead of
+    /// making the engine wait.
+    pub fn observe(&self, at: SimTime, event: &ObsEvent) {
+        // fetch_add returns the prior count — a 0-based publication seq.
+        let seq = self.events_published.fetch_add(1, Ordering::Relaxed);
+        match event {
+            ObsEvent::JobSubmitted { .. } => {
+                self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::JobFinished { .. } => {
+                self.jobs_finished.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::JobFailed { .. } => {
+                self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        match self.ring.try_lock() {
+            Ok(mut ring) => {
+                if ring.len() == self.ring_cap {
+                    ring.pop_front();
+                    self.ring_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                ring.push_back(TimedEvent {
+                    at,
+                    seq,
+                    event: event.clone(),
+                });
+            }
+            Err(_) => {
+                self.ring_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Marks the run finished (all outputs computed).
+    pub fn mark_done(&self) {
+        // Never downgrade an abort: watchdog_fired may have run first.
+        let _ = self.state.compare_exchange(
+            STATE_RUNNING,
+            STATE_DONE,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Marks the run aborted with the watchdog's diagnostic.
+    pub fn mark_aborted(&self, diagnostic: &str) {
+        *self.watchdog.lock().unwrap() = Some(diagnostic.to_string());
+        self.state.store(STATE_ABORTED, Ordering::Relaxed);
+    }
+
+    /// Where the run is in its lifecycle.
+    pub fn state(&self) -> RunState {
+        match self.state.load(Ordering::Relaxed) {
+            STATE_DONE => RunState::Done,
+            STATE_ABORTED => RunState::Aborted,
+            _ => RunState::Running,
+        }
+    }
+
+    /// Wall-clock seconds since the tap was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The `status` view.
+    pub fn status_body(&self) -> StatusBody {
+        StatusBody {
+            state: self.state(),
+            policy: self.meta.policy.clone(),
+            trace: self.meta.trace.clone(),
+            shards: self.meta.shards,
+            jobs_total: self.meta.jobs_total,
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_finished: self.jobs_finished.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            events_published: self.events_published.load(Ordering::Relaxed),
+            elapsed_secs: self.elapsed_secs(),
+            watchdog: self.watchdog.lock().unwrap().clone(),
+        }
+    }
+
+    /// The `progress` view.
+    pub fn progress_body(&self) -> ProgressBody {
+        let elapsed = self.elapsed_secs();
+        let events_popped = self.events_popped.load(Ordering::Relaxed);
+        let finished = self.jobs_finished.load(Ordering::Relaxed);
+        let total = self.meta.jobs_total;
+        // Naive proportional ETA over finished jobs; honest enough for a
+        // progress line, absent only before the first completion.
+        let eta_secs = (finished > 0 && total > finished)
+            .then(|| elapsed * (total - finished) as f64 / finished as f64);
+        ProgressBody {
+            sim_clock_secs: f64::from_bits(self.sim_clock_bits.load(Ordering::Relaxed)),
+            events_popped,
+            events_per_sec: if elapsed > 0.0 {
+                events_popped as f64 / elapsed
+            } else {
+                0.0
+            },
+            queue_len: self.queue_len.load(Ordering::Relaxed),
+            running: self.running.load(Ordering::Relaxed),
+            waiting: self.waiting.load(Ordering::Relaxed),
+            jobs_finished: finished,
+            jobs_total: total,
+            eta_secs,
+            elapsed_secs: elapsed,
+        }
+    }
+
+    /// The `health` view.
+    pub fn health_body(&self) -> HealthBody {
+        let shard_events = self.shard_events.lock().unwrap().clone();
+        HealthBody {
+            heartbeat: self.heartbeat_line.lock().unwrap().clone(),
+            watchdog: self.watchdog.lock().unwrap().clone(),
+            imbalance: pdpa_prof::report::imbalance(&shard_events),
+            shard_events,
+            memory_hwm_kib: memory_high_water_kib(),
+        }
+    }
+
+    /// The `tail n` view: up to `n` most recent ring events, oldest first.
+    pub fn tail_body(&self, n: usize) -> TailBody {
+        let ring = self.ring.lock().unwrap();
+        let skip = ring.len().saturating_sub(n);
+        TailBody {
+            events: ring.iter().skip(skip).map(TimedEvent::to_line).collect(),
+            dropped: self.ring_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ProgressSink for LiveTap {
+    fn progress(&self, snapshot: &HealthSnapshot) {
+        self.sim_clock_bits
+            .store(snapshot.sim_clock_secs.to_bits(), Ordering::Relaxed);
+        self.events_popped
+            .store(snapshot.events_popped, Ordering::Relaxed);
+        self.queue_len
+            .store(snapshot.queue_len as u64, Ordering::Relaxed);
+        self.running
+            .store(snapshot.running as u64, Ordering::Relaxed);
+        self.waiting
+            .store(snapshot.waiting as u64, Ordering::Relaxed);
+        if !snapshot.shard_events.is_empty() {
+            if let Ok(mut shard_events) = self.shard_events.try_lock() {
+                shard_events.clear();
+                shard_events.extend_from_slice(&snapshot.shard_events);
+            }
+        }
+    }
+
+    fn watchdog_fired(&self, diagnostic: &str) {
+        self.mark_aborted(diagnostic);
+    }
+}
+
+impl HeartbeatSink for LiveTap {
+    fn emit(&self, line: &str, snapshot: &HealthSnapshot) {
+        *self.heartbeat_line.lock().unwrap() = Some(line.to_string());
+        self.progress(snapshot);
+    }
+}
+
+/// Tees an observer stream into a [`LiveTap`] while forwarding every event,
+/// unchanged and in order, to the wrapped observer — which is why a
+/// `--serve` run records the byte-identical stream of a plain run.
+pub struct TapObserver<'a> {
+    inner: &'a mut dyn Observer,
+    tap: Arc<LiveTap>,
+}
+
+impl std::fmt::Debug for TapObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TapObserver")
+            .field("tap", &self.tap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> TapObserver<'a> {
+    /// Wraps `inner`, mirroring into `tap`.
+    pub fn new(inner: &'a mut dyn Observer, tap: Arc<LiveTap>) -> Self {
+        TapObserver { inner, tap }
+    }
+}
+
+impl Observer for TapObserver<'_> {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, at: SimTime, event: &ObsEvent) {
+        self.tap.observe(at, event);
+        self.inner.on_event(at, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdpa_obs::RecordingObserver;
+    use pdpa_sim::JobId;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            policy: "PDPA".into(),
+            trace: "w2".into(),
+            shards: 1,
+            jobs_total: 4,
+        }
+    }
+
+    #[test]
+    fn tap_counts_jobs_and_mirrors_progress() {
+        let tap = LiveTap::new(meta());
+        tap.observe(
+            SimTime::from_secs(1.0),
+            &ObsEvent::JobSubmitted { job: JobId(0) },
+        );
+        tap.observe(
+            SimTime::from_secs(2.0),
+            &ObsEvent::JobFinished { job: JobId(0) },
+        );
+        tap.progress(&HealthSnapshot {
+            sim_clock_secs: 2.5,
+            events_popped: 42,
+            queue_len: 3,
+            running: 1,
+            waiting: 2,
+            shard_events: vec![20, 22],
+        });
+
+        let status = tap.status_body();
+        assert_eq!(status.jobs_submitted, 1);
+        assert_eq!(status.jobs_finished, 1);
+        assert_eq!(status.events_published, 2);
+        assert_eq!(status.state, RunState::Running);
+
+        let progress = tap.progress_body();
+        assert_eq!(progress.sim_clock_secs, 2.5);
+        assert_eq!(progress.events_popped, 42);
+        assert_eq!(progress.queue_len, 3);
+        assert!(progress.eta_secs.is_some(), "one job finished of four");
+
+        let health = tap.health_body();
+        assert_eq!(health.shard_events, vec![20, 22]);
+        assert!(health.imbalance.is_some());
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let tap = LiveTap::with_ring_capacity(meta(), 2);
+        for i in 0..5u32 {
+            tap.observe(
+                SimTime::from_secs(f64::from(i)),
+                &ObsEvent::JobSubmitted { job: JobId(i) },
+            );
+        }
+        let tail = tap.tail_body(10);
+        assert_eq!(tail.events.len(), 2, "ring keeps the newest two");
+        assert_eq!(tail.dropped, 3, "evictions are counted");
+        assert!(tail.events[0].contains("job=3"), "got: {:?}", tail.events);
+        assert!(tail.events[1].contains("job=4"), "got: {:?}", tail.events);
+        // tail 1 returns only the newest.
+        assert_eq!(tap.tail_body(1).events.len(), 1);
+    }
+
+    #[test]
+    fn abort_wins_over_done() {
+        let tap = LiveTap::new(meta());
+        tap.watchdog_fired("watchdog: stuck");
+        tap.mark_done();
+        assert_eq!(tap.state(), RunState::Aborted);
+        assert!(tap.status_body().watchdog.is_some());
+    }
+
+    #[test]
+    fn heartbeat_sink_stores_latest_line() {
+        let tap = LiveTap::new(meta());
+        assert!(tap.health_body().heartbeat.is_none());
+        tap.emit("heartbeat t+5s: clock=1.0s", &HealthSnapshot::default());
+        tap.emit("heartbeat t+10s: clock=2.0s", &HealthSnapshot::default());
+        assert_eq!(
+            tap.health_body().heartbeat.as_deref(),
+            Some("heartbeat t+10s: clock=2.0s")
+        );
+    }
+
+    #[test]
+    fn tap_observer_forwards_everything() {
+        let tap = LiveTap::with_ring_capacity(meta(), 1);
+        let mut rec = RecordingObserver::new();
+        {
+            let mut obs = TapObserver::new(&mut rec, Arc::clone(&tap));
+            assert!(obs.is_enabled());
+            for i in 0..3u32 {
+                obs.on_event(
+                    SimTime::from_secs(f64::from(i)),
+                    &ObsEvent::JobSubmitted { job: JobId(i) },
+                );
+            }
+        }
+        assert_eq!(rec.events().len(), 3, "recorder sees the full stream");
+        assert_eq!(tap.tail_body(10).events.len(), 1, "tap ring is bounded");
+    }
+}

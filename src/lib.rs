@@ -31,6 +31,10 @@
 //! - [`prof`] (`pdpa-prof`) — engine self-profiling: hierarchical
 //!   wall-clock spans per shard lane, hot-path reports, heartbeat
 //!   snapshots, and the zero-progress watchdog;
+//! - [`watch`] (`pdpa-watch`) — live run observability: the `LiveTap`
+//!   shared-state mirror, the line-delimited status/metrics query protocol
+//!   and TCP server behind `pdpa replay --serve` / `pdpa watch`, and the
+//!   Prometheus text exporter for the metrics registry;
 //! - [`analyze`] (`pdpa-analyze`) — trace analytics over recorded event
 //!   streams: per-job timelines, PDPA time-in-state, migration accounting,
 //!   CPU/MPL series, and run diffs;
@@ -75,6 +79,7 @@ pub use pdpa_prof as prof;
 pub use pdpa_qs as qs;
 pub use pdpa_sim as sim;
 pub use pdpa_trace as trace;
+pub use pdpa_watch as watch;
 
 /// The names most programs need, importable in one line.
 pub mod prelude {

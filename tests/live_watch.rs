@@ -1,0 +1,175 @@
+//! Live-observability contracts, end to end through the facade.
+//!
+//! Two guarantees the `pdpa replay --serve` stack rests on:
+//!
+//! 1. **Determinism**: attaching a [`TapObserver`] (the `--serve` tee)
+//!    must not change the recorded decision-event stream by a single
+//!    byte — the tap is a mirror, nothing feeds back into the engine.
+//! 2. **Liveness**: a status server over a real engine run answers the
+//!    protocol queries, and its terminal `status` totals agree with the
+//!    engine's own `RunResult`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pdpa_suite::core::Pdpa;
+use pdpa_suite::engine::{Engine, EngineConfig, Instrumentation};
+use pdpa_suite::obs::{write_text_stream, RecordingObserver};
+use pdpa_suite::qs::Workload;
+use pdpa_suite::watch::{
+    LiveTap, Request, RequestKind, Response, ResponseBody, RunMeta, RunState, StatusServer,
+    TapObserver,
+};
+
+#[test]
+fn decision_stream_is_bit_identical_with_and_without_the_tap() {
+    let engine = Engine::new(EngineConfig::default().with_seed(42));
+    let jobs = || Workload::W2.build(1.0, 42);
+    let policy = || Box::new(Pdpa::paper_default());
+
+    let mut plain_rec = RecordingObserver::new();
+    let plain = engine.run_observed(jobs(), policy(), &mut plain_rec);
+    assert!(plain.completed_all);
+
+    let tap = LiveTap::new(RunMeta {
+        policy: "PDPA".into(),
+        trace: "w2".into(),
+        shards: 1,
+        jobs_total: jobs().len() as u64,
+    });
+    let mut tapped_rec = RecordingObserver::new();
+    let tapped = {
+        let mut observer = TapObserver::new(&mut tapped_rec, Arc::clone(&tap));
+        engine.run_instrumented(
+            jobs(),
+            policy(),
+            &mut observer,
+            Instrumentation::none().with_tap(Arc::clone(&tap) as _),
+        )
+    };
+    assert!(tapped.completed_all);
+
+    let plain_stream = write_text_stream(&plain_rec.take_events());
+    let tapped_stream = write_text_stream(&tapped_rec.take_events());
+    assert_eq!(
+        plain_stream, tapped_stream,
+        "the live tap perturbed the decision-event stream"
+    );
+
+    // And the tap's mirror agrees with the run it watched.
+    let status = tap.status_body();
+    assert_eq!(status.jobs_total, jobs().len() as u64);
+    assert_eq!(status.jobs_submitted, jobs().len() as u64);
+    assert_eq!(
+        status.jobs_finished as usize,
+        tapped.summary.outcomes().len()
+    );
+    assert_eq!(
+        status.events_published as usize,
+        plain_stream.lines().count()
+    );
+}
+
+fn query(addr: std::net::SocketAddr, requests: &[Request]) -> Vec<Response> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::new();
+    for request in requests {
+        writer
+            .write_all(format!("{}\n", request.to_line()).as_bytes())
+            .expect("writes");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads");
+        out.push(Response::parse_line(line.trim_end()).expect("parses"));
+    }
+    out
+}
+
+#[test]
+fn status_server_over_a_real_run_reports_the_engine_totals() {
+    let jobs = Workload::W2.build(1.0, 42);
+    let n_jobs = jobs.len() as u64;
+    let tap = LiveTap::new(RunMeta {
+        policy: "PDPA".into(),
+        trace: "w2".into(),
+        shards: 1,
+        jobs_total: n_jobs,
+    });
+    let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&tap)).expect("binds");
+    let addr = server.local_addr();
+
+    // Drive the engine on another thread, exactly as the CLI wires it.
+    let run_tap = Arc::clone(&tap);
+    let run = std::thread::spawn(move || {
+        let engine = Engine::new(EngineConfig::default().with_seed(42));
+        let mut recorder = RecordingObserver::new();
+        let result = {
+            let mut observer = TapObserver::new(&mut recorder, Arc::clone(&run_tap));
+            engine.run_instrumented(
+                jobs,
+                Box::new(Pdpa::paper_default()),
+                &mut observer,
+                Instrumentation::none().with_tap(Arc::clone(&run_tap) as _),
+            )
+        };
+        run_tap.mark_done();
+        result
+    });
+
+    // Poll like `pdpa watch --follow` until the terminal state shows up.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last = None;
+    while Instant::now() < deadline {
+        let responses = query(
+            addr,
+            &[
+                Request {
+                    id: 1,
+                    kind: RequestKind::Status,
+                },
+                Request {
+                    id: 2,
+                    kind: RequestKind::Progress,
+                },
+                Request {
+                    id: 3,
+                    kind: RequestKind::Tail { n: 8 },
+                },
+            ],
+        );
+        assert_eq!(responses.len(), 3);
+        let ResponseBody::Status(status) = &responses[0].body else {
+            panic!("expected status, got {:?}", responses[0].body);
+        };
+        let done = status.state == RunState::Done;
+        last = Some(responses);
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let result = run.join().expect("engine thread");
+    assert!(result.completed_all);
+
+    let responses = last.expect("polled at least once");
+    let ResponseBody::Status(status) = &responses[0].body else {
+        unreachable!()
+    };
+    assert_eq!(status.state, RunState::Done, "run never reached done");
+    assert_eq!(status.jobs_total, n_jobs);
+    assert_eq!(status.jobs_submitted, n_jobs);
+    assert_eq!(
+        status.jobs_finished as usize,
+        result.summary.outcomes().len()
+    );
+    assert!(status.watchdog.is_none());
+    let ResponseBody::Tail(tail) = &responses[2].body else {
+        panic!("expected tail, got {:?}", responses[2].body);
+    };
+    assert!(!tail.events.is_empty(), "tail of a finished run is empty");
+
+    server.wait_for_final_query(Duration::from_secs(10));
+    server.shutdown();
+}

@@ -10,12 +10,14 @@
 //! median-of-N so machine noise cancels; a small absolute slack keeps
 //! sub-millisecond jitter from flaking CI.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pdpa_suite::core::Pdpa;
 use pdpa_suite::engine::{Engine, EngineConfig, Instrumentation};
-use pdpa_suite::obs::NullObserver;
+use pdpa_suite::obs::{NullObserver, RecordingObserver};
 use pdpa_suite::qs::Workload;
+use pdpa_suite::watch::{LiveTap, RunMeta, StatusServer, TapObserver};
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -124,5 +126,61 @@ fn sharded_disabled_observer_and_profiler_cost_within_two_percent() {
         n <= p * 1.02 + 2e-3,
         "sharded disabled-instrumentation run regressed: \
          plain {p:.6}s vs Instrumentation::none() {n:.6}s"
+    );
+}
+
+/// The `--serve` bound: a recording run with the full live-observability
+/// stack attached (tap mirror, observer tee, bound TCP server with no
+/// clients) must stay within 2% of a plain recording run. This is the
+/// realistic serving configuration — the tap's atomics and try-lock ring
+/// are the only per-event cost, and the server threads idle in accept().
+#[test]
+fn live_tap_and_idle_server_cost_within_two_percent_of_recording_run() {
+    let engine = Engine::new(EngineConfig::default().with_seed(42));
+    let jobs = || Workload::W2.build(1.0, 42);
+    let policy = || Box::new(Pdpa::paper_default());
+
+    let mut warm_rec = RecordingObserver::new();
+    let warm = engine.run_observed(jobs(), policy(), &mut warm_rec);
+    assert!(warm.completed_all);
+
+    let rounds = 15;
+    let mut plain = Vec::with_capacity(rounds);
+    let mut tapped = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut recorder = RecordingObserver::new();
+        let t = Instant::now();
+        let r = engine.run_observed(jobs(), policy(), &mut recorder);
+        plain.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all);
+
+        let tap = LiveTap::new(RunMeta {
+            policy: "PDPA".into(),
+            trace: "w2".into(),
+            shards: 1,
+            jobs_total: jobs().len() as u64,
+        });
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&tap)).expect("binds");
+        let mut recorder = RecordingObserver::new();
+        let t = Instant::now();
+        let r = {
+            let mut observer = TapObserver::new(&mut recorder, Arc::clone(&tap));
+            engine.run_instrumented(
+                jobs(),
+                policy(),
+                &mut observer,
+                Instrumentation::none().with_tap(Arc::clone(&tap) as _),
+            )
+        };
+        tapped.push(t.elapsed().as_secs_f64());
+        assert!(r.completed_all);
+        tap.mark_done();
+        server.shutdown();
+    }
+
+    let (p, n) = (median(plain), median(tapped));
+    assert!(
+        n <= p * 1.02 + 2e-3,
+        "--serve stack regressed the run: plain recording {p:.6}s vs tap+server {n:.6}s"
     );
 }
