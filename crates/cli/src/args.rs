@@ -19,6 +19,12 @@ pub enum Command {
     Tournament(TournamentOptions),
     /// `pdpa watch` — query a live `--serve` replay over TCP.
     Watch(WatchOptions),
+    /// `pdpa daemon` — run `pdpad`, the resident scheduler daemon.
+    Daemon(DaemonOptions),
+    /// `pdpa submit` — submit jobs to a running `pdpad`.
+    Submit(SubmitOptions),
+    /// `pdpa ctl` — control a running `pdpad` (drain, snapshot, ...).
+    Ctl(CtlOptions),
     /// `pdpa curves` — print the Fig. 3 speedup curves.
     Curves,
     /// `pdpa help` / `--help`.
@@ -202,6 +208,115 @@ impl Default for WatchOptions {
     }
 }
 
+/// Options of `pdpa daemon`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonOptions {
+    /// TCP address to serve on (`127.0.0.1:0` picks an ephemeral port,
+    /// printed to stderr at bind time).
+    pub addr: String,
+    /// Scheduling policy the daemon runs.
+    pub policy: PolicyChoice,
+    /// Machine size.
+    pub cpus: usize,
+    /// Engine seed.
+    pub seed: u64,
+    /// Queue backfilling.
+    pub backfill: bool,
+    /// Admission bound: reject submissions with `queue_full` while this
+    /// many jobs wait.
+    pub max_queue: usize,
+    /// Sim seconds advanced per wall second between ops (`0` disables
+    /// pacing).
+    pub time_scale: f64,
+    /// Simulation horizon override.
+    pub max_sim_secs: Option<f64>,
+    /// Write the decision-event stream to this file.
+    pub stream: Option<String>,
+    /// Default snapshot target for `snapshot`/`shutdown` requests that
+    /// name no path.
+    pub snapshot: Option<String>,
+    /// Restore state from this `pdpa-snapshot/v1` file before serving.
+    pub restore: Option<String>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            addr: "127.0.0.1:0".to_string(),
+            policy: PolicyChoice::Pdpa,
+            cpus: 32,
+            seed: 42,
+            backfill: false,
+            max_queue: 64,
+            time_scale: 1.0,
+            max_sim_secs: None,
+            stream: None,
+            snapshot: None,
+            restore: None,
+        }
+    }
+}
+
+/// Options of `pdpa submit`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitOptions {
+    /// TCP address of the daemon.
+    pub addr: String,
+    /// Application class (`swim`, `bt.A`, `hydro2d`, `apsi`).
+    pub class: String,
+    /// Processor request override.
+    pub request: Option<u64>,
+    /// Sequential-work override in sim seconds.
+    pub work_secs: Option<f64>,
+    /// Submit this many identical jobs.
+    pub count: usize,
+    /// Print raw protocol response lines instead of the human rendering.
+    pub json: bool,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            addr: String::new(),
+            class: "swim".to_string(),
+            request: None,
+            work_secs: None,
+            count: 1,
+            json: false,
+        }
+    }
+}
+
+/// The control action of `pdpa ctl`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtlAction {
+    /// Identify the server (`hello`).
+    Hello,
+    /// Finish all admitted work and stop admitting.
+    Drain,
+    /// Write a snapshot (optionally to an explicit path).
+    Snapshot(Option<String>),
+    /// Shut the daemon down (optionally snapshotting first).
+    Shutdown(Option<String>),
+    /// Cancel one job.
+    Cancel(u64),
+    /// List the newest N jobs.
+    Jobs(usize),
+    /// Show one job.
+    Job(u64),
+}
+
+/// Options of `pdpa ctl`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CtlOptions {
+    /// TCP address of the daemon.
+    pub addr: String,
+    /// What to ask it.
+    pub action: CtlAction,
+    /// Print raw protocol response lines instead of the human rendering.
+    pub json: bool,
+}
+
 /// Scheduling policies selectable from the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PolicyChoice {
@@ -372,6 +487,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "replay" => return parse_replay(&mut it),
         "tournament" => return parse_tournament(&mut it),
         "watch" => return parse_watch(&mut it),
+        "daemon" => return parse_daemon(&mut it),
+        "submit" => return parse_submit(&mut it),
+        "ctl" => return parse_ctl(&mut it),
         "run" | "compare" | "analyze" | "diff" => {}
         other => return Err(format!("unknown command {other:?}; try `pdpa help`")),
     }
@@ -691,6 +809,216 @@ fn parse_watch(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Result
         return Err("watch needs the server address: `pdpa watch HOST:PORT`".into());
     }
     Ok(Command::Watch(opts))
+}
+
+/// Parses `pdpa daemon [flags]`.
+fn parse_daemon(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Result<Command, String> {
+    let mut opts = DaemonOptions::default();
+    let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value_of("--addr", it)?,
+            "--policy" => {
+                let v = value_of("--policy", it)?;
+                opts.policy =
+                    PolicyChoice::parse(&v).ok_or_else(|| format!("unknown policy {v:?}"))?;
+            }
+            "--cpus" => {
+                let v = value_of("--cpus", it)?;
+                opts.cpus = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cpus expects an integer, got {v:?}"))?;
+                if opts.cpus == 0 {
+                    return Err("--cpus must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                let v = value_of("--seed", it)?;
+                opts.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+            }
+            "--backfill" => opts.backfill = true,
+            "--max-queue" => {
+                let v = value_of("--max-queue", it)?;
+                opts.max_queue = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--max-queue expects an integer, got {v:?}"))?;
+                if opts.max_queue == 0 {
+                    return Err("--max-queue must be at least 1".into());
+                }
+            }
+            "--time-scale" => {
+                let v = value_of("--time-scale", it)?;
+                let scale = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--time-scale expects a number, got {v:?}"))?;
+                if !(scale >= 0.0 && scale.is_finite()) {
+                    return Err(format!("--time-scale {v} must be finite and >= 0"));
+                }
+                opts.time_scale = scale;
+            }
+            "--max-sim-secs" => {
+                let v = value_of("--max-sim-secs", it)?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--max-sim-secs expects seconds, got {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("--max-sim-secs {v} must be positive and finite"));
+                }
+                opts.max_sim_secs = Some(secs);
+            }
+            "--stream" => opts.stream = Some(value_of("--stream", it)?),
+            "--snapshot" => opts.snapshot = Some(value_of("--snapshot", it)?),
+            "--restore" => opts.restore = Some(value_of("--restore", it)?),
+            other => {
+                return Err(format!("unknown option {other:?}; try `pdpa help`"));
+            }
+        }
+    }
+    Ok(Command::Daemon(opts))
+}
+
+/// Parses `pdpa submit ADDR --class NAME [flags]`.
+fn parse_submit(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Result<Command, String> {
+    let mut opts = SubmitOptions::default();
+    let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--class" => opts.class = value_of("--class", it)?,
+            "--request" => {
+                let v = value_of("--request", it)?;
+                let request = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--request expects an integer, got {v:?}"))?;
+                if request == 0 {
+                    return Err("--request must be at least 1".into());
+                }
+                opts.request = Some(request);
+            }
+            "--work-secs" => {
+                let v = value_of("--work-secs", it)?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--work-secs expects seconds, got {v:?}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("--work-secs {v} must be positive and finite"));
+                }
+                opts.work_secs = Some(secs);
+            }
+            "--count" => {
+                let v = value_of("--count", it)?;
+                opts.count = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--count expects an integer, got {v:?}"))?;
+                if opts.count == 0 {
+                    return Err("--count must be at least 1".into());
+                }
+            }
+            "--json" => opts.json = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}; try `pdpa help`"));
+            }
+            addr => {
+                if !opts.addr.is_empty() {
+                    return Err(format!(
+                        "submit takes one address; got {:?} and {addr:?}",
+                        opts.addr
+                    ));
+                }
+                opts.addr = addr.to_string();
+            }
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("submit needs the daemon address: `pdpa submit HOST:PORT --class swim`".into());
+    }
+    Ok(Command::Submit(opts))
+}
+
+/// Parses `pdpa ctl ADDR ACTION [ARG] [flags]`.
+fn parse_ctl(it: &mut std::iter::Peekable<std::slice::Iter<String>>) -> Result<Command, String> {
+    let mut addr = String::new();
+    let mut action: Option<CtlAction> = None;
+    let mut json = false;
+    let mut snapshot_flag: Option<String> = None;
+    let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    // An optional positional value directly after the action verb.
+    let optional_positional =
+        |it: &mut std::iter::Peekable<std::slice::Iter<String>>| match it.peek() {
+            Some(next) if !next.starts_with('-') => it.next().cloned(),
+            _ => None,
+        };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--snapshot" => snapshot_flag = Some(value_of("--snapshot", it)?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}; try `pdpa help`"));
+            }
+            word if addr.is_empty() => addr = word.to_string(),
+            word if action.is_none() => {
+                action = Some(match word {
+                    "hello" => CtlAction::Hello,
+                    "drain" => CtlAction::Drain,
+                    "snapshot" => CtlAction::Snapshot(optional_positional(it)),
+                    "shutdown" => CtlAction::Shutdown(None),
+                    "cancel" => {
+                        let v = it.next().ok_or("ctl cancel needs a job id")?;
+                        CtlAction::Cancel(
+                            v.parse::<u64>()
+                                .map_err(|_| format!("ctl cancel expects a job id, got {v:?}"))?,
+                        )
+                    }
+                    "jobs" => CtlAction::Jobs(match optional_positional(it) {
+                        Some(v) => v
+                            .parse::<usize>()
+                            .map_err(|_| format!("ctl jobs expects a count, got {v:?}"))?,
+                        None => 20,
+                    }),
+                    "job" => {
+                        let v = it.next().ok_or("ctl job needs a job id")?;
+                        CtlAction::Job(
+                            v.parse::<u64>()
+                                .map_err(|_| format!("ctl job expects a job id, got {v:?}"))?,
+                        )
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown ctl action {other:?} (hello, drain, snapshot, shutdown, \
+                             cancel, jobs, job)"
+                        ))
+                    }
+                });
+            }
+            extra => {
+                return Err(format!("unexpected ctl argument {extra:?}"));
+            }
+        }
+    }
+    if addr.is_empty() {
+        return Err("ctl needs the daemon address: `pdpa ctl HOST:PORT ACTION`".into());
+    }
+    let mut action = action.ok_or("ctl needs an action: `pdpa ctl HOST:PORT drain`")?;
+    if let Some(path) = snapshot_flag {
+        match &mut action {
+            CtlAction::Shutdown(snapshot) => *snapshot = Some(path),
+            _ => return Err("--snapshot only applies to `ctl ... shutdown`".into()),
+        }
+    }
+    Ok(Command::Ctl(CtlOptions { addr, action, json }))
 }
 
 /// Parses `pdpa tournament [trace.swf] [flags]`.
@@ -1239,6 +1567,136 @@ mod tests {
         assert!(parse(&argv("tournament --bogus"))
             .unwrap_err()
             .contains("--bogus"));
+    }
+
+    #[test]
+    fn daemon_defaults_and_full_invocation() {
+        let cmd = parse(&argv("daemon")).unwrap();
+        assert_eq!(cmd, Command::Daemon(DaemonOptions::default()));
+        let cmd = parse(&argv(
+            "daemon --addr 127.0.0.1:7777 --policy rigid --cpus 8 --seed 9 \
+             --backfill --max-queue 4 --time-scale 60 --max-sim-secs 5000 \
+             --stream run.stream --snapshot run.snapshot --restore old.snapshot",
+        ))
+        .unwrap();
+        let Command::Daemon(o) = cmd else {
+            panic!("expected Daemon")
+        };
+        assert_eq!(o.addr, "127.0.0.1:7777");
+        assert_eq!(o.policy, PolicyChoice::Rigid);
+        assert_eq!(o.cpus, 8);
+        assert_eq!(o.seed, 9);
+        assert!(o.backfill);
+        assert_eq!(o.max_queue, 4);
+        assert_eq!(o.time_scale, 60.0);
+        assert_eq!(o.max_sim_secs, Some(5000.0));
+        assert_eq!(o.stream.as_deref(), Some("run.stream"));
+        assert_eq!(o.snapshot.as_deref(), Some("run.snapshot"));
+        assert_eq!(o.restore.as_deref(), Some("old.snapshot"));
+    }
+
+    #[test]
+    fn daemon_diagnostics() {
+        assert!(parse(&argv("daemon --cpus 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("daemon --max-queue 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("daemon --time-scale -1"))
+            .unwrap_err()
+            .contains(">= 0"));
+        assert!(parse(&argv("daemon --policy bogus"))
+            .unwrap_err()
+            .contains("bogus"));
+        assert!(parse(&argv("daemon --bogus"))
+            .unwrap_err()
+            .contains("--bogus"));
+    }
+
+    #[test]
+    fn submit_parses_and_validates() {
+        let cmd = parse(&argv(
+            "submit 127.0.0.1:7777 --class bt.A --request 8 --work-secs 4000 --count 3 --json",
+        ))
+        .unwrap();
+        let Command::Submit(o) = cmd else {
+            panic!("expected Submit")
+        };
+        assert_eq!(o.addr, "127.0.0.1:7777");
+        assert_eq!(o.class, "bt.A");
+        assert_eq!(o.request, Some(8));
+        assert_eq!(o.work_secs, Some(4000.0));
+        assert_eq!(o.count, 3);
+        assert!(o.json);
+        // Defaults: one swim job.
+        let Command::Submit(o) = parse(&argv("submit 127.0.0.1:7777")).unwrap() else {
+            panic!("expected Submit")
+        };
+        assert_eq!(o.class, "swim");
+        assert_eq!(o.count, 1);
+        assert_eq!(o.request, None);
+        assert!(parse(&argv("submit")).unwrap_err().contains("address"));
+        assert!(parse(&argv("submit 127.0.0.1:7777 --request 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("submit 127.0.0.1:7777 --work-secs -5"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&argv("submit 127.0.0.1:7777 --count 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("submit a:1 b:2"))
+            .unwrap_err()
+            .contains("one address"));
+    }
+
+    #[test]
+    fn ctl_grammar() {
+        let ctl = |s: &str| match parse(&argv(s)).unwrap() {
+            Command::Ctl(o) => o,
+            other => panic!("expected Ctl, got {other:?}"),
+        };
+        assert_eq!(ctl("ctl a:1 hello").action, CtlAction::Hello);
+        assert_eq!(ctl("ctl a:1 drain").action, CtlAction::Drain);
+        assert_eq!(ctl("ctl a:1 snapshot").action, CtlAction::Snapshot(None));
+        assert_eq!(
+            ctl("ctl a:1 snapshot mid.snapshot").action,
+            CtlAction::Snapshot(Some("mid.snapshot".to_string()))
+        );
+        assert_eq!(ctl("ctl a:1 shutdown").action, CtlAction::Shutdown(None));
+        assert_eq!(
+            ctl("ctl a:1 shutdown --snapshot final.snapshot").action,
+            CtlAction::Shutdown(Some("final.snapshot".to_string()))
+        );
+        assert_eq!(ctl("ctl a:1 cancel 3").action, CtlAction::Cancel(3));
+        assert_eq!(ctl("ctl a:1 jobs").action, CtlAction::Jobs(20));
+        assert_eq!(ctl("ctl a:1 jobs 5").action, CtlAction::Jobs(5));
+        assert_eq!(ctl("ctl a:1 job 7").action, CtlAction::Job(7));
+        let o = ctl("ctl a:1 hello --json");
+        assert!(o.json);
+        assert_eq!(o.addr, "a:1");
+    }
+
+    #[test]
+    fn ctl_diagnostics() {
+        assert!(parse(&argv("ctl")).unwrap_err().contains("address"));
+        assert!(parse(&argv("ctl a:1")).unwrap_err().contains("action"));
+        assert!(parse(&argv("ctl a:1 explode"))
+            .unwrap_err()
+            .contains("explode"));
+        assert!(parse(&argv("ctl a:1 cancel"))
+            .unwrap_err()
+            .contains("job id"));
+        assert!(parse(&argv("ctl a:1 cancel x"))
+            .unwrap_err()
+            .contains("job id"));
+        assert!(parse(&argv("ctl a:1 drain --snapshot p"))
+            .unwrap_err()
+            .contains("--snapshot"));
+        assert!(parse(&argv("ctl a:1 hello extra"))
+            .unwrap_err()
+            .contains("extra"));
     }
 
     #[test]

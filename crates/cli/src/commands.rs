@@ -32,7 +32,8 @@ use pdpa_watch::{
 };
 
 use crate::args::{
-    Command, ObsFormat, Options, PolicyChoice, ReplayOptions, TournamentOptions, WatchOptions,
+    Command, CtlAction, CtlOptions, DaemonOptions, ObsFormat, Options, PolicyChoice, ReplayOptions,
+    SubmitOptions, TournamentOptions, WatchOptions,
 };
 use crate::USAGE;
 
@@ -52,6 +53,9 @@ pub fn dispatch(command: Command) -> Result<String, String> {
         Command::Replay(opts) => replay(&opts),
         Command::Tournament(opts) => tournament(&opts),
         Command::Watch(opts) => watch(&opts),
+        Command::Daemon(opts) => daemon(&opts),
+        Command::Submit(opts) => submit(&opts),
+        Command::Ctl(opts) => ctl(&opts),
     }
 }
 
@@ -846,6 +850,43 @@ fn render_watch(responses: &[Response]) -> String {
                 }
             }
             ResponseBody::Metrics { body, .. } => out.push_str(body),
+            ResponseBody::Hello(h) => {
+                let _ = writeln!(
+                    out,
+                    "server: {} proto v{} running {} [{}]",
+                    h.server,
+                    h.proto,
+                    h.policy,
+                    h.state.label(),
+                );
+            }
+            ResponseBody::Ack(a) => {
+                let _ = write!(out, "ack");
+                if let Some(job) = a.job {
+                    let _ = write!(out, ": job {job}");
+                }
+                if let Some(at) = a.at_secs {
+                    let _ = write!(out, " at t={at:.2}s");
+                }
+                if let Some(info) = &a.info {
+                    let _ = write!(out, " ({info})");
+                }
+                out.push('\n');
+            }
+            ResponseBody::Reject(r) => {
+                let _ = write!(out, "rejected: {}", r.reason);
+                if let Some(after) = r.retry_after_secs {
+                    let _ = write!(out, " (retry after {after:.1}s)");
+                }
+                out.push('\n');
+            }
+            ResponseBody::Jobs(rows) => {
+                let _ = writeln!(out, "jobs: {} record(s)", rows.len());
+                for row in rows {
+                    out.push_str(&render_job_row(row));
+                }
+            }
+            ResponseBody::Job(row) => out.push_str(&render_job_row(row)),
             ResponseBody::Error { message } => {
                 let _ = writeln!(out, "error: {message}");
             }
@@ -854,10 +895,30 @@ fn render_watch(responses: &[Response]) -> String {
     out
 }
 
+/// One registry record rendered for humans.
+fn render_job_row(row: &pdpa_watch::JobRow) -> String {
+    let finish = row
+        .finish_secs
+        .map_or("-".to_string(), |t| format!("{t:.1}"));
+    format!(
+        "  job {:>4} {:<8} p={:<3} {:<9} submit={:.1} finish={finish}\n",
+        row.job, row.class, row.request, row.state, row.submit_secs,
+    )
+}
+
+/// How many consecutive failed polls a `--follow` watch tolerates before
+/// giving up on the server entirely.
+const FOLLOW_MAX_FAILURES: u32 = 8;
+
 /// `pdpa watch`: query a live `--serve` replay. One shot by default;
 /// `--follow` polls until the run reaches a terminal state and exits
-/// nonzero if that state is aborted.
+/// nonzero if that state is aborted. In follow mode a lost connection —
+/// the server restarting, say a daemon bouncing through snapshot/restore
+/// — is retried with bounded exponential backoff (0.2 s doubling to a
+/// 5 s cap) instead of killing the watch; only
+/// [`FOLLOW_MAX_FAILURES`] consecutive failures end it.
 fn watch(opts: &WatchOptions) -> Result<String, String> {
+    let mut failures: u32 = 0;
     loop {
         let mut requests = vec![
             Request {
@@ -879,7 +940,25 @@ fn watch(opts: &WatchOptions) -> Result<String, String> {
                 kind: RequestKind::Tail { n },
             });
         }
-        let responses = query_live(&opts.addr, &requests)?;
+        let responses = match query_live(&opts.addr, &requests) {
+            Ok(responses) => {
+                failures = 0;
+                responses
+            }
+            Err(err) if opts.follow => {
+                failures += 1;
+                if failures >= FOLLOW_MAX_FAILURES {
+                    return Err(format!(
+                        "{err} ({failures} consecutive failures; giving up)"
+                    ));
+                }
+                let backoff = (0.2 * f64::from(1u32 << (failures - 1).min(10))).min(5.0);
+                eprintln!("watch: {err}; retrying in {backoff:.1}s");
+                std::thread::sleep(Duration::from_secs_f64(backoff));
+                continue;
+            }
+            Err(err) => return Err(err),
+        };
         let rendered = if opts.json {
             let mut lines = String::new();
             for response in &responses {
@@ -914,6 +993,97 @@ fn watch(opts: &WatchOptions) -> Result<String, String> {
         let _ = std::io::stdout().flush();
         std::thread::sleep(Duration::from_secs_f64(opts.interval));
     }
+}
+
+/// `pdpa daemon`: bind `pdpad` and serve until a `shutdown` request (or
+/// fatal bind error). The bound address goes to *stderr* immediately so
+/// scripts can scrape it while the serve loop still owns stdout's final
+/// summary.
+fn daemon(opts: &DaemonOptions) -> Result<String, String> {
+    let config = pdpa_daemon::DaemonConfig {
+        policy: opts.policy.slug().to_string(),
+        cpus: opts.cpus,
+        seed: opts.seed,
+        backfill: opts.backfill,
+        max_sim_secs: opts.max_sim_secs,
+        max_queue: opts.max_queue,
+        time_scale: opts.time_scale,
+        stream_path: opts.stream.clone(),
+        snapshot_path: opts.snapshot.clone(),
+        ..pdpa_daemon::DaemonConfig::default()
+    };
+    let daemon = pdpa_daemon::bind_daemon(config, opts.restore.as_deref(), &opts.addr)?;
+    eprintln!("pdpad: listening on {}", daemon.local_addr());
+    daemon.run()
+}
+
+/// `pdpa submit`: push one or more jobs into a running daemon and report
+/// each admission decision. Exits nonzero if any submission is rejected,
+/// so shell loops can react to backpressure.
+fn submit(opts: &SubmitOptions) -> Result<String, String> {
+    let requests: Vec<Request> = (0..opts.count)
+        .map(|i| Request {
+            id: i as u64 + 1,
+            kind: RequestKind::Submit {
+                class: opts.class.clone(),
+                request: opts.request,
+                work_secs: opts.work_secs,
+            },
+        })
+        .collect();
+    let responses = query_live(&opts.addr, &requests)?;
+    let mut out = String::new();
+    let mut rejected = 0usize;
+    for response in &responses {
+        if opts.json {
+            let _ = writeln!(out, "{}", response.to_line());
+        } else {
+            out.push_str(&render_watch(std::slice::from_ref(response)));
+        }
+        if matches!(response.body, ResponseBody::Reject(_)) {
+            rejected += 1;
+        }
+    }
+    if rejected > 0 {
+        return Err(format!(
+            "{out}{rejected} of {} submission(s) rejected",
+            opts.count
+        ));
+    }
+    Ok(out)
+}
+
+/// `pdpa ctl`: one control request against a running daemon.
+fn ctl(opts: &CtlOptions) -> Result<String, String> {
+    let kind = match &opts.action {
+        CtlAction::Hello => RequestKind::Hello,
+        CtlAction::Drain => RequestKind::Drain,
+        CtlAction::Snapshot(path) => RequestKind::Snapshot { path: path.clone() },
+        CtlAction::Shutdown(snapshot) => RequestKind::Shutdown {
+            snapshot: snapshot.clone(),
+        },
+        CtlAction::Cancel(job) => RequestKind::Cancel { job: *job },
+        CtlAction::Jobs(n) => RequestKind::Jobs { n: *n },
+        CtlAction::Job(job) => RequestKind::Job { job: *job },
+    };
+    let responses = query_live(&opts.addr, &[Request { id: 1, kind }])?;
+    let rendered = if opts.json {
+        let mut lines = String::new();
+        for response in &responses {
+            let _ = writeln!(lines, "{}", response.to_line());
+        }
+        lines
+    } else {
+        render_watch(&responses)
+    };
+    if let Some(Response {
+        body: ResponseBody::Reject(reject),
+        ..
+    }) = responses.first()
+    {
+        return Err(format!("{rendered}request rejected: {}", reject.reason));
+    }
+    Ok(rendered)
 }
 
 /// `pdpa tournament`: race the whole policy zoo over an SWF-replay leg
@@ -1506,6 +1676,113 @@ mod tests {
         server.shutdown();
         let err = run_cli(&format!("watch {addr}")).unwrap_err();
         assert!(err.contains("cannot connect"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn watch_follow_survives_a_server_restart() {
+        // Reserve a port, then leave it dark: the follow watch must keep
+        // retrying (bounded backoff) instead of exiting, and succeed once
+        // a server finally appears there.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+
+        let watch_addr = addr.clone();
+        let watcher = std::thread::spawn(move || {
+            run_cli(&format!("watch {watch_addr} --follow --interval 0.05"))
+        });
+
+        // Let the watch fail at least once against the dark port.
+        std::thread::sleep(Duration::from_millis(300));
+        let tap = LiveTap::new(RunMeta {
+            policy: "PDPA".into(),
+            trace: "t.swf".into(),
+            shards: 1,
+            jobs_total: 1,
+        });
+        let mut server = None;
+        for _ in 0..20 {
+            match StatusServer::bind(addr.as_str(), Arc::clone(&tap)) {
+                Ok(bound) => {
+                    server = Some(bound);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        let server = server.expect("rebind the reserved port");
+        tap.mark_done();
+
+        let out = watcher
+            .join()
+            .expect("watch thread")
+            .expect("follow recovers after the restart");
+        assert!(out.contains("[done]"), "no terminal status in:\n{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn watch_without_follow_fails_fast_on_a_dead_server() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+        let err = run_cli(&format!("watch {addr}")).unwrap_err();
+        assert!(err.contains("cannot connect"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn daemon_submit_and_ctl_round_trip_through_the_cli() {
+        // The daemon's serve loop runs on this thread (its session is not
+        // Send); the CLI client verbs drive it from a spawned thread.
+        let daemon = pdpa_daemon::bind_daemon(
+            pdpa_daemon::DaemonConfig {
+                time_scale: 0.0,
+                ..pdpa_daemon::DaemonConfig::default()
+            },
+            None,
+            "127.0.0.1:0",
+        )
+        .expect("bind pdpad");
+        let addr = daemon.local_addr();
+
+        let client = std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(|| {
+                let out = run_cli(&format!(
+                    "submit {addr} --class bt.A --request 8 --work-secs 500 --count 2"
+                ))
+                .expect("submissions admitted");
+                assert!(out.contains("ack: job 0"), "in:\n{out}");
+                assert!(out.contains("ack: job 1"), "in:\n{out}");
+
+                let out = run_cli(&format!("ctl {addr} hello")).expect("hello");
+                assert!(out.contains("server: pdpad proto v"), "in:\n{out}");
+
+                // The stock watch client works against a daemon.
+                let out = run_cli(&format!("watch {addr} --tail 5")).expect("watch");
+                assert!(out.contains("2 submitted"), "in:\n{out}");
+
+                let out = run_cli(&format!("ctl {addr} drain")).expect("drain");
+                assert!(out.contains("ack"), "in:\n{out}");
+                let out = run_cli(&format!("ctl {addr} jobs")).expect("jobs");
+                assert!(out.contains("jobs: 2 record(s)"), "in:\n{out}");
+                assert!(out.contains("done"), "in:\n{out}");
+
+                // A draining daemon rejects new work, and the CLI says why.
+                let err = run_cli(&format!("submit {addr} --class swim")).unwrap_err();
+                assert!(err.contains("rejected"), "in: {err}");
+                assert!(err.contains("draining"), "in: {err}");
+            });
+            // Always shut the daemon down so the serve loop below returns,
+            // even when an assertion above panicked.
+            let _ = run_cli(&format!("ctl {addr} shutdown"));
+            outcome
+        });
+
+        let summary = daemon.run().expect("serve loop");
+        assert!(summary.contains("pdpad: shut down"), "got: {summary}");
+        if let Err(panic) = client.join().expect("client thread") {
+            std::panic::resume_unwind(panic);
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! pdpa replay  trace.swf --policy pdpa [--load 1.0 --cpus 60 --window 0:45000]
 //! pdpa tournament [trace.swf] [--load 1.0 --cpus 60 --json --out report.json]
 //! pdpa watch   127.0.0.1:7777 [--follow --json --tail 20]
+//! pdpa daemon  [--addr 127.0.0.1:7777 --policy pdpa --cpus 32 --time-scale 60]
+//! pdpa submit  127.0.0.1:7777 --class swim [--request 8 --work-secs 4000 --count 10]
+//! pdpa ctl     127.0.0.1:7777 <hello|drain|snapshot|shutdown|cancel|jobs|job> [...]
 //! pdpa curves
 //! ```
 //!
@@ -62,6 +65,15 @@ USAGE:
   pdpa tournament [<trace.swf>] [--cpus <n>] [--seed <n>] [--load <frac>]
                [--duration <secs>] [--json] [--out <file>]
   pdpa watch   <host:port> [--follow] [--json] [--tail <n>] [--interval <secs>]
+  pdpa daemon  [--addr <host:port>] [--policy <name>] [--cpus <n>] [--seed <n>]
+               [--backfill] [--max-queue <n>] [--time-scale <x>]
+               [--max-sim-secs <secs>] [--stream <file>] [--snapshot <file>]
+               [--restore <file>]
+  pdpa submit  <host:port> [--class <name>] [--request <n>] [--work-secs <secs>]
+               [--count <n>] [--json]
+  pdpa ctl     <host:port> hello | drain | snapshot [<file>]
+               | shutdown [--snapshot <file>] | cancel <job> | jobs [<n>]
+               | job <id>   [--json]
   pdpa curves
 
 COMMANDS:
@@ -86,7 +98,17 @@ COMMANDS:
             with events/s and ETA, health, and (with --tail) the newest
             observer events; --follow polls until the run finishes and
             exits non-zero if it was aborted; --json prints the raw
-            protocol response lines
+            protocol response lines; in follow mode a lost connection is
+            retried with bounded backoff instead of exiting
+  daemon    run pdpad, the resident scheduler daemon: own a live engine,
+            admit streaming submissions with explicit backpressure, serve
+            the whole watch query vocabulary on one socket, and
+            snapshot/restore full scheduler state (see DAEMON.md)
+  submit    push one or more jobs into a running daemon and print each
+            admission decision; exits non-zero on any rejection
+  ctl       one control request against a running daemon: hello, drain,
+            snapshot [PATH], shutdown [--snapshot PATH], cancel JOB,
+            jobs [N], job ID
   curves    print the calibrated Fig. 3 speedup curves
 
 OPTIONS:
@@ -135,7 +157,25 @@ OPTIONS:
                the recorded stream (e.g. decision,state,mpl) — tames
                event-flooding policies like the IRIX 250 ms quantum
   --follow     watch only: poll every --interval seconds (default 1) until
-               the run reaches a terminal state
+               the run reaches a terminal state, reconnecting with bounded
+               backoff if the server restarts
+  --addr       daemon only: TCP address to bind (default 127.0.0.1:0, an
+               ephemeral port printed to stderr)
+  --max-queue  daemon only: admission bound — submits beyond this many
+               waiting jobs are rejected with queue_full (default 64)
+  --time-scale daemon only: simulated seconds advanced per wall-clock
+               second (default 1.0; 0 freezes time between requests)
+  --stream     daemon only: append the decision-event stream to this file
+               (restores continue it without repeating events)
+  --snapshot   daemon only: default snapshot path for `ctl snapshot` and
+               `ctl shutdown --snapshot`
+  --restore    daemon only: start from a pdpa-snapshot/v1 file instead of
+               an empty machine
+  --class      submit only: application class (swim, bt.A, hydro2d, apsi;
+               default swim)
+  --request    submit only: override the job's processor request
+  --work-secs  submit only: rescale the job to this much sequential work
+  --count      submit only: submit this many identical jobs (default 1)
   --tail       watch only: also fetch the newest N observer events
   --duration   tournament only: submission window of the generated trace
                in seconds (conflicts with a trace file)

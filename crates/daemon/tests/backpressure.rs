@@ -1,0 +1,93 @@
+//! Admission backpressure: the `queue_full` reject cycle.
+//!
+//! The recipe is deterministic by construction: a rigid first-fit policy
+//! on a small machine, every job requesting the whole machine, pacing
+//! off. The first submission occupies all CPUs; each subsequent one
+//! queues; once the waiting count reaches the admission bound, submits
+//! are rejected with `queue_full` and a retry hint — and rejected
+//! submissions leave no trace in the journal. After time advances and
+//! the queue empties, the same submit is accepted again.
+
+use pdpa_daemon::{DaemonConfig, DaemonCore};
+use pdpa_watch::{RequestKind, ResponseBody};
+
+fn rigid_submit() -> RequestKind {
+    RequestKind::Submit {
+        class: "swim".to_string(),
+        // The whole machine, so nothing backfills beside it.
+        request: Some(8),
+        // Short jobs, so the queue drains quickly once time moves.
+        work_secs: Some(100.0),
+    }
+}
+
+#[test]
+fn queue_fills_rejects_then_drains_and_accepts_again() {
+    let mut core = DaemonCore::new(DaemonConfig {
+        policy: "rigid".to_string(),
+        cpus: 8,
+        max_queue: 2,
+        time_scale: 0.0,
+        retry_after_secs: 0.25,
+        ..DaemonConfig::default()
+    })
+    .expect("core");
+
+    // One running + two waiting fills the admission queue.
+    for i in 0..3 {
+        let body = core.handle(&rigid_submit(), 0.0);
+        assert!(
+            matches!(body, ResponseBody::Ack(_)),
+            "submit {i} should be admitted, got {body:?}"
+        );
+    }
+    assert_eq!(core.session().running_count(), 1);
+    assert_eq!(core.session().waiting_count(), 2);
+    let journal_before = core.journal().len();
+
+    // The bound is reached: explicit backpressure with a retry hint.
+    let body = core.handle(&rigid_submit(), 0.0);
+    let ResponseBody::Reject(reject) = body else {
+        panic!("expected queue_full reject, got {body:?}");
+    };
+    assert_eq!(reject.reason, "queue_full");
+    assert_eq!(reject.retry_after_secs, Some(0.25));
+    assert_eq!(
+        core.journal().len(),
+        journal_before,
+        "rejected submissions must not be journaled"
+    );
+
+    // Let the queue drain, then the same submit is welcome again.
+    core.advance_to(10_000.0);
+    assert_eq!(core.session().waiting_count(), 0);
+    assert_eq!(core.session().completed_count(), 3);
+    let body = core.handle(&rigid_submit(), 0.0);
+    let ResponseBody::Ack(ack) = body else {
+        panic!("expected post-drain ack, got {body:?}");
+    };
+    assert_eq!(ack.job, Some(3), "job ids keep counting past rejections");
+}
+
+#[test]
+fn jobs_total_tracks_admissions_not_rejections() {
+    let mut core = DaemonCore::new(DaemonConfig {
+        policy: "rigid".to_string(),
+        cpus: 8,
+        max_queue: 1,
+        time_scale: 0.0,
+        ..DaemonConfig::default()
+    })
+    .expect("core");
+    let tap = core.tap();
+    core.handle(&rigid_submit(), 0.0);
+    core.handle(&rigid_submit(), 0.0);
+    assert_eq!(tap.status_body().jobs_total, 2);
+    let rejected = core.handle(&rigid_submit(), 0.0);
+    assert!(matches!(rejected, ResponseBody::Reject(_)));
+    assert_eq!(
+        tap.status_body().jobs_total,
+        2,
+        "a rejected submit must not grow the advertised workload"
+    );
+}

@@ -22,6 +22,57 @@ use crate::result::RunResult;
 use crate::store::{job_noise_rng, JobStore};
 use crate::timeshare::{effective_procs, throughput_factor, QuantumPlacement};
 
+/// The observer slot of a [`Sim`]: a run borrows the caller's observer
+/// for the duration of `run_instrumented`, while a long-lived
+/// [`EngineSession`](crate::session::EngineSession) owns its sink outright
+/// so the simulation state can outlive any one call stack.
+pub(crate) enum ObsSink<'a> {
+    /// The classic batch path: the observer outlives the run.
+    Borrowed(&'a mut dyn Observer),
+    /// The session path: the simulation owns its sink (`Sim<'static>`).
+    Owned(Box<dyn Observer>),
+}
+
+impl ObsSink<'_> {
+    fn is_enabled(&self) -> bool {
+        match self {
+            ObsSink::Borrowed(o) => o.is_enabled(),
+            ObsSink::Owned(o) => o.is_enabled(),
+        }
+    }
+
+    fn on_event(&mut self, at: SimTime, event: &ObsEvent) {
+        match self {
+            ObsSink::Borrowed(o) => o.on_event(at, event),
+            ObsSink::Owned(o) => o.on_event(at, event),
+        }
+    }
+}
+
+impl std::fmt::Debug for ObsSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsSink::Borrowed(_) => f.write_str("ObsSink::Borrowed(..)"),
+            ObsSink::Owned(_) => f.write_str("ObsSink::Owned(..)"),
+        }
+    }
+}
+
+/// What a cancellation request (`Sim::cancel_at`, surfaced through
+/// [`crate::EngineSession::cancel`]) found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still waiting in the queue; it was removed and failed
+    /// terminally without ever starting.
+    Queued,
+    /// The job was running; it was killed (no retry) and its processors
+    /// released.
+    Running,
+    /// The job is unknown, already finished, or already failed — nothing
+    /// to cancel.
+    NotFound,
+}
+
 /// Engine events.
 #[derive(Clone, Copy, Debug)]
 enum Ev {
@@ -98,7 +149,7 @@ impl Engine {
         observer: &mut dyn Observer,
         instr: Instrumentation,
     ) -> RunResult {
-        let mut lane = if instr.profile {
+        let lane = if instr.profile {
             Lane::enabled(std::time::Instant::now())
         } else {
             Lane::disabled()
@@ -113,7 +164,13 @@ impl Engine {
             .unwrap_or_else(|| Arc::new(StderrHeartbeat));
         let tap = instr.tap.clone();
         let mut watchdog_diag = None;
-        let mut sim = Sim::new(&self.config, jobs, policy.sharing(), observer, &mut lane);
+        let mut sim = Sim::new(
+            &self.config,
+            jobs,
+            policy.sharing(),
+            ObsSink::Borrowed(observer),
+            lane,
+        );
         sim.schedule_arrivals();
         let replay = sim.lane.begin(SpanKind::Replay);
         let mut steps: u64 = 0;
@@ -166,15 +223,7 @@ impl Engine {
                     }
                 }
             }
-            match ev {
-                Ev::Arrival(job) => sim.on_arrival(job, policy.as_mut()),
-                Ev::IterEnd { job } => sim.on_iter_end(job, policy.as_mut()),
-                Ev::Tick => sim.on_tick(),
-                Ev::CpuFail(cpu) => sim.on_cpu_fail(cpu, policy.as_mut()),
-                Ev::CpuRecover(cpu) => sim.on_cpu_recover(cpu, policy.as_mut()),
-                Ev::JobKill(job) => sim.on_job_kill(job, policy.as_mut()),
-                Ev::JobRetry(job) => sim.on_job_retry(job, policy.as_mut()),
-            }
+            sim.dispatch(ev, policy.as_mut());
         }
         sim.lane.add_events(steps);
         sim.lane.end(replay);
@@ -190,22 +239,30 @@ impl Engine {
                 shard_events: Vec::new(),
             });
         }
+        let profile = if instr.profile {
+            Some(Profile::from_lanes(vec![LaneProfile {
+                name: "coordinator".to_string(),
+                spans: sim.lane.spans().to_vec(),
+                events: sim.lane.events(),
+            }]))
+        } else {
+            None
+        };
         let mut result = sim.into_result(policy.name());
         result.watchdog = watchdog_diag;
-        if instr.profile {
-            result.profile = Some(Profile::from_lanes(vec![LaneProfile {
-                name: "coordinator".to_string(),
-                spans: lane.spans().to_vec(),
-                events: lane.events(),
-            }]));
-        }
+        result.profile = profile;
         result
     }
 }
 
 /// All mutable state of one run.
-struct Sim<'a> {
-    config: &'a EngineConfig,
+///
+/// `Sim<'a>` borrows its observer on the classic batch path; with an
+/// [`ObsSink::Owned`] sink it is `Sim<'static>` — a fully self-owned
+/// simulation that a long-running [`EngineSession`](crate::session)
+/// drives incrementally.
+pub(crate) struct Sim<'a> {
+    config: EngineConfig,
     sharing: SharingModel,
     qs: QueueSystem,
     machine: Machine,
@@ -235,7 +292,7 @@ struct Sim<'a> {
     /// `config.collect_trace`, cached where the publish sites branch on it.
     trace_on: bool,
     /// The external event sink, when one is attached.
-    obs: &'a mut dyn Observer,
+    obs: ObsSink<'a>,
     /// `obs.is_enabled()`, cached at run start: publish sites skip event
     /// construction entirely when false.
     obs_on: bool,
@@ -251,7 +308,7 @@ struct Sim<'a> {
     decision_hist: Arc<Histogram>,
     /// Span buffer for self-profiling; a disabled lane (the default) costs
     /// one branch per touch point.
-    lane: &'a mut Lane,
+    lane: Lane,
     placement: QuantumPlacement,
     ml_series: Vec<(f64, usize)>,
     max_ml: usize,
@@ -275,12 +332,12 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(
-        config: &'a EngineConfig,
+    pub(crate) fn new(
+        config: &EngineConfig,
         jobs: Vec<JobSpec>,
         sharing: SharingModel,
-        obs: &'a mut dyn Observer,
-        lane: &'a mut Lane,
+        obs: ObsSink<'a>,
+        lane: Lane,
     ) -> Self {
         let trace_obs = if config.collect_trace {
             TraceObserver::new(config.cpus)
@@ -289,7 +346,7 @@ impl<'a> Sim<'a> {
         };
         let obs_on = obs.is_enabled();
         Sim {
-            config,
+            config: config.clone(),
             sharing,
             qs: QueueSystem::new(jobs),
             machine: Machine::new(config.cpus),
@@ -675,6 +732,114 @@ impl<'a> Sim<'a> {
     }
 
     // --- Event handlers ---
+
+    /// Routes one popped event to its handler.
+    fn dispatch(&mut self, ev: Ev, policy: &mut dyn SchedulingPolicy) {
+        match ev {
+            Ev::Arrival(job) => self.on_arrival(job, policy),
+            Ev::IterEnd { job } => self.on_iter_end(job, policy),
+            Ev::Tick => self.on_tick(),
+            Ev::CpuFail(cpu) => self.on_cpu_fail(cpu, policy),
+            Ev::CpuRecover(cpu) => self.on_cpu_recover(cpu, policy),
+            Ev::JobKill(job) => self.on_job_kill(job, policy),
+            Ev::JobRetry(job) => self.on_job_retry(job, policy),
+        }
+    }
+
+    // --- Incremental session support ---
+    //
+    // A long-lived `EngineSession` drives the same state machine as the
+    // batch loop above, but in slices: ops (submit, cancel) carry an
+    // instant `at`, and every op first processes all events at or before
+    // `at` *before* mutating anything. Event-queue sequence numbers —
+    // and therefore pop order on ties — are then a pure function of the
+    // op sequence, which is what makes journal replay (snapshot/restore)
+    // reproduce a live run exactly.
+
+    /// Processes every event due at or before `barrier` (clamped to
+    /// `max_sim_secs`); returns the number of events handled.
+    pub(crate) fn run_due(&mut self, barrier: SimTime, policy: &mut dyn SchedulingPolicy) -> u64 {
+        let max = SimTime::from_secs(self.config.max_sim_secs);
+        let barrier = if barrier > max { max } else { barrier };
+        let mut steps = 0;
+        while let Some((t, ev)) = self.events.pop_due(barrier) {
+            self.clock = t;
+            steps += 1;
+            self.dispatch(ev, policy);
+        }
+        self.lane.add_events(steps);
+        steps
+    }
+
+    /// Admits a job submitted online: appends it to the queue system and
+    /// schedules its arrival at `at`. The caller must have processed all
+    /// events up to `at` first (see [`run_due`](Self::run_due)) and keep
+    /// submission instants nondecreasing.
+    pub(crate) fn submit_at(
+        &mut self,
+        at: SimTime,
+        app: pdpa_apps::ApplicationSpec,
+        policy: &mut dyn SchedulingPolicy,
+    ) -> JobId {
+        self.run_due(at, policy);
+        let job = self.qs.push_job(JobSpec::new(at, app));
+        self.events.push(at, Ev::Arrival(job));
+        job
+    }
+
+    /// Cancels a job at instant `at`: a still-queued job is removed and
+    /// failed terminally; a running job is killed with retries forbidden.
+    pub(crate) fn cancel_at(
+        &mut self,
+        at: SimTime,
+        job: JobId,
+        policy: &mut dyn SchedulingPolicy,
+    ) -> CancelOutcome {
+        self.run_due(at, policy);
+        let max = SimTime::from_secs(self.config.max_sim_secs);
+        let at = if at > max { max } else { at };
+        if self.clock < at {
+            self.clock = at;
+        }
+        if job.index() >= self.qs.total_jobs() {
+            return CancelOutcome::NotFound;
+        }
+        if self.qs.remove_waiting(job) {
+            self.jobs_failed += 1;
+            if self.obs_on {
+                self.publish(ObsEvent::JobFailed { job, attempts: 0 });
+            }
+            self.qs.fail_terminal(job);
+            // Removing the queue head can unblock the job behind it.
+            self.try_admit(policy);
+            CancelOutcome::Queued
+        } else if self.store.contains(job) {
+            self.kill_job(job, policy, false);
+            CancelOutcome::Running
+        } else {
+            CancelOutcome::NotFound
+        }
+    }
+
+    pub(crate) fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub(crate) fn queue_stats(&self) -> pdpa_sim::QueueStats {
+        self.events.stats()
+    }
+
+    pub(crate) fn qs(&self) -> &QueueSystem {
+        &self.qs
+    }
+
+    pub(crate) fn running_count(&self) -> usize {
+        self.store.len()
+    }
 
     fn on_arrival(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy) {
         self.qs.arrive(job);
@@ -1065,6 +1230,14 @@ impl<'a> Sim<'a> {
             // retries). The fault is dropped.
             return;
         }
+        self.kill_job(job, policy, true);
+    }
+
+    /// Tears down a running job: releases its processors, removes it from
+    /// the store, and either schedules a retry (fault-plan crashes, when
+    /// the budget allows) or fails it terminally. `allow_retry` is false
+    /// for explicit cancellation — a cancelled job never comes back.
+    fn kill_job(&mut self, job: JobId, policy: &mut dyn SchedulingPolicy, allow_retry: bool) {
         let attempt = self.retries.get(&job).copied().unwrap_or(0) + 1;
         // Free the crashed job's resources — like a completion, but with no
         // outcome record: a retried job restarts from scratch.
@@ -1092,7 +1265,7 @@ impl<'a> Sim<'a> {
         self.record_ml();
 
         let retry = self.config.faults.retry;
-        if retry.is_some_and(|r| attempt <= r.max_retries) {
+        if allow_retry && retry.is_some_and(|r| attempt <= r.max_retries) {
             let backoff = retry.expect("checked").backoff_for(attempt);
             self.retries.insert(job, attempt);
             self.job_retries += 1;
@@ -1144,7 +1317,7 @@ impl<'a> Sim<'a> {
         self.try_admit(policy);
     }
 
-    fn into_result(mut self, policy_name: &str) -> RunResult {
+    pub(crate) fn into_result(mut self, policy_name: &str) -> RunResult {
         let completed_all = self.qs.all_done();
         // Memo stats of jobs still running at the simulation bound.
         let leftover = self.store.remaining_memo_stats();

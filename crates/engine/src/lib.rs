@@ -38,12 +38,14 @@ pub mod config;
 pub mod engine;
 pub mod instrument;
 pub mod result;
+pub mod session;
 pub mod shard;
 pub mod store;
 pub mod timeshare;
 
 pub use config::EngineConfig;
-pub use engine::Engine;
+pub use engine::{CancelOutcome, Engine};
 pub use instrument::Instrumentation;
 pub use result::RunResult;
+pub use session::EngineSession;
 pub use store::JobStore;

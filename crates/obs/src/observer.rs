@@ -39,12 +39,34 @@ impl Observer for NullObserver {
 pub struct RecordingObserver {
     events: Vec<TimedEvent>,
     next_seq: u64,
+    /// Events with seq below this are counted but not stored — the
+    /// rebuild window of a restored run.
+    first_kept_seq: u64,
 }
 
 impl RecordingObserver {
     /// An empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A recorder that counts but discards the first `first_seq` events,
+    /// recording only from sequence number `first_seq` onward. A restored
+    /// run replays its journal to rebuild scheduler state, re-publishing
+    /// events the pre-snapshot instance already wrote; this constructor
+    /// lets the continuation stream start exactly where the old one
+    /// stopped while keeping sequence numbers globally continuous.
+    pub fn with_first_seq(first_seq: u64) -> Self {
+        RecordingObserver {
+            events: Vec::new(),
+            next_seq: 0,
+            first_kept_seq: first_seq,
+        }
+    }
+
+    /// The sequence number the next event will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Events recorded so far, in `(sim_time, seq)` order.
@@ -70,11 +92,13 @@ impl RecordingObserver {
 
 impl Observer for RecordingObserver {
     fn on_event(&mut self, at: SimTime, event: &ObsEvent) {
-        self.events.push(TimedEvent {
-            at,
-            seq: self.next_seq,
-            event: event.clone(),
-        });
+        if self.next_seq >= self.first_kept_seq {
+            self.events.push(TimedEvent {
+                at,
+                seq: self.next_seq,
+                event: event.clone(),
+            });
+        }
         self.next_seq += 1;
     }
 }
@@ -212,6 +236,25 @@ mod tests {
         let events = rec.take_events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].event.kind(), "finish");
+    }
+
+    #[test]
+    fn recorder_with_first_seq_counts_but_skips_the_rebuild_window() {
+        let mut rec = RecordingObserver::with_first_seq(2);
+        for i in 0..4 {
+            rec.on_event(
+                SimTime::from_secs(f64::from(i)),
+                &ObsEvent::JobSubmitted { job: JobId(i) },
+            );
+        }
+        assert_eq!(rec.next_seq(), 4, "suppressed events still advance seq");
+        let events = rec.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3],
+            "recorded stream continues the global numbering"
+        );
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use health::{
     memory_high_water_kib, HealthSnapshot, Heartbeat, HeartbeatConfig, Watchdog, WatchdogConfig,
 };
 pub use report::{LaneProfile, Profile};
-pub use sink::{CaptureHeartbeat, HeartbeatSink, ProgressSink, StderrHeartbeat};
+pub use sink::{CaptureHeartbeat, HeartbeatSink, ProgressSink, StderrHeartbeat, TeeHeartbeat};
 pub use span::{Lane, Profiler, SpanKind, SpanRec, SpanStart};

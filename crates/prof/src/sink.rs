@@ -12,7 +12,7 @@
 //! an amortized cadence (every 64k events / every few hundred rounds), not
 //! per event, so the disabled path stays inside the ≤2% overhead contract.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::health::HealthSnapshot;
 
@@ -61,6 +61,37 @@ impl HeartbeatSink for CaptureHeartbeat {
     }
 }
 
+/// Fans one heartbeat out to several sinks, in order. `pdpad` uses this
+/// to keep the operator console (stderr) and the live tap fed from one
+/// engine-side emit; each leg inherits the cheap/non-blocking contract of
+/// [`HeartbeatSink`], so the tee adds nothing but the iteration.
+pub struct TeeHeartbeat {
+    sinks: Vec<Arc<dyn HeartbeatSink>>,
+}
+
+impl std::fmt::Debug for TeeHeartbeat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeHeartbeat")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TeeHeartbeat {
+    /// A tee over the given sinks; emits are delivered in vec order.
+    pub fn new(sinks: Vec<Arc<dyn HeartbeatSink>>) -> Self {
+        TeeHeartbeat { sinks }
+    }
+}
+
+impl HeartbeatSink for TeeHeartbeat {
+    fn emit(&self, line: &str, snapshot: &HealthSnapshot) {
+        for sink in &self.sinks {
+            sink.emit(line, snapshot);
+        }
+    }
+}
+
 /// Receives periodic run-progress snapshots. The engine calls
 /// [`ProgressSink::progress`] on an amortized cadence whether or not a
 /// heartbeat is due, so a live status server can stay fresh without forcing
@@ -85,6 +116,20 @@ mod tests {
         sink.emit("first", &snap);
         sink.emit("second", &snap);
         assert_eq!(sink.lines(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn tee_delivers_to_every_leg_in_order() {
+        let a = Arc::new(CaptureHeartbeat::new());
+        let b = Arc::new(CaptureHeartbeat::new());
+        let tee = TeeHeartbeat::new(vec![
+            Arc::clone(&a) as Arc<dyn HeartbeatSink>,
+            Arc::clone(&b) as Arc<dyn HeartbeatSink>,
+        ]);
+        tee.emit("one", &HealthSnapshot::default());
+        tee.emit("two", &HealthSnapshot::default());
+        assert_eq!(a.lines(), vec!["one", "two"]);
+        assert_eq!(b.lines(), vec!["one", "two"]);
     }
 
     #[test]

@@ -40,6 +40,37 @@ impl QueueSystem {
         }
     }
 
+    /// Appends a job submitted *after* construction (online admission by
+    /// a resident daemon) and returns its dense id. The caller must keep
+    /// submission instants nondecreasing across `push_job` calls —
+    /// streaming submissions arrive in wall order — so id order stays
+    /// submission order, the invariant [`new`](Self::new) establishes by
+    /// sorting.
+    pub fn push_job(&mut self, spec: JobSpec) -> JobId {
+        debug_assert!(
+            self.jobs
+                .last()
+                .is_none_or(|last| last.submit <= spec.submit),
+            "online submissions must be nondecreasing in time"
+        );
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(spec);
+        id
+    }
+
+    /// Removes a still-waiting job from the FCFS queue (cancellation
+    /// before start). Returns false if the job is not waiting — already
+    /// started, finished, or never arrived.
+    pub fn remove_waiting(&mut self, job: JobId) -> bool {
+        match self.waiting.iter().position(|&j| j == job) {
+            Some(pos) => {
+                self.waiting.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// All submissions in id order (the engine schedules one arrival event
     /// per entry).
     pub fn submissions(&self) -> impl Iterator<Item = (JobId, &JobSpec)> {
@@ -247,6 +278,30 @@ mod tests {
         assert_eq!(order, vec![JobId(1), JobId(0)]);
         assert_eq!(qs.start_next(), Some(JobId(1)));
         assert_eq!(qs.start_next(), Some(JobId(0)));
+    }
+
+    #[test]
+    fn push_job_appends_with_dense_ids() {
+        let mut qs = QueueSystem::new(Vec::new());
+        let a = qs.push_job(JobSpec::new(t(1.0), apsi()));
+        let b = qs.push_job(JobSpec::new(t(2.0), bt_a()));
+        assert_eq!((a, b), (JobId(0), JobId(1)));
+        assert_eq!(qs.total_jobs(), 2);
+        assert_eq!(qs.spec(b).submit, t(2.0));
+        assert_eq!(qs.last_submission(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn remove_waiting_cancels_queued_jobs_only() {
+        let mut qs = make_qs();
+        qs.arrive(JobId(0));
+        qs.arrive(JobId(1));
+        qs.start_next();
+        assert!(!qs.remove_waiting(JobId(0)), "already started");
+        assert!(qs.remove_waiting(JobId(1)));
+        assert!(!qs.remove_waiting(JobId(1)), "already removed");
+        assert_eq!(qs.waiting_count(), 0);
+        assert!(!qs.remove_waiting(JobId(2)), "never arrived");
     }
 
     #[test]

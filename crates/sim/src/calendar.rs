@@ -383,6 +383,31 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Removes and returns the earliest live event at or before `t` —
+    /// same contract as [`EventQueue::pop_due`]. Stale heads sitting
+    /// before `t` are discarded rather than letting their timestamps
+    /// stand in for the first live event's.
+    pub fn pop_due(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let (b, i, day) = self.locate()?;
+            if self.buckets[b][i].at > t && !self.is_stale(&self.buckets[b][i]) {
+                return None;
+            }
+            self.current_day = day;
+            let e = self.buckets[b].swap_remove(i);
+            self.cache.set(None);
+            self.len -= 1;
+            self.popped += 1;
+            let stale = self.is_stale(&e);
+            self.maybe_resize();
+            if stale {
+                self.stale += 1;
+                continue;
+            }
+            return Some((e.at, e.payload));
+        }
+    }
+
     /// The timestamp of the earliest pending entry — possibly a stale
     /// one, exactly like [`EventQueue::peek_time`].
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -566,6 +591,15 @@ impl<E> AdaptiveQueue<E> {
         }
     }
 
+    /// Pops the earliest live event at or before `t` — see
+    /// [`EventQueue::pop_due`].
+    pub fn pop_due(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        match &mut self.backend {
+            Backend::Heap(q) => q.pop_due(t),
+            Backend::Calendar(q) => q.pop_due(t),
+        }
+    }
+
     /// Earliest pending timestamp — see [`EventQueue::peek_time`].
     pub fn peek_time(&self) -> Option<SimTime> {
         match &self.backend {
@@ -653,6 +687,42 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn pop_due_matches_heap_semantics() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        cal.push_keyed(t(1.0), 7, "stale");
+        heap.push_keyed(t(1.0), 7, "stale");
+        cal.push(t(5.0), "live");
+        heap.push(t(5.0), "live");
+        cal.push(t(9.0), "later");
+        heap.push(t(9.0), "later");
+        cal.invalidate_key(7);
+        heap.invalidate_key(7);
+        for barrier in [2.0, 5.0, 6.0, 9.0, 10.0] {
+            loop {
+                let (a, b) = (cal.pop_due(t(barrier)), heap.pop_due(t(barrier)));
+                assert_eq!(a, b, "barrier {barrier}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(cal.stale_drops(), heap.stale_drops());
+        assert_eq!(cal.total_popped(), heap.total_popped());
+    }
+
+    #[test]
+    fn adaptive_pop_due_delegates_on_both_backends() {
+        for mut q in [AdaptiveQueue::heap(), AdaptiveQueue::calendar()] {
+            q.push(t(2.0), "b");
+            q.push(t(1.0), "a");
+            assert_eq!(q.pop_due(t(1.5)), Some((t(1.0), "a")));
+            assert_eq!(q.pop_due(t(1.5)), None);
+            assert_eq!(q.pop_due(t(2.0)), Some((t(2.0), "b")));
+        }
     }
 
     #[test]

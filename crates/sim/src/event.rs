@@ -185,6 +185,30 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Removes and returns the earliest live event whose timestamp is at
+    /// or before `t`, or `None` when the earliest live event is after `t`
+    /// (or the queue is empty). Stale keyed heads are discarded along the
+    /// way even when they sit before `t`, so a caller draining events up
+    /// to a barrier never observes a stale head's earlier timestamp the
+    /// way [`peek_time`](Self::peek_time) can report it.
+    pub fn pop_due(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.is_stale(head) {
+                self.heap.pop();
+                self.popped += 1;
+                self.stale += 1;
+                continue;
+            }
+            if head.at > t {
+                return None;
+            }
+            let e = self.heap.pop().expect("peeked entry exists");
+            self.popped += 1;
+            return Some((e.at, e.payload));
+        }
+    }
+
     /// Removes and returns the earliest live event for which `valid` also
     /// holds, discarding invalid ones along the way; `None` when the queue
     /// runs out.
@@ -435,6 +459,35 @@ mod tests {
         assert_eq!(q.pop(), Some((t(95.0), 5)));
         assert_eq!(q.pop(), None);
         assert_eq!(q.stale_drops(), 5);
+    }
+
+    #[test]
+    fn pop_due_respects_the_barrier() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        q.push(t(3.0), "c");
+        assert_eq!(q.pop_due(t(2.0)), Some((t(1.0), "a")));
+        assert_eq!(q.pop_due(t(2.0)), Some((t(2.0), "b")), "barrier inclusive");
+        assert_eq!(q.pop_due(t(2.0)), None, "later event stays queued");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(t(3.0)), Some((t(3.0), "c")));
+    }
+
+    #[test]
+    fn pop_due_discards_stale_heads_without_over_advancing() {
+        let mut q = EventQueue::new();
+        // A stale entry sits at t=1 while the earliest live event is t=5;
+        // peek_time would report 1.0, but pop_due(2.0) must drop the stale
+        // head and report nothing due rather than return the t=5 event.
+        q.push_keyed(t(1.0), 7, "stale");
+        q.push(t(5.0), "live");
+        q.invalidate_key(7);
+        assert_eq!(q.peek_time(), Some(t(1.0)), "stale head shows early time");
+        assert_eq!(q.pop_due(t(2.0)), None);
+        assert_eq!(q.stale_drops(), 1);
+        assert_eq!(q.pop_due(t(5.0)), Some((t(5.0), "live")));
+        assert!(q.is_empty());
     }
 
     #[test]

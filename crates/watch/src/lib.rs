@@ -14,13 +14,17 @@
 //!   (via [`TapObserver`], which tees the stream unchanged to the real
 //!   recorder).
 //! - [`proto`] — the typed, correlation-ID'd, line-delimited JSON
-//!   request/response protocol: `status`, `progress`, `health`, `metrics`,
-//!   `tail N`. Both directions round-trip through the parsers in this
-//!   crate (pinned by proptest), so the client and the future daemon share
-//!   one schema.
+//!   request/response protocol: the v1 query vocabulary (`status`,
+//!   `progress`, `health`, `metrics`, `tail N`) plus the v2 control
+//!   vocabulary `pdpad` serves (`hello`, `submit`, `cancel`, `drain`,
+//!   `snapshot`, `shutdown`, `jobs`, `job`). Both directions round-trip
+//!   through the parsers in this crate (pinned by proptest), so the
+//!   client and the daemon share one schema.
 //! - [`server`] — a thread-per-connection TCP [`StatusServer`] over
 //!   std::net answering protocol queries from the tap and the global
-//!   metrics registry.
+//!   metrics registry. Control requests go through a pluggable
+//!   [`ControlHandler`]; the default [`ReadOnlyControl`] identifies
+//!   itself and rejects mutation, `pdpad` installs the real one.
 //! - [`prom`] — [`prometheus_text`], the Prometheus text-exposition
 //!   renderer for the `pdpa-obs` registry (counters and log₂ histograms
 //!   as cumulative buckets).
@@ -41,8 +45,8 @@ pub mod tap;
 
 pub use prom::prometheus_text;
 pub use proto::{
-    HealthBody, ProgressBody, Request, RequestKind, Response, ResponseBody, RunState, StatusBody,
-    TailBody,
+    AckBody, HealthBody, HelloBody, JobRow, ProgressBody, RejectBody, Request, RequestKind,
+    Response, ResponseBody, RunState, StatusBody, TailBody, PROTO_VERSION,
 };
-pub use server::StatusServer;
+pub use server::{ControlHandler, ReadOnlyControl, StatusServer};
 pub use tap::{LiveTap, RunMeta, TapObserver, DEFAULT_RING_CAPACITY};

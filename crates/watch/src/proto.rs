@@ -13,7 +13,20 @@
 //! ← {"id":2,"type":"tail","events":["0.50 submit job=3", ...],"dropped":0}
 //! ```
 //!
-//! Five request types: `status`, `progress`, `health`, `metrics`, `tail`.
+//! **Query vocabulary** (protocol v1, served by `pdpa replay --serve` and
+//! `pdpad` alike): `status`, `progress`, `health`, `metrics`, `tail`.
+//!
+//! **Control vocabulary** (protocol v2): `hello`, `submit`, `cancel`,
+//! `drain`, `snapshot`, `shutdown`, `jobs`, `job`. Every v2 server
+//! answers `hello` (identifying itself as `pdpad` or `replay`); the
+//! mutating requests are served by `pdpad` only — the read-only replay
+//! server rejects them with the stable `not_a_daemon` code. Control
+//! requests are answered with `ack` / `reject` (explicit backpressure: a
+//! full admission queue rejects with `retry_after_secs`) or a job-record
+//! payload. A v1 server answers control requests with a plain `error` —
+//! see [`PROTO_VERSION`] and OBSERVABILITY.md for the compatibility
+//! policy.
+//!
 //! Malformed requests get a `type":"error"` response with `id` 0 (the id
 //! could not be read). Both sides of every message round-trip through
 //! [`Request::parse_line`] / [`Response::parse_line`], which is pinned by
@@ -22,6 +35,20 @@
 use std::fmt::Write as _;
 
 use crate::json::{fmt_f64, push_str_escaped, Json};
+
+/// The protocol generation this build speaks.
+///
+/// Version history: **1** — the query vocabulary (status, progress,
+/// health, metrics, tail); **2** — adds the `proto` field to `status` and
+/// `hello` frames plus the daemon control vocabulary (hello, submit,
+/// cancel, drain, snapshot, shutdown, jobs, job).
+///
+/// Compatibility policy: the protocol evolves by *adding* message types
+/// and *adding* object fields, never by renaming or removing them within
+/// a major tool version. Clients parse responses by field lookup and must
+/// ignore unknown fields; a `status` frame without `proto` parses as
+/// version 0 (a pre-v2 server), which clients must treat as v1.
+pub const PROTO_VERSION: u64 = 2;
 
 /// One client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,7 +60,7 @@ pub struct Request {
 }
 
 /// The request vocabulary.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RequestKind {
     /// Run identity, job totals, terminal state.
     Status,
@@ -48,6 +75,47 @@ pub enum RequestKind {
         /// Maximum number of events to return.
         n: usize,
     },
+    /// Identify the server: protocol version, server kind, policy, state.
+    Hello,
+    /// Submit one job for online admission (daemon only).
+    Submit {
+        /// Application class name (`swim`, `bt.A`, `hydro2d`, `apsi`).
+        class: String,
+        /// Processor request override; the class default when absent.
+        request: Option<u64>,
+        /// Total sequential work override in simulated seconds; the class
+        /// default when absent.
+        work_secs: Option<f64>,
+    },
+    /// Cancel a queued or running job (daemon only).
+    Cancel {
+        /// The job id returned by the submit `ack`.
+        job: u64,
+    },
+    /// Stop pacing and run the workload to quiescence (daemon only).
+    Drain,
+    /// Write a snapshot of the scheduler state (daemon only).
+    Snapshot {
+        /// Target path; the daemon's configured default when absent.
+        path: Option<String>,
+    },
+    /// Stop the daemon after the current slice (daemon only).
+    Shutdown {
+        /// Write a snapshot here before exiting, so a later
+        /// `pdpa daemon --restore` continues the run deterministically.
+        snapshot: Option<String>,
+    },
+    /// The most recent `n` job records from the run registry (daemon
+    /// only).
+    Jobs {
+        /// Maximum number of records to return.
+        n: usize,
+    },
+    /// One job record from the run registry (daemon only).
+    Job {
+        /// The job id to look up.
+        job: u64,
+    },
 }
 
 impl RequestKind {
@@ -58,7 +126,31 @@ impl RequestKind {
             RequestKind::Health => "health",
             RequestKind::Metrics => "metrics",
             RequestKind::Tail { .. } => "tail",
+            RequestKind::Hello => "hello",
+            RequestKind::Submit { .. } => "submit",
+            RequestKind::Cancel { .. } => "cancel",
+            RequestKind::Drain => "drain",
+            RequestKind::Snapshot { .. } => "snapshot",
+            RequestKind::Shutdown { .. } => "shutdown",
+            RequestKind::Jobs { .. } => "jobs",
+            RequestKind::Job { .. } => "job",
         }
+    }
+
+    /// True for the v2 control vocabulary only a daemon serves; false for
+    /// the v1 query vocabulary every status server answers from its tap.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            RequestKind::Hello
+                | RequestKind::Submit { .. }
+                | RequestKind::Cancel { .. }
+                | RequestKind::Drain
+                | RequestKind::Snapshot { .. }
+                | RequestKind::Shutdown { .. }
+                | RequestKind::Jobs { .. }
+                | RequestKind::Job { .. }
+        )
     }
 }
 
@@ -66,8 +158,45 @@ impl Request {
     /// Serializes to one protocol line (no trailing newline).
     pub fn to_line(&self) -> String {
         let mut out = format!("{{\"id\":{},\"type\":\"{}\"", self.id, self.kind.label());
-        if let RequestKind::Tail { n } = self.kind {
-            let _ = write!(out, ",\"n\":{n}");
+        match &self.kind {
+            RequestKind::Tail { n } | RequestKind::Jobs { n } => {
+                let _ = write!(out, ",\"n\":{n}");
+            }
+            RequestKind::Submit {
+                class,
+                request,
+                work_secs,
+            } => {
+                out.push_str(",\"class\":");
+                push_str_escaped(&mut out, class);
+                if let Some(r) = request {
+                    let _ = write!(out, ",\"request\":{r}");
+                }
+                if let Some(w) = work_secs {
+                    let _ = write!(out, ",\"work_secs\":{}", fmt_f64(*w));
+                }
+            }
+            RequestKind::Cancel { job } | RequestKind::Job { job } => {
+                let _ = write!(out, ",\"job\":{job}");
+            }
+            RequestKind::Snapshot { path } => {
+                if let Some(p) = path {
+                    out.push_str(",\"path\":");
+                    push_str_escaped(&mut out, p);
+                }
+            }
+            RequestKind::Shutdown { snapshot } => {
+                if let Some(p) = snapshot {
+                    out.push_str(",\"snapshot\":");
+                    push_str_escaped(&mut out, p);
+                }
+            }
+            RequestKind::Status
+            | RequestKind::Progress
+            | RequestKind::Health
+            | RequestKind::Metrics
+            | RequestKind::Hello
+            | RequestKind::Drain => {}
         }
         out.push('}');
         out
@@ -80,20 +209,45 @@ impl Request {
             .get("id")
             .and_then(Json::as_u64)
             .ok_or("request missing numeric 'id'")?;
+        let need_n = |label: &str| -> Result<usize, String> {
+            let n = doc
+                .get("n")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{label} request missing numeric 'n'"))?;
+            usize::try_from(n).map_err(|_| "'n' does not fit in usize".to_string())
+        };
+        let need_job = |label: &str| -> Result<u64, String> {
+            doc.get("job")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{label} request missing numeric 'job'"))
+        };
+        let opt_str = |key: &str| doc.get(key).and_then(Json::as_str).map(str::to_string);
         let kind = match doc.get("type").and_then(Json::as_str) {
             Some("status") => RequestKind::Status,
             Some("progress") => RequestKind::Progress,
             Some("health") => RequestKind::Health,
             Some("metrics") => RequestKind::Metrics,
-            Some("tail") => {
-                let n = doc
-                    .get("n")
-                    .and_then(Json::as_u64)
-                    .ok_or("tail request missing numeric 'n'")?;
-                RequestKind::Tail {
-                    n: usize::try_from(n).map_err(|_| "'n' does not fit in usize")?,
-                }
-            }
+            Some("tail") => RequestKind::Tail { n: need_n("tail")? },
+            Some("hello") => RequestKind::Hello,
+            Some("submit") => RequestKind::Submit {
+                class: opt_str("class").ok_or("submit request missing string 'class'")?,
+                request: doc.get("request").and_then(Json::as_u64),
+                work_secs: doc.get("work_secs").and_then(Json::as_f64),
+            },
+            Some("cancel") => RequestKind::Cancel {
+                job: need_job("cancel")?,
+            },
+            Some("drain") => RequestKind::Drain,
+            Some("snapshot") => RequestKind::Snapshot {
+                path: opt_str("path"),
+            },
+            Some("shutdown") => RequestKind::Shutdown {
+                snapshot: opt_str("snapshot"),
+            },
+            Some("jobs") => RequestKind::Jobs { n: need_n("jobs")? },
+            Some("job") => RequestKind::Job {
+                job: need_job("job")?,
+            },
             Some(other) => return Err(format!("unknown request type '{other}'")),
             None => return Err("request missing 'type'".to_string()),
         };
@@ -136,6 +290,9 @@ impl RunState {
 /// `status` payload: run identity and terminal state.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StatusBody {
+    /// The protocol generation of the answering server. Absent on the
+    /// wire from pre-v2 servers; parsed as 0 then (treat as v1).
+    pub proto: u64,
     /// Where the run is in its lifecycle.
     pub state: RunState,
     /// The policy's display name.
@@ -213,6 +370,63 @@ pub struct TailBody {
     pub dropped: u64,
 }
 
+/// `hello` payload: server identity, for capability negotiation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HelloBody {
+    /// The protocol generation the server speaks ([`PROTO_VERSION`]).
+    pub proto: u64,
+    /// Server kind: `pdpad` for the daemon, `replay` for the read-only
+    /// status server.
+    pub server: String,
+    /// The policy's display name.
+    pub policy: String,
+    /// Where the run is in its lifecycle.
+    pub state: RunState,
+}
+
+/// `ack` payload: the control request was applied.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AckBody {
+    /// The job the ack concerns (submit returns the assigned id; cancel
+    /// echoes the target).
+    pub job: Option<u64>,
+    /// The simulated instant the operation took effect, after the
+    /// daemon's monotone-cursor clamp.
+    pub at_secs: Option<f64>,
+    /// Free-form detail (e.g. the snapshot path written).
+    pub info: Option<String>,
+}
+
+/// `reject` payload: the control request was refused. `reason` is a
+/// stable error code, not prose: `queue_full`, `busy`, `unknown_job`,
+/// `not_a_daemon`, `draining`, `shutting_down`, `bad_request`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RejectBody {
+    /// Stable machine-readable error code.
+    pub reason: String,
+    /// Backpressure hint: retry no sooner than this many wall seconds
+    /// from now. Present on `queue_full`/`busy` rejections.
+    pub retry_after_secs: Option<f64>,
+}
+
+/// One job record from the daemon's run registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRow {
+    /// The dense job id.
+    pub job: u64,
+    /// Application class name.
+    pub class: String,
+    /// Processors requested.
+    pub request: u64,
+    /// Lifecycle state: `queued`, `running`, `done`, `failed`, or
+    /// `cancelled`.
+    pub state: String,
+    /// Simulated submission instant, seconds.
+    pub submit_secs: f64,
+    /// Simulated completion/failure instant, when terminal.
+    pub finish_secs: Option<f64>,
+}
+
 /// One server response.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
@@ -242,6 +456,18 @@ pub enum ResponseBody {
     },
     /// Answer to `tail`.
     Tail(TailBody),
+    /// Answer to `hello`.
+    Hello(HelloBody),
+    /// A control request was applied (submit, cancel, drain, snapshot,
+    /// shutdown).
+    Ack(AckBody),
+    /// A control request was refused, with a stable error code and an
+    /// optional backpressure hint.
+    Reject(RejectBody),
+    /// Answer to `jobs`: most recent registry records, oldest first.
+    Jobs(Vec<JobRow>),
+    /// Answer to `job`: one registry record.
+    Job(JobRow),
     /// The request could not be served.
     Error {
         /// Human-readable reason.
@@ -257,6 +483,44 @@ fn push_opt_str(out: &mut String, key: &str, v: &Option<String>) {
     }
 }
 
+fn push_job_row(out: &mut String, r: &JobRow) {
+    let _ = write!(out, "{{\"job\":{},\"class\":", r.job);
+    push_str_escaped(out, &r.class);
+    let _ = write!(out, ",\"request\":{},\"state\":", r.request);
+    push_str_escaped(out, &r.state);
+    let _ = write!(
+        out,
+        ",\"submit_secs\":{},\"finish_secs\":{}}}",
+        fmt_f64(r.submit_secs),
+        r.finish_secs.map_or("null".to_string(), fmt_f64),
+    );
+}
+
+fn parse_job_row(doc: &Json) -> Result<JobRow, String> {
+    let num = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("job record missing numeric '{key}'"))
+    };
+    let text = |key: &str| -> Result<String, String> {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("job record missing string '{key}'"))
+    };
+    Ok(JobRow {
+        job: num("job")?,
+        class: text("class")?,
+        request: num("request")?,
+        state: text("state")?,
+        submit_secs: doc
+            .get("submit_secs")
+            .and_then(Json::as_f64)
+            .ok_or("job record missing numeric 'submit_secs'")?,
+        finish_secs: doc.get("finish_secs").and_then(Json::as_f64),
+    })
+}
+
 impl Response {
     /// Serializes to one protocol line (no trailing newline).
     pub fn to_line(&self) -> String {
@@ -265,7 +529,8 @@ impl Response {
             ResponseBody::Status(s) => {
                 let _ = write!(
                     out,
-                    ",\"type\":\"status\",\"state\":\"{}\"",
+                    ",\"type\":\"status\",\"proto\":{},\"state\":\"{}\"",
+                    s.proto,
                     s.state.label()
                 );
                 out.push_str(",\"policy\":");
@@ -340,6 +605,47 @@ impl Response {
                 }
                 let _ = write!(out, "],\"dropped\":{}", t.dropped);
             }
+            ResponseBody::Hello(h) => {
+                let _ = write!(out, ",\"type\":\"hello\",\"proto\":{},\"server\":", h.proto);
+                push_str_escaped(&mut out, &h.server);
+                out.push_str(",\"policy\":");
+                push_str_escaped(&mut out, &h.policy);
+                let _ = write!(out, ",\"state\":\"{}\"", h.state.label());
+            }
+            ResponseBody::Ack(a) => {
+                out.push_str(",\"type\":\"ack\"");
+                if let Some(job) = a.job {
+                    let _ = write!(out, ",\"job\":{job}");
+                }
+                if let Some(at) = a.at_secs {
+                    let _ = write!(out, ",\"at_secs\":{}", fmt_f64(at));
+                }
+                if let Some(info) = &a.info {
+                    out.push_str(",\"info\":");
+                    push_str_escaped(&mut out, info);
+                }
+            }
+            ResponseBody::Reject(r) => {
+                out.push_str(",\"type\":\"reject\",\"reason\":");
+                push_str_escaped(&mut out, &r.reason);
+                if let Some(after) = r.retry_after_secs {
+                    let _ = write!(out, ",\"retry_after_secs\":{}", fmt_f64(after));
+                }
+            }
+            ResponseBody::Jobs(rows) => {
+                out.push_str(",\"type\":\"jobs\",\"records\":[");
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_job_row(&mut out, row);
+                }
+                out.push(']');
+            }
+            ResponseBody::Job(row) => {
+                out.push_str(",\"type\":\"job\",\"record\":");
+                push_job_row(&mut out, row);
+            }
             ResponseBody::Error { message } => {
                 out.push_str(",\"type\":\"error\",\"message\":");
                 push_str_escaped(&mut out, message);
@@ -384,6 +690,7 @@ impl Response {
                         .ok_or_else(|| format!("status missing jobs.{key}"))
                 };
                 ResponseBody::Status(StatusBody {
+                    proto: doc.get("proto").and_then(Json::as_u64).unwrap_or(0),
                     state: RunState::parse(&get_str("state")?)?,
                     policy: get_str("policy")?,
                     trace: get_str("trace")?,
@@ -442,6 +749,35 @@ impl Response {
                     dropped: get_u64("dropped")?,
                 })
             }
+            Some("hello") => ResponseBody::Hello(HelloBody {
+                proto: get_u64("proto")?,
+                server: get_str("server")?,
+                policy: get_str("policy")?,
+                state: RunState::parse(&get_str("state")?)?,
+            }),
+            Some("ack") => ResponseBody::Ack(AckBody {
+                job: doc.get("job").and_then(Json::as_u64),
+                at_secs: doc.get("at_secs").and_then(Json::as_f64),
+                info: get_opt_str("info"),
+            }),
+            Some("reject") => ResponseBody::Reject(RejectBody {
+                reason: get_str("reason")?,
+                retry_after_secs: doc.get("retry_after_secs").and_then(Json::as_f64),
+            }),
+            Some("jobs") => {
+                let records = doc
+                    .get("records")
+                    .and_then(Json::as_arr)
+                    .ok_or("jobs missing 'records'")?
+                    .iter()
+                    .map(parse_job_row)
+                    .collect::<Result<Vec<_>, _>>()?;
+                ResponseBody::Jobs(records)
+            }
+            Some("job") => {
+                let record = doc.get("record").ok_or("job missing 'record'")?;
+                ResponseBody::Job(parse_job_row(record)?)
+            }
             Some("error") => ResponseBody::Error {
                 message: get_str("message")?,
             },
@@ -480,6 +816,62 @@ mod tests {
                 id: u64::MAX >> 12,
                 kind: RequestKind::Tail { n: 25 },
             },
+            Request {
+                id: 12,
+                kind: RequestKind::Hello,
+            },
+            Request {
+                id: 13,
+                kind: RequestKind::Submit {
+                    class: "bt.A".into(),
+                    request: Some(32),
+                    work_secs: Some(1200.5),
+                },
+            },
+            Request {
+                id: 14,
+                kind: RequestKind::Submit {
+                    class: "swim".into(),
+                    request: None,
+                    work_secs: None,
+                },
+            },
+            Request {
+                id: 15,
+                kind: RequestKind::Cancel { job: 7 },
+            },
+            Request {
+                id: 16,
+                kind: RequestKind::Drain,
+            },
+            Request {
+                id: 17,
+                kind: RequestKind::Snapshot {
+                    path: Some("/tmp/run.snap".into()),
+                },
+            },
+            Request {
+                id: 18,
+                kind: RequestKind::Snapshot { path: None },
+            },
+            Request {
+                id: 19,
+                kind: RequestKind::Shutdown {
+                    snapshot: Some("final.snap".into()),
+                },
+            },
+            Request {
+                id: 20,
+                kind: RequestKind::Shutdown { snapshot: None },
+            },
+            Request {
+                id: 21,
+                kind: RequestKind::Jobs { n: 50 },
+            },
+            Request {
+                id: 22,
+                kind: RequestKind::Job { job: 3 },
+            },
         ] {
             let line = req.to_line();
             assert_eq!(Request::parse_line(&line).expect("parses"), req);
@@ -495,8 +887,53 @@ mod tests {
             "{\"id\":1,\"type\":\"nope\"}",
             "{\"id\":1,\"type\":\"tail\"}",
             "{\"type\":\"status\"}",
+            "{\"id\":1,\"type\":\"submit\"}",
+            "{\"id\":1,\"type\":\"cancel\"}",
+            "{\"id\":1,\"type\":\"jobs\"}",
+            "{\"id\":1,\"type\":\"job\"}",
         ] {
             assert!(Request::parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn query_and_control_vocabularies_are_disjoint() {
+        let control = [
+            RequestKind::Hello,
+            RequestKind::Submit {
+                class: "swim".into(),
+                request: None,
+                work_secs: None,
+            },
+            RequestKind::Cancel { job: 0 },
+            RequestKind::Drain,
+            RequestKind::Snapshot { path: None },
+            RequestKind::Shutdown { snapshot: None },
+            RequestKind::Jobs { n: 1 },
+            RequestKind::Job { job: 0 },
+        ];
+        let query = [
+            RequestKind::Status,
+            RequestKind::Progress,
+            RequestKind::Health,
+            RequestKind::Metrics,
+            RequestKind::Tail { n: 1 },
+        ];
+        assert!(control.iter().all(RequestKind::is_control));
+        assert!(!query.iter().any(RequestKind::is_control));
+    }
+
+    #[test]
+    fn status_without_proto_parses_as_version_zero() {
+        // A frame from a pre-v2 server: no "proto" field at all.
+        let line = "{\"id\":1,\"type\":\"status\",\"state\":\"running\",\
+                    \"policy\":\"PDPA\",\"trace\":\"w3\",\"shards\":1,\
+                    \"jobs\":{\"total\":4,\"submitted\":2,\"finished\":1,\"failed\":0},\
+                    \"events_published\":10,\"elapsed_secs\":0.5,\"watchdog\":null}";
+        let resp = Response::parse_line(line).expect("parses");
+        match resp.body {
+            ResponseBody::Status(s) => assert_eq!(s.proto, 0, "missing proto reads as 0"),
+            other => panic!("expected status, got {other:?}"),
         }
     }
 
@@ -505,6 +942,7 @@ mod tests {
             Response {
                 id: 1,
                 body: ResponseBody::Status(StatusBody {
+                    proto: PROTO_VERSION,
                     state: RunState::Running,
                     policy: "PDPA".into(),
                     trace: "big.swf".into(),
@@ -562,6 +1000,77 @@ mod tests {
                 }),
             },
             Response {
+                id: 6,
+                body: ResponseBody::Hello(HelloBody {
+                    proto: PROTO_VERSION,
+                    server: "pdpad".into(),
+                    policy: "PDPA".into(),
+                    state: RunState::Running,
+                }),
+            },
+            Response {
+                id: 7,
+                body: ResponseBody::Ack(AckBody {
+                    job: Some(42),
+                    at_secs: Some(17.25),
+                    info: None,
+                }),
+            },
+            Response {
+                id: 8,
+                body: ResponseBody::Ack(AckBody {
+                    job: None,
+                    at_secs: None,
+                    info: Some("snapshot written to /tmp/run.snap".into()),
+                }),
+            },
+            Response {
+                id: 9,
+                body: ResponseBody::Reject(RejectBody {
+                    reason: "queue_full".into(),
+                    retry_after_secs: Some(0.5),
+                }),
+            },
+            Response {
+                id: 10,
+                body: ResponseBody::Reject(RejectBody {
+                    reason: "not_a_daemon".into(),
+                    retry_after_secs: None,
+                }),
+            },
+            Response {
+                id: 11,
+                body: ResponseBody::Jobs(vec![
+                    JobRow {
+                        job: 0,
+                        class: "swim".into(),
+                        request: 64,
+                        state: "done".into(),
+                        submit_secs: 0.0,
+                        finish_secs: Some(812.5),
+                    },
+                    JobRow {
+                        job: 1,
+                        class: "bt.A".into(),
+                        request: 25,
+                        state: "running".into(),
+                        submit_secs: 30.0,
+                        finish_secs: None,
+                    },
+                ]),
+            },
+            Response {
+                id: 12,
+                body: ResponseBody::Job(JobRow {
+                    job: 2,
+                    class: "apsi".into(),
+                    request: 16,
+                    state: "cancelled".into(),
+                    submit_secs: 60.0,
+                    finish_secs: Some(75.0),
+                }),
+            },
+            Response {
                 id: 0,
                 body: ResponseBody::Error {
                     message: "unknown request type 'bogus'".into(),
@@ -588,7 +1097,7 @@ mod tests {
         #[test]
         fn protocol_round_trips_all_message_types(
             id in 0u64..1 << 53,
-            pick in 0usize..8,
+            pick in 0usize..143, // lcm(13 request kinds, 11 response bodies)
             n in 0usize..10_000,
             s1 in "[ -~]{0,40}",
             s2 in "[ -~]{0,40}",
@@ -597,23 +1106,46 @@ mod tests {
             f2 in 0.0f64..1e9,
             some in proptest::bool::ANY,
         ) {
-            // Requests: every kind.
+            // Requests: every kind, query and control vocabularies alike.
+            // Submit class names are free-form strings on the wire (the
+            // daemon validates them, not the protocol layer).
             let req = Request {
                 id,
-                kind: match pick % 5 {
+                kind: match pick % 13 {
                     0 => RequestKind::Status,
                     1 => RequestKind::Progress,
                     2 => RequestKind::Health,
                     3 => RequestKind::Metrics,
-                    _ => RequestKind::Tail { n },
+                    4 => RequestKind::Tail { n },
+                    5 => RequestKind::Hello,
+                    6 => RequestKind::Submit {
+                        class: if s1.is_empty() { "swim".into() } else { s1.clone() },
+                        request: some.then_some(id % 128),
+                        work_secs: (!some).then_some(f1),
+                    },
+                    7 => RequestKind::Cancel { job: id },
+                    8 => RequestKind::Drain,
+                    9 => RequestKind::Snapshot { path: some.then(|| s2.clone()) },
+                    10 => RequestKind::Shutdown { snapshot: some.then(|| s1.clone()) },
+                    11 => RequestKind::Jobs { n },
+                    _ => RequestKind::Job { job: id },
                 },
             };
             prop_assert_eq!(Request::parse_line(&req.to_line()).unwrap(), req);
 
             // Responses: every body shape, strings drawn from the full
             // printable class so quoting/escaping is exercised.
-            let body = match pick % 6 {
+            let row = JobRow {
+                job: id % 4096,
+                class: s1.clone(),
+                request: id % 128,
+                state: ["queued", "running", "done", "failed", "cancelled"][pick % 5].into(),
+                submit_secs: f1,
+                finish_secs: some.then_some(f2),
+            };
+            let body = match pick % 11 {
                 0 => ResponseBody::Status(StatusBody {
+                    proto: id % 16,
                     state: [RunState::Running, RunState::Done, RunState::Aborted][pick % 3],
                     policy: s1.clone(),
                     trace: s2.clone(),
@@ -650,6 +1182,23 @@ mod tests {
                     events: vec![s1.clone(), s2.clone()],
                     dropped: id,
                 }),
+                5 => ResponseBody::Hello(HelloBody {
+                    proto: id % 16,
+                    server: s1.clone(),
+                    policy: s2.clone(),
+                    state: [RunState::Running, RunState::Done, RunState::Aborted][pick % 3],
+                }),
+                6 => ResponseBody::Ack(AckBody {
+                    job: some.then_some(id),
+                    at_secs: some.then_some(f1),
+                    info: (!some).then(|| s2.clone()),
+                }),
+                7 => ResponseBody::Reject(RejectBody {
+                    reason: if s1.is_empty() { "busy".into() } else { s1.clone() },
+                    retry_after_secs: some.then_some(f2),
+                }),
+                8 => ResponseBody::Jobs(vec![row.clone(); counts.len()]),
+                9 => ResponseBody::Job(row.clone()),
                 _ => ResponseBody::Error { message: s1.clone() },
             };
             let resp = Response { id, body };

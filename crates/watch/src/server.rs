@@ -24,8 +24,46 @@ use std::time::{Duration, Instant};
 use pdpa_obs::Registry;
 
 use crate::prom::prometheus_text;
-use crate::proto::{Request, RequestKind, Response, ResponseBody, RunState};
+use crate::proto::{
+    HelloBody, RejectBody, Request, RequestKind, Response, ResponseBody, RunState, PROTO_VERSION,
+};
 use crate::tap::LiveTap;
+
+/// Serves the v2 control vocabulary (`submit`, `cancel`, `drain`,
+/// `snapshot`, `shutdown`, `jobs`, `job`, and the `hello` identity
+/// exchange). The read-only replay server uses [`ReadOnlyControl`], which
+/// answers `hello` and rejects everything else with `not_a_daemon`; the
+/// `pdpad` daemon installs a handler that round-trips ops to the engine
+/// loop. Handlers run on connection threads, so they must be thread-safe
+/// and must never block on the engine.
+pub trait ControlHandler: Send + Sync {
+    /// Answers one control request. Query kinds never reach the handler.
+    fn control(&self, kind: &RequestKind, tap: &LiveTap) -> ResponseBody;
+}
+
+/// The default [`ControlHandler`]: identifies the server as `replay` and
+/// rejects every mutating request with the stable `not_a_daemon` code, so
+/// a v2 client pointed at `pdpa replay --serve` gets a typed refusal, not
+/// a protocol error.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadOnlyControl;
+
+impl ControlHandler for ReadOnlyControl {
+    fn control(&self, kind: &RequestKind, tap: &LiveTap) -> ResponseBody {
+        match kind {
+            RequestKind::Hello => ResponseBody::Hello(HelloBody {
+                proto: PROTO_VERSION,
+                server: "replay".to_string(),
+                policy: tap.status_body().policy,
+                state: tap.state(),
+            }),
+            _ => ResponseBody::Reject(RejectBody {
+                reason: "not_a_daemon".to_string(),
+                retry_after_secs: None,
+            }),
+        }
+    }
+}
 
 /// Shared bookkeeping between the accept loop, connection handlers, and
 /// the owning CLI thread.
@@ -53,8 +91,19 @@ pub struct StatusServer {
 
 impl StatusServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// serving `tap`.
+    /// serving `tap` read-only: queries from the tap, control requests
+    /// politely rejected by [`ReadOnlyControl`].
     pub fn bind<A: ToSocketAddrs>(addr: A, tap: Arc<LiveTap>) -> std::io::Result<StatusServer> {
+        Self::bind_with_handler(addr, tap, Arc::new(ReadOnlyControl))
+    }
+
+    /// Binds like [`bind`](Self::bind) but with a custom control handler —
+    /// how `pdpad` turns the status server into a full service endpoint.
+    pub fn bind_with_handler<A: ToSocketAddrs>(
+        addr: A,
+        tap: Arc<LiveTap>,
+        handler: Arc<dyn ControlHandler>,
+    ) -> std::io::Result<StatusServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared::default());
@@ -71,10 +120,11 @@ impl StatusServer {
                     accept_shared.active.fetch_add(1, Ordering::Relaxed);
                     let tap = Arc::clone(&tap);
                     let shared = Arc::clone(&accept_shared);
+                    let handler = Arc::clone(&handler);
                     let _ = std::thread::Builder::new()
                         .name("pdpa-serve-conn".into())
                         .spawn(move || {
-                            handle_connection(stream, &tap, &shared);
+                            handle_connection(stream, &tap, handler.as_ref(), &shared);
                             shared.active.fetch_sub(1, Ordering::Relaxed);
                         });
                 }
@@ -128,7 +178,12 @@ impl StatusServer {
     }
 }
 
-fn handle_connection(stream: TcpStream, tap: &LiveTap, shared: &ServerShared) {
+fn handle_connection(
+    stream: TcpStream,
+    tap: &LiveTap,
+    handler: &dyn ControlHandler,
+    shared: &ServerShared,
+) {
     // A stuck client should not pin a handler thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
     let mut writer = match stream.try_clone() {
@@ -142,7 +197,7 @@ fn handle_connection(stream: TcpStream, tap: &LiveTap, shared: &ServerShared) {
             continue;
         }
         let response = match Request::parse_line(&line) {
-            Ok(request) => answer(&request, tap),
+            Ok(request) => answer(&request, tap, handler),
             Err(message) => Response {
                 id: 0,
                 body: ResponseBody::Error { message },
@@ -164,8 +219,8 @@ fn handle_connection(stream: TcpStream, tap: &LiveTap, shared: &ServerShared) {
     }
 }
 
-fn answer(request: &Request, tap: &LiveTap) -> Response {
-    let body = match request.kind {
+fn answer(request: &Request, tap: &LiveTap, handler: &dyn ControlHandler) -> Response {
+    let body = match &request.kind {
         RequestKind::Status => ResponseBody::Status(tap.status_body()),
         RequestKind::Progress => ResponseBody::Progress(tap.progress_body()),
         RequestKind::Health => ResponseBody::Health(tap.health_body()),
@@ -173,7 +228,8 @@ fn answer(request: &Request, tap: &LiveTap) -> Response {
             format: "prometheus".to_string(),
             body: prometheus_text(Registry::global()),
         },
-        RequestKind::Tail { n } => ResponseBody::Tail(tap.tail_body(n)),
+        RequestKind::Tail { n } => ResponseBody::Tail(tap.tail_body(*n)),
+        control => handler.control(control, tap),
     };
     Response {
         id: request.id,
@@ -286,6 +342,52 @@ mod tests {
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].id, 0);
         assert!(matches!(responses[0].body, ResponseBody::Error { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_only_server_answers_hello_and_rejects_control() {
+        let tap = LiveTap::new(RunMeta {
+            policy: "PDPA".into(),
+            trace: "t.swf".into(),
+            shards: 1,
+            jobs_total: 1,
+        });
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&tap)).expect("binds");
+        let responses = query(
+            server.local_addr(),
+            &[
+                Request {
+                    id: 1,
+                    kind: RequestKind::Hello,
+                }
+                .to_line(),
+                Request {
+                    id: 2,
+                    kind: RequestKind::Submit {
+                        class: "swim".into(),
+                        request: None,
+                        work_secs: None,
+                    },
+                }
+                .to_line(),
+            ],
+        );
+        match &responses[0].body {
+            ResponseBody::Hello(h) => {
+                assert_eq!(h.proto, PROTO_VERSION);
+                assert_eq!(h.server, "replay");
+                assert_eq!(h.policy, "PDPA");
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+        match &responses[1].body {
+            ResponseBody::Reject(r) => {
+                assert_eq!(r.reason, "not_a_daemon");
+                assert!(r.retry_after_secs.is_none());
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
         server.shutdown();
     }
 

@@ -27,7 +27,7 @@ use pdpa_obs::{ObsEvent, Observer, TimedEvent};
 use pdpa_prof::{memory_high_water_kib, HealthSnapshot, HeartbeatSink, ProgressSink};
 use pdpa_sim::SimTime;
 
-use crate::proto::{HealthBody, ProgressBody, RunState, StatusBody, TailBody};
+use crate::proto::{HealthBody, ProgressBody, RunState, StatusBody, TailBody, PROTO_VERSION};
 
 /// Immutable identity of the watched run, set once at tap creation.
 #[derive(Clone, Debug, Default)]
@@ -55,6 +55,9 @@ pub struct LiveTap {
     meta: RunMeta,
     started: Instant,
     state: AtomicU8,
+    // Live job total: seeded from meta, grown by online admission when a
+    // daemon owns the tap (batch replays never touch it).
+    jobs_total: AtomicU64,
 
     // Progress mirror, written by ProgressSink::progress.
     sim_clock_bits: AtomicU64,
@@ -86,10 +89,12 @@ impl LiveTap {
 
     /// A tap keeping at most `capacity` recent events.
     pub fn with_ring_capacity(meta: RunMeta, capacity: usize) -> Arc<Self> {
+        let jobs_total = AtomicU64::new(meta.jobs_total);
         Arc::new(LiveTap {
             meta,
             started: Instant::now(),
             state: AtomicU8::new(STATE_RUNNING),
+            jobs_total,
             sim_clock_bits: AtomicU64::new(0),
             events_popped: AtomicU64::new(0),
             queue_len: AtomicU64::new(0),
@@ -175,14 +180,26 @@ impl LiveTap {
         self.started.elapsed().as_secs_f64()
     }
 
+    /// Updates the live job total (online admission grew the workload).
+    pub fn set_jobs_total(&self, total: u64) {
+        self.jobs_total.store(total, Ordering::Relaxed);
+    }
+
+    /// The current job total: the workload size at tap creation, plus any
+    /// jobs admitted online since.
+    pub fn jobs_total(&self) -> u64 {
+        self.jobs_total.load(Ordering::Relaxed)
+    }
+
     /// The `status` view.
     pub fn status_body(&self) -> StatusBody {
         StatusBody {
+            proto: PROTO_VERSION,
             state: self.state(),
             policy: self.meta.policy.clone(),
             trace: self.meta.trace.clone(),
             shards: self.meta.shards,
-            jobs_total: self.meta.jobs_total,
+            jobs_total: self.jobs_total(),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_finished: self.jobs_finished.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
@@ -197,7 +214,7 @@ impl LiveTap {
         let elapsed = self.elapsed_secs();
         let events_popped = self.events_popped.load(Ordering::Relaxed);
         let finished = self.jobs_finished.load(Ordering::Relaxed);
-        let total = self.meta.jobs_total;
+        let total = self.jobs_total();
         // Naive proportional ETA over finished jobs; honest enough for a
         // progress line, absent only before the first completion.
         let eta_secs = (finished > 0 && total > finished)
@@ -377,6 +394,16 @@ mod tests {
         assert!(tail.events[1].contains("job=4"), "got: {:?}", tail.events);
         // tail 1 returns only the newest.
         assert_eq!(tap.tail_body(1).events.len(), 1);
+    }
+
+    #[test]
+    fn jobs_total_grows_with_online_admission() {
+        let tap = LiveTap::new(meta());
+        assert_eq!(tap.status_body().jobs_total, 4);
+        assert_eq!(tap.status_body().proto, PROTO_VERSION);
+        tap.set_jobs_total(9);
+        assert_eq!(tap.status_body().jobs_total, 9);
+        assert_eq!(tap.progress_body().jobs_total, 9);
     }
 
     #[test]
